@@ -1,0 +1,48 @@
+//! Criterion bench: synthetic MNIST generation throughput (the dataset
+//! substrate must not dominate experiment runtimes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cdl_dataset::generator::{SyntheticConfig, SyntheticMnist};
+use cdl_dataset::idx;
+
+fn bench_generator(c: &mut Criterion) {
+    let gen_default = SyntheticMnist::new(SyntheticConfig::default());
+    let gen_easy = SyntheticMnist::new(SyntheticConfig::easy());
+
+    let mut group = c.benchmark_group("generator");
+    group.bench_function("single_sample_default", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(gen_default.sample(1, i))
+        })
+    });
+    group.bench_function("single_sample_easy", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(gen_easy.sample(1, i))
+        })
+    });
+    group.bench_function("batch_of_100", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(gen_default.generate(100, seed))
+        })
+    });
+    let set = gen_default.generate(100, 7);
+    group.bench_function("idx_serialize_100", |b| {
+        b.iter(|| black_box(idx::write_images(&set.images)))
+    });
+    let bytes = idx::write_images(&set.images);
+    group.bench_function("idx_parse_100", |b| {
+        b.iter(|| black_box(idx::parse_images(&bytes).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generator);
+criterion_main!(benches);

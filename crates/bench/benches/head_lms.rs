@@ -1,0 +1,61 @@
+//! Criterion bench: LMS head training throughput — the paper argues the
+//! linear classifiers are cheap to (re)train; this quantifies it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cdl_core::head::{LinearClassifier, LmsConfig};
+use cdl_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn blobs(n: usize, dim: usize) -> (Vec<Tensor>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = rng.random_range(0..10usize);
+        let v: Vec<f32> = (0..dim)
+            .map(|d| if d % 10 == c { 1.5 } else { 0.0 } + rng.random_range(-0.4..0.4))
+            .collect();
+        xs.push(Tensor::from_vec(v, &[dim]).unwrap());
+        ys.push(c);
+    }
+    (xs, ys)
+}
+
+fn bench_head_lms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("head_lms");
+    // O1 of MNIST_3C: 507 features; O2: 150 features
+    for (name, dim) in [("o1_507_features", 507usize), ("o2_150_features", 150)] {
+        let (xs, ys) = blobs(512, dim);
+        group.bench_function(format!("epoch_512_samples_{name}"), |b| {
+            b.iter(|| {
+                let mut head = LinearClassifier::new(dim, 10, 1).unwrap();
+                head.train_lms(
+                    black_box(&xs),
+                    black_box(&ys),
+                    &LmsConfig {
+                        epochs: 1,
+                        ..LmsConfig::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    // single-sample scoring (the activation-module hot path)
+    let head = LinearClassifier::new(507, 10, 1).unwrap();
+    let x = Tensor::full(&[507], 0.4);
+    group.bench_function("score_507_features", |b| {
+        b.iter(|| head.scores(black_box(&x)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_head_lms
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion bench: per-input inference latency, baseline DLN vs CDLN.
+//!
+//! This is the wall-clock counterpart of the paper's Figs. 5/6: the CDLN's
+//! average latency on the (mostly easy) input stream sits well below the
+//! baseline's fixed cost, while its worst case (a hard input cascading to
+//! FC) is slightly above it — the head evaluations ride on top.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cdl_core::arch;
+use cdl_core::builder::{BuilderConfig, CdlBuilder};
+use cdl_core::confidence::ConfidencePolicy;
+use cdl_core::network::CdlNetwork;
+use cdl_dataset::SyntheticMnist;
+use cdl_nn::network::Network;
+use cdl_nn::trainer::{train, LabelledSet, TrainConfig};
+use cdl_tensor::Tensor;
+
+fn prepare() -> (CdlNetwork, LabelledSet) {
+    let (train_set, test_set) = SyntheticMnist::default().generate_split(2500, 400, 17);
+    let arch = arch::mnist_3c();
+    let mut base = Network::from_spec(&arch.spec, 7).unwrap();
+    train(
+        &mut base,
+        &train_set,
+        &TrainConfig {
+            epochs: 12,
+            lr: 1.5,
+            lr_decay: 0.95,
+            ..TrainConfig::default()
+        },
+    )
+    .unwrap();
+    let cdl = CdlBuilder::new(arch, ConfidencePolicy::sigmoid_prob(0.5))
+        .build(base, &train_set, &BuilderConfig {
+            force_admit_all: true,
+            ..BuilderConfig::default()
+        })
+        .unwrap()
+        .into_network();
+    (cdl, test_set)
+}
+
+/// Finds one input exiting at the given stage (or any input as fallback).
+fn input_exiting_at(cdl: &CdlNetwork, set: &LabelledSet, stage: usize) -> Tensor {
+    for img in &set.images {
+        if cdl.classify(img).unwrap().exit_stage == stage {
+            return img.clone();
+        }
+    }
+    set.images[0].clone()
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (cdl, test_set) = prepare();
+    let easy = input_exiting_at(&cdl, &test_set, 0);
+    let hard = input_exiting_at(&cdl, &test_set, cdl.stage_count());
+
+    let mut group = c.benchmark_group("inference");
+    group.bench_function("baseline_full_pass", |b| {
+        b.iter(|| cdl.base().forward(black_box(&easy)).unwrap())
+    });
+    group.bench_function("cdln_easy_input_exit_o1", |b| {
+        b.iter(|| cdl.classify(black_box(&easy)).unwrap())
+    });
+    group.bench_function("cdln_hard_input_full_cascade", |b| {
+        b.iter(|| cdl.classify(black_box(&hard)).unwrap())
+    });
+    // average over a realistic stream: the number the paper's Fig. 5
+    // normalizes
+    let stream: Vec<&Tensor> = test_set.images.iter().take(64).collect();
+    group.bench_function("cdln_stream_of_64", |b| {
+        b.iter(|| {
+            let mut ops = 0u64;
+            for img in &stream {
+                ops += cdl.classify(black_box(img)).unwrap().ops.compute_ops();
+            }
+            ops
+        })
+    });
+    group.bench_function("baseline_stream_of_64", |b| {
+        b.iter(|| {
+            let mut ops = 0u64;
+            for img in &stream {
+                cdl.base().forward(black_box(img)).unwrap();
+                ops += cdl.baseline_ops().compute_ops();
+            }
+            ops
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Ablation: confidence-policy comparison on the 8-layer CDLN.
+
+use cdl_bench::experiments::ablation;
+use cdl_bench::pipeline::{prepare_pair, ExperimentConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let pair = prepare_pair(&ExperimentConfig::from_env())?;
+    print!("{}", ablation::confidence_policies(&pair)?);
+    Ok(())
+}

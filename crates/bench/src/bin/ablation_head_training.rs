@@ -1,0 +1,11 @@
+//! Ablation: LMS training budget of the linear-classifier heads.
+
+use cdl_bench::experiments::ablation;
+use cdl_bench::pipeline::{prepare_pair, ExperimentConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let cfg = ExperimentConfig::from_env();
+    let pair = prepare_pair(&cfg)?;
+    print!("{}", ablation::head_training(&pair, &cfg)?);
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! Fig. 5: normalized #OPS per digit, MNIST_2C & MNIST_3C vs baseline.
+
+use cdl_bench::experiments::fig5;
+use cdl_bench::pipeline::{prepare_pair, ExperimentConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let pair = prepare_pair(&ExperimentConfig::from_env())?;
+    print!("{}", fig5::render(&fig5::run(&pair)?));
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! Fig. 6: normalized energy per digit on the 45nm hardware model.
+
+use cdl_bench::experiments::{fig5, fig6};
+use cdl_bench::pipeline::{prepare_pair, ExperimentConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let pair = prepare_pair(&ExperimentConfig::from_env())?;
+    print!("{}", fig6::render(&fig5::run(&pair)?));
+    Ok(())
+}

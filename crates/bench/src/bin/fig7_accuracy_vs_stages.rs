@@ -1,0 +1,11 @@
+//! Fig. 7: accuracy vs number of output layers on the 8-layer net.
+
+use cdl_bench::experiments::fig7;
+use cdl_bench::pipeline::{prepare_pair, ExperimentConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let cfg = ExperimentConfig::from_env();
+    let pair = prepare_pair(&cfg)?;
+    print!("{}", fig7::render(&fig7::run(&pair, &cfg)?));
+    Ok(())
+}

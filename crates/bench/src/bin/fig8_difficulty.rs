@@ -1,0 +1,10 @@
+//! Fig. 8: energy benefit ordered by input difficulty (MNIST_3C).
+
+use cdl_bench::experiments::{fig5, fig8};
+use cdl_bench::pipeline::{prepare_pair, ExperimentConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let pair = prepare_pair(&ExperimentConfig::from_env())?;
+    print!("{}", fig8::render(&fig5::run(&pair)?));
+    Ok(())
+}

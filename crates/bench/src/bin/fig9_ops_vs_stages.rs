@@ -1,0 +1,11 @@
+//! Fig. 9: normalized #OPS vs stage count; the break-even point.
+
+use cdl_bench::experiments::{fig7, fig9};
+use cdl_bench::pipeline::{prepare_pair, ExperimentConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let cfg = ExperimentConfig::from_env();
+    let pair = prepare_pair(&cfg)?;
+    print!("{}", fig9::render(&fig7::run(&pair, &cfg)?));
+    Ok(())
+}

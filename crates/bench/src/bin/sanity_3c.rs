@@ -1,0 +1,32 @@
+//! Development aid: hyper-parameter exploration for the 8-layer (Table II)
+//! baseline, which trains slowly under MSE+sigmoid.
+
+use cdl_core::arch;
+use cdl_dataset::SyntheticMnist;
+use cdl_nn::loss::Loss;
+use cdl_nn::network::Network;
+use cdl_nn::trainer::{evaluate, train, TrainConfig};
+
+fn main() {
+    let gen = SyntheticMnist::default();
+    let (train_set, test_set) = gen.generate_split(6000, 1000, 42);
+    let arch = arch::mnist_3c();
+
+    let configs = [
+        ("lr1.5 m0.9 d0.9 mse e8", TrainConfig { epochs: 8, lr: 1.5, momentum: 0.9, lr_decay: 0.9, loss: Loss::Mse, ..TrainConfig::default() }),
+        ("lr3.0 m0.9 d0.9 mse e8", TrainConfig { epochs: 8, lr: 3.0, momentum: 0.9, lr_decay: 0.9, loss: Loss::Mse, ..TrainConfig::default() }),
+        ("lr0.3 m0.9 d0.9 ce e8", TrainConfig { epochs: 8, lr: 0.3, momentum: 0.9, lr_decay: 0.9, loss: Loss::SoftmaxCrossEntropy, ..TrainConfig::default() }),
+        ("lr0.1 m0.9 d0.9 ce e8", TrainConfig { epochs: 8, lr: 0.1, momentum: 0.9, lr_decay: 0.9, loss: Loss::SoftmaxCrossEntropy, ..TrainConfig::default() }),
+    ];
+    for (name, cfg) in configs {
+        let t0 = std::time::Instant::now();
+        let mut net = Network::from_spec(&arch.spec, 7).unwrap();
+        let report = train(&mut net, &train_set, &cfg).unwrap();
+        let acc = evaluate(&net, &test_set).unwrap();
+        println!(
+            "{name}: train-acc {:.3} test-acc {acc:.4} ({:?})",
+            report.epochs.last().unwrap().train_accuracy,
+            t0.elapsed()
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Development aid: find (epochs, δ) where the 3C CDLN accuracy exceeds the
+//! baseline, as in the paper's Table III.
+
+use cdl_core::arch;
+use cdl_core::builder::{BuilderConfig, CdlBuilder};
+use cdl_core::confidence::ConfidencePolicy;
+use cdl_core::stats::evaluate;
+use cdl_dataset::generator::SyntheticConfig;
+use cdl_dataset::SyntheticMnist;
+use cdl_hw::EnergyModel;
+use cdl_nn::network::Network;
+use cdl_nn::trainer::{train, TrainConfig};
+
+fn main() {
+    let gen = if std::env::var("EASY").is_ok() {
+        SyntheticMnist::new(SyntheticConfig::easy())
+    } else {
+        SyntheticMnist::default()
+    };
+    let (train_set, test_set) = gen.generate_split(20_000, 4_000, 42);
+    for epochs in [6usize, 10] {
+        let mut base = Network::from_spec(&arch::mnist_3c().spec, 42).unwrap();
+        let cfg = TrainConfig { epochs, lr: 1.5, lr_decay: 0.9, seed: 42 ^ 0x7EA1, ..TrainConfig::default() };
+        train(&mut base, &train_set, &cfg).unwrap();
+        let params = base.export_params();
+        for delta in [0.5f32, 0.6, 0.7, 0.8] {
+            let mut b = Network::from_spec(&arch::mnist_3c().spec, 42).unwrap();
+            b.import_params(&params).unwrap();
+            let trained = CdlBuilder::new(arch::mnist_3c(), ConfidencePolicy::sigmoid_prob(delta))
+                .build(b, &train_set, &BuilderConfig::default())
+                .unwrap();
+            let ev = evaluate(trained.network(), &test_set, &EnergyModel::cmos_45nm()).unwrap();
+            println!(
+                "epochs {epochs} delta {delta}: baseline {:.4} cdln {:.4} ({:+.2}pp) ops {:.2}x stages {}",
+                ev.baseline_accuracy,
+                ev.accuracy,
+                (ev.accuracy - ev.baseline_accuracy) * 100.0,
+                ev.ops_improvement(),
+                trained.network().stage_count(),
+            );
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Quick sanity check: can the Table I baseline learn the synthetic MNIST?
+//! (Development aid; the real experiments live in the other binaries.)
+
+use cdl_dataset::SyntheticMnist;
+use cdl_nn::activation::Activation;
+use cdl_nn::network::Network;
+use cdl_nn::spec::{LayerSpec, NetworkSpec};
+use cdl_nn::trainer::{evaluate, train, TrainConfig};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let gen = SyntheticMnist::default();
+    let (train_set, test_set) = gen.generate_split(6000, 1000, 42);
+    println!("generated {} train / {} test in {:?}", train_set.len(), test_set.len(), t0.elapsed());
+
+    let spec = NetworkSpec::new(
+        vec![
+            LayerSpec::conv(1, 6, 5, Activation::Sigmoid),
+            LayerSpec::maxpool(2),
+            LayerSpec::conv(6, 12, 5, Activation::Sigmoid),
+            LayerSpec::maxpool(2),
+            LayerSpec::flatten(),
+            LayerSpec::dense(192, 10, Activation::Sigmoid),
+        ],
+        &[1, 28, 28],
+    );
+    let mut net = Network::from_spec(&spec, 7).unwrap();
+    let cfg = TrainConfig::default();
+    let t1 = std::time::Instant::now();
+    let report = train(&mut net, &train_set, &cfg).unwrap();
+    println!("trained {} epochs in {:?}", cfg.epochs, t1.elapsed());
+    for e in &report.epochs {
+        println!("epoch {}: loss {:.4} train-acc {:.3}", e.epoch, e.mean_loss, e.train_accuracy);
+    }
+    let acc = evaluate(&net, &test_set).unwrap();
+    println!("test accuracy: {acc:.4}");
+}

@@ -1,0 +1,6 @@
+//! Tables I & II: baseline DLN topologies with per-layer cost model columns.
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    print!("{}", cdl_bench::experiments::table12::run()?);
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! Table III: accuracy of baseline DLNs vs their CDLNs.
+
+use cdl_bench::experiments::{fig5, table3};
+use cdl_bench::pipeline::{prepare_pair, ExperimentConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let pair = prepare_pair(&ExperimentConfig::from_env())?;
+    print!("{}", table3::render(&fig5::run(&pair)?));
+    Ok(())
+}

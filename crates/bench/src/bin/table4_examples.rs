@@ -1,0 +1,10 @@
+//! Table IV: example digit images classified at each output stage.
+
+use cdl_bench::experiments::table4;
+use cdl_bench::pipeline::{prepare_pair, ExperimentConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let pair = prepare_pair(&ExperimentConfig::from_env())?;
+    print!("{}", table4::run(&pair)?);
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Fig. 10 — the efficiency/accuracy tradeoff under the confidence
+//! threshold δ (8-layer net).
+//!
+//! Paper: raising δ from 0.4 to 0.5 lifts accuracy 96.12 % → 99.02 % while
+//! normalized #OPS falls 1.1 → 0.51; past the accuracy peak (δ ≈ 0.5)
+//! accuracy degrades while #OPS keeps falling — δ is a runtime knob trading
+//! accuracy for efficiency.
+//!
+//! Note on conventions: with the paper's own two-criteria activation module
+//! (exit iff *exactly one* class confidence ≥ δ), ops-vs-δ is **U-shaped**:
+//! at low δ several per-class sigmoid confidences clear the bar and the
+//! *uniqueness* criterion keeps inputs cascading; at high δ the *confidence*
+//! criterion does. The paper's reported range (δ 0.4 → 0.5 → …, ops falling,
+//! accuracy peaking at 0.5) is the **left branch** of that U — which is why
+//! the paper can say "#OPS still continues to decrease with increasing δ"
+//! even though its Algorithm 2 reads `confidence ≥ δ ⇒ terminate`. This
+//! sweep covers both branches so the full curve (and the accuracy peak in
+//! the middle) is visible.
+
+use cdl_core::sweep::{delta_sweep, DeltaPoint};
+use cdl_hw::EnergyModel;
+
+use crate::pipeline::{BenchError, PreparedPair};
+
+/// The δ grid used for the sweep.
+pub fn delta_grid() -> Vec<f32> {
+    (1..=19).map(|i| i as f32 * 0.05).collect()
+}
+
+/// Runs the δ sweep on the prepared 8-layer CDLN.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn run(pair: &mut PreparedPair) -> Result<Vec<DeltaPoint>, BenchError> {
+    let deltas = delta_grid();
+    Ok(delta_sweep(
+        &mut pair.net_3c.cdl,
+        &pair.test_set,
+        &deltas,
+        &EnergyModel::cmos_45nm(),
+    )?)
+}
+
+/// Renders the tradeoff table and calls out the accuracy peak.
+pub fn render(points: &[DeltaPoint]) -> String {
+    let mut out = String::from(
+        "=== Fig. 10: efficiency vs accuracy tradeoff using confidence δ (8-layer net) ===\n\n",
+    );
+    out.push_str(&format!(
+        "{:>6} {:>12} {:>10} {:>16}\n",
+        "δ", "norm. #OPS", "accuracy", "frac. reaching FC"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:>6.2} {:>12.3} {:>9.2}% {:>15.1}%\n",
+            p.delta,
+            p.normalized_ops,
+            p.accuracy * 100.0,
+            p.fc_fraction * 100.0,
+        ));
+    }
+    if let Some(best) = points.iter().max_by(|a, b| a.accuracy.total_cmp(&b.accuracy)) {
+        out.push_str(&format!(
+            "\naccuracy peak at δ = {:.2} ({:.2}%, normalized #OPS {:.3}); paper peaks at δ = 0.5\n",
+            best.delta,
+            best.accuracy * 100.0,
+            best.normalized_ops,
+        ));
+    }
+    out.push_str(
+        "shape to check: ops monotone in δ; accuracy rises to a peak at moderate δ\n\
+         and falls once confident-but-wrong early exits dominate.\n",
+    );
+    out
+}

@@ -1,0 +1,72 @@
+//! Fig. 5 — normalized OPS per digit for MNIST_2C and MNIST_3C relative to
+//! their baselines.
+//!
+//! Paper: MNIST_2C improves average OPS/input by 1.46×–1.99× (avg 1.73×),
+//! MNIST_3C by 1.50×–2.32× (avg 1.91×); digit 1 benefits most, digit 5
+//! least.
+
+use cdl_core::stats::{evaluate, EvalReport};
+use cdl_hw::report::bar_chart;
+use cdl_hw::EnergyModel;
+
+use crate::pipeline::{BenchError, PreparedPair};
+
+/// Structured result of the Fig. 5 reproduction.
+#[derive(Debug)]
+pub struct Fig5 {
+    /// MNIST_2C evaluation.
+    pub report_2c: EvalReport,
+    /// MNIST_3C evaluation.
+    pub report_3c: EvalReport,
+}
+
+/// Runs the experiment on prepared networks.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn run(pair: &PreparedPair) -> Result<Fig5, BenchError> {
+    let model = EnergyModel::cmos_45nm();
+    Ok(Fig5 {
+        report_2c: evaluate(&pair.net_2c.cdl, &pair.test_set, &model)?,
+        report_3c: evaluate(&pair.net_3c.cdl, &pair.test_set, &model)?,
+    })
+}
+
+/// Renders the per-digit normalized-OPS chart and the headline averages.
+pub fn render(fig: &Fig5) -> String {
+    let mut out = String::from("=== Fig. 5: normalized #OPS per digit (CDLN / baseline DLN) ===\n\n");
+    for (name, report) in [("MNIST_2C", &fig.report_2c), ("MNIST_3C", &fig.report_3c)] {
+        out.push_str(&format!("{name}:\n"));
+        let rows: Vec<(String, f64)> = report
+            .digits
+            .iter()
+            .map(|d| (format!("digit {}", d.digit), d.normalized_ops))
+            .collect();
+        out.push_str(&bar_chart(&rows, 40));
+        let improvements: Vec<f64> = report.digits.iter().map(|d| 1.0 / d.normalized_ops).collect();
+        let best = report
+            .digits
+            .iter()
+            .min_by(|a, b| a.normalized_ops.total_cmp(&b.normalized_ops))
+            .expect("non-empty digits");
+        let worst = report
+            .digits
+            .iter()
+            .max_by(|a, b| a.normalized_ops.total_cmp(&b.normalized_ops))
+            .expect("non-empty digits");
+        out.push_str(&format!(
+            "  avg improvement {:.2}x (paper: {})  range {:.2}x (digit {}) .. {:.2}x (digit {})\n\n",
+            report.ops_improvement(),
+            if name == "MNIST_2C" { "1.73x" } else { "1.91x" },
+            improvements
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min),
+            worst.digit,
+            improvements.iter().cloned().fold(0.0, f64::max),
+            best.digit,
+        ));
+    }
+    out
+}

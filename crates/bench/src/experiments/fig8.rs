@@ -1,0 +1,54 @@
+//! Fig. 8 — energy benefit ordered by input difficulty, and the FC
+//! activation fractions.
+//!
+//! Paper: digits ordered by decreasing energy efficiency; digit 1 is the
+//! least difficult (FC activated for only 1 % of its instances), digit 5
+//! the most difficult (FC for 6 %); even the hardest digit keeps a ≥1.5×
+//! energy benefit.
+
+use cdl_hw::report::bar_chart;
+
+use crate::experiments::fig5::Fig5;
+
+/// Renders the difficulty-ordered energy chart for MNIST_3C.
+pub fn render(fig: &Fig5) -> String {
+    let report = &fig.report_3c;
+    let mut out = String::from(
+        "=== Fig. 8: normalized energy benefit vs input difficulty (MNIST_3C) ===\n\n",
+    );
+    let order = report.digits_by_energy_benefit();
+    let rows: Vec<(String, f64)> = order
+        .iter()
+        .filter_map(|&digit| {
+            report.digits.iter().find(|d| d.digit == digit).map(|d| {
+                (
+                    format!("digit {} (FC {:>4.1}%)", d.digit, d.fc_fraction * 100.0),
+                    1.0 / d.normalized_energy,
+                )
+            })
+        })
+        .collect();
+    out.push_str("energy improvement, easiest to hardest digit:\n");
+    out.push_str(&bar_chart(&rows, 40));
+
+    let easiest = order.first().copied().unwrap_or(0);
+    let hardest = order.last().copied().unwrap_or(0);
+    let fc = |digit: usize| {
+        report
+            .digits
+            .iter()
+            .find(|d| d.digit == digit)
+            .map(|d| d.fc_fraction * 100.0)
+            .unwrap_or(0.0)
+    };
+    let worst_benefit = rows.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+    out.push_str(&format!(
+        "\neasiest digit: {easiest} (final layer activated for {:.1}% of its instances)\n\
+         hardest digit: {hardest} (final layer activated for {:.1}% of its instances)\n\
+         minimum energy benefit across digits: {worst_benefit:.2}x (paper: >= 1.5x even for the hardest)\n\
+         paper identifies digit 1 easiest (FC 1%) and digit 5 hardest (FC 6%).\n",
+        fc(easiest),
+        fc(hardest),
+    ));
+    out
+}

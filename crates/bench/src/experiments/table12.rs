@@ -1,0 +1,84 @@
+//! Tables I & II — the two baseline DLN topologies, with per-layer shapes,
+//! parameter counts, op counts and modelled energy (the paper reports only
+//! the topology; we add the cost columns the other experiments build on).
+
+use cdl_core::arch::{mnist_2c, mnist_3c, CdlArchitecture};
+use cdl_hw::report::CostReport;
+use cdl_hw::{Accelerator, EnergyModel};
+use cdl_nn::network::Network;
+
+use crate::pipeline::BenchError;
+
+/// Renders both architecture tables.
+///
+/// # Errors
+///
+/// Propagates network-construction errors.
+pub fn run() -> Result<String, BenchError> {
+    let mut out = String::new();
+    for arch in [mnist_2c(), mnist_3c()] {
+        out.push_str(&render_arch(&arch)?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn render_arch(arch: &CdlArchitecture) -> Result<String, BenchError> {
+    let net = Network::from_spec(&arch.spec, 0)?;
+    let model = EnergyModel::cmos_45nm();
+    let acc = Accelerator::cmos_45nm();
+    let per_layer = net.op_counts()?;
+    let names = net.layer_names();
+
+    let mut report = CostReport::new();
+    for (name, ops) in names.iter().zip(&per_layer) {
+        report.push(name.clone(), *ops, model.energy(ops, 0));
+    }
+    let (total_ops, _) = report.total();
+
+    let mut out = format!(
+        "=== {} (baseline DLN: {} spec layers, {} runtime layers, {} parameters) ===\n",
+        arch.name,
+        arch.spec.layers.len(),
+        net.layer_count(),
+        net.param_count()
+    );
+    out.push_str(&format!("input: {:?}\n", arch.spec.input_shape));
+    let chain = arch.spec.shape_chain().map_err(|e| e.to_string())?;
+    for (i, (spec, shape)) in arch.spec.layers.iter().zip(&chain).enumerate() {
+        let tap = arch
+            .taps
+            .iter()
+            .find(|t| t.spec_layer == i)
+            .map(|t| format!("   <- linear classifier {} ({} features)", t.name, shape.iter().product::<usize>()))
+            .unwrap_or_default();
+        out.push_str(&format!("  layer {i}: {spec:?} -> {shape:?}{tap}\n"));
+    }
+    out.push('\n');
+    out.push_str(&report.render());
+    out.push_str(&format!(
+        "\naccelerator model: {} MAC lanes @ {:.0} MHz, {:.2} mm², full pass {:.1} µs, utilisation {:.0}%\n",
+        acc.mac_lanes,
+        acc.clock_hz / 1e6,
+        acc.area_mm2(),
+        acc.latency_s(&total_ops) * 1e6,
+        acc.utilisation(&total_ops) * 100.0
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_both_tables() {
+        let s = run().unwrap();
+        assert!(s.contains("MNIST_2C"));
+        assert!(s.contains("MNIST_3C"));
+        assert!(s.contains("O1"));
+        assert!(s.contains("O2"));
+        assert!(s.contains("TOTAL"));
+        assert!(s.contains("accelerator model"));
+    }
+}

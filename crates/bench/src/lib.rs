@@ -1,0 +1,34 @@
+//! # cdl-bench
+//!
+//! Experiment harness regenerating **every table and figure** of the CDL
+//! paper (Panda et al., DATE 2016). Each experiment is a module under
+//! [`experiments`] with a matching binary, so
+//!
+//! ```text
+//! cargo run --release -p cdl-bench --bin fig5_ops_per_digit
+//! ```
+//!
+//! prints the reproduction of Fig. 5, and so on (see DESIGN.md §4 for the
+//! full index, and `--bin run_all` for the whole evaluation in one go).
+//!
+//! The [`pipeline`] module holds the shared train-once logic: baselines are
+//! trained and heads built through Algorithm 1, then cached on disk
+//! (`target/cdl-cache/`) so individual figure binaries don't retrain.
+//!
+//! ## Scale knobs (environment variables)
+//!
+//! | variable | default | meaning |
+//! |---|---|---|
+//! | `CDL_TRAIN_N` | 20000 | training-set size |
+//! | `CDL_TEST_N` | 4000 | test-set size |
+//! | `CDL_EPOCHS` | 10 | baseline training epochs |
+//! | `CDL_DELTA` | 0.5 | confidence threshold δ |
+//! | `CDL_SEED` | 42 | master data/init seed |
+//! | `CDL_MNIST_DIR` | — | directory with real MNIST IDX files (optional) |
+//!
+//! The paper's full scale is `CDL_TRAIN_N=60000 CDL_TEST_N=10000`.
+
+pub mod experiments;
+pub mod pipeline;
+
+pub use pipeline::{ExperimentConfig, Prepared, PreparedPair};

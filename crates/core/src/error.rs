@@ -1,0 +1,78 @@
+//! Error type for the CDL crate.
+
+use cdl_nn::NnError;
+use cdl_tensor::TensorError;
+use std::fmt;
+
+/// Error produced by CDL construction or inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CdlError {
+    /// An underlying network operation failed.
+    Nn(NnError),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// Stage configuration is inconsistent (bad tap index, non-monotonic
+    /// stage order, head fan-in mismatch, …).
+    BadStage(String),
+    /// A confidence policy was configured with an out-of-range parameter.
+    BadPolicy(String),
+    /// The dataset handed to the builder is unusable.
+    BadDataset(String),
+}
+
+impl fmt::Display for CdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdlError::Nn(e) => write!(f, "network error: {e}"),
+            CdlError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CdlError::BadStage(msg) => write!(f, "bad stage configuration: {msg}"),
+            CdlError::BadPolicy(msg) => write!(f, "bad confidence policy: {msg}"),
+            CdlError::BadDataset(msg) => write!(f, "bad dataset: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CdlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CdlError::Nn(e) => Some(e),
+            CdlError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for CdlError {
+    fn from(e: NnError) -> Self {
+        CdlError::Nn(e)
+    }
+}
+
+impl From<TensorError> for CdlError {
+    fn from(e: TensorError) -> Self {
+        CdlError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_chains() {
+        let e: CdlError = NnError::BadConfig("x".into()).into();
+        assert!(e.to_string().contains("network error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CdlError = TensorError::EmptyTensor.into();
+        assert!(e.to_string().contains("tensor error"));
+        let e = CdlError::BadStage("tap 9 out of order".into());
+        assert!(e.to_string().contains("tap 9"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CdlError>();
+    }
+}

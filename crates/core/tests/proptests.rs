@@ -1,0 +1,127 @@
+//! Property-based tests for the CDL machinery.
+
+use cdl_core::confidence::ConfidencePolicy;
+use cdl_core::head::{LinearClassifier, LmsConfig};
+use cdl_core::network::head_op_count;
+use cdl_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every policy's decision is well-formed: the label indexes the score
+    /// vector and the confidence is finite.
+    #[test]
+    fn decisions_are_well_formed(
+        scores in proptest::collection::vec(-20.0f32..20.0, 2..16),
+        threshold in 0.01f32..0.99,
+    ) {
+        let n = scores.len();
+        let t = Tensor::from_vec(scores, &[n]).unwrap();
+        for policy in [
+            ConfidencePolicy::sigmoid_prob(threshold),
+            ConfidencePolicy::max_prob(threshold),
+            ConfidencePolicy::margin(threshold),
+            ConfidencePolicy::entropy(threshold),
+        ] {
+            let d = policy.decide(&t).unwrap();
+            prop_assert!(d.label < n);
+            prop_assert!(d.confidence.is_finite());
+        }
+    }
+
+    /// The chosen label is always the argmax of the scores, regardless of
+    /// policy (the activation module picks thresholds, never labels).
+    #[test]
+    fn label_is_argmax(
+        scores in proptest::collection::vec(-5.0f32..5.0, 2..12),
+        threshold in 0.05f32..0.95,
+    ) {
+        let n = scores.len();
+        let t = Tensor::from_vec(scores, &[n]).unwrap();
+        let argmax = t.argmax().unwrap();
+        for policy in [
+            ConfidencePolicy::sigmoid_prob(threshold),
+            ConfidencePolicy::max_prob(threshold),
+            ConfidencePolicy::margin(threshold),
+            ConfidencePolicy::entropy(threshold),
+        ] {
+            prop_assert_eq!(policy.decide(&t).unwrap().label, argmax);
+        }
+    }
+
+    /// A dominant score always exits under every policy with a moderate
+    /// threshold; a perfectly flat vector never does.
+    #[test]
+    fn extreme_score_vectors(n in 2usize..12, hot in 0usize..12) {
+        let hot = hot % n;
+        let mut v = vec![-8.0f32; n];
+        v[hot] = 8.0;
+        let peaked = Tensor::from_vec(v, &[n]).unwrap();
+        let flat = Tensor::zeros(&[n]);
+        for policy in [
+            ConfidencePolicy::sigmoid_prob(0.6),
+            ConfidencePolicy::max_prob(0.6),
+            ConfidencePolicy::margin(0.5),
+            ConfidencePolicy::entropy(0.2),
+        ] {
+            let d = policy.decide(&peaked).unwrap();
+            prop_assert!(d.exit, "{policy}: dominant score must exit");
+            prop_assert_eq!(d.label, hot);
+            prop_assert!(!policy.decide(&flat).unwrap().exit, "{policy}: flat scores must cascade");
+        }
+    }
+
+    /// LMS training monotonically reduces error on average across epochs
+    /// for separable data (paper: heads converge to their global minimum).
+    #[test]
+    fn lms_converges_on_separable_blobs(seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = 12;
+        let classes = 4;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..160 {
+            let c = rng.random_range(0..classes);
+            let v: Vec<f32> = (0..dim)
+                .map(|d| if d == c * 3 { 2.0 } else { 0.0 } + rng.random_range(-0.4..0.4))
+                .collect();
+            xs.push(Tensor::from_vec(v, &[dim]).unwrap());
+            ys.push(c);
+        }
+        let mut head = LinearClassifier::new(dim, classes, seed).unwrap();
+        let short = head
+            .clone_for_test()
+            .train_lms(&xs, &ys, &LmsConfig { epochs: 2, ..LmsConfig::default() })
+            .unwrap();
+        let long = head
+            .train_lms(&xs, &ys, &LmsConfig { epochs: 16, ..LmsConfig::default() })
+            .unwrap();
+        prop_assert!(long <= short + 1e-3, "mse should not rise: {short} -> {long}");
+        prop_assert!(head.accuracy(&xs, &ys).unwrap() > 0.9);
+    }
+
+    /// Head op counts scale exactly with features × classes.
+    #[test]
+    fn head_ops_scale(features in 1usize..512, classes in 2usize..12) {
+        let head = LinearClassifier::new(features, classes, 1).unwrap();
+        let ops = head_op_count(&head);
+        prop_assert_eq!(ops.macs, (features * classes) as u64);
+        prop_assert!(ops.compute_ops() >= ops.macs);
+        prop_assert!(ops.mem_reads as usize >= features * classes);
+    }
+}
+
+/// Helper trait impl via extension — `LinearClassifier` is `Clone`, so this
+/// just names the intent in the test above.
+trait CloneForTest {
+    fn clone_for_test(&self) -> Self;
+}
+
+impl CloneForTest for LinearClassifier {
+    fn clone_for_test(&self) -> Self {
+        self.clone()
+    }
+}

@@ -1,0 +1,106 @@
+//! ASCII-art rendering of digit images.
+//!
+//! The paper's Table IV shows example images classified at each output
+//! stage; the reproduction prints them as ASCII art in the terminal.
+
+use cdl_tensor::Tensor;
+
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders a `[1, H, W]` (or `[H, W]`) grayscale tensor as ASCII art, one
+/// character per pixel, using a 10-step intensity ramp.
+///
+/// Out-of-range intensities are clamped. Unsupported ranks render as a
+/// placeholder string rather than panicking (this is a display helper).
+pub fn render(img: &Tensor) -> String {
+    let (h, w) = match img.dims() {
+        [1, h, w] => (*h, *w),
+        [h, w] => (*h, *w),
+        other => return format!("<unrenderable tensor of shape {other:?}>"),
+    };
+    let data = img.data();
+    let mut out = String::with_capacity(h * (w + 1));
+    for y in 0..h {
+        for x in 0..w {
+            let v = data[y * w + x].clamp(0.0, 1.0);
+            let idx = ((v * (RAMP.len() - 1) as f32).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders several images side by side with a gutter, e.g. for the Table IV
+/// gallery. Images must share height; differing heights are bottom-padded.
+pub fn render_row(imgs: &[&Tensor], gutter: usize) -> String {
+    let rendered: Vec<Vec<String>> = imgs
+        .iter()
+        .map(|t| render(t).lines().map(str::to_string).collect())
+        .collect();
+    let height = rendered.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for row in 0..height {
+        for (i, img) in rendered.iter().enumerate() {
+            let blank = " ".repeat(img.first().map_or(0, |l| l.len()));
+            let line = img.get(row).cloned().unwrap_or(blank);
+            out.push_str(&line);
+            if i + 1 < rendered.len() {
+                out.push_str(&" ".repeat(gutter));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_gradient() {
+        let img = Tensor::from_vec(vec![0.0, 0.5, 1.0, 0.25], &[2, 2]).unwrap();
+        let s = render(&img);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), 2);
+        assert!(s.starts_with(' ')); // zero intensity = space
+        assert!(s.contains('@')); // full intensity = @
+    }
+
+    #[test]
+    fn renders_chw_rank3() {
+        let img = Tensor::zeros(&[1, 3, 4]);
+        let s = render(&img);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.lines().all(|l| l.len() == 4));
+    }
+
+    #[test]
+    fn unsupported_rank_is_graceful() {
+        let img = Tensor::zeros(&[2, 3, 4]);
+        assert!(render(&img).contains("unrenderable"));
+    }
+
+    #[test]
+    fn row_layout() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::ones(&[2, 2]);
+        let s = render_row(&[&a, &b], 3);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // 2 chars + 3 gutter + 2 chars
+        assert_eq!(lines[0].len(), 7);
+        assert!(lines[0].ends_with("@@"));
+    }
+
+    #[test]
+    fn digit_renders_with_ink() {
+        use crate::raster::{rasterize, RasterConfig};
+        use crate::strokes::digit_skeleton;
+        let img = rasterize(&digit_skeleton(7), &RasterConfig::default());
+        let s = render(&img);
+        assert!(s.chars().filter(|&c| c != ' ' && c != '\n').count() > 20);
+    }
+}

@@ -1,0 +1,38 @@
+//! # cdl-hw
+//!
+//! Analytical hardware cost model for the CDL (DATE 2016) reproduction.
+//!
+//! The paper implemented each classifier at RTL, synthesised it with Synopsys
+//! Design Compiler to an IBM 45nm SOI process, and measured energy with
+//! Synopsys Power Compiler. None of that toolchain (or the netlists) is
+//! available, and the paper's conclusions only rely on *relative* energy
+//! between the baseline DLN and the conditional network. This crate
+//! substitutes the flow with an analytical model:
+//!
+//! * [`ops::OpCount`] — categorised operation/memory-access counts produced
+//!   by the `cdl-nn` layers (the paper's "OPS" metric is
+//!   [`ops::OpCount::compute_ops`]);
+//! * [`energy::EnergyTable`] — per-operation energies for a 45nm-class CMOS
+//!   process, defaults taken from the well-known ISSCC'14 ("Computing's
+//!   energy problem") numbers;
+//! * [`energy::EnergyModel`] — converts op counts into energy, adding the
+//!   non-compute overheads (memory traffic, per-stage control, leakage) that
+//!   make hardware energy savings slightly smaller than raw OPS savings —
+//!   exactly the 1.91× OPS vs 1.84× energy gap the paper reports;
+//! * [`accelerator::Accelerator`] — a small MAC-array accelerator model that
+//!   yields latency/area/static-energy estimates per network stage.
+//!
+//! The model is calibrated so that *ratios* (CDLN vs baseline) are
+//! trustworthy; absolute joules are indicative only.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod accelerator;
+pub mod energy;
+pub mod ops;
+pub mod report;
+
+pub use accelerator::Accelerator;
+pub use energy::{EnergyBreakdown, EnergyModel, EnergyTable};
+pub use ops::OpCount;

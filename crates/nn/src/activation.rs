@@ -1,0 +1,134 @@
+//! Scalar activation functions and their derivatives.
+
+use serde::{Deserialize, Serialize};
+
+/// An elementwise nonlinearity.
+///
+/// The paper's baselines follow R. Palm's convolutional backprop setup, which
+/// uses logistic sigmoid units throughout; `Tanh` and `ReLU` are provided for
+/// ablations. `Identity` turns an activation slot off (used by linear
+/// classifier heads that operate on raw scores).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Logistic sigmoid `1 / (1 + e^{-x})`.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit `max(0, x)`.
+    Relu,
+    /// No-op.
+    Identity,
+}
+
+impl Activation {
+    /// Applies the function to a scalar.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* `y = apply(x)`.
+    ///
+    /// All supported activations admit this form (sigmoid: `y(1-y)`, tanh:
+    /// `1-y²`, ReLU: `1[y>0]`), which lets layers cache only their outputs.
+    #[inline]
+    pub fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
+            Activation::Relu => "relu",
+            Activation::Identity => "identity",
+        }
+    }
+}
+
+impl std::fmt::Display for Activation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ACTS: [Activation; 4] = [
+        Activation::Sigmoid,
+        Activation::Tanh,
+        Activation::Relu,
+        Activation::Identity,
+    ];
+
+    #[test]
+    fn known_values() {
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-6);
+        assert!((Activation::Tanh.apply(0.0)).abs() < 1e-6);
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert_eq!(Activation::Identity.apply(1.25), 1.25);
+    }
+
+    #[test]
+    fn sigmoid_saturates() {
+        assert!(Activation::Sigmoid.apply(100.0) > 0.999);
+        assert!(Activation::Sigmoid.apply(-100.0) < 0.001);
+    }
+
+    /// Finite-difference check of derivative_from_output for all activations.
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let eps = 1e-3f32;
+        for act in ACTS {
+            for &x in &[-2.0f32, -0.5, 0.1, 0.9, 2.5] {
+                let y = act.apply(x);
+                let fd = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let analytic = act.derivative_from_output(y);
+                assert!(
+                    (fd - analytic).abs() < 1e-2,
+                    "{act}: x={x} fd={fd} analytic={analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_derivative_zero_below() {
+        assert_eq!(Activation::Relu.derivative_from_output(0.0), 0.0);
+        assert_eq!(Activation::Relu.derivative_from_output(5.0), 1.0);
+    }
+
+    #[test]
+    fn names_unique() {
+        let names: std::collections::HashSet<&str> = ACTS.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), ACTS.len());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for a in ACTS {
+            let s = serde_json::to_string(&a).unwrap();
+            assert_eq!(serde_json::from_str::<Activation>(&s).unwrap(), a);
+        }
+    }
+}

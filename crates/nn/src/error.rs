@@ -1,0 +1,74 @@
+//! Error type for network construction and execution.
+
+use cdl_tensor::TensorError;
+use std::fmt;
+
+/// Error produced by `cdl-nn` operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed (shape/geometry problems).
+    Tensor(TensorError),
+    /// A layer was configured inconsistently (e.g. dense fan-in that does not
+    /// match the incoming feature count).
+    BadConfig(String),
+    /// `backward` was called without a preceding `forward_train`.
+    NoForwardCache {
+        /// Layer that was asked to backpropagate.
+        layer: String,
+    },
+    /// A parameter import had the wrong number or shapes of tensors.
+    ParamMismatch(String),
+    /// The training set is malformed (empty, or images/labels disagree).
+    BadDataset(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BadConfig(msg) => write!(f, "bad layer configuration: {msg}"),
+            NnError::NoForwardCache { layer } => {
+                write!(f, "backward called on `{layer}` without a cached forward pass")
+            }
+            NnError::ParamMismatch(msg) => write!(f, "parameter mismatch: {msg}"),
+            NnError::BadDataset(msg) => write!(f, "bad dataset: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = NnError::from(TensorError::EmptyTensor);
+        assert!(e.to_string().contains("tensor error"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = NnError::BadConfig("dense fan-in 10 vs features 864".into());
+        assert!(e.to_string().contains("864"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<NnError>();
+    }
+}

@@ -1,0 +1,13 @@
+//! Concrete [`crate::Layer`] implementations.
+
+mod act;
+mod conv;
+mod dense;
+mod flatten;
+mod pool;
+
+pub use act::ActivationLayer;
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use flatten::Flatten;
+pub use pool::{MaxPool2d, MeanPool2d};

@@ -1,0 +1,195 @@
+//! Classification metrics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+use crate::Result;
+
+/// A square confusion matrix over `classes` labels.
+///
+/// Rows are true labels, columns predicted labels.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>, // row-major [true][pred]
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for `classes` labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for zero classes.
+    pub fn new(classes: usize) -> Result<Self> {
+        if classes == 0 {
+            return Err(NnError::BadConfig("confusion matrix needs >= 1 class".into()));
+        }
+        Ok(ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        })
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for out-of-range labels.
+    pub fn record(&mut self, true_label: usize, predicted: usize) -> Result<()> {
+        if true_label >= self.classes || predicted >= self.classes {
+            return Err(NnError::BadConfig(format!(
+                "label out of range: true={true_label} pred={predicted} classes={}",
+                self.classes
+            )));
+        }
+        self.counts[true_label * self.classes + predicted] += 1;
+        Ok(())
+    }
+
+    /// Count for a (true, predicted) pair.
+    pub fn count(&self, true_label: usize, predicted: usize) -> u64 {
+        self.counts
+            .get(true_label * self.classes + predicted)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy in `[0, 1]`; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class recall (correct / instances of the class); `None` when the
+    /// class has no observations.
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: u64 = (0..self.classes).map(|p| self.count(class, p)).sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f64 / row as f64)
+        }
+    }
+
+    /// Per-class precision (correct / predictions of the class); `None` when
+    /// the class was never predicted.
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let col: u64 = (0..self.classes).map(|t| self.count(t, class)).sum();
+        if col == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f64 / col as f64)
+        }
+    }
+
+    /// Number of observations whose true label is `class`.
+    pub fn class_total(&self, class: usize) -> u64 {
+        (0..self.classes).map(|p| self.count(class, p)).sum()
+    }
+
+    /// Renders an aligned table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("true\\pred");
+        for p in 0..self.classes {
+            out.push_str(&format!("{p:>7}"));
+        }
+        out.push('\n');
+        for t in 0..self.classes {
+            out.push_str(&format!("{t:>9}"));
+            for p in 0..self.classes {
+                out.push_str(&format!("{:>7}", self.count(t, p)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Accuracy of a prediction iterator: fraction of `(true, predicted)` pairs
+/// that match. Returns 0 for an empty iterator.
+pub fn accuracy(pairs: impl IntoIterator<Item = (usize, usize)>) -> f64 {
+    let mut total = 0u64;
+    let mut correct = 0u64;
+    for (t, p) in pairs {
+        total += 1;
+        if t == p {
+            correct += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_classes() {
+        assert!(ConfusionMatrix::new(0).is_err());
+    }
+
+    #[test]
+    fn records_and_computes() {
+        let mut m = ConfusionMatrix::new(3).unwrap();
+        // 2 correct of class 0, 1 confusion 0->1, 1 correct class 2
+        m.record(0, 0).unwrap();
+        m.record(0, 0).unwrap();
+        m.record(0, 1).unwrap();
+        m.record(2, 2).unwrap();
+        assert_eq!(m.total(), 4);
+        assert!((m.accuracy() - 0.75).abs() < 1e-12);
+        assert!((m.recall(0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.recall(1), None);
+        assert!((m.precision(1).unwrap() - 0.0).abs() < 1e-12);
+        assert_eq!(m.precision(2), Some(1.0));
+        assert_eq!(m.class_total(0), 3);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut m = ConfusionMatrix::new(2).unwrap();
+        assert!(m.record(2, 0).is_err());
+        assert!(m.record(0, 2).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_metrics() {
+        let m = ConfusionMatrix::new(2).unwrap();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.recall(0), None);
+    }
+
+    #[test]
+    fn render_contains_counts() {
+        let mut m = ConfusionMatrix::new(2).unwrap();
+        m.record(1, 0).unwrap();
+        let s = m.render();
+        assert!(s.contains("true\\pred"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn accuracy_helper() {
+        assert_eq!(accuracy(Vec::<(usize, usize)>::new()), 0.0);
+        assert!((accuracy(vec![(1, 1), (2, 3)]) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,513 @@
+//! Sequential network container.
+
+use cdl_hw::OpCount;
+use cdl_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::activation::Activation;
+use crate::error::NnError;
+use crate::layer::Layer;
+use crate::layers::{ActivationLayer, Conv2d, Dense, Flatten, MaxPool2d, MeanPool2d};
+use crate::loss::Loss;
+use crate::spec::{LayerSpec, NetworkSpec};
+use crate::Result;
+
+/// A sequential feed-forward network (the paper's "DLN").
+///
+/// Built from a [`NetworkSpec`]; owns boxed [`Layer`]s. Besides the ordinary
+/// forward pass it exposes [`Network::forward_all`], which returns the output
+/// of *every* layer — the hook `cdl-core` uses to tap convolutional features
+/// for its cascaded linear classifiers.
+#[derive(Debug)]
+pub struct Network {
+    spec: NetworkSpec,
+    layers: Vec<Box<dyn Layer>>,
+    /// For each spec layer, the index of its *last* runtime layer (a conv or
+    /// dense spec with a non-identity activation expands into two runtime
+    /// layers; the mapping points at the activation output).
+    spec_to_runtime: Vec<usize>,
+}
+
+impl Network {
+    /// Builds a network from a spec with seeded parameter initialisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] when the spec's shape chain is
+    /// inconsistent.
+    pub fn from_spec(spec: &NetworkSpec, seed: u64) -> Result<Self> {
+        spec.shape_chain()?; // validate before building anything
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+        let mut spec_to_runtime = Vec::with_capacity(spec.layers.len());
+        for layer in &spec.layers {
+            match layer {
+                LayerSpec::Conv {
+                    in_channels,
+                    out_channels,
+                    kernel,
+                    activation,
+                } => {
+                    layers.push(Box::new(Conv2d::new(
+                        *in_channels,
+                        *out_channels,
+                        *kernel,
+                        &mut rng,
+                    )?));
+                    if *activation != Activation::Identity {
+                        layers.push(Box::new(ActivationLayer::new(*activation)));
+                    }
+                }
+                LayerSpec::MaxPool { window } => {
+                    layers.push(Box::new(MaxPool2d::new(*window)?));
+                }
+                LayerSpec::MeanPool { window } => {
+                    layers.push(Box::new(MeanPool2d::new(*window)?));
+                }
+                LayerSpec::Flatten => layers.push(Box::new(Flatten::new())),
+                LayerSpec::Dense {
+                    in_features,
+                    out_features,
+                    activation,
+                } => {
+                    layers.push(Box::new(Dense::new(*in_features, *out_features, &mut rng)?));
+                    if *activation != Activation::Identity {
+                        layers.push(Box::new(ActivationLayer::new(*activation)));
+                    }
+                }
+            }
+            spec_to_runtime.push(layers.len() - 1);
+        }
+        Ok(Network {
+            spec: spec.clone(),
+            layers,
+            spec_to_runtime,
+        })
+    }
+
+    /// The runtime-layer index holding the *output* of spec layer
+    /// `spec_idx` (after its activation, if any).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for an out-of-range spec index.
+    pub fn runtime_index_of(&self, spec_idx: usize) -> Result<usize> {
+        self.spec_to_runtime.get(spec_idx).copied().ok_or_else(|| {
+            NnError::BadConfig(format!(
+                "spec layer {spec_idx} out of range for {} spec layers",
+                self.spec_to_runtime.len()
+            ))
+        })
+    }
+
+    /// The spec this network was built from.
+    pub fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    /// Number of runtime layers (note: conv/dense specs with a non-identity
+    /// activation expand into two runtime layers).
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Layer names in execution order.
+    pub fn layer_names(&self) -> Vec<String> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Inference-mode forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            cur = layer.forward(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Inference-mode forward pass returning the output of **every** layer
+    /// (index `i` = output of runtime layer `i`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn forward_all(&self, x: &Tensor) -> Result<Vec<Tensor>> {
+        let mut outs = Vec::with_capacity(self.layers.len());
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            cur = layer.forward(&cur)?;
+            outs.push(cur.clone());
+        }
+        Ok(outs)
+    }
+
+    /// Forward pass up to and including runtime layer `upto` (inclusive
+    /// index), returning that layer's output. Running a prefix of the
+    /// network is the "conditional activation" primitive: later layers are
+    /// simply never executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] when `upto >= layer_count()`.
+    pub fn forward_prefix(&self, x: &Tensor, upto: usize) -> Result<Tensor> {
+        if upto >= self.layers.len() {
+            return Err(NnError::BadConfig(format!(
+                "prefix end {upto} out of range for {} layers",
+                self.layers.len()
+            )));
+        }
+        let mut cur = x.clone();
+        for layer in &self.layers[..=upto] {
+            cur = layer.forward(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Continues a forward pass from the output of layer `from` (exclusive)
+    /// to the output of layer `upto` (inclusive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for out-of-range or inverted indices.
+    pub fn forward_between(&self, intermediate: &Tensor, from: usize, upto: usize) -> Result<Tensor> {
+        if upto >= self.layers.len() || from > upto {
+            return Err(NnError::BadConfig(format!(
+                "invalid range ({from}, {upto}] for {} layers",
+                self.layers.len()
+            )));
+        }
+        let mut cur = intermediate.clone();
+        for layer in &self.layers[from + 1..=upto] {
+            cur = layer.forward(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Training forward pass (caches per-layer state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward_train(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Backpropagates a loss gradient, accumulating parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors (e.g. backward before forward).
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mut grad = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad)?;
+        }
+        Ok(grad)
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// One training step on a single sample: forward, loss, backward.
+    /// Returns the loss value. Gradients accumulate; callers divide the
+    /// learning rate by the batch size (or scale here via `grad_scale`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer and loss errors.
+    pub fn train_sample(
+        &mut self,
+        x: &Tensor,
+        target: &Tensor,
+        loss: Loss,
+        grad_scale: f32,
+    ) -> Result<f32> {
+        let out = self.forward_train(x)?;
+        let value = loss.value(&out, target)?;
+        let mut grad = loss.gradient(&out, target)?;
+        if grad_scale != 1.0 {
+            grad.map_in_place(|g| g * grad_scale);
+        }
+        self.backward(&grad)?;
+        Ok(value)
+    }
+
+    /// Predicted class (argmax of the output) for an input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors; errors on empty network output.
+    pub fn predict(&self, x: &Tensor) -> Result<usize> {
+        let out = self.forward(x)?;
+        out.argmax()
+            .ok_or_else(|| NnError::BadConfig("network produced empty output".into()))
+    }
+
+    /// Mutable access to the boxed layers (used by the optimizer).
+    pub(crate) fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Immutable access to the boxed layers.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Per-runtime-layer operation counts for one forward pass, paired with
+    /// each layer's input shape. Entry `i` is the cost of layer `i`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors.
+    pub fn op_counts(&self) -> Result<Vec<OpCount>> {
+        let mut shapes = self.spec.input_shape.clone();
+        let mut counts = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            counts.push(layer.op_count(&shapes)?);
+            shapes = layer.output_shape(&shapes)?;
+        }
+        Ok(counts)
+    }
+
+    /// Total operation count of a full forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors.
+    pub fn total_ops(&self) -> Result<OpCount> {
+        Ok(self.op_counts()?.into_iter().sum())
+    }
+
+    /// Exports all parameters in layer order (for persistence).
+    pub fn export_params(&mut self) -> Vec<Tensor> {
+        let mut out = Vec::new();
+        for layer in &mut self.layers {
+            for pg in layer.params() {
+                out.push(pg.param.clone());
+            }
+        }
+        out
+    }
+
+    /// Read-only parameter snapshot, identical to
+    /// [`Network::export_params`] but without requiring `&mut self`.
+    pub fn snapshot_params(&self) -> Vec<Tensor> {
+        self.layers
+            .iter()
+            .flat_map(|l| l.param_snapshot())
+            .collect()
+    }
+
+    /// Imports parameters previously produced by
+    /// [`Network::export_params`] on a structurally identical network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ParamMismatch`] on count or shape disagreement.
+    pub fn import_params(&mut self, params: &[Tensor]) -> Result<()> {
+        let mut idx = 0usize;
+        for layer in &mut self.layers {
+            for pg in layer.params() {
+                let incoming = params.get(idx).ok_or_else(|| {
+                    NnError::ParamMismatch(format!("expected more than {idx} parameter tensors"))
+                })?;
+                if incoming.shape() != pg.param.shape() {
+                    return Err(NnError::ParamMismatch(format!(
+                        "parameter {idx}: shape {:?} vs expected {:?}",
+                        incoming.dims(),
+                        pg.param.dims()
+                    )));
+                }
+                *pg.param = incoming.clone();
+                idx += 1;
+            }
+        }
+        if idx != params.len() {
+            return Err(NnError::ParamMismatch(format!(
+                "{} parameter tensors provided, {} consumed",
+                params.len(),
+                idx
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> NetworkSpec {
+        NetworkSpec::new(
+            vec![
+                LayerSpec::conv(1, 2, 3, Activation::Sigmoid),
+                LayerSpec::maxpool(2),
+                LayerSpec::flatten(),
+                LayerSpec::dense(2 * 3 * 3, 4, Activation::Sigmoid),
+            ],
+            &[1, 8, 8],
+        )
+    }
+
+    #[test]
+    fn builds_and_runs() {
+        let net = Network::from_spec(&tiny_spec(), 1).unwrap();
+        // conv+sigmoid, maxpool, flatten, dense+sigmoid = 6 runtime layers
+        assert_eq!(net.layer_count(), 6);
+        let y = net.forward(&Tensor::zeros(&[1, 8, 8])).unwrap();
+        assert_eq!(y.dims(), &[4]);
+        assert!(y.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn rejects_invalid_spec() {
+        let bad = NetworkSpec::new(
+            vec![LayerSpec::dense(100, 10, Activation::Identity)],
+            &[1, 8, 8],
+        );
+        assert!(Network::from_spec(&bad, 0).is_err());
+    }
+
+    #[test]
+    fn forward_all_returns_every_layer() {
+        let net = Network::from_spec(&tiny_spec(), 1).unwrap();
+        let outs = net.forward_all(&Tensor::zeros(&[1, 8, 8])).unwrap();
+        assert_eq!(outs.len(), 6);
+        assert_eq!(outs[0].dims(), &[2, 6, 6]); // conv
+        assert_eq!(outs[1].dims(), &[2, 6, 6]); // sigmoid
+        assert_eq!(outs[2].dims(), &[2, 3, 3]); // pool
+        assert_eq!(outs[3].dims(), &[18]); // flatten
+        assert_eq!(outs[5].dims(), &[4]); // final sigmoid
+        // last entry equals plain forward
+        assert_eq!(outs[5], net.forward(&Tensor::zeros(&[1, 8, 8])).unwrap());
+    }
+
+    #[test]
+    fn forward_prefix_matches_forward_all() {
+        let net = Network::from_spec(&tiny_spec(), 7).unwrap();
+        let x = Tensor::full(&[1, 8, 8], 0.5);
+        let outs = net.forward_all(&x).unwrap();
+        for i in 0..net.layer_count() {
+            assert_eq!(net.forward_prefix(&x, i).unwrap(), outs[i], "layer {i}");
+        }
+        assert!(net.forward_prefix(&x, 6).is_err());
+    }
+
+    #[test]
+    fn forward_between_continues_correctly() {
+        let net = Network::from_spec(&tiny_spec(), 7).unwrap();
+        let x = Tensor::full(&[1, 8, 8], 0.25);
+        let outs = net.forward_all(&x).unwrap();
+        // continue from pool output (layer 2) to the end (layer 5)
+        let cont = net.forward_between(&outs[2], 2, 5).unwrap();
+        assert_eq!(cont, outs[5]);
+        assert!(net.forward_between(&outs[2], 3, 2).is_err());
+        assert!(net.forward_between(&outs[2], 2, 6).is_err());
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let a = Network::from_spec(&tiny_spec(), 5).unwrap();
+        let b = Network::from_spec(&tiny_spec(), 5).unwrap();
+        let x = Tensor::full(&[1, 8, 8], 0.1);
+        assert_eq!(a.forward(&x).unwrap(), b.forward(&x).unwrap());
+        let c = Network::from_spec(&tiny_spec(), 6).unwrap();
+        assert_ne!(a.forward(&x).unwrap(), c.forward(&x).unwrap());
+    }
+
+    #[test]
+    fn training_reduces_loss_on_single_sample() {
+        let mut net = Network::from_spec(&tiny_spec(), 3).unwrap();
+        let x = Tensor::full(&[1, 8, 8], 0.7);
+        let target = crate::loss::one_hot(2, 4).unwrap();
+        let mut opt = crate::optim::Sgd::new(0.5, 0.0, 0.0);
+        let initial = Loss::Mse
+            .value(&net.forward(&x).unwrap(), &target)
+            .unwrap();
+        for _ in 0..50 {
+            net.zero_grads();
+            net.train_sample(&x, &target, Loss::Mse, 1.0).unwrap();
+            opt.step(&mut net).unwrap();
+        }
+        let trained = Loss::Mse
+            .value(&net.forward(&x).unwrap(), &target)
+            .unwrap();
+        assert!(
+            trained < initial * 0.5,
+            "loss should halve: {initial} -> {trained}"
+        );
+        assert_eq!(net.predict(&x).unwrap(), 2);
+    }
+
+    #[test]
+    fn op_counts_sum_to_total() {
+        let net = Network::from_spec(&tiny_spec(), 1).unwrap();
+        let per_layer = net.op_counts().unwrap();
+        let total: OpCount = per_layer.iter().copied().sum();
+        assert_eq!(total, net.total_ops().unwrap());
+        // conv MACs: 2 maps * 6*6 out * 1*3*3 taps = 648
+        assert_eq!(per_layer[0].macs, 648);
+        // dense MACs: 18 * 4 = 72
+        assert_eq!(per_layer[4].macs, 72);
+    }
+
+    #[test]
+    fn param_export_import_round_trip() {
+        let mut a = Network::from_spec(&tiny_spec(), 1).unwrap();
+        let mut b = Network::from_spec(&tiny_spec(), 2).unwrap();
+        let x = Tensor::full(&[1, 8, 8], 0.3);
+        assert_ne!(a.forward(&x).unwrap(), b.forward(&x).unwrap());
+        let params = a.export_params();
+        b.import_params(&params).unwrap();
+        assert_eq!(a.forward(&x).unwrap(), b.forward(&x).unwrap());
+    }
+
+    #[test]
+    fn import_params_validates() {
+        let mut a = Network::from_spec(&tiny_spec(), 1).unwrap();
+        let params = a.export_params();
+        assert!(a.import_params(&params[..1]).is_err());
+        let mut too_many = params.clone();
+        too_many.push(Tensor::zeros(&[1]));
+        assert!(a.import_params(&too_many).is_err());
+        let mut wrong_shape = params;
+        wrong_shape[0] = Tensor::zeros(&[1, 1, 1, 1]);
+        assert!(a.import_params(&wrong_shape).is_err());
+    }
+
+    #[test]
+    fn spec_to_runtime_mapping() {
+        let net = Network::from_spec(&tiny_spec(), 1).unwrap();
+        // spec: conv(+act), maxpool, flatten, dense(+act)
+        assert_eq!(net.runtime_index_of(0).unwrap(), 1); // conv's sigmoid
+        assert_eq!(net.runtime_index_of(1).unwrap(), 2); // pool
+        assert_eq!(net.runtime_index_of(2).unwrap(), 3); // flatten
+        assert_eq!(net.runtime_index_of(3).unwrap(), 5); // dense's sigmoid
+        assert!(net.runtime_index_of(4).is_err());
+    }
+
+    #[test]
+    fn param_count_is_sum_of_layers() {
+        let net = Network::from_spec(&tiny_spec(), 1).unwrap();
+        // conv: 2*1*3*3 + 2 = 20; dense: 18*4 + 4 = 76
+        assert_eq!(net.param_count(), 96);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the CNN substrate: exact gradients on random
+//! geometry, and training-loop invariants.
+
+use cdl_nn::activation::Activation;
+use cdl_nn::layer::Layer;
+use cdl_nn::layers::{Conv2d, Dense, MaxPool2d, MeanPool2d};
+use cdl_nn::loss::{one_hot, Loss};
+use cdl_nn::network::Network;
+use cdl_nn::spec::{LayerSpec, NetworkSpec};
+use cdl_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Numerically checks dL/dx of a layer against finite differences, where
+/// L = Σ output (so grad_out = ones).
+fn input_gradient_matches<L: Layer>(layer: &mut L, x: &Tensor, tol: f32) -> Result<(), String> {
+    let y = layer
+        .forward_train(x)
+        .map_err(|e| format!("forward: {e}"))?;
+    let gx = layer
+        .backward(&Tensor::ones(y.dims()))
+        .map_err(|e| format!("backward: {e}"))?;
+    let mut xp = x.clone();
+    let eps = 1e-2f32;
+    for i in (0..x.len()).step_by((x.len() / 12).max(1)) {
+        let orig = xp.data()[i];
+        xp.data_mut()[i] = orig + eps;
+        let lp = layer.forward(&xp).map_err(|e| e.to_string())?.sum();
+        xp.data_mut()[i] = orig - eps;
+        let lm = layer.forward(&xp).map_err(|e| e.to_string())?.sum();
+        xp.data_mut()[i] = orig;
+        let fd = (lp - lm) / (2.0 * eps);
+        let analytic = gx.data()[i];
+        if (fd - analytic).abs() > tol {
+            return Err(format!("grad[{i}]: fd {fd} vs analytic {analytic}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Conv input gradients are exact for random geometry and data.
+    #[test]
+    fn conv_input_gradient_random_geometry(
+        cin in 1usize..3,
+        cout in 1usize..3,
+        k in 2usize..4,
+        size in 5usize..8,
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layer = Conv2d::new(cin, cout, k, &mut rng).unwrap();
+        let data: Vec<f32> = (0..cin * size * size).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let x = Tensor::from_vec(data, &[cin, size, size]).unwrap();
+        input_gradient_matches(&mut layer, &x, 0.05).map_err(TestCaseError::fail)?;
+    }
+
+    /// Dense input gradients are exact for random geometry and data.
+    #[test]
+    fn dense_input_gradient_random_geometry(
+        fin in 1usize..24,
+        fout in 1usize..8,
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layer = Dense::new(fin, fout, &mut rng).unwrap();
+        let data: Vec<f32> = (0..fin).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let x = Tensor::from_vec(data, &[fin]).unwrap();
+        input_gradient_matches(&mut layer, &x, 0.03).map_err(TestCaseError::fail)?;
+    }
+
+    /// Pooling gradients conserve mass for random inputs.
+    #[test]
+    fn pool_gradients_random(size in 2usize..5, c in 1usize..4, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..c * size * 2 * size * 2).map(|_| rng.random_range(-2.0..2.0)).collect();
+        let x = Tensor::from_vec(data, &[c, size * 2, size * 2]).unwrap();
+
+        let mut maxp = MaxPool2d::new(2).unwrap();
+        let y = maxp.forward_train(&x).unwrap();
+        let g = maxp.backward(&Tensor::ones(y.dims())).unwrap();
+        prop_assert!((g.sum() - y.len() as f32).abs() < 1e-3);
+
+        let mut meanp = MeanPool2d::new(2).unwrap();
+        let y = meanp.forward_train(&x).unwrap();
+        let g = meanp.backward(&Tensor::ones(y.dims())).unwrap();
+        prop_assert!((g.sum() - y.len() as f32).abs() < 1e-3);
+    }
+
+    /// One SGD step along the accumulated gradient reduces the loss when
+    /// the step is small enough (descent property), for random networks.
+    #[test]
+    fn sgd_step_descends(seed in 0u64..60, label in 0usize..4) {
+        let spec = NetworkSpec::new(
+            vec![
+                LayerSpec::conv(1, 2, 3, Activation::Tanh),
+                LayerSpec::maxpool(2),
+                LayerSpec::flatten(),
+                LayerSpec::dense(2 * 3 * 3, 4, Activation::Identity),
+            ],
+            &[1, 8, 8],
+        );
+        let mut net = Network::from_spec(&spec, seed).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABC);
+        let data: Vec<f32> = (0..64).map(|_| rng.random_range(0.0..1.0)).collect();
+        let x = Tensor::from_vec(data, &[1, 8, 8]).unwrap();
+        let t = one_hot(label, 4).unwrap();
+        let before = Loss::Mse.value(&net.forward(&x).unwrap(), &t).unwrap();
+        if before < 1e-6 {
+            return Ok(()); // already at minimum
+        }
+        let mut opt = cdl_nn::optim::Sgd::plain(0.01);
+        net.zero_grads();
+        net.train_sample(&x, &t, Loss::Mse, 1.0).unwrap();
+        opt.step(&mut net).unwrap();
+        let after = Loss::Mse.value(&net.forward(&x).unwrap(), &t).unwrap();
+        prop_assert!(after <= before + 1e-6, "loss rose: {before} -> {after}");
+    }
+
+    /// forward_all's last element always equals forward, and prefix runs
+    /// agree with it, for random inputs.
+    #[test]
+    fn forward_variants_agree(seed in 0u64..60) {
+        let spec = NetworkSpec::new(
+            vec![
+                LayerSpec::conv(1, 3, 3, Activation::Sigmoid),
+                LayerSpec::meanpool(2),
+                LayerSpec::flatten(),
+                LayerSpec::dense(3 * 3 * 3, 5, Activation::Sigmoid),
+            ],
+            &[1, 8, 8],
+        );
+        let net = Network::from_spec(&spec, seed).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..64).map(|_| rng.random_range(0.0..1.0)).collect();
+        let x = Tensor::from_vec(data, &[1, 8, 8]).unwrap();
+        let outs = net.forward_all(&x).unwrap();
+        prop_assert_eq!(outs.last().unwrap(), &net.forward(&x).unwrap());
+        for i in 0..net.layer_count() {
+            prop_assert_eq!(&net.forward_prefix(&x, i).unwrap(), &outs[i]);
+        }
+        // continuing from any split point reaches the same output
+        for split in 0..net.layer_count() - 1 {
+            let cont = net.forward_between(&outs[split], split, net.layer_count() - 1).unwrap();
+            prop_assert_eq!(&cont, outs.last().unwrap());
+        }
+    }
+
+    /// Parameter export/import is lossless for random networks.
+    #[test]
+    fn param_round_trip(seed_a in 0u64..40, seed_b in 40u64..80) {
+        let spec = NetworkSpec::new(
+            vec![
+                LayerSpec::conv(1, 2, 3, Activation::Relu),
+                LayerSpec::flatten(),
+                LayerSpec::dense(2 * 6 * 6, 3, Activation::Identity),
+            ],
+            &[1, 8, 8],
+        );
+        let mut a = Network::from_spec(&spec, seed_a).unwrap();
+        let mut b = Network::from_spec(&spec, seed_b).unwrap();
+        let x = Tensor::full(&[1, 8, 8], 0.37);
+        b.import_params(&a.export_params()).unwrap();
+        prop_assert_eq!(a.forward(&x).unwrap(), b.forward(&x).unwrap());
+    }
+}

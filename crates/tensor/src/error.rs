@@ -1,0 +1,104 @@
+//! Error type shared by all fallible tensor operations.
+
+use std::fmt;
+
+/// Error returned by fallible operations in this crate.
+///
+/// Every variant carries enough context to diagnose the failing call without
+/// a debugger: offending shapes, lengths, or indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The data length handed to a constructor does not match the product of
+    /// the requested dimensions.
+    LengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors that must agree in shape do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// The operation requires a tensor of a particular rank.
+    RankMismatch {
+        /// Rank the operation requires.
+        expected: usize,
+        /// Rank of the tensor provided.
+        actual: usize,
+    },
+    /// A multi-dimensional index is out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor's shape.
+        shape: Vec<usize>,
+    },
+    /// Convolution/pooling geometry is impossible (e.g. kernel larger than
+    /// input, zero-sized window, channel-count mismatch).
+    InvalidGeometry(String),
+    /// A reshape was requested to a shape with a different element count.
+    ReshapeMismatch {
+        /// Element count of the existing tensor.
+        from: usize,
+        /// Element count implied by the requested shape.
+        to: usize,
+    },
+    /// An empty shape (rank 0 or a zero-length axis) was supplied where a
+    /// non-empty tensor is required.
+    EmptyTensor,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "rank mismatch: expected {expected}, got {actual}")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            TensorError::ReshapeMismatch { from, to } => {
+                write!(f, "cannot reshape {from} elements into shape with {to} elements")
+            }
+            TensorError::EmptyTensor => write!(f, "operation requires a non-empty tensor"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::LengthMismatch { expected: 6, actual: 5 };
+        assert!(e.to_string().contains('6'));
+        assert!(e.to_string().contains('5'));
+
+        let e = TensorError::ShapeMismatch { left: vec![2, 3], right: vec![3, 2] };
+        assert!(e.to_string().contains("[2, 3]"));
+
+        let e = TensorError::InvalidGeometry("kernel 5x5 larger than input 3x3".into());
+        assert!(e.to_string().contains("kernel"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

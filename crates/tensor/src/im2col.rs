@@ -1,0 +1,165 @@
+//! im2col-based convolution: the classic lowering of convolution to one
+//! dense matrix multiply.
+//!
+//! [`conv2d_valid_im2col`] computes exactly the same result as
+//! [`crate::conv::conv2d_valid`] (a property test pins this down) but
+//! restructures the work as `[C_out, C_in·k²] × [C_in·k², oH·oW]`, which is
+//! friendlier to wide hardware and makes the MAC count of the op-count model
+//! visible as a single GEMM. The experiment harness uses the direct path
+//! (simpler, cache-resident at LeNet scale); this module exists for the
+//! performance ablation in `cargo bench -p cdl-bench --bench layers` and as
+//! the natural extension point for larger networks.
+
+use crate::conv::valid_out_size;
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Lowers a `[C_in, H, W]` input into the im2col patch matrix
+/// `[C_in·kH·kW, oH·oW]`: column `j` holds the receptive field of output
+/// pixel `j`, flattened channel-major.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] / [`TensorError::InvalidGeometry`]
+/// for malformed operands.
+pub fn im2col(input: &Tensor, kh: usize, kw: usize) -> Result<Tensor> {
+    if input.rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            actual: input.rank(),
+        });
+    }
+    let (c_in, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    let oh = valid_out_size(h, kh)?;
+    let ow = valid_out_size(w, kw)?;
+    let rows = c_in * kh * kw;
+    let cols = oh * ow;
+    let x = input.data();
+    let mut out = vec![0.0f32; rows * cols];
+    let in_plane = h * w;
+
+    for c in 0..c_in {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (c * kh + ky) * kw + kx;
+                let obase = row * cols;
+                for oy in 0..oh {
+                    let xrow = c * in_plane + (oy + ky) * w + kx;
+                    let orow = obase + oy * ow;
+                    for ox in 0..ow {
+                        out[orow + ox] = x[xrow + ox];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Valid cross-correlation via im2col + GEMM. Semantically identical to
+/// [`crate::conv::conv2d_valid`].
+///
+/// # Errors
+///
+/// Same conditions as [`crate::conv::conv2d_valid`].
+pub fn conv2d_valid_im2col(input: &Tensor, kernels: &Tensor, bias: &[f32]) -> Result<Tensor> {
+    if kernels.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: kernels.rank(),
+        });
+    }
+    let (c_out, kc, kh, kw) = (
+        kernels.dims()[0],
+        kernels.dims()[1],
+        kernels.dims()[2],
+        kernels.dims()[3],
+    );
+    if input.rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            actual: input.rank(),
+        });
+    }
+    if kc != input.dims()[0] {
+        return Err(TensorError::InvalidGeometry(format!(
+            "kernel expects {kc} input channels, input has {}",
+            input.dims()[0]
+        )));
+    }
+    if bias.len() != c_out {
+        return Err(TensorError::InvalidGeometry(format!(
+            "bias has {} entries for {c_out} output maps",
+            bias.len()
+        )));
+    }
+    let oh = valid_out_size(input.dims()[1], kh)?;
+    let ow = valid_out_size(input.dims()[2], kw)?;
+
+    let patches = im2col(input, kh, kw)?; // [kc*kh*kw, oh*ow]
+    let weights = kernels.reshape(&[c_out, kc * kh * kw])?;
+    let mut out = crate::ops::matmul(&weights, &patches)?; // [c_out, oh*ow]
+    let cols = oh * ow;
+    for m in 0..c_out {
+        let b = bias[m];
+        for v in &mut out.data_mut()[m * cols..(m + 1) * cols] {
+            *v += b;
+        }
+    }
+    out.reshape(&[c_out, oh, ow])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::conv2d_valid;
+
+    fn t(v: Vec<f32>, d: &[usize]) -> Tensor {
+        Tensor::from_vec(v, d).unwrap()
+    }
+
+    #[test]
+    fn im2col_known_layout() {
+        // 1 channel 3x3, 2x2 kernel -> 4 rows x 4 cols
+        let x = t((0..9).map(|v| v as f32).collect(), &[1, 3, 3]);
+        let p = im2col(&x, 2, 2).unwrap();
+        assert_eq!(p.dims(), &[4, 4]);
+        // column 0 = receptive field of output (0,0): pixels 0,1,3,4
+        let col = |j: usize| -> Vec<f32> { (0..4).map(|r| p.get(&[r, j]).unwrap()).collect() };
+        assert_eq!(col(0), vec![0.0, 1.0, 3.0, 4.0]);
+        // column 3 = output (1,1): pixels 4,5,7,8
+        assert_eq!(col(3), vec![4.0, 5.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn matches_direct_convolution_exhaustively() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for (c_in, c_out, k, size) in [(1usize, 1usize, 1usize, 4usize), (1, 6, 5, 28), (6, 12, 5, 12), (3, 9, 3, 5), (2, 4, 2, 6)] {
+            let x_data: Vec<f32> = (0..c_in * size * size).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let k_data: Vec<f32> = (0..c_out * c_in * k * k).map(|_| rng.random_range(-0.5..0.5)).collect();
+            let bias: Vec<f32> = (0..c_out).map(|_| rng.random_range(-0.2..0.2)).collect();
+            let x = t(x_data, &[c_in, size, size]);
+            let kernels = t(k_data, &[c_out, c_in, k, k]);
+            let direct = conv2d_valid(&x, &kernels, &bias).unwrap();
+            let lowered = conv2d_valid_im2col(&x, &kernels, &bias).unwrap();
+            assert_eq!(direct.dims(), lowered.dims());
+            for (a, b) in direct.data().iter().zip(lowered.data()) {
+                assert!((a - b).abs() < 1e-4, "mismatch: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn validates_operands() {
+        let x = Tensor::ones(&[2, 4, 4]);
+        let k = Tensor::ones(&[1, 3, 2, 2]); // wrong channels
+        assert!(conv2d_valid_im2col(&x, &k, &[0.0]).is_err());
+        let k = Tensor::ones(&[1, 2, 2, 2]);
+        assert!(conv2d_valid_im2col(&x, &k, &[0.0, 0.0]).is_err()); // bad bias
+        assert!(im2col(&Tensor::ones(&[4, 4]), 2, 2).is_err()); // rank
+        assert!(im2col(&x, 5, 5).is_err()); // kernel too big
+    }
+}

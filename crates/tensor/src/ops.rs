@@ -1,0 +1,403 @@
+//! Elementwise arithmetic, reductions over axes, and dense linear algebra.
+//!
+//! All binary operations require exactly matching shapes — the networks in
+//! this reproduction never need broadcasting, and omitting it removes a whole
+//! class of silent-shape bugs.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Elementwise addition: `out = a + b`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    zip_with(a, b, |x, y| x + y)
+}
+
+/// Elementwise subtraction: `out = a - b`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    zip_with(a, b, |x, y| x - y)
+}
+
+/// Elementwise (Hadamard) product: `out = a ⊙ b`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    zip_with(a, b, |x, y| x * y)
+}
+
+/// Applies `f` pairwise to two same-shaped tensors.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn zip_with(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            left: a.dims().to_vec(),
+            right: b.dims().to_vec(),
+        });
+    }
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| f(x, y))
+        .collect();
+    Tensor::from_vec(data, a.dims())
+}
+
+/// In-place AXPY: `acc += alpha * x`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn axpy(acc: &mut Tensor, alpha: f32, x: &Tensor) -> Result<()> {
+    if acc.shape() != x.shape() {
+        return Err(TensorError::ShapeMismatch {
+            left: acc.dims().to_vec(),
+            right: x.dims().to_vec(),
+        });
+    }
+    for (a, &b) in acc.data_mut().iter_mut().zip(x.data()) {
+        *a += alpha * b;
+    }
+    Ok(())
+}
+
+/// Multiplies every element by a scalar, returning a new tensor.
+pub fn scale(a: &Tensor, alpha: f32) -> Tensor {
+    a.map(|x| x * alpha)
+}
+
+/// Dot product of two tensors viewed as flat vectors.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when element counts differ.
+pub fn dot(a: &Tensor, b: &Tensor) -> Result<f32> {
+    if a.len() != b.len() {
+        return Err(TensorError::ShapeMismatch {
+            left: a.dims().to_vec(),
+            right: b.dims().to_vec(),
+        });
+    }
+    Ok(a.data().iter().zip(b.data()).map(|(&x, &y)| x * y).sum())
+}
+
+/// Matrix–vector product `W x` where `w` is `[rows, cols]` and `x` has `cols`
+/// elements (any shape, read flat). Returns a rank-1 tensor of `rows`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if `w` is not rank 2 and
+/// [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
+pub fn matvec(w: &Tensor, x: &Tensor) -> Result<Tensor> {
+    if w.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: w.rank(),
+        });
+    }
+    let (rows, cols) = (w.dims()[0], w.dims()[1]);
+    if x.len() != cols {
+        return Err(TensorError::ShapeMismatch {
+            left: w.dims().to_vec(),
+            right: x.dims().to_vec(),
+        });
+    }
+    let wd = w.data();
+    let xd = x.data();
+    let mut out = vec![0.0f32; rows];
+    for (r, o) in out.iter_mut().enumerate() {
+        let row = &wd[r * cols..(r + 1) * cols];
+        let mut acc = 0.0f32;
+        for (a, b) in row.iter().zip(xd) {
+            acc += a * b;
+        }
+        *o = acc;
+    }
+    Tensor::from_vec(out, &[rows])
+}
+
+/// Transposed matrix–vector product `Wᵀ y` where `w` is `[rows, cols]` and
+/// `y` has `rows` elements. Returns a rank-1 tensor of `cols`.
+///
+/// Used to backpropagate gradients through a dense layer without materialising
+/// the transpose.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`] on
+/// bad operands.
+pub fn matvec_t(w: &Tensor, y: &Tensor) -> Result<Tensor> {
+    if w.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: w.rank(),
+        });
+    }
+    let (rows, cols) = (w.dims()[0], w.dims()[1]);
+    if y.len() != rows {
+        return Err(TensorError::ShapeMismatch {
+            left: w.dims().to_vec(),
+            right: y.dims().to_vec(),
+        });
+    }
+    let wd = w.data();
+    let yd = y.data();
+    let mut out = vec![0.0f32; cols];
+    for r in 0..rows {
+        let yv = yd[r];
+        if yv == 0.0 {
+            continue;
+        }
+        let row = &wd[r * cols..(r + 1) * cols];
+        for (o, &wv) in out.iter_mut().zip(row) {
+            *o += wv * yv;
+        }
+    }
+    Tensor::from_vec(out, &[cols])
+}
+
+/// Outer product `y xᵀ` returning a `[y.len(), x.len()]` matrix.
+///
+/// This is exactly the weight-gradient of a dense layer: `dL/dW = δ · aᵀ`.
+pub fn outer(y: &Tensor, x: &Tensor) -> Tensor {
+    let rows = y.len();
+    let cols = x.len();
+    let mut out = vec![0.0f32; rows * cols];
+    for (r, &yv) in y.data().iter().enumerate() {
+        if yv == 0.0 {
+            continue;
+        }
+        let row = &mut out[r * cols..(r + 1) * cols];
+        for (o, &xv) in row.iter_mut().zip(x.data()) {
+            *o = yv * xv;
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols]).expect("outer: length is rows*cols by construction")
+}
+
+/// Matrix–matrix product of `[m, k]` by `[k, n]`, returning `[m, n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`] on
+/// bad operands.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.rank() != 2 || b.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: if a.rank() != 2 { a.rank() } else { b.rank() },
+        });
+    }
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            left: a.dims().to_vec(),
+            right: b.dims().to_vec(),
+        });
+    }
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = ad[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Numerically stable softmax over a flat vector.
+///
+/// Subtracts the maximum before exponentiating, so arbitrarily large logits
+/// do not overflow. An empty input yields an empty output.
+pub fn softmax(x: &Tensor) -> Tensor {
+    if x.is_empty() {
+        return x.clone();
+    }
+    let m = x.max().expect("non-empty checked above");
+    let exps: Vec<f32> = x.data().iter().map(|&v| (v - m).exp()).collect();
+    let z: f32 = exps.iter().sum();
+    let data = exps.into_iter().map(|e| e / z).collect();
+    Tensor::from_vec(data, x.dims()).expect("softmax preserves shape")
+}
+
+/// Shannon entropy (nats) of a probability vector.
+///
+/// Zero-probability entries contribute zero (the `p log p → 0` limit).
+pub fn entropy(p: &Tensor) -> f32 {
+    p.data()
+        .iter()
+        .filter(|&&v| v > 0.0)
+        .map(|&v| -v * v.ln())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, d: &[usize]) -> Tensor {
+        Tensor::from_vec(v, d).unwrap()
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t(vec![1.0, 2.0, 3.0], &[3]);
+        let b = t(vec![4.0, 5.0, 6.0], &[3]);
+        assert_eq!(add(&a, &b).unwrap().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(sub(&b, &a).unwrap().data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(mul(&a, &b).unwrap().data(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn elementwise_shape_checked() {
+        let a = t(vec![1.0, 2.0], &[2]);
+        let b = t(vec![1.0, 2.0], &[2, 1]);
+        assert!(add(&a, &b).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut acc = t(vec![1.0, 1.0], &[2]);
+        let x = t(vec![2.0, 3.0], &[2]);
+        axpy(&mut acc, 0.5, &x).unwrap();
+        assert_eq!(acc.data(), &[2.0, 2.5]);
+        assert!(axpy(&mut acc, 1.0, &t(vec![0.0], &[1])).is_err());
+    }
+
+    #[test]
+    fn scale_works() {
+        assert_eq!(scale(&t(vec![1.0, -2.0], &[2]), -2.0).data(), &[-2.0, 4.0]);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = t(vec![1.0, 2.0, 3.0], &[3]);
+        let b = t(vec![4.0, 5.0, 6.0], &[3]);
+        assert_eq!(dot(&a, &b).unwrap(), 32.0);
+        assert!(dot(&a, &t(vec![1.0], &[1])).is_err());
+    }
+
+    #[test]
+    fn matvec_known_values() {
+        // W = [[1,2],[3,4],[5,6]], x = [1,-1] => [-1,-1,-1]
+        let w = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let x = t(vec![1.0, -1.0], &[2]);
+        assert_eq!(matvec(&w, &x).unwrap().data(), &[-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn matvec_validates() {
+        let w = t(vec![1.0, 2.0], &[2]);
+        assert!(matvec(&w, &t(vec![1.0], &[1])).is_err()); // rank 1 w
+        let w = t(vec![1.0, 2.0], &[1, 2]);
+        assert!(matvec(&w, &t(vec![1.0], &[1])).is_err()); // bad inner dim
+    }
+
+    #[test]
+    fn matvec_t_is_transpose() {
+        let w = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let y = t(vec![1.0, 0.0, -1.0], &[3]);
+        // Wt y = [1*1+5*(-1), 2*1+6*(-1)] = [-4, -4]
+        assert_eq!(matvec_t(&w, &y).unwrap().data(), &[-4.0, -4.0]);
+    }
+
+    #[test]
+    fn outer_matches_manual() {
+        let y = t(vec![1.0, 2.0], &[2]);
+        let x = t(vec![3.0, 4.0, 5.0], &[3]);
+        let o = outer(&y, &x);
+        assert_eq!(o.dims(), &[2, 3]);
+        assert_eq!(o.data(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let i = t(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        assert_eq!(matmul(&a, &i).unwrap(), a);
+        assert_eq!(matmul(&i, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_rect() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_checks_dims() {
+        let a = t(vec![1.0, 2.0], &[1, 2]);
+        let b = t(vec![1.0, 2.0], &[1, 2]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matvec_consistency_with_matmul() {
+        let w = t(vec![1.0, -2.0, 0.5, 3.0, 4.0, -1.0], &[2, 3]);
+        let x = t(vec![0.3, -0.7, 2.0], &[3]);
+        let via_mv = matvec(&w, &x).unwrap();
+        let via_mm = matmul(&w, &x.reshape(&[3, 1]).unwrap()).unwrap();
+        for (a, b) in via_mv.data().iter().zip(via_mm.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let x = t(vec![1000.0, 1001.0, 1002.0], &[3]);
+        let p = softmax(&x);
+        let s: f32 = p.data().iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!(p.data().iter().all(|v| v.is_finite()));
+        assert!(p.data()[2] > p.data()[1] && p.data()[1] > p.data()[0]);
+    }
+
+    #[test]
+    fn softmax_uniform_for_equal_logits() {
+        let p = softmax(&t(vec![0.5; 4], &[4]));
+        for &v in p.data() {
+            assert!((v - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_empty_is_empty() {
+        let p = softmax(&Tensor::default());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        // one-hot: zero entropy
+        assert_eq!(entropy(&t(vec![1.0, 0.0, 0.0], &[3])), 0.0);
+        // uniform over 4: ln 4
+        let e = entropy(&t(vec![0.25; 4], &[4]));
+        assert!((e - 4.0f32.ln()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,333 @@
+//! Max- and mean-pooling over `[C, H, W]` tensors, with the bookkeeping
+//! needed to backpropagate through them.
+//!
+//! The paper's DLN baselines use non-overlapping pooling (window == stride),
+//! which is what these helpers implement. A window of 1 is the identity and
+//! is used to model the paper's size-preserving `P3` stage (Table II).
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Result of a pooling forward pass.
+///
+/// `argmax` is only populated for max pooling; it stores, for every output
+/// cell, the flat input offset of the winning element so the backward pass
+/// can route gradients.
+#[derive(Debug, Clone)]
+pub struct PoolOutput {
+    /// Pooled activations, `[C, H/k, W/k]`.
+    pub output: Tensor,
+    /// For max pooling: flat input offset of each output cell's maximum.
+    pub argmax: Option<Vec<usize>>,
+}
+
+fn check_pool(input: &Tensor, window: usize) -> Result<(usize, usize, usize, usize, usize)> {
+    if input.rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            actual: input.rank(),
+        });
+    }
+    if window == 0 {
+        return Err(TensorError::InvalidGeometry("zero-sized pooling window".into()));
+    }
+    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    if h % window != 0 || w % window != 0 {
+        return Err(TensorError::InvalidGeometry(format!(
+            "pooling window {window} does not tile input {h}x{w}"
+        )));
+    }
+    Ok((c, h, w, h / window, w / window))
+}
+
+/// Non-overlapping max pooling.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidGeometry`] when the window does not evenly
+/// tile the input, and [`TensorError::RankMismatch`] for non-rank-3 inputs.
+pub fn maxpool2d(input: &Tensor, window: usize) -> Result<PoolOutput> {
+    let (c, h, w, oh, ow) = check_pool(input, window)?;
+    let x = input.data();
+    let mut out = vec![0.0f32; c * oh * ow];
+    let mut arg = vec![0usize; c * oh * ow];
+    let in_plane = h * w;
+
+    for ch in 0..c {
+        let xbase = ch * in_plane;
+        let obase = ch * oh * ow;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best_off = xbase + (oy * window) * w + ox * window;
+                let mut best = x[best_off];
+                for wy in 0..window {
+                    let row = xbase + (oy * window + wy) * w + ox * window;
+                    for wx in 0..window {
+                        let off = row + wx;
+                        if x[off] > best {
+                            best = x[off];
+                            best_off = off;
+                        }
+                    }
+                }
+                out[obase + oy * ow + ox] = best;
+                arg[obase + oy * ow + ox] = best_off;
+            }
+        }
+    }
+    Ok(PoolOutput {
+        output: Tensor::from_vec(out, &[c, oh, ow])?,
+        argmax: Some(arg),
+    })
+}
+
+/// Non-overlapping mean pooling.
+///
+/// # Errors
+///
+/// Same geometry conditions as [`maxpool2d`].
+pub fn meanpool2d(input: &Tensor, window: usize) -> Result<PoolOutput> {
+    let (c, h, w, oh, ow) = check_pool(input, window)?;
+    let x = input.data();
+    let mut out = vec![0.0f32; c * oh * ow];
+    let in_plane = h * w;
+    let norm = 1.0 / (window * window) as f32;
+
+    for ch in 0..c {
+        let xbase = ch * in_plane;
+        let obase = ch * oh * ow;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for wy in 0..window {
+                    let row = xbase + (oy * window + wy) * w + ox * window;
+                    for wx in 0..window {
+                        acc += x[row + wx];
+                    }
+                }
+                out[obase + oy * ow + ox] = acc * norm;
+            }
+        }
+    }
+    Ok(PoolOutput {
+        output: Tensor::from_vec(out, &[c, oh, ow])?,
+        argmax: None,
+    })
+}
+
+/// Backward pass for max pooling: routes each upstream gradient cell to the
+/// input offset recorded in `argmax`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `grad_out` does not have one
+/// gradient per argmax entry.
+pub fn maxpool2d_backward(
+    input_shape: &[usize],
+    argmax: &[usize],
+    grad_out: &Tensor,
+) -> Result<Tensor> {
+    if grad_out.len() != argmax.len() {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![grad_out.len()],
+            right: vec![argmax.len()],
+        });
+    }
+    let mut gx = Tensor::zeros(input_shape);
+    let data = gx.data_mut();
+    for (&off, &g) in argmax.iter().zip(grad_out.data()) {
+        if off >= data.len() {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![off],
+                shape: input_shape.to_vec(),
+            });
+        }
+        data[off] += g;
+    }
+    Ok(gx)
+}
+
+/// Backward pass for mean pooling: spreads each upstream gradient uniformly
+/// over its window.
+///
+/// # Errors
+///
+/// Returns geometry errors when `grad_out` is inconsistent with
+/// `input_shape`/`window`.
+pub fn meanpool2d_backward(
+    input_shape: &[usize],
+    window: usize,
+    grad_out: &Tensor,
+) -> Result<Tensor> {
+    if input_shape.len() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            actual: input_shape.len(),
+        });
+    }
+    if window == 0 {
+        return Err(TensorError::InvalidGeometry("zero-sized pooling window".into()));
+    }
+    let (c, h, w) = (input_shape[0], input_shape[1], input_shape[2]);
+    if h % window != 0 || w % window != 0 {
+        return Err(TensorError::InvalidGeometry(format!(
+            "pooling window {window} does not tile input {h}x{w}"
+        )));
+    }
+    let (oh, ow) = (h / window, w / window);
+    if grad_out.dims() != [c, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            left: grad_out.dims().to_vec(),
+            right: vec![c, oh, ow],
+        });
+    }
+    let norm = 1.0 / (window * window) as f32;
+    let g = grad_out.data();
+    let mut gx = vec![0.0f32; c * h * w];
+    let in_plane = h * w;
+
+    for ch in 0..c {
+        let xbase = ch * in_plane;
+        let obase = ch * oh * ow;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let gv = g[obase + oy * ow + ox] * norm;
+                for wy in 0..window {
+                    let row = xbase + (oy * window + wy) * w + ox * window;
+                    for wx in 0..window {
+                        gx[row + wx] += gv;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(gx, input_shape)
+}
+
+/// Comparison operations performed by a max-pool of the given geometry
+/// (window²−1 compares per output cell), used by the OPS accounting.
+pub fn pool_ops(c: usize, h: usize, w: usize, window: usize) -> u64 {
+    if window == 0 || !h.is_multiple_of(window) || !w.is_multiple_of(window) {
+        return 0;
+    }
+    let oh = h / window;
+    let ow = w / window;
+    (c * oh * ow) as u64 * (window * window - 1).max(1) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, d: &[usize]) -> Tensor {
+        Tensor::from_vec(v, d).unwrap()
+    }
+
+    #[test]
+    fn maxpool_basic() {
+        let x = t(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                -1.0, 0.0, 0.5, 0.25, //
+                -2.0, -3.0, 0.75, 0.1,
+            ],
+            &[1, 4, 4],
+        );
+        let p = maxpool2d(&x, 2).unwrap();
+        assert_eq!(p.output.dims(), &[1, 2, 2]);
+        assert_eq!(p.output.data(), &[4.0, 8.0, 0.0, 0.75]);
+        let arg = p.argmax.unwrap();
+        assert_eq!(arg, vec![5, 7, 9, 14]);
+    }
+
+    #[test]
+    fn meanpool_basic() {
+        let x = t(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]);
+        let p = meanpool2d(&x, 2).unwrap();
+        assert_eq!(p.output.data(), &[2.5]);
+        assert!(p.argmax.is_none());
+    }
+
+    #[test]
+    fn window_one_is_identity() {
+        let x = t((0..8).map(|v| v as f32).collect(), &[2, 2, 2]);
+        let pm = maxpool2d(&x, 1).unwrap();
+        assert_eq!(pm.output, x);
+        let pa = meanpool2d(&x, 1).unwrap();
+        assert_eq!(pa.output, x);
+    }
+
+    #[test]
+    fn rejects_non_tiling_window() {
+        let x = Tensor::zeros(&[1, 3, 3]);
+        assert!(maxpool2d(&x, 2).is_err());
+        assert!(meanpool2d(&x, 2).is_err());
+        assert!(maxpool2d(&x, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_rank() {
+        let x = Tensor::zeros(&[4, 4]);
+        assert!(maxpool2d(&x, 2).is_err());
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = t(
+            vec![
+                1.0, 2.0, //
+                3.0, 4.0,
+            ],
+            &[1, 2, 2],
+        );
+        let p = maxpool2d(&x, 2).unwrap();
+        let g = t(vec![10.0], &[1, 1, 1]);
+        let gx = maxpool2d_backward(x.dims(), p.argmax.as_ref().unwrap(), &g).unwrap();
+        assert_eq!(gx.data(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn meanpool_backward_spreads_uniformly() {
+        let g = t(vec![8.0], &[1, 1, 1]);
+        let gx = meanpool2d_backward(&[1, 2, 2], 2, &g).unwrap();
+        assert_eq!(gx.data(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    /// Finite-difference check of mean-pool backward.
+    #[test]
+    fn meanpool_gradient_matches_finite_difference() {
+        let mut x = t((0..16).map(|v| v as f32 * 0.1).collect(), &[1, 4, 4]);
+        let g_out = Tensor::ones(&[1, 2, 2]);
+        let gx = meanpool2d_backward(x.dims(), 2, &g_out).unwrap();
+        let eps = 1e-3;
+        for i in 0..x.len() {
+            let orig = x.data()[i];
+            x.data_mut()[i] = orig + eps;
+            let lp = meanpool2d(&x, 2).unwrap().output.sum();
+            x.data_mut()[i] = orig - eps;
+            let lm = meanpool2d(&x, 2).unwrap().output.sum();
+            x.data_mut()[i] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - gx.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn backward_validates_lengths() {
+        let g = Tensor::ones(&[1, 2, 2]);
+        assert!(maxpool2d_backward(&[1, 4, 4], &[0, 1, 2], &g).is_err());
+        assert!(meanpool2d_backward(&[1, 4, 4], 3, &g).is_err());
+        assert!(meanpool2d_backward(&[1, 4, 4], 2, &Tensor::ones(&[1, 3, 3])).is_err());
+    }
+
+    #[test]
+    fn pool_ops_counting() {
+        // 6 maps of 24x24 pooled by 2: 6*12*12 cells * 3 compares
+        assert_eq!(pool_ops(6, 24, 24, 2), 6 * 144 * 3);
+        // identity pool still costs 1 op per cell (a copy/compare)
+        assert_eq!(pool_ops(9, 3, 3, 1), 81);
+        assert_eq!(pool_ops(1, 3, 3, 2), 0);
+    }
+}

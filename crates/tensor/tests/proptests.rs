@@ -1,0 +1,140 @@
+//! Property-based tests for the tensor crate's core invariants.
+
+use cdl_tensor::{conv, ops, pool, Shape, Tensor};
+use proptest::prelude::*;
+
+/// Strategy: a small tensor with shape `[c, h, w]` and bounded values.
+fn small_chw() -> impl Strategy<Value = Tensor> {
+    (1usize..4, 2usize..7, 2usize..7).prop_flat_map(|(c, h, w)| {
+        proptest::collection::vec(-10.0f32..10.0, c * h * w)
+            .prop_map(move |v| Tensor::from_vec(v, &[c, h, w]).unwrap())
+    })
+}
+
+proptest! {
+    /// linear_index and multi_index are mutual inverses for every offset.
+    #[test]
+    fn shape_index_round_trip(dims in proptest::collection::vec(1usize..6, 1..4)) {
+        let s = Shape::new(&dims);
+        for off in 0..s.volume() {
+            let idx = s.multi_index(off).unwrap();
+            prop_assert_eq!(s.linear_index(&idx).unwrap(), off);
+        }
+    }
+
+    /// Elementwise addition commutes, subtraction anti-commutes.
+    #[test]
+    fn add_commutes(v in proptest::collection::vec(-100.0f32..100.0, 1..64)) {
+        let n = v.len();
+        let a = Tensor::from_vec(v.clone(), &[n]).unwrap();
+        let b = a.map(|x| x * 0.5 - 1.0);
+        let ab = ops::add(&a, &b).unwrap();
+        let ba = ops::add(&b, &a).unwrap();
+        prop_assert_eq!(ab, ba);
+        let s1 = ops::sub(&a, &b).unwrap();
+        let s2 = ops::scale(&ops::sub(&b, &a).unwrap(), -1.0);
+        for (x, y) in s1.data().iter().zip(s2.data()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    /// softmax output is a probability distribution and preserves argmax.
+    #[test]
+    fn softmax_is_distribution(v in proptest::collection::vec(-30.0f32..30.0, 2..16)) {
+        let n = v.len();
+        let x = Tensor::from_vec(v, &[n]).unwrap();
+        let p = ops::softmax(&x);
+        let sum: f32 = p.data().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.data().iter().all(|&q| (0.0..=1.0).contains(&q)));
+        prop_assert_eq!(p.argmax(), x.argmax());
+    }
+
+    /// Max pooling dominates mean pooling pointwise.
+    #[test]
+    fn maxpool_geq_meanpool(x in small_chw()) {
+        let dims = x.dims().to_vec();
+        let window = 1 + (dims[1].min(dims[2]) > 1) as usize;
+        if dims[1] % window != 0 || dims[2] % window != 0 {
+            return Ok(()); // geometry not tileable; covered by unit tests
+        }
+        let mx = pool::maxpool2d(&x, window).unwrap().output;
+        let mn = pool::meanpool2d(&x, window).unwrap().output;
+        for (a, b) in mx.data().iter().zip(mn.data()) {
+            prop_assert!(a >= b || (a - b).abs() < 1e-6);
+        }
+    }
+
+    /// Convolution is linear in the input: conv(αx) = α·conv(x) when bias=0.
+    #[test]
+    fn conv_is_linear(x in small_chw(), alpha in -3.0f32..3.0) {
+        let c = x.dims()[0];
+        let k = Tensor::full(&[2, c, 2, 2], 0.25);
+        let bias = vec![0.0f32; 2];
+        if x.dims()[1] < 2 || x.dims()[2] < 2 {
+            return Ok(());
+        }
+        let y1 = conv::conv2d_valid(&x, &k, &bias).unwrap();
+        let xs = ops::scale(&x, alpha);
+        let y2 = conv::conv2d_valid(&xs, &k, &bias).unwrap();
+        for (a, b) in y1.data().iter().zip(y2.data()) {
+            prop_assert!((a * alpha - b).abs() < 1e-2);
+        }
+    }
+
+    /// Max-pool backward conserves gradient mass.
+    #[test]
+    fn maxpool_backward_conserves_mass(x in small_chw()) {
+        let dims = x.dims().to_vec();
+        if dims[1] % 2 != 0 || dims[2] % 2 != 0 {
+            return Ok(());
+        }
+        let p = pool::maxpool2d(&x, 2).unwrap();
+        let g = Tensor::ones(p.output.dims());
+        let gx = pool::maxpool2d_backward(&dims, p.argmax.as_ref().unwrap(), &g).unwrap();
+        prop_assert!((gx.sum() - g.sum()).abs() < 1e-4);
+    }
+
+    /// Mean-pool backward conserves gradient mass.
+    #[test]
+    fn meanpool_backward_conserves_mass(x in small_chw()) {
+        let dims = x.dims().to_vec();
+        if dims[1] % 2 != 0 || dims[2] % 2 != 0 {
+            return Ok(());
+        }
+        let p = pool::meanpool2d(&x, 2).unwrap();
+        let g = Tensor::ones(p.output.dims());
+        let gx = pool::meanpool2d_backward(&dims, 2, &g).unwrap();
+        prop_assert!((gx.sum() - g.sum()).abs() < 1e-4);
+    }
+
+    /// reshape never changes the data, only the shape.
+    #[test]
+    fn reshape_preserves_buffer(v in proptest::collection::vec(-5.0f32..5.0, 12)) {
+        let t = Tensor::from_vec(v, &[12]).unwrap();
+        for dims in [[3usize, 4], [4, 3], [2, 6], [6, 2]] {
+            let r = t.reshape(&dims).unwrap();
+            prop_assert_eq!(r.data(), t.data());
+        }
+    }
+
+    /// matvec agrees with an explicit double loop.
+    #[test]
+    fn matvec_matches_reference(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let w_data: Vec<f32> = (0..rows * cols).map(|_| rng.random_range(-2.0..2.0)).collect();
+        let x_data: Vec<f32> = (0..cols).map(|_| rng.random_range(-2.0..2.0)).collect();
+        let w = Tensor::from_vec(w_data.clone(), &[rows, cols]).unwrap();
+        let x = Tensor::from_vec(x_data.clone(), &[cols]).unwrap();
+        let y = ops::matvec(&w, &x).unwrap();
+        for r in 0..rows {
+            let expect: f32 = (0..cols).map(|c| w_data[r * cols + c] * x_data[c]).sum();
+            prop_assert!((y.data()[r] - expect).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Deployment lifecycle: train once, **calibrate δ against an accuracy
+//! budget** on held-out validation data, persist the model to a single JSON
+//! file, reload it elsewhere, and verify bit-identical behaviour.
+//!
+//! ```text
+//! cargo run --release --example calibrated_deployment
+//! ```
+
+use cdl::core::arch;
+use cdl::core::builder::{BuilderConfig, CdlBuilder};
+use cdl::core::calibrate::{calibrate_delta, oracle_bound};
+use cdl::core::confidence::ConfidencePolicy;
+use cdl::core::persist;
+use cdl::dataset::SyntheticMnist;
+use cdl::nn::network::Network;
+use cdl::nn::trainer::{train, TrainConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let generator = SyntheticMnist::default();
+    let (train_set, rest) = generator.generate_split(3000, 1000, 99);
+    let validation = rest.take(500);
+    let test = cdl::nn::trainer::LabelledSet {
+        images: rest.images[500..].to_vec(),
+        labels: rest.labels[500..].to_vec(),
+    };
+
+    // train + build the CDLN
+    let arch = arch::mnist_3c();
+    let mut baseline = Network::from_spec(&arch.spec, 1)?;
+    train(
+        &mut baseline,
+        &train_set,
+        &TrainConfig { epochs: 20, lr: 1.5, lr_decay: 0.95, ..TrainConfig::default() },
+    )?;
+    let mut cdln = CdlBuilder::new(arch, ConfidencePolicy::sigmoid_prob(0.5))
+        .build(baseline, &train_set, &BuilderConfig::default())?
+        .into_network();
+
+    // calibrate δ: give up at most 0.5pp of baseline accuracy
+    let grid: Vec<f32> = (1..=18).map(|i| i as f32 * 0.05).collect();
+    let cal = calibrate_delta(&cdln, &validation, &grid, 0.005)?;
+    println!(
+        "calibrated δ = {:.2}: validation accuracy {:.2}% (baseline {:.2}%), {:.3}x baseline ops",
+        cal.delta,
+        cal.accuracy * 100.0,
+        cal.baseline_accuracy * 100.0,
+        cal.normalized_ops
+    );
+    cdln.set_policy(cdln.policy().with_threshold(cal.delta))?;
+
+    // how much more could a perfect confidence estimate claim?
+    let oracle = oracle_bound(&cdln, &validation)?;
+    println!(
+        "oracle bound: {:.2}% accuracy at {:.3}x ops (gap: the confidence estimate, not the heads)",
+        oracle.accuracy * 100.0,
+        oracle.normalized_ops
+    );
+
+    // ship it: one JSON file
+    let path = std::env::temp_dir().join("cdl_deployed.json");
+    persist::save(&cdln, &path)?;
+    println!("saved {} bytes to {}", std::fs::metadata(&path)?.len(), path.display());
+
+    // …and on the device: load + verify identical behaviour
+    let loaded = persist::load(&path)?;
+    let mut agree = true;
+    let mut correct = 0usize;
+    for (img, &label) in test.images.iter().zip(&test.labels) {
+        let a = cdln.classify(img)?;
+        let b = loaded.classify(img)?;
+        agree &= a == b;
+        correct += (b.label == label) as usize;
+    }
+    println!(
+        "reloaded model agrees on all {} test inputs: {}; test accuracy {:.2}%",
+        test.len(),
+        agree,
+        correct as f64 / test.len() as f64 * 100.0
+    );
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! Hardware design-space exploration with the 45nm cost model — the
+//! substitute for the paper's Synopsys synthesis flow.
+//!
+//! Prints per-layer op/energy breakdowns for both paper architectures and
+//! explores how the CDLN's advantage shifts with the accelerator design
+//! point (memory-dominated vs compute-dominated energy profiles).
+//!
+//! ```text
+//! cargo run --release --example hardware_costing
+//! ```
+
+use cdl::core::arch;
+use cdl::hw::report::CostReport;
+use cdl::hw::{Accelerator, EnergyModel, EnergyTable, OpCount};
+use cdl::nn::network::Network;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = EnergyModel::cmos_45nm();
+    let accelerator = Accelerator::cmos_45nm();
+
+    for arch in [arch::mnist_2c(), arch::mnist_3c()] {
+        let net = Network::from_spec(&arch.spec, 0)?;
+        let per_layer = net.op_counts()?;
+        let mut report = CostReport::new();
+        for (name, ops) in net.layer_names().into_iter().zip(&per_layer) {
+            report.push(name, *ops, model.energy(ops, 0));
+        }
+        let (total, energy) = report.total();
+        println!("=== {} ===", arch.name);
+        print!("{}", report.render());
+        println!(
+            "latency on {} lanes @ {:.0} MHz: {:.2} µs; total energy {:.1} nJ\n",
+            accelerator.mac_lanes,
+            accelerator.clock_hz / 1e6,
+            accelerator.latency_s(&total) * 1e6,
+            energy.total_pj() / 1e3,
+        );
+    }
+
+    // Design-point study: how does an early exit at O1 (1st pooling layer)
+    // compare across process corners / memory cost assumptions?
+    println!("=== design-space: value of an O1 exit on MNIST_3C ===");
+    let net = Network::from_spec(&arch::mnist_3c().spec, 0)?;
+    let per_layer = net.op_counts()?;
+    let o1_runtime = net.runtime_index_of(1)?; // P1
+    let to_o1: OpCount = per_layer[..=o1_runtime].iter().copied().sum();
+    let head = OpCount {
+        macs: 507 * 10,
+        adds: 10,
+        compares: 9,
+        activations: 10,
+        mem_reads: 507 * 11,
+        mem_writes: 10,
+        ..OpCount::ZERO
+    };
+    let full: OpCount = per_layer.iter().copied().sum();
+    let exit_ops = to_o1 + head;
+
+    println!(
+        "{:<34} {:>14} {:>14} {:>9}",
+        "energy profile", "full pass (nJ)", "O1 exit (nJ)", "benefit"
+    );
+    let corners = [
+        ("45nm defaults", EnergyModel::cmos_45nm()),
+        ("compute-only (no overheads)", EnergyModel::ideal(EnergyTable::cmos_45nm())),
+        (
+            "memory-expensive (SRAM x4)",
+            EnergyModel {
+                table: EnergyTable { sram_read_pj: 20.0, sram_write_pj: 20.0, ..EnergyTable::cmos_45nm() },
+                ..EnergyModel::cmos_45nm()
+            },
+        ),
+        (
+            "control-heavy (10 nJ/stage)",
+            EnergyModel { stage_control_pj: 10_000.0, ..EnergyModel::cmos_45nm() },
+        ),
+    ];
+    for (name, m) in corners {
+        let full_nj = m.total_pj(&full, 1) / 1e3;
+        let exit_nj = m.total_pj(&exit_ops, 1) / 1e3;
+        println!(
+            "{:<34} {:>14.2} {:>14.2} {:>8.2}x",
+            name,
+            full_nj,
+            exit_nj,
+            full_nj / exit_nj
+        );
+    }
+    println!(
+        "\nshape: the early-exit benefit survives every corner but shrinks as\n\
+         fixed overheads (memory traffic for head weights, per-stage control)\n\
+         grow — the reason the paper's energy gain (1.84x) trails its ops gain (1.91x)."
+    );
+    Ok(())
+}

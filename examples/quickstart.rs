@@ -1,0 +1,80 @@
+//! Quickstart: train a baseline CNN, attach conditional linear classifiers
+//! (Algorithm 1), and watch easy inputs exit early at inference time
+//! (Algorithm 2).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cdl::core::arch;
+use cdl::core::builder::{BuilderConfig, CdlBuilder};
+use cdl::core::confidence::ConfidencePolicy;
+use cdl::dataset::SyntheticMnist;
+use cdl::nn::network::Network;
+use cdl::nn::trainer::{evaluate, train, TrainConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Data: a synthetic MNIST-like stream (use cdl::dataset::idx to load
+    //    the real IDX files instead, if you have them).
+    let generator = SyntheticMnist::default();
+    let (train_set, test_set) = generator.generate_split(3000, 600, 42);
+    println!("dataset: {} train / {} test images", train_set.len(), test_set.len());
+
+    // 2. Baseline DLN: the paper's 8-layer Table II network.
+    let arch = arch::mnist_3c();
+    let mut baseline = Network::from_spec(&arch.spec, 7)?;
+    let cfg = TrainConfig {
+        epochs: 20,
+        lr: 1.5,
+        lr_decay: 0.95,
+        ..TrainConfig::default()
+    };
+    println!("training the {} baseline ({} parameters)…", arch.name, baseline.param_count());
+    train(&mut baseline, &train_set, &cfg)?;
+    let baseline_acc = evaluate(&baseline, &test_set)?;
+    println!("baseline accuracy: {:.2}%", baseline_acc * 100.0);
+
+    // 3. Algorithm 1: train linear classifiers at the pooling layers and
+    //    admit those whose measured gain is positive.
+    let policy = ConfidencePolicy::sigmoid_prob(0.5);
+    let trained = CdlBuilder::new(arch, policy).build(baseline, &train_set, &BuilderConfig::default())?;
+    for report in trained.reports() {
+        println!(
+            "stage {}: {} features, classifies {}/{} training inputs, gain {:+.0} ops/input, admitted: {}",
+            report.name, report.features, report.classified, report.reached,
+            report.gain_ops_per_instance, report.admitted
+        );
+    }
+    let cdln = trained.network();
+
+    // 4. Algorithm 2: early-exit inference.
+    let mut correct = 0usize;
+    let mut ops_sum = 0u64;
+    let mut exits = vec![0usize; cdln.stage_count() + 1];
+    for (image, &label) in test_set.images.iter().zip(&test_set.labels) {
+        let out = cdln.classify(image)?;
+        exits[out.exit_stage] += 1;
+        ops_sum += out.ops.compute_ops();
+        if out.label == label {
+            correct += 1;
+        }
+    }
+    let n = test_set.len() as f64;
+    let baseline_ops = cdln.baseline_ops().compute_ops() as f64;
+    println!("\nCDLN accuracy: {:.2}%", correct as f64 / n * 100.0);
+    println!(
+        "average ops/input: {:.0} vs baseline {:.0} → {:.2}x improvement",
+        ops_sum as f64 / n,
+        baseline_ops,
+        baseline_ops / (ops_sum as f64 / n)
+    );
+    for (stage, count) in exits.iter().enumerate() {
+        let name = if stage < cdln.stage_count() {
+            format!("O{}", stage + 1)
+        } else {
+            "FC".to_string()
+        };
+        println!("  exits at {name}: {count} ({:.1}%)", *count as f64 / n * 100.0);
+    }
+    Ok(())
+}

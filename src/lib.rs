@@ -1,0 +1,23 @@
+//! # cdl — Conditional Deep Learning (DATE 2016) reproduction
+//!
+//! Facade crate re-exporting every sub-crate of the workspace so that
+//! examples and downstream users can depend on a single crate:
+//!
+//! * [`tensor`] — minimal f32 tensor library (conv/pool primitives),
+//! * [`nn`] — from-scratch CNN layers, losses and SGD trainer,
+//! * [`dataset`] — synthetic MNIST generator + IDX loader,
+//! * [`hw`] — analytical 45nm energy/area model,
+//! * [`core`] — the paper's contribution: cascaded linear classifiers with
+//!   confidence-gated early exit (Conditional Deep Learning).
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end train → attach heads →
+//! early-exit inference walkthrough, and `DESIGN.md` / `EXPERIMENTS.md` for
+//! the experiment index reproducing every table and figure of the paper.
+
+pub use cdl_core as core;
+pub use cdl_dataset as dataset;
+pub use cdl_hw as hw;
+pub use cdl_nn as nn;
+pub use cdl_tensor as tensor;

@@ -1,0 +1,111 @@
+//! Cross-crate property-based tests.
+
+use cdl::core::confidence::ConfidencePolicy;
+use cdl::dataset::generator::{SyntheticConfig, SyntheticMnist};
+use cdl::dataset::idx;
+use cdl::nn::activation::Activation;
+use cdl::nn::network::Network;
+use cdl::nn::spec::{LayerSpec, NetworkSpec};
+use cdl::tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every network built from a valid spec produces outputs whose shape
+    /// matches the spec's declared chain, for random geometry.
+    #[test]
+    fn network_output_matches_spec_chain(
+        maps in 1usize..5,
+        kernel in 2usize..4,
+        seed in 0u64..500,
+    ) {
+        let size = 12usize;
+        let after_conv = size - kernel + 1;
+        // pick a pool window that tiles
+        let window = if after_conv.is_multiple_of(2) { 2 } else { 1 };
+        let pooled = after_conv / window;
+        let feats = maps * pooled * pooled;
+        let spec = NetworkSpec::new(
+            vec![
+                LayerSpec::conv(1, maps, kernel, Activation::Sigmoid),
+                LayerSpec::maxpool(window),
+                LayerSpec::flatten(),
+                LayerSpec::dense(feats, 4, Activation::Sigmoid),
+            ],
+            &[1, size, size],
+        );
+        let net = Network::from_spec(&spec, seed).unwrap();
+        let chain = spec.shape_chain().unwrap();
+        let outs = net.forward_all(&Tensor::full(&[1, size, size], 0.5)).unwrap();
+        // final runtime output must equal the final spec shape
+        prop_assert_eq!(outs.last().unwrap().dims(), chain.last().unwrap().as_slice());
+        // op counts are positive and finite
+        let total = net.total_ops().unwrap();
+        prop_assert!(total.compute_ops() > 0);
+    }
+
+    /// Generator images always round-trip through the IDX format within
+    /// quantisation error.
+    #[test]
+    fn idx_round_trip_for_generated_images(n in 1usize..6, seed in 0u64..1000) {
+        let set = SyntheticMnist::new(SyntheticConfig::default()).generate(n, seed);
+        let bytes = idx::write_images(&set.images);
+        let parsed = idx::parse_images(&bytes).unwrap();
+        prop_assert_eq!(parsed.len(), n);
+        for (a, b) in parsed.iter().zip(&set.images) {
+            prop_assert_eq!(a.dims(), b.dims());
+            for (x, y) in a.data().iter().zip(b.data()) {
+                prop_assert!((x - y).abs() <= 0.5 / 255.0 + 1e-6);
+            }
+        }
+        let labels = set.labels.clone();
+        let lab_bytes = idx::write_labels(&labels);
+        prop_assert_eq!(idx::parse_labels(&lab_bytes).unwrap(), labels);
+    }
+
+    /// The activation module is threshold-monotone for every policy type:
+    /// if a score vector exits at threshold t2 > t1, it also exits at t1.
+    #[test]
+    fn confidence_policies_threshold_monotone(
+        scores in proptest::collection::vec(-6.0f32..6.0, 2..12),
+        t1 in 0.05f32..0.5,
+        dt in 0.05f32..0.4,
+    ) {
+        let n = scores.len();
+        let t = Tensor::from_vec(scores, &[n]).unwrap();
+        let t2 = t1 + dt;
+        for mk in [
+            ConfidencePolicy::margin as fn(f32) -> ConfidencePolicy,
+            ConfidencePolicy::max_prob,
+            ConfidencePolicy::sigmoid_prob,
+        ] {
+            let strict = mk(t2).decide(&t).unwrap();
+            let lenient = mk(t1).decide(&t).unwrap();
+            // exception: the uniqueness criterion can make *lower* deltas
+            // refuse to exit when several classes clear the bar — only the
+            // margin policy is strictly monotone; for prob policies assert
+            // agreement of the chosen label instead.
+            prop_assert_eq!(strict.label, lenient.label);
+            if matches!(mk(t1), ConfidencePolicy::Margin { .. }) && strict.exit {
+                prop_assert!(lenient.exit);
+            }
+        }
+    }
+
+    /// Difficulty is the only knob: for a fixed digit and RNG stream the
+    /// generated image is deterministic, and in [0,1] everywhere.
+    #[test]
+    fn generator_images_always_valid(digit in 0usize..10, difficulty in 0.0f32..1.0, seed in 0u64..300) {
+        use rand::SeedableRng;
+        let gen = SyntheticMnist::new(SyntheticConfig::default());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let s = gen.sample_with_difficulty(digit, difficulty, &mut rng);
+        prop_assert_eq!(s.image.dims(), &[1, 28, 28]);
+        prop_assert!(s.image.data().iter().all(|v| (0.0..=1.0).contains(v)));
+        prop_assert_eq!(s.label, digit);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(seed);
+        let s2 = gen.sample_with_difficulty(digit, difficulty, &mut rng2);
+        prop_assert_eq!(s.image, s2.image);
+    }
+}
