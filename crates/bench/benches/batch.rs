@@ -1,0 +1,83 @@
+//! Criterion bench: batched early-exit inference (`BatchEvaluator`) vs the
+//! per-image `CdlNetwork::classify` loop, on a ≥1k-image synthetic stream.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cdl_bench::pipeline::classify_batch_parallel;
+use cdl_core::arch;
+use cdl_core::batch::BatchEvaluator;
+use cdl_core::builder::{BuilderConfig, CdlBuilder};
+use cdl_core::confidence::ConfidencePolicy;
+use cdl_core::network::CdlNetwork;
+use cdl_dataset::SyntheticMnist;
+use cdl_nn::network::Network;
+use cdl_nn::trainer::{train, LabelledSet, TrainConfig};
+
+fn prepare() -> (CdlNetwork, LabelledSet) {
+    let (train_set, test_set) = SyntheticMnist::default().generate_split(1500, 1024, 23);
+    let arch = arch::mnist_3c();
+    let mut base = Network::from_spec(&arch.spec, 7).unwrap();
+    train(
+        &mut base,
+        &train_set,
+        &TrainConfig {
+            epochs: 6,
+            lr: 1.5,
+            lr_decay: 0.95,
+            ..TrainConfig::default()
+        },
+    )
+    .unwrap();
+    let cdl = CdlBuilder::new(arch, ConfidencePolicy::sigmoid_prob(0.5))
+        .build(
+            base,
+            &train_set,
+            &BuilderConfig {
+                force_admit_all: true,
+                ..BuilderConfig::default()
+            },
+        )
+        .unwrap()
+        .into_network();
+    (cdl, test_set)
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let (cdl, test_set) = prepare();
+    let images = &test_set.images;
+    assert!(images.len() >= 1024);
+
+    let mut group = c.benchmark_group("batch_inference_1k");
+    group.sample_size(10);
+    group.bench_function("per_image_classify", |b| {
+        b.iter(|| {
+            let mut exits = 0usize;
+            for img in images {
+                exits += cdl.classify(black_box(img)).unwrap().exit_stage;
+            }
+            exits
+        })
+    });
+    group.bench_function("batch_evaluator", |b| {
+        let mut eval = BatchEvaluator::new(&cdl);
+        b.iter(|| {
+            let outs = eval.classify_batch(black_box(images)).unwrap();
+            outs.iter().map(|o| o.exit_stage).sum::<usize>()
+        })
+    });
+    group.bench_function("batch_evaluator_rayon_chunks", |b| {
+        b.iter(|| {
+            let outs = classify_batch_parallel(&cdl, black_box(images), 128).unwrap();
+            outs.iter().map(|o| o.exit_stage).sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_batch
+}
+criterion_main!(benches);

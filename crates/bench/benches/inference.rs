@@ -33,10 +33,14 @@ fn prepare() -> (CdlNetwork, LabelledSet) {
     )
     .unwrap();
     let cdl = CdlBuilder::new(arch, ConfidencePolicy::sigmoid_prob(0.5))
-        .build(base, &train_set, &BuilderConfig {
-            force_admit_all: true,
-            ..BuilderConfig::default()
-        })
+        .build(
+            base,
+            &train_set,
+            &BuilderConfig {
+                force_admit_all: true,
+                ..BuilderConfig::default()
+            },
+        )
         .unwrap()
         .into_network();
     (cdl, test_set)

@@ -92,6 +92,9 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     println!("{easy_stage_report}");
     save_report("fig7_fig9_easy", &easy_stage_report)?;
 
-    eprintln!("all reports saved under {}", cdl_bench::experiments::results_dir().display());
+    eprintln!(
+        "all reports saved under {}",
+        cdl_bench::experiments::results_dir().display()
+    );
     Ok(())
 }

@@ -13,10 +13,50 @@ fn main() {
     let arch = arch::mnist_3c();
 
     let configs = [
-        ("lr1.5 m0.9 d0.9 mse e8", TrainConfig { epochs: 8, lr: 1.5, momentum: 0.9, lr_decay: 0.9, loss: Loss::Mse, ..TrainConfig::default() }),
-        ("lr3.0 m0.9 d0.9 mse e8", TrainConfig { epochs: 8, lr: 3.0, momentum: 0.9, lr_decay: 0.9, loss: Loss::Mse, ..TrainConfig::default() }),
-        ("lr0.3 m0.9 d0.9 ce e8", TrainConfig { epochs: 8, lr: 0.3, momentum: 0.9, lr_decay: 0.9, loss: Loss::SoftmaxCrossEntropy, ..TrainConfig::default() }),
-        ("lr0.1 m0.9 d0.9 ce e8", TrainConfig { epochs: 8, lr: 0.1, momentum: 0.9, lr_decay: 0.9, loss: Loss::SoftmaxCrossEntropy, ..TrainConfig::default() }),
+        (
+            "lr1.5 m0.9 d0.9 mse e8",
+            TrainConfig {
+                epochs: 8,
+                lr: 1.5,
+                momentum: 0.9,
+                lr_decay: 0.9,
+                loss: Loss::Mse,
+                ..TrainConfig::default()
+            },
+        ),
+        (
+            "lr3.0 m0.9 d0.9 mse e8",
+            TrainConfig {
+                epochs: 8,
+                lr: 3.0,
+                momentum: 0.9,
+                lr_decay: 0.9,
+                loss: Loss::Mse,
+                ..TrainConfig::default()
+            },
+        ),
+        (
+            "lr0.3 m0.9 d0.9 ce e8",
+            TrainConfig {
+                epochs: 8,
+                lr: 0.3,
+                momentum: 0.9,
+                lr_decay: 0.9,
+                loss: Loss::SoftmaxCrossEntropy,
+                ..TrainConfig::default()
+            },
+        ),
+        (
+            "lr0.1 m0.9 d0.9 ce e8",
+            TrainConfig {
+                epochs: 8,
+                lr: 0.1,
+                momentum: 0.9,
+                lr_decay: 0.9,
+                loss: Loss::SoftmaxCrossEntropy,
+                ..TrainConfig::default()
+            },
+        ),
     ];
     for (name, cfg) in configs {
         let t0 = std::time::Instant::now();

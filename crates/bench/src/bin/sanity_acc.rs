@@ -20,7 +20,13 @@ fn main() {
     let (train_set, test_set) = gen.generate_split(20_000, 4_000, 42);
     for epochs in [6usize, 10] {
         let mut base = Network::from_spec(&arch::mnist_3c().spec, 42).unwrap();
-        let cfg = TrainConfig { epochs, lr: 1.5, lr_decay: 0.9, seed: 42 ^ 0x7EA1, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs,
+            lr: 1.5,
+            lr_decay: 0.9,
+            seed: 42 ^ 0x7EA1,
+            ..TrainConfig::default()
+        };
         train(&mut base, &train_set, &cfg).unwrap();
         let params = base.export_params();
         for delta in [0.5f32, 0.6, 0.7, 0.8] {

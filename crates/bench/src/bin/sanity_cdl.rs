@@ -10,16 +10,30 @@ use cdl_nn::network::Network;
 use cdl_nn::trainer::{train, TrainConfig};
 
 fn main() {
-    let n_train: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8000);
-    let epochs: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(6);
-    let delta: f32 = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(0.55);
+    let n_train: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8000);
+    let epochs: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+    let delta: f32 = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.55);
 
     let gen = SyntheticMnist::default();
     let (train_set, test_set) = gen.generate_split(n_train, 2000, 42);
     for arch in [arch::mnist_2c(), arch::mnist_3c()] {
         let t0 = std::time::Instant::now();
         let mut base = Network::from_spec(&arch.spec, 7).unwrap();
-        let cfg = TrainConfig { epochs, lr: 1.5, lr_decay: 0.9, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs,
+            lr: 1.5,
+            lr_decay: 0.9,
+            ..TrainConfig::default()
+        };
         let report = train(&mut base, &train_set, &cfg).unwrap();
         println!(
             "\n=== {} === baseline trained in {:?}, final train acc {:.3}",
@@ -28,12 +42,19 @@ fn main() {
             report.epochs.last().unwrap().train_accuracy
         );
         let builder = CdlBuilder::new(arch.clone(), ConfidencePolicy::sigmoid_prob(delta));
-        let trained = builder.build(base, &train_set, &BuilderConfig::default()).unwrap();
+        let trained = builder
+            .build(base, &train_set, &BuilderConfig::default())
+            .unwrap();
         for r in trained.reports() {
             println!(
                 "stage {}: feats {} head-acc {:.3} reached {} classified {} gain {:.0} admitted {}",
-                r.name, r.features, r.head_accuracy, r.reached, r.classified,
-                r.gain_ops_per_instance, r.admitted
+                r.name,
+                r.features,
+                r.head_accuracy,
+                r.reached,
+                r.classified,
+                r.gain_ops_per_instance,
+                r.admitted
             );
         }
         let ev = evaluate(trained.network(), &test_set, &EnergyModel::cmos_45nm()).unwrap();
@@ -45,7 +66,12 @@ fn main() {
         for d in &ev.digits {
             println!(
                 "  digit {}: norm-ops {:.3} ({:.2}x) acc {:.3} fc {:.3} exits {:?}",
-                d.digit, d.normalized_ops, 1.0 / d.normalized_ops, d.accuracy, d.fc_fraction, d.exit_histogram
+                d.digit,
+                d.normalized_ops,
+                1.0 / d.normalized_ops,
+                d.accuracy,
+                d.fc_fraction,
+                d.exit_histogram
             );
         }
     }

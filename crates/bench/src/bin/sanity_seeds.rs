@@ -9,10 +9,44 @@ fn main() {
     let (train_set, test_set) = SyntheticMnist::default().generate_split(2200, 450, 77);
     use cdl_nn::loss::Loss;
     let configs = [
-        ("mse e25 lr1.5", TrainConfig { epochs: 25, lr: 1.5, lr_decay: 0.95, ..TrainConfig::default() }),
-        ("mse e40 lr2.0", TrainConfig { epochs: 40, lr: 2.0, lr_decay: 0.97, ..TrainConfig::default() }),
-        ("ce  e8  lr0.1", TrainConfig { epochs: 8, lr: 0.1, lr_decay: 0.9, loss: Loss::SoftmaxCrossEntropy, ..TrainConfig::default() }),
-        ("ce  e12 lr0.05", TrainConfig { epochs: 12, lr: 0.05, lr_decay: 0.9, loss: Loss::SoftmaxCrossEntropy, ..TrainConfig::default() }),
+        (
+            "mse e25 lr1.5",
+            TrainConfig {
+                epochs: 25,
+                lr: 1.5,
+                lr_decay: 0.95,
+                ..TrainConfig::default()
+            },
+        ),
+        (
+            "mse e40 lr2.0",
+            TrainConfig {
+                epochs: 40,
+                lr: 2.0,
+                lr_decay: 0.97,
+                ..TrainConfig::default()
+            },
+        ),
+        (
+            "ce  e8  lr0.1",
+            TrainConfig {
+                epochs: 8,
+                lr: 0.1,
+                lr_decay: 0.9,
+                loss: Loss::SoftmaxCrossEntropy,
+                ..TrainConfig::default()
+            },
+        ),
+        (
+            "ce  e12 lr0.05",
+            TrainConfig {
+                epochs: 12,
+                lr: 0.05,
+                lr_decay: 0.9,
+                loss: Loss::SoftmaxCrossEntropy,
+                ..TrainConfig::default()
+            },
+        ),
     ];
     for (name, cfg) in configs {
         for seed in [3u64, 5, 7] {
@@ -20,7 +54,10 @@ fn main() {
             let t0 = std::time::Instant::now();
             train(&mut net, &train_set, &cfg).unwrap();
             let acc = evaluate(&net, &test_set).unwrap();
-            print!("{name} seed {seed}: {acc:.3} ({:.0}s)  ", t0.elapsed().as_secs_f32());
+            print!(
+                "{name} seed {seed}: {acc:.3} ({:.0}s)  ",
+                t0.elapsed().as_secs_f32()
+            );
         }
         println!();
     }

@@ -11,7 +11,12 @@ fn main() {
     let t0 = std::time::Instant::now();
     let gen = SyntheticMnist::default();
     let (train_set, test_set) = gen.generate_split(6000, 1000, 42);
-    println!("generated {} train / {} test in {:?}", train_set.len(), test_set.len(), t0.elapsed());
+    println!(
+        "generated {} train / {} test in {:?}",
+        train_set.len(),
+        test_set.len(),
+        t0.elapsed()
+    );
 
     let spec = NetworkSpec::new(
         vec![
@@ -30,7 +35,10 @@ fn main() {
     let report = train(&mut net, &train_set, &cfg).unwrap();
     println!("trained {} epochs in {:?}", cfg.epochs, t1.elapsed());
     for e in &report.epochs {
-        println!("epoch {}: loss {:.4} train-acc {:.3}", e.epoch, e.mean_loss, e.train_accuracy);
+        println!(
+            "epoch {}: loss {:.4} train-acc {:.3}",
+            e.epoch, e.mean_loss, e.train_accuracy
+        );
     }
     let acc = evaluate(&net, &test_set).unwrap();
     println!("test accuracy: {acc:.4}");

@@ -60,7 +60,10 @@ pub fn render(points: &[DeltaPoint]) -> String {
             p.fc_fraction * 100.0,
         ));
     }
-    if let Some(best) = points.iter().max_by(|a, b| a.accuracy.total_cmp(&b.accuracy)) {
+    if let Some(best) = points
+        .iter()
+        .max_by(|a, b| a.accuracy.total_cmp(&b.accuracy))
+    {
         out.push_str(&format!(
             "\naccuracy peak at δ = {:.2} ({:.2}%, normalized #OPS {:.3}); paper peaks at δ = 0.5\n",
             best.delta,

@@ -35,7 +35,8 @@ pub fn run(pair: &PreparedPair) -> Result<Fig5, BenchError> {
 
 /// Renders the per-digit normalized-OPS chart and the headline averages.
 pub fn render(fig: &Fig5) -> String {
-    let mut out = String::from("=== Fig. 5: normalized #OPS per digit (CDLN / baseline DLN) ===\n\n");
+    let mut out =
+        String::from("=== Fig. 5: normalized #OPS per digit (CDLN / baseline DLN) ===\n\n");
     for (name, report) in [("MNIST_2C", &fig.report_2c), ("MNIST_3C", &fig.report_3c)] {
         out.push_str(&format!("{name}:\n"));
         let rows: Vec<(String, f64)> = report
@@ -44,7 +45,11 @@ pub fn render(fig: &Fig5) -> String {
             .map(|d| (format!("digit {}", d.digit), d.normalized_ops))
             .collect();
         out.push_str(&bar_chart(&rows, 40));
-        let improvements: Vec<f64> = report.digits.iter().map(|d| 1.0 / d.normalized_ops).collect();
+        let improvements: Vec<f64> = report
+            .digits
+            .iter()
+            .map(|d| 1.0 / d.normalized_ops)
+            .collect();
         let best = report
             .digits
             .iter()

@@ -33,17 +33,13 @@ pub fn run(pair: &PreparedPair, cfg: &ExperimentConfig) -> Result<Vec<StagePoint
 
 /// Renders the accuracy-vs-stage-count table.
 pub fn render(points: &[StagePoint]) -> String {
-    let mut out = String::from(
-        "=== Fig. 7: accuracy vs number of output layers (8-layer net) ===\n\n",
-    );
+    let mut out =
+        String::from("=== Fig. 7: accuracy vs number of output layers (8-layer net) ===\n\n");
     out.push_str(&format!(
         "{:<16} {:>10} {:>12} {:>14}\n",
         "configuration", "accuracy", "norm. acc.", "FC miscls. share"
     ));
-    let baseline = points
-        .first()
-        .map(|p| p.baseline_accuracy)
-        .unwrap_or(0.0);
+    let baseline = points.first().map(|p| p.baseline_accuracy).unwrap_or(0.0);
     for p in points {
         let label = if p.stages == 0 {
             "baseline (FC)".to_string()

@@ -50,7 +50,13 @@ fn render_arch(arch: &CdlArchitecture) -> Result<String, BenchError> {
             .taps
             .iter()
             .find(|t| t.spec_layer == i)
-            .map(|t| format!("   <- linear classifier {} ({} features)", t.name, shape.iter().product::<usize>()))
+            .map(|t| {
+                format!(
+                    "   <- linear classifier {} ({} features)",
+                    t.name,
+                    shape.iter().product::<usize>()
+                )
+            })
             .unwrap_or_default();
         out.push_str(&format!("  layer {i}: {spec:?} -> {shape:?}{tap}\n"));
     }

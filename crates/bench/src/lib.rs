@@ -31,4 +31,4 @@
 pub mod experiments;
 pub mod pipeline;
 
-pub use pipeline::{ExperimentConfig, Prepared, PreparedPair};
+pub use pipeline::{classify_batch_parallel, ExperimentConfig, Prepared, PreparedPair};

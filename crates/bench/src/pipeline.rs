@@ -4,10 +4,11 @@
 use std::path::PathBuf;
 
 use cdl_core::arch::{self, CdlArchitecture};
+use cdl_core::batch::BatchEvaluator;
 use cdl_core::builder::{BuilderConfig, CdlBuilder, StageReport};
 use cdl_core::confidence::ConfidencePolicy;
 use cdl_core::head::LinearClassifier;
-use cdl_core::network::CdlNetwork;
+use cdl_core::network::{CdlNetwork, CdlOutput};
 use cdl_dataset::idx;
 use cdl_dataset::SyntheticMnist;
 use cdl_nn::network::Network;
@@ -124,7 +125,11 @@ impl ExperimentConfig {
             self.delta,
             self.seed,
             self.profile,
-            if self.mnist_dir.is_some() { "_mnist" } else { "" }
+            if self.mnist_dir.is_some() {
+                "_mnist"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -232,13 +237,19 @@ pub fn prepare(
         started.elapsed().as_secs_f64()
     );
     let params = base.export_params();
-    let trained = CdlBuilder::new(arch.clone(), cfg.policy()).build(base, train_set, builder_cfg)?;
+    let trained =
+        CdlBuilder::new(arch.clone(), cfg.policy()).build(base, train_set, builder_cfg)?;
     let stage_reports = trained.reports().to_vec();
     for r in &stage_reports {
         eprintln!(
             "[{}] stage {}: head-acc {:.3}, reached {}, classified {}, gain {:.0}, admitted {}",
-            arch.name, r.name, r.head_accuracy, r.reached, r.classified,
-            r.gain_ops_per_instance, r.admitted
+            arch.name,
+            r.name,
+            r.head_accuracy,
+            r.reached,
+            r.classified,
+            r.gain_ops_per_instance,
+            r.admitted
         );
     }
     let train_seconds = started.elapsed().as_secs_f64();
@@ -278,6 +289,50 @@ pub fn prepare(
     })
 }
 
+/// Batched, data-parallel early-exit inference over an image stream.
+///
+/// Splits `images` into chunks of `chunk_size` and groups the chunks into
+/// one contiguous run per rayon worker, so each worker drives a **single**
+/// [`BatchEvaluator`] across all of its chunks — the im2col/GEMM scratch is
+/// allocated once per worker, not once per chunk. Outputs come back in
+/// input order and are bit-identical to [`CdlNetwork::classify`] on the
+/// same image — this is the serving-path entry point the experiment
+/// binaries and benches share.
+///
+/// # Errors
+///
+/// Propagates layer/head evaluation errors from any chunk.
+pub fn classify_batch_parallel(
+    cdl: &CdlNetwork,
+    images: &[Tensor],
+    chunk_size: usize,
+) -> Result<Vec<CdlOutput>, BenchError> {
+    use rayon::prelude::*;
+    if images.is_empty() {
+        return Ok(Vec::new());
+    }
+    let chunks: Vec<&[Tensor]> = images.chunks(chunk_size.max(1)).collect();
+    let workers = rayon::current_num_threads().max(1);
+    let per_group = chunks.len().div_ceil(workers);
+    let groups: Vec<&[&[Tensor]]> = chunks.chunks(per_group).collect();
+    let group_results: Vec<cdl_core::Result<Vec<CdlOutput>>> = groups
+        .into_par_iter()
+        .map(|group| {
+            let mut eval = BatchEvaluator::new(cdl);
+            let mut outs = Vec::new();
+            for chunk in group {
+                outs.extend(eval.classify_batch(chunk)?);
+            }
+            Ok(outs)
+        })
+        .collect();
+    let mut out = Vec::with_capacity(images.len());
+    for r in group_results {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
 /// Prepares both paper architectures on one shared dataset (training them in
 /// parallel on first run).
 ///
@@ -287,12 +342,10 @@ pub fn prepare(
 pub fn prepare_pair(cfg: &ExperimentConfig) -> Result<PreparedPair, BenchError> {
     let (train_set, test_set) = cfg.datasets();
     let builder_cfg = BuilderConfig::default();
-    let (r2, r3) = crossbeam::thread::scope(|scope| {
-        let t2 = scope.spawn(|_| prepare(arch::mnist_2c(), cfg, &train_set, &builder_cfg));
-        let t3 = scope.spawn(|_| prepare(arch::mnist_3c(), cfg, &train_set, &builder_cfg));
-        (t2.join().expect("2c thread"), t3.join().expect("3c thread"))
-    })
-    .expect("training scope");
+    let (r2, r3) = rayon::join(
+        || prepare(arch::mnist_2c(), cfg, &train_set, &builder_cfg),
+        || prepare(arch::mnist_3c(), cfg, &train_set, &builder_cfg),
+    );
     let net_2c = r2?;
     let net_3c = r3?;
     Ok(PreparedPair {
@@ -367,5 +420,34 @@ mod tests {
         );
         std::env::remove_var("CDL_CACHE_DIR");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parallel_batch_matches_per_image() {
+        let cfg = tiny_cfg();
+        let (train_set, test_set) = cfg.datasets();
+        let arch = arch::mnist_3c();
+        let mut base = cdl_nn::network::Network::from_spec(&arch.spec, cfg.seed).unwrap();
+        cdl_nn::trainer::train(&mut base, &train_set, &cfg.train_config()).unwrap();
+        let cdl = CdlBuilder::new(arch, cfg.policy())
+            .build(
+                base,
+                &train_set,
+                &BuilderConfig {
+                    force_admit_all: true,
+                    ..BuilderConfig::default()
+                },
+            )
+            .unwrap()
+            .into_network();
+        // chunked-parallel outputs must be bit-identical to the scalar loop,
+        // independent of the chunk size
+        for chunk in [7usize, 32, 1000] {
+            let batched = classify_batch_parallel(&cdl, &test_set.images, chunk).unwrap();
+            assert_eq!(batched.len(), test_set.len());
+            for (img, out) in test_set.images.iter().zip(&batched) {
+                assert_eq!(*out, cdl.classify(img).unwrap());
+            }
+        }
     }
 }

@@ -197,7 +197,8 @@ mod tests {
     #[test]
     fn presets_validate() {
         for arch in [mnist_2c(), mnist_2c_full(), mnist_3c(), mnist_3c_full()] {
-            arch.validate().unwrap_or_else(|e| panic!("{}: {e}", arch.name));
+            arch.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", arch.name));
             assert_eq!(arch.classes().unwrap(), 10);
         }
     }

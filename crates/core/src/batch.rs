@@ -1,0 +1,275 @@
+//! Batched early-exit inference — Algorithm 2 over whole batches.
+//!
+//! [`BatchEvaluator`] is a persistent evaluator in the style of batched
+//! GPU serving systems: it owns preallocated im2col/GEMM scratch
+//! ([`cdl_nn::batch::BatchScratch`]) and pushes an entire batch through the
+//! conditional network stage by stage. After each confidence gate the
+//! still-active subset is **compacted** — images that exited stop consuming
+//! any further operations, exactly as in the per-image cascade, while the
+//! survivors keep amortising one im2col+GEMM per conv layer and one batched
+//! affine per dense layer/head.
+//!
+//! Every per-image quantity (`label`, `exit_stage`, `confidence`, `ops`,
+//! `stages_activated`, `exited_early`) is **bit-identical** to
+//! [`CdlNetwork::classify`] on the same input: the batched kernels
+//! accumulate in the same order as the per-image ones (pinned down by the
+//! `batch_equivalence` integration test and the `cdl-tensor` property
+//! tests).
+//!
+//! ```no_run
+//! use cdl_core::batch::BatchEvaluator;
+//! # fn demo(cdln: cdl_core::network::CdlNetwork, images: Vec<cdl_tensor::Tensor>)
+//! #     -> cdl_core::Result<()> {
+//! let mut eval = BatchEvaluator::new(&cdln);
+//! let outputs = eval.classify_batch(&images)?;       // one entry per image
+//! let again = eval.classify_batch(&images)?;          // reuses all scratch
+//! # let _ = (outputs, again); Ok(())
+//! # }
+//! ```
+
+use cdl_hw::OpCount;
+use cdl_nn::batch::BatchScratch;
+use cdl_tensor::Tensor;
+
+use crate::confidence::ConfidencePolicy;
+use crate::error::CdlError;
+use crate::network::{CdlNetwork, CdlOutput};
+use crate::Result;
+
+/// A persistent batched evaluator over one conditional network.
+///
+/// Create once, feed batches forever: all intermediate buffers (im2col
+/// patch matrices, GEMM outputs, head score rows) are allocated on the
+/// first batch and reused afterwards.
+#[derive(Debug)]
+pub struct BatchEvaluator<'a> {
+    net: &'a CdlNetwork,
+    scratch: BatchScratch,
+    head_scores: Vec<f32>,
+}
+
+impl<'a> BatchEvaluator<'a> {
+    /// Creates an evaluator over `net` with empty (lazily grown) scratch.
+    pub fn new(net: &'a CdlNetwork) -> Self {
+        BatchEvaluator {
+            net,
+            scratch: BatchScratch::new(),
+            head_scores: Vec::new(),
+        }
+    }
+
+    /// The network this evaluator serves.
+    pub fn network(&self) -> &CdlNetwork {
+        self.net
+    }
+
+    /// Classifies a batch with the network's configured policy.
+    ///
+    /// Returns one [`CdlOutput`] per input, in input order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer/head evaluation errors.
+    pub fn classify_batch(&mut self, inputs: &[Tensor]) -> Result<Vec<CdlOutput>> {
+        self.classify_batch_with_policy(inputs, self.net.policy())
+    }
+
+    /// Classifies a batch under an explicit policy (for δ sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer/head evaluation errors.
+    pub fn classify_batch_with_policy(
+        &mut self,
+        inputs: &[Tensor],
+        policy: ConfidencePolicy,
+    ) -> Result<Vec<CdlOutput>> {
+        let n = inputs.len();
+        let mut outputs: Vec<Option<CdlOutput>> = (0..n).map(|_| None).collect();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+
+        // the still-active subset: current activations + original indices;
+        // empty until the first stage runs — the first segment borrows the
+        // caller's inputs directly, so no upfront batch copy is made
+        let mut active: Vec<Tensor> = Vec::new();
+        let mut started = false;
+        let mut active_idx: Vec<usize> = (0..n).collect();
+        let mut prev_tap: Option<usize> = None;
+        // cumulative cost of reaching (and gating at) each stage — identical
+        // for every image that reaches it, mirroring `classify_impl`
+        let mut cum_ops = OpCount::ZERO;
+
+        for (stage_idx, stage) in self.net.stages().iter().enumerate() {
+            let src: &[Tensor] = if started { &active } else { inputs };
+            active = self.net.base().forward_batch_segment(
+                src,
+                prev_tap,
+                stage.tap_runtime,
+                &mut self.scratch,
+            )?;
+            started = true;
+            cum_ops += stage.ops_from_prev + stage.head_ops;
+
+            stage
+                .head
+                .scores_batch_into(&active, &mut self.head_scores)?;
+            let classes = stage.head.classes();
+
+            let mut keep: Vec<Tensor> = Vec::with_capacity(active.len());
+            let mut keep_idx: Vec<usize> = Vec::with_capacity(active.len());
+            for (k, features) in active.drain(..).enumerate() {
+                let row = &self.head_scores[k * classes..(k + 1) * classes];
+                let scores = Tensor::from_slice(row);
+                let decision = policy.decide(&scores)?;
+                if decision.exit {
+                    outputs[active_idx[k]] = Some(CdlOutput {
+                        label: decision.label,
+                        exit_stage: stage_idx,
+                        confidence: decision.confidence,
+                        ops: cum_ops,
+                        stages_activated: stage_idx as u64 + 1,
+                        exited_early: true,
+                    });
+                } else {
+                    keep.push(features);
+                    keep_idx.push(active_idx[k]);
+                }
+            }
+            active = keep;
+            active_idx = keep_idx;
+            if active.is_empty() {
+                return collect(outputs);
+            }
+            prev_tap = Some(stage.tap_runtime);
+        }
+
+        // survivors run the remaining baseline layers to the final output
+        let last = self.net.base().layer_count() - 1;
+        let src: &[Tensor] = if started { &active } else { inputs };
+        let finals =
+            self.net
+                .base()
+                .forward_batch_segment(src, prev_tap, last, &mut self.scratch)?;
+        cum_ops += self.net.final_ops();
+        let stage_count = self.net.stage_count();
+        for (k, out) in finals.iter().enumerate() {
+            let label = out
+                .argmax()
+                .ok_or_else(|| CdlError::BadStage("baseline produced empty output".into()))?;
+            let probs = cdl_tensor::ops::softmax(out);
+            outputs[active_idx[k]] = Some(CdlOutput {
+                label,
+                exit_stage: stage_count,
+                confidence: probs.data()[label],
+                ops: cum_ops,
+                stages_activated: stage_count as u64 + 1,
+                exited_early: false,
+            });
+        }
+        collect(outputs)
+    }
+}
+
+fn collect(outputs: Vec<Option<CdlOutput>>) -> Result<Vec<CdlOutput>> {
+    outputs
+        .into_iter()
+        .map(|o| {
+            o.ok_or_else(|| CdlError::BadStage("image left unclassified by batch pass".into()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::mnist_3c;
+    use crate::head::LinearClassifier;
+    use cdl_nn::network::Network;
+
+    fn build_untrained() -> CdlNetwork {
+        let arch = mnist_3c();
+        let base = Network::from_spec(&arch.spec, 3).unwrap();
+        let feats = arch.tap_features().unwrap();
+        let stages = arch
+            .taps
+            .iter()
+            .zip(&feats)
+            .map(|(t, &f)| {
+                (
+                    t.spec_layer,
+                    t.name.clone(),
+                    LinearClassifier::new(f, 10, 1).unwrap(),
+                )
+            })
+            .collect();
+        CdlNetwork::assemble(base, stages, ConfidencePolicy::max_prob(0.6)).unwrap()
+    }
+
+    fn batch(n: usize) -> Vec<Tensor> {
+        (0..n)
+            .map(|i| Tensor::full(&[1, 28, 28], 0.1 + 0.07 * (i as f32 % 11.0)))
+            .collect()
+    }
+
+    #[test]
+    fn matches_per_image_classify_exactly() {
+        let cdl = build_untrained();
+        let inputs = batch(24);
+        let mut eval = BatchEvaluator::new(&cdl);
+        for policy in [
+            ConfidencePolicy::max_prob(0.6),
+            ConfidencePolicy::margin(1e-6),
+            ConfidencePolicy::max_prob(0.999),
+            ConfidencePolicy::sigmoid_prob(0.5),
+        ] {
+            let batched = eval.classify_batch_with_policy(&inputs, policy).unwrap();
+            for (img, out) in inputs.iter().zip(&batched) {
+                let single = cdl.classify_with_policy(img, policy).unwrap();
+                assert_eq!(*out, single, "policy {policy}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let cdl = build_untrained();
+        let mut eval = BatchEvaluator::new(&cdl);
+        assert!(eval.classify_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn single_image_batch_matches() {
+        let cdl = build_untrained();
+        let x = Tensor::full(&[1, 28, 28], 0.4);
+        let mut eval = BatchEvaluator::new(&cdl);
+        let out = eval.classify_batch(std::slice::from_ref(&x)).unwrap();
+        assert_eq!(out[0], cdl.classify(&x).unwrap());
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable() {
+        let cdl = build_untrained();
+        let inputs = batch(9);
+        let mut eval = BatchEvaluator::new(&cdl);
+        let first = eval.classify_batch(&inputs).unwrap();
+        let second = eval.classify_batch(&inputs).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn no_stage_network_runs_to_final() {
+        let arch = mnist_3c();
+        let base = Network::from_spec(&arch.spec, 3).unwrap();
+        let cdl = CdlNetwork::assemble(base, vec![], ConfidencePolicy::max_prob(0.5)).unwrap();
+        let inputs = batch(5);
+        let mut eval = BatchEvaluator::new(&cdl);
+        let outs = eval.classify_batch(&inputs).unwrap();
+        for (img, out) in inputs.iter().zip(&outs) {
+            assert_eq!(*out, cdl.classify(img).unwrap());
+            assert_eq!(out.exit_stage, 0);
+            assert!(!out.exited_early);
+        }
+    }
+}

@@ -159,8 +159,13 @@ impl CdlBuilder {
         let gamma_base: f64 = per_layer.iter().map(|o| o.compute_ops() as f64).sum();
         let mut tap_cum_ops = Vec::with_capacity(self.arch.taps.len());
         for tap in &self.arch.taps {
-            let rt = base.runtime_index_of(tap.spec_layer).map_err(CdlError::Nn)?;
-            let cum: f64 = per_layer[..=rt].iter().map(|o| o.compute_ops() as f64).sum();
+            let rt = base
+                .runtime_index_of(tap.spec_layer)
+                .map_err(CdlError::Nn)?;
+            let cum: f64 = per_layer[..=rt]
+                .iter()
+                .map(|o| o.compute_ops() as f64)
+                .sum();
             tap_cum_ops.push(cum);
         }
 
@@ -173,7 +178,11 @@ impl CdlBuilder {
             // cascade: train on instances reaching this stage; otherwise on
             // everything. Gains are always measured on the cascade flow.
             let all_idx: Vec<usize> = (0..train.len()).collect();
-            let train_on: &[usize] = if cfg.cascade_training { &active } else { &all_idx };
+            let train_on: &[usize] = if cfg.cascade_training {
+                &active
+            } else {
+                &all_idx
+            };
             let eval_idx: &[usize] = &active;
 
             let mut head = LinearClassifier::new(
@@ -402,7 +411,11 @@ mod tests {
         // a first stage classifying a meaningful share of a learnable set
         // must show positive gain (it skips most of the network's ops)
         if r0.classified * 3 > r0.reached {
-            assert!(r0.gain_ops_per_instance > 0.0, "gain {}", r0.gain_ops_per_instance);
+            assert!(
+                r0.gain_ops_per_instance > 0.0,
+                "gain {}",
+                r0.gain_ops_per_instance
+            );
             assert!(r0.admitted);
         }
     }

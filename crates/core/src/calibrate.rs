@@ -179,8 +179,7 @@ mod tests {
     fn fixture() -> &'static (CdlNetwork, LabelledSet) {
         static FIX: OnceLock<(CdlNetwork, LabelledSet)> = OnceLock::new();
         FIX.get_or_init(|| {
-            let (train_set, test_set) =
-                SyntheticMnist::default().generate_split(2200, 400, 55);
+            let (train_set, test_set) = SyntheticMnist::default().generate_split(2200, 400, 55);
             let arch = mnist_3c();
             let mut base = Network::from_spec(&arch.spec, 5).unwrap();
             train(
@@ -259,8 +258,7 @@ mod tests {
         let (cdl, test) = fixture();
         let oracle = oracle_bound(cdl, test).unwrap();
         // the oracle's accuracy upper-bounds the real policy's
-        let report =
-            crate::stats::evaluate(cdl, test, &cdl_hw::EnergyModel::cmos_45nm()).unwrap();
+        let report = crate::stats::evaluate(cdl, test, &cdl_hw::EnergyModel::cmos_45nm()).unwrap();
         assert!(
             oracle.accuracy >= report.accuracy - 1e-12,
             "oracle {} vs policy {}",

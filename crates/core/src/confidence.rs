@@ -300,7 +300,9 @@ mod tests {
 
     #[test]
     fn empty_scores_rejected() {
-        assert!(ConfidencePolicy::max_prob(0.5).decide(&Tensor::default()).is_err());
+        assert!(ConfidencePolicy::max_prob(0.5)
+            .decide(&Tensor::default())
+            .is_err());
     }
 
     #[test]

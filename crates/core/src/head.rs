@@ -103,6 +103,34 @@ impl LinearClassifier {
         Ok(y)
     }
 
+    /// Raw affine scores for a whole batch of feature tensors, written into
+    /// a preallocated buffer (`out` becomes `[batch, classes]` row-major).
+    ///
+    /// Bit-identical to calling [`LinearClassifier::scores`] per element —
+    /// the batched affine kernel accumulates in the same order — while
+    /// performing no allocation beyond growing `out` on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdlError::BadStage`] on any fan-in mismatch.
+    pub fn scores_batch_into(&self, features: &[Tensor], out: &mut Vec<f32>) -> Result<()> {
+        for f in features {
+            if f.len() != self.features() {
+                return Err(CdlError::BadStage(format!(
+                    "head expects {} features, got {}",
+                    self.features(),
+                    f.len()
+                )));
+            }
+        }
+        // row-major tensors: the raw buffer is the flattened feature vector
+        let rows: Vec<&[f32]> = features.iter().map(Tensor::data).collect();
+        // grow-only resize — every element is overwritten by the affine pass
+        out.resize(features.len() * self.classes(), 0.0);
+        ops::affine_rows_into(&rows, &self.weight, self.bias.data(), out)?;
+        Ok(())
+    }
+
     /// Sigmoid outputs (the paper's output-neuron activations).
     ///
     /// # Errors
@@ -228,7 +256,13 @@ mod tests {
     use rand::RngExt;
 
     /// Gaussian blobs: class c centred at unit vector e_c * 2.
-    fn blobs(n: usize, classes: usize, dim: usize, spread: f32, seed: u64) -> (Vec<Tensor>, Vec<usize>) {
+    fn blobs(
+        n: usize,
+        classes: usize,
+        dim: usize,
+        spread: f32,
+        seed: u64,
+    ) -> (Vec<Tensor>, Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut xs = Vec::new();
         let mut ys = Vec::new();
@@ -272,11 +306,25 @@ mod tests {
         let (xs, ys) = blobs(200, 3, 6, 0.5, 9);
         let mut h1 = LinearClassifier::new(6, 3, 5).unwrap();
         let short = h1
-            .train_lms(&xs, &ys, &LmsConfig { epochs: 1, ..Default::default() })
+            .train_lms(
+                &xs,
+                &ys,
+                &LmsConfig {
+                    epochs: 1,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         let mut h2 = LinearClassifier::new(6, 3, 5).unwrap();
         let long = h2
-            .train_lms(&xs, &ys, &LmsConfig { epochs: 10, ..Default::default() })
+            .train_lms(
+                &xs,
+                &ys,
+                &LmsConfig {
+                    epochs: 10,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         assert!(long < short, "mse should fall: {short} -> {long}");
     }

@@ -57,6 +57,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod arch;
+pub mod batch;
 pub mod builder;
 pub mod calibrate;
 pub mod confidence;
@@ -68,6 +69,7 @@ pub mod stats;
 pub mod sweep;
 
 pub use arch::CdlArchitecture;
+pub use batch::BatchEvaluator;
 pub use builder::{BuilderConfig, CdlBuilder, TrainedCdl};
 pub use confidence::{ConfidencePolicy, Decision};
 pub use error::CdlError;

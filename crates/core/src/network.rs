@@ -170,6 +170,13 @@ impl CdlNetwork {
         self.baseline_ops
     }
 
+    /// Ops from the last tap (exclusive) through the final layer — the cost
+    /// an input pays after passing every gate (used by the batched
+    /// evaluator's op accounting).
+    pub fn final_ops(&self) -> OpCount {
+        self.final_ops
+    }
+
     /// Worst-case CDLN ops (all stages evaluated, no exit): baseline plus
     /// every head.
     pub fn worst_case_ops(&self) -> OpCount {
@@ -398,7 +405,11 @@ mod tests {
         let arch = mnist_3c();
         let base = NnNetwork::from_spec(&arch.spec, 3).unwrap();
         // wrong fan-in head
-        let bad = vec![(1usize, "O1".to_string(), LinearClassifier::new(99, 10, 1).unwrap())];
+        let bad = vec![(
+            1usize,
+            "O1".to_string(),
+            LinearClassifier::new(99, 10, 1).unwrap(),
+        )];
         assert!(matches!(
             CdlNetwork::assemble(base, bad, ConfidencePolicy::max_prob(0.5)),
             Err(CdlError::BadStage(_))
@@ -406,8 +417,16 @@ mod tests {
         // unordered taps
         let base = NnNetwork::from_spec(&arch.spec, 3).unwrap();
         let bad = vec![
-            (3usize, "O2".to_string(), LinearClassifier::new(150, 10, 1).unwrap()),
-            (1usize, "O1".to_string(), LinearClassifier::new(507, 10, 1).unwrap()),
+            (
+                3usize,
+                "O2".to_string(),
+                LinearClassifier::new(150, 10, 1).unwrap(),
+            ),
+            (
+                1usize,
+                "O1".to_string(),
+                LinearClassifier::new(507, 10, 1).unwrap(),
+            ),
         ];
         assert!(CdlNetwork::assemble(base, bad, ConfidencePolicy::max_prob(0.5)).is_err());
         // invalid policy

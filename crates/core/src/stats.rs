@@ -93,8 +93,16 @@ impl EvalReport {
     pub fn digits_by_energy_benefit(&self) -> Vec<usize> {
         let mut order: Vec<usize> = self.digits.iter().map(|d| d.digit).collect();
         order.sort_by(|&a, &b| {
-            let ea = self.digits.iter().find(|d| d.digit == a).map_or(1.0, |d| d.normalized_energy);
-            let eb = self.digits.iter().find(|d| d.digit == b).map_or(1.0, |d| d.normalized_energy);
+            let ea = self
+                .digits
+                .iter()
+                .find(|d| d.digit == a)
+                .map_or(1.0, |d| d.normalized_energy);
+            let eb = self
+                .digits
+                .iter()
+                .find(|d| d.digit == b)
+                .map_or(1.0, |d| d.normalized_energy);
             ea.partial_cmp(&eb).unwrap_or(std::cmp::Ordering::Equal)
         });
         order

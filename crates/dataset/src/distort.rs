@@ -263,7 +263,10 @@ mod tests {
             easy_mag += e.translate.0.abs() + e.translate.1.abs() + e.wobble_sigma;
             hard_mag += h.translate.0.abs() + h.translate.1.abs() + h.wobble_sigma;
         }
-        assert!(hard_mag > easy_mag * 2.0, "easy {easy_mag} vs hard {hard_mag}");
+        assert!(
+            hard_mag > easy_mag * 2.0,
+            "easy {easy_mag} vs hard {hard_mag}"
+        );
     }
 
     #[test]
@@ -292,7 +295,12 @@ mod tests {
             occlude: false,
         };
         let warped = warp_skeleton(&sk, &dist, &mut rng());
-        for (a, b) in warped.strokes.iter().flatten().zip(sk.strokes.iter().flatten()) {
+        for (a, b) in warped
+            .strokes
+            .iter()
+            .flatten()
+            .zip(sk.strokes.iter().flatten())
+        {
             assert!((a.x - b.x).abs() < 1e-6);
             assert!((a.y - b.y).abs() < 1e-6);
         }

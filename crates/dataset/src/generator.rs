@@ -110,7 +110,12 @@ impl SyntheticMnist {
     }
 
     /// Generates a sample of a specific digit at a fixed difficulty.
-    pub fn sample_with_difficulty(&self, label: usize, difficulty: f32, rng: &mut StdRng) -> Sample {
+    pub fn sample_with_difficulty(
+        &self,
+        label: usize,
+        difficulty: f32,
+        rng: &mut StdRng,
+    ) -> Sample {
         let skeleton = digit_skeleton(label as u8);
         let distortion = sample_distortion(&self.config.distort, difficulty, rng);
         let mut warped = warp_skeleton(&skeleton, &distortion, rng);
@@ -137,14 +142,28 @@ impl SyntheticMnist {
     }
 
     /// Generates `n` samples with difficulty provenance.
+    ///
+    /// Sample `i` draws from its own seeded stream, so generation is
+    /// embarrassingly parallel: indices fan out across worker threads and
+    /// the result is identical to the sequential order regardless of the
+    /// worker count.
     pub fn generate_samples(&self, n: usize, seed: u64) -> Vec<Sample> {
-        (0..n as u64).map(|i| self.sample(seed, i)).collect()
+        use rayon::prelude::*;
+        (0..n as u64)
+            .into_par_iter()
+            .map(|i| self.sample(seed, i))
+            .collect()
     }
 
     /// Generates a train/test split in the spirit of MNIST's 60k/10k.
     ///
     /// The two sets use disjoint sample streams.
-    pub fn generate_split(&self, train_n: usize, test_n: usize, seed: u64) -> (LabelledSet, LabelledSet) {
+    pub fn generate_split(
+        &self,
+        train_n: usize,
+        test_n: usize,
+        seed: u64,
+    ) -> (LabelledSet, LabelledSet) {
         (
             self.generate(train_n, seed),
             self.generate(test_n, seed.wrapping_add(0x9E3779B97F4A7C15)),
@@ -242,7 +261,9 @@ mod tests {
             for i in 0..30u64 {
                 let mut rng = StdRng::seed_from_u64(1000 + i);
                 let s = gen.sample_with_difficulty(3, difficulty, &mut rng);
-                total += cdl_tensor::ops::sub(&s.image, &canonical).unwrap().norm_sq();
+                total += cdl_tensor::ops::sub(&s.image, &canonical)
+                    .unwrap()
+                    .norm_sq();
             }
             total
         };

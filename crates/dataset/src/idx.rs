@@ -46,7 +46,9 @@ pub enum IdxError {
 impl fmt::Display for IdxError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            IdxError::Truncated { context } => write!(f, "truncated IDX data while reading {context}"),
+            IdxError::Truncated { context } => {
+                write!(f, "truncated IDX data while reading {context}")
+            }
             IdxError::BadMagic { found, expected } => {
                 write!(f, "bad IDX magic {found:#010x}, expected {expected:#010x}")
             }
@@ -81,18 +83,32 @@ impl From<std::io::Error> for IdxError {
 /// Returns [`IdxError`] on malformed input.
 pub fn parse_images(mut data: &[u8]) -> Result<Vec<Tensor>, IdxError> {
     if data.remaining() < 16 {
-        return Err(IdxError::Truncated { context: "image header" });
+        return Err(IdxError::Truncated {
+            context: "image header",
+        });
     }
     let magic = data.get_u32();
     if magic != MAGIC_IMAGES {
-        return Err(IdxError::BadMagic { found: magic, expected: MAGIC_IMAGES });
+        return Err(IdxError::BadMagic {
+            found: magic,
+            expected: MAGIC_IMAGES,
+        });
     }
     let count = data.get_u32() as usize;
     let rows = data.get_u32() as usize;
     let cols = data.get_u32() as usize;
     let pixels = rows * cols;
-    if data.remaining() < count * pixels {
-        return Err(IdxError::Truncated { context: "image pixels" });
+    // checked: count/rows/cols come from the (possibly corrupt) header — an
+    // overflowing product would bypass the truncation guard, and zero-pixel
+    // "images" with a huge count would pass it and provoke a giant
+    // allocation below
+    let total = count.checked_mul(pixels).ok_or(IdxError::Truncated {
+        context: "image header",
+    })?;
+    if data.remaining() < total || (pixels == 0 && count > 0) {
+        return Err(IdxError::Truncated {
+            context: "image pixels",
+        });
     }
     let mut images = Vec::with_capacity(count);
     for _ in 0..count {
@@ -112,15 +128,22 @@ pub fn parse_images(mut data: &[u8]) -> Result<Vec<Tensor>, IdxError> {
 /// Returns [`IdxError`] on malformed input.
 pub fn parse_labels(mut data: &[u8]) -> Result<Vec<usize>, IdxError> {
     if data.remaining() < 8 {
-        return Err(IdxError::Truncated { context: "label header" });
+        return Err(IdxError::Truncated {
+            context: "label header",
+        });
     }
     let magic = data.get_u32();
     if magic != MAGIC_LABELS {
-        return Err(IdxError::BadMagic { found: magic, expected: MAGIC_LABELS });
+        return Err(IdxError::BadMagic {
+            found: magic,
+            expected: MAGIC_LABELS,
+        });
     }
     let count = data.get_u32() as usize;
     if data.remaining() < count {
-        return Err(IdxError::Truncated { context: "label bytes" });
+        return Err(IdxError::Truncated {
+            context: "label bytes",
+        });
     }
     Ok((0..count).map(|_| data.get_u8() as usize).collect())
 }
@@ -242,7 +265,10 @@ mod tests {
             Err(IdxError::BadMagic { .. })
         ));
         let img_bytes = write_images(&demo_images());
-        assert!(matches!(parse_labels(&img_bytes), Err(IdxError::BadMagic { .. })));
+        assert!(matches!(
+            parse_labels(&img_bytes),
+            Err(IdxError::BadMagic { .. })
+        ));
     }
 
     #[test]
@@ -253,7 +279,37 @@ mod tests {
             Err(IdxError::Truncated { .. })
         ));
         assert!(matches!(parse_images(&[]), Err(IdxError::Truncated { .. })));
-        assert!(matches!(parse_labels(&[0, 0]), Err(IdxError::Truncated { .. })));
+        assert!(matches!(
+            parse_labels(&[0, 0]),
+            Err(IdxError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_overflowing_header() {
+        // count * rows * cols wraps usize if multiplied unchecked; the
+        // parser must answer with an error, not a panic or huge allocation
+        let mut bytes = Vec::new();
+        bytes.put_u32(MAGIC_IMAGES);
+        bytes.put_u32(u32::MAX); // count
+        bytes.put_u32(u32::MAX); // rows
+        bytes.put_u32(u32::MAX); // cols
+        bytes.extend_from_slice(&[0u8; 64]);
+        assert!(matches!(
+            parse_images(&bytes),
+            Err(IdxError::Truncated { .. })
+        ));
+        // zero-pixel images with a huge count must not pass the size guard
+        // (count * 0 == 0 fits any buffer) and provoke a giant allocation
+        let mut zero_pixels = Vec::new();
+        zero_pixels.put_u32(MAGIC_IMAGES);
+        zero_pixels.put_u32(u32::MAX); // count
+        zero_pixels.put_u32(0); // rows
+        zero_pixels.put_u32(0); // cols
+        assert!(matches!(
+            parse_images(&zero_pixels),
+            Err(IdxError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -273,7 +329,11 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let imgs = demo_images();
         std::fs::write(dir.join("train-images-idx3-ubyte"), write_images(&imgs)).unwrap();
-        std::fs::write(dir.join("train-labels-idx1-ubyte"), write_labels(&[1, 2, 3])).unwrap();
+        std::fs::write(
+            dir.join("train-labels-idx1-ubyte"),
+            write_labels(&[1, 2, 3]),
+        )
+        .unwrap();
         std::fs::write(dir.join("t10k-images-idx3-ubyte"), write_images(&imgs[..1])).unwrap();
         std::fs::write(dir.join("t10k-labels-idx1-ubyte"), write_labels(&[7])).unwrap();
         assert!(mnist_dir_present(&dir));

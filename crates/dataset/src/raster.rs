@@ -142,7 +142,14 @@ mod tests {
         let sk = Skeleton {
             strokes: vec![vec![Point::new(0.1, 0.5), Point::new(0.9, 0.5)]],
         };
-        let img = rasterize(&sk, &RasterConfig { size: 20, thickness: 0.8, antialias: 0.4 });
+        let img = rasterize(
+            &sk,
+            &RasterConfig {
+                size: 20,
+                thickness: 0.8,
+                antialias: 0.4,
+            },
+        );
         // centre row (y=10) should have substantial ink, far rows none
         let row = |y: usize| -> f32 { (0..20).map(|x| img.get(&[0, y, x]).unwrap()).sum() };
         assert!(row(10) > 5.0);
@@ -153,8 +160,20 @@ mod tests {
     #[test]
     fn thicker_strokes_ink_more() {
         let sk = digit_skeleton(0);
-        let thin = rasterize(&sk, &RasterConfig { thickness: 0.7, ..Default::default() });
-        let thick = rasterize(&sk, &RasterConfig { thickness: 1.8, ..Default::default() });
+        let thin = rasterize(
+            &sk,
+            &RasterConfig {
+                thickness: 0.7,
+                ..Default::default()
+            },
+        );
+        let thick = rasterize(
+            &sk,
+            &RasterConfig {
+                thickness: 1.8,
+                ..Default::default()
+            },
+        );
         assert!(thick.sum() > thin.sum() * 1.3);
     }
 

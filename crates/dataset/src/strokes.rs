@@ -31,10 +31,7 @@ pub struct Skeleton {
 impl Skeleton {
     /// Total number of polyline segments.
     pub fn segment_count(&self) -> usize {
-        self.strokes
-            .iter()
-            .map(|s| s.len().saturating_sub(1))
-            .sum()
+        self.strokes.iter().map(|s| s.len().saturating_sub(1)).sum()
     }
 
     /// Total ink length (sum of segment lengths).
@@ -91,8 +88,14 @@ pub fn cubic_bezier(p0: Point, p1: Point, p2: Point, p3: Point, n: usize) -> Vec
             let t = i as f32 / n as f32;
             let u = 1.0 - t;
             Point::new(
-                u * u * u * p0.x + 3.0 * u * u * t * p1.x + 3.0 * u * t * t * p2.x + t * t * t * p3.x,
-                u * u * u * p0.y + 3.0 * u * u * t * p1.y + 3.0 * u * t * t * p2.y + t * t * t * p3.y,
+                u * u * u * p0.x
+                    + 3.0 * u * u * t * p1.x
+                    + 3.0 * u * t * t * p2.x
+                    + t * t * t * p3.x,
+                u * u * u * p0.y
+                    + 3.0 * u * u * t * p1.y
+                    + 3.0 * u * t * t * p2.y
+                    + t * t * t * p3.y,
             )
         })
         .collect()
@@ -138,7 +141,15 @@ pub fn digit_skeleton(digit: u8) -> Skeleton {
         ],
         2 => {
             // top hook, diagonal, base
-            let mut top = arc(0.5, 0.32, 0.24, 0.20, 1.05 * std::f32::consts::PI, 2.0 * std::f32::consts::PI, CURVE_SAMPLES);
+            let mut top = arc(
+                0.5,
+                0.32,
+                0.24,
+                0.20,
+                1.05 * std::f32::consts::PI,
+                2.0 * std::f32::consts::PI,
+                CURVE_SAMPLES,
+            );
             top.extend(quad_bezier(
                 p(0.74, 0.32),
                 p(0.70, 0.55),
@@ -150,9 +161,24 @@ pub fn digit_skeleton(digit: u8) -> Skeleton {
         }
         3 => {
             let mut s = quad_bezier(p(0.28, 0.18), p(0.62, 0.02), p(0.68, 0.28), CURVE_SAMPLES);
-            s.extend(quad_bezier(p(0.68, 0.28), p(0.66, 0.46), p(0.44, 0.50), CURVE_SAMPLES));
-            s.extend(quad_bezier(p(0.44, 0.50), p(0.76, 0.52), p(0.70, 0.76), CURVE_SAMPLES));
-            s.extend(quad_bezier(p(0.70, 0.76), p(0.58, 0.96), p(0.26, 0.80), CURVE_SAMPLES));
+            s.extend(quad_bezier(
+                p(0.68, 0.28),
+                p(0.66, 0.46),
+                p(0.44, 0.50),
+                CURVE_SAMPLES,
+            ));
+            s.extend(quad_bezier(
+                p(0.44, 0.50),
+                p(0.76, 0.52),
+                p(0.70, 0.76),
+                CURVE_SAMPLES,
+            ));
+            s.extend(quad_bezier(
+                p(0.70, 0.76),
+                p(0.58, 0.96),
+                p(0.26, 0.80),
+                CURVE_SAMPLES,
+            ));
             vec![s]
         }
         4 => vec![
@@ -161,9 +187,24 @@ pub fn digit_skeleton(digit: u8) -> Skeleton {
         ],
         5 => {
             let mut s = vec![p(0.72, 0.14), p(0.32, 0.14), p(0.29, 0.46)];
-            s.extend(quad_bezier(p(0.29, 0.46), p(0.62, 0.36), p(0.71, 0.62), CURVE_SAMPLES));
-            s.extend(quad_bezier(p(0.71, 0.62), p(0.70, 0.88), p(0.40, 0.88), CURVE_SAMPLES));
-            s.extend(quad_bezier(p(0.40, 0.88), p(0.28, 0.88), p(0.25, 0.78), CURVE_SAMPLES / 2));
+            s.extend(quad_bezier(
+                p(0.29, 0.46),
+                p(0.62, 0.36),
+                p(0.71, 0.62),
+                CURVE_SAMPLES,
+            ));
+            s.extend(quad_bezier(
+                p(0.71, 0.62),
+                p(0.70, 0.88),
+                p(0.40, 0.88),
+                CURVE_SAMPLES,
+            ));
+            s.extend(quad_bezier(
+                p(0.40, 0.88),
+                p(0.28, 0.88),
+                p(0.25, 0.78),
+                CURVE_SAMPLES / 2,
+            ));
             vec![s]
         }
         6 => {
@@ -178,7 +219,12 @@ pub fn digit_skeleton(digit: u8) -> Skeleton {
         ],
         9 => {
             let mut s = ellipse(0.5, 0.34, 0.19, 0.21, 22);
-            s.extend(quad_bezier(p(0.69, 0.34), p(0.70, 0.66), p(0.56, 0.90), CURVE_SAMPLES));
+            s.extend(quad_bezier(
+                p(0.69, 0.34),
+                p(0.70, 0.66),
+                p(0.56, 0.90),
+                CURVE_SAMPLES,
+            ));
             vec![s]
         }
         _ => panic!("digit_skeleton: digit {digit} out of range 0-9"),

@@ -117,7 +117,10 @@ mod tests {
 
     #[test]
     fn cycles_round_up_to_lane_count() {
-        let acc = Accelerator { mac_lanes: 64, ..Accelerator::cmos_45nm() };
+        let acc = Accelerator {
+            mac_lanes: 64,
+            ..Accelerator::cmos_45nm()
+        };
         assert_eq!(acc.cycles(&macs(1)), 1);
         assert_eq!(acc.cycles(&macs(64)), 1);
         assert_eq!(acc.cycles(&macs(65)), 2);
@@ -142,7 +145,10 @@ mod tests {
     #[test]
     fn area_includes_sram_and_lanes() {
         let acc = Accelerator::cmos_45nm();
-        let lanes_only = Accelerator { sram_kib: 0.0, ..acc };
+        let lanes_only = Accelerator {
+            sram_kib: 0.0,
+            ..acc
+        };
         assert!(acc.area_mm2() > lanes_only.area_mm2());
         assert!((lanes_only.area_mm2() - 64.0 * 0.004).abs() < 1e-12);
     }
@@ -162,10 +168,16 @@ mod tests {
 
     #[test]
     fn single_lane_degenerate_design() {
-        let acc = Accelerator { mac_lanes: 1, ..Accelerator::cmos_45nm() };
+        let acc = Accelerator {
+            mac_lanes: 1,
+            ..Accelerator::cmos_45nm()
+        };
         assert_eq!(acc.cycles(&macs(10)), 10);
         // even mac_lanes = 0 must not panic
-        let degenerate = Accelerator { mac_lanes: 0, ..Accelerator::cmos_45nm() };
+        let degenerate = Accelerator {
+            mac_lanes: 0,
+            ..Accelerator::cmos_45nm()
+        };
         assert_eq!(degenerate.cycles(&macs(10)), 10);
     }
 

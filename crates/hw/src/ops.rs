@@ -44,7 +44,10 @@ impl OpCount {
 
     /// Count consisting only of MACs.
     pub fn from_macs(macs: u64) -> Self {
-        OpCount { macs, ..OpCount::ZERO }
+        OpCount {
+            macs,
+            ..OpCount::ZERO
+        }
     }
 
     /// Total *compute* operations — the paper's "#OPS" metric.

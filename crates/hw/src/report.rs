@@ -165,8 +165,16 @@ mod tests {
     fn render_aligns_and_shows_shares() {
         let m = EnergyModel::ideal(Default::default());
         let mut r = CostReport::new();
-        r.push("conv1", OpCount::from_macs(75), m.energy(&OpCount::from_macs(75), 0));
-        r.push("conv2", OpCount::from_macs(25), m.energy(&OpCount::from_macs(25), 0));
+        r.push(
+            "conv1",
+            OpCount::from_macs(75),
+            m.energy(&OpCount::from_macs(75), 0),
+        );
+        r.push(
+            "conv2",
+            OpCount::from_macs(25),
+            m.energy(&OpCount::from_macs(25), 0),
+        );
         let s = r.render();
         assert!(s.contains("conv1"));
         assert!(s.contains("75.0%"));

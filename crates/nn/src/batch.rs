@@ -1,0 +1,32 @@
+//! Batched inference support: shared scratch buffers and whole-batch
+//! forwards through (slices of) a [`crate::network::Network`].
+//!
+//! The pattern follows batched GPU evaluators (one persistent evaluator,
+//! preallocated buffers, whole batch per forward pass): a [`BatchScratch`]
+//! is allocated once and threaded through every
+//! [`crate::layer::Layer::forward_batch`] call, so steady-state batch
+//! inference performs no im2col/GEMM allocations. Convolutions lower the
+//! whole batch into one patch matrix and run a single GEMM; dense layers run
+//! one batched affine map. Both reproduce the per-image path **bit for
+//! bit** (see `cdl_tensor::im2col::conv2d_valid_batch` /
+//! `cdl_tensor::ops::affine_rows_into`), which the cross-crate equivalence
+//! tests pin down.
+
+use cdl_tensor::im2col::ConvScratch;
+
+/// Reusable buffers for batched forward passes.
+///
+/// One instance serves a whole network: each layer resizes the buffers it
+/// needs, and repeated batches at the same geometry never reallocate.
+#[derive(Debug, Default, Clone)]
+pub struct BatchScratch {
+    /// im2col patch matrix + GEMM output shared by all conv layers.
+    pub conv: ConvScratch,
+}
+
+impl BatchScratch {
+    /// A fresh, empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        BatchScratch::default()
+    }
+}

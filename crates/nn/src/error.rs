@@ -28,7 +28,10 @@ impl fmt::Display for NnError {
             NnError::Tensor(e) => write!(f, "tensor error: {e}"),
             NnError::BadConfig(msg) => write!(f, "bad layer configuration: {msg}"),
             NnError::NoForwardCache { layer } => {
-                write!(f, "backward called on `{layer}` without a cached forward pass")
+                write!(
+                    f,
+                    "backward called on `{layer}` without a cached forward pass"
+                )
             }
             NnError::ParamMismatch(msg) => write!(f, "parameter mismatch: {msg}"),
             NnError::BadDataset(msg) => write!(f, "bad dataset: {msg}"),

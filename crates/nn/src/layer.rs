@@ -3,6 +3,7 @@
 use cdl_hw::OpCount;
 use cdl_tensor::Tensor;
 
+use crate::batch::BatchScratch;
 use crate::Result;
 
 /// A mutable view of one parameter tensor and its accumulated gradient.
@@ -45,6 +46,22 @@ pub trait Layer: std::fmt::Debug + Send + Sync {
     ///
     /// Shape/geometry errors from the underlying tensor ops.
     fn forward(&self, x: &Tensor) -> Result<Tensor>;
+
+    /// Inference-mode forward pass over a whole batch, reusing the shared
+    /// scratch buffers.
+    ///
+    /// Must produce exactly [`Layer::forward`]'s output for every element
+    /// (the default implementation simply loops); layers with a genuinely
+    /// batched kernel (conv via one im2col+GEMM, dense via one batched
+    /// affine) override this with a bit-identical vectorised path.
+    ///
+    /// # Errors
+    ///
+    /// Shape/geometry errors from the underlying tensor ops.
+    fn forward_batch(&self, xs: &[Tensor], scratch: &mut BatchScratch) -> Result<Vec<Tensor>> {
+        let _ = scratch;
+        xs.iter().map(|x| self.forward(x)).collect()
+    }
 
     /// Training-mode forward pass; caches intermediates for `backward`.
     ///

@@ -22,7 +22,10 @@ pub struct ActivationLayer {
 impl ActivationLayer {
     /// Wraps an activation function as a layer.
     pub fn new(act: Activation) -> Self {
-        ActivationLayer { act, cache_output: None }
+        ActivationLayer {
+            act,
+            cache_output: None,
+        }
     }
 
     /// The wrapped activation.

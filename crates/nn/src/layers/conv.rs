@@ -4,6 +4,7 @@ use cdl_hw::OpCount;
 use cdl_tensor::{conv, init::Init, Tensor};
 use rand::Rng;
 
+use crate::batch::BatchScratch;
 use crate::error::NnError;
 use crate::layer::{Layer, ParamGrad};
 use crate::Result;
@@ -94,6 +95,20 @@ impl Layer for Conv2d {
         Ok(conv::conv2d_valid(x, &self.kernels, self.bias.data())?)
     }
 
+    fn forward_batch(&self, xs: &[Tensor], scratch: &mut BatchScratch) -> Result<Vec<Tensor>> {
+        // mixed-shape batches (never produced by the evaluators) fall back
+        // to the per-image path rather than erroring
+        if xs.len() < 2 || xs.iter().any(|x| x.shape() != xs[0].shape()) {
+            return xs.iter().map(|x| self.forward(x)).collect();
+        }
+        Ok(cdl_tensor::im2col::conv2d_valid_batch(
+            xs,
+            &self.kernels,
+            self.bias.data(),
+            &mut scratch.conv,
+        )?)
+    }
+
     fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
         let y = conv::conv2d_valid(x, &self.kernels, self.bias.data())?;
         self.cache_input = Some(x.clone());
@@ -161,7 +176,14 @@ impl Layer for Conv2d {
     fn op_count(&self, input: &[usize]) -> Result<OpCount> {
         let out = self.output_shape(input)?;
         let (oh, ow) = (out[1], out[2]);
-        let macs = conv::conv2d_macs(self.in_channels, input[1], input[2], self.out_channels, self.kernel, self.kernel);
+        let macs = conv::conv2d_macs(
+            self.in_channels,
+            input[1],
+            input[2],
+            self.out_channels,
+            self.kernel,
+            self.kernel,
+        );
         let out_volume = (self.out_channels * oh * ow) as u64;
         let in_volume: u64 = input.iter().product::<usize>() as u64;
         Ok(OpCount {

@@ -4,6 +4,7 @@ use cdl_hw::OpCount;
 use cdl_tensor::{init::Init, ops, Tensor};
 use rand::Rng;
 
+use crate::batch::BatchScratch;
 use crate::error::NnError;
 use crate::layer::{Layer, ParamGrad};
 use crate::Result;
@@ -88,7 +89,11 @@ impl Dense {
     }
 
     fn affine(&self, x: &Tensor) -> Result<Tensor> {
-        let flat = if x.rank() == 1 { x.clone() } else { x.flatten() };
+        let flat = if x.rank() == 1 {
+            x.clone()
+        } else {
+            x.flatten()
+        };
         let mut y = ops::matvec(&self.weight, &flat)?;
         for (o, b) in y.data_mut().iter_mut().zip(self.bias.data()) {
             *o += b;
@@ -107,10 +112,36 @@ impl Layer for Dense {
         self.affine(x)
     }
 
+    fn forward_batch(&self, xs: &[Tensor], scratch: &mut BatchScratch) -> Result<Vec<Tensor>> {
+        let _ = scratch;
+        if xs.len() < 2 {
+            return xs.iter().map(|x| self.forward(x)).collect();
+        }
+        for x in xs {
+            self.check_input(x)?;
+        }
+        let m = self.out_features;
+        let k = self.in_features;
+        xs.iter()
+            .map(|x| {
+                // tensors are row-major and contiguous, so each input's
+                // buffer is already its flattened feature vector; the affine
+                // kernel writes straight into the output tensor's storage
+                let mut data = vec![0.0f32; m];
+                ops::affine_row(x.data(), self.weight.data(), k, self.bias.data(), &mut data);
+                Ok(Tensor::from_vec(data, &[m])?)
+            })
+            .collect()
+    }
+
     fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
         self.check_input(x)?;
         let y = self.affine(x)?;
-        self.cache_input = Some(if x.rank() == 1 { x.clone() } else { x.flatten() });
+        self.cache_input = Some(if x.rank() == 1 {
+            x.clone()
+        } else {
+            x.flatten()
+        });
         Ok(y)
     }
 
@@ -208,7 +239,9 @@ mod tests {
         // overwrite weights for a deterministic check
         d.weight = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
         d.bias = Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap();
-        let y = d.forward(&Tensor::from_vec(vec![1.0, 1.0], &[2]).unwrap()).unwrap();
+        let y = d
+            .forward(&Tensor::from_vec(vec![1.0, 1.0], &[2]).unwrap())
+            .unwrap();
         assert_eq!(y.data(), &[3.5, 6.5]);
     }
 

@@ -27,7 +27,10 @@ impl MaxPool2d {
         if window == 0 {
             return Err(NnError::BadConfig("pooling window must be >= 1".into()));
         }
-        Ok(MaxPool2d { window, cache: None })
+        Ok(MaxPool2d {
+            window,
+            cache: None,
+        })
     }
 
     /// The pooling window/stride.
@@ -98,7 +101,10 @@ impl MeanPool2d {
         if window == 0 {
             return Err(NnError::BadConfig("pooling window must be >= 1".into()));
         }
-        Ok(MeanPool2d { window, cache_shape: None })
+        Ok(MeanPool2d {
+            window,
+            cache_shape: None,
+        })
     }
 
     /// The pooling window/stride.
@@ -190,11 +196,7 @@ mod tests {
     #[test]
     fn forward_backward_round_trip_max() {
         let mut p = MaxPool2d::new(2).unwrap();
-        let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
-            &[2, 2, 2],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], &[2, 2, 2]).unwrap();
         let y = p.forward_train(&x).unwrap();
         assert_eq!(y.data(), &[4.0, 8.0]);
         let gx = p.backward(&Tensor::ones(&[2, 1, 1])).unwrap();

@@ -43,6 +43,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod activation;
+pub mod batch;
 pub mod error;
 pub mod layer;
 pub mod layers;
@@ -54,6 +55,7 @@ pub mod spec;
 pub mod trainer;
 
 pub use activation::Activation;
+pub use batch::BatchScratch;
 pub use error::NnError;
 pub use layer::Layer;
 pub use loss::Loss;

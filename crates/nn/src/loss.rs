@@ -66,7 +66,9 @@ impl Loss {
         match self {
             Loss::Mse => {
                 let n = output.len() as f32;
-                Ok(ops::zip_with(output, target, move |y, t| 2.0 * (y - t) / n)?)
+                Ok(ops::zip_with(output, target, move |y, t| {
+                    2.0 * (y - t) / n
+                })?)
             }
             Loss::SoftmaxCrossEntropy => {
                 let p = ops::softmax(output);
@@ -180,7 +182,9 @@ mod tests {
         let bad = t(vec![1.0]);
         assert!(Loss::Mse.value(&y, &bad).is_err());
         assert!(Loss::Mse.gradient(&y, &bad).is_err());
-        assert!(Loss::Mse.value(&Tensor::default(), &Tensor::default()).is_err());
+        assert!(Loss::Mse
+            .value(&Tensor::default(), &Tensor::default())
+            .is_err());
     }
 
     #[test]
@@ -193,7 +197,11 @@ mod tests {
     #[test]
     fn ce_loss_is_never_negative() {
         let tgt = one_hot(0, 3).unwrap();
-        for logits in [vec![0.0, 0.0, 0.0], vec![10.0, -10.0, 0.0], vec![-5.0, 5.0, 5.0]] {
+        for logits in [
+            vec![0.0, 0.0, 0.0],
+            vec![10.0, -10.0, 0.0],
+            vec![-5.0, 5.0, 5.0],
+        ] {
             let l = Loss::SoftmaxCrossEntropy.value(&t(logits), &tgt).unwrap();
             assert!(l >= 0.0);
         }

@@ -22,7 +22,9 @@ impl ConfusionMatrix {
     /// Returns [`NnError::BadConfig`] for zero classes.
     pub fn new(classes: usize) -> Result<Self> {
         if classes == 0 {
-            return Err(NnError::BadConfig("confusion matrix needs >= 1 class".into()));
+            return Err(NnError::BadConfig(
+                "confusion matrix needs >= 1 class".into(),
+            ));
         }
         Ok(ConfusionMatrix {
             classes,

@@ -6,6 +6,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::activation::Activation;
+use crate::batch::BatchScratch;
 use crate::error::NnError;
 use crate::layer::Layer;
 use crate::layers::{ActivationLayer, Conv2d, Dense, Flatten, MaxPool2d, MeanPool2d};
@@ -179,7 +180,12 @@ impl Network {
     /// # Errors
     ///
     /// Returns [`NnError::BadConfig`] for out-of-range or inverted indices.
-    pub fn forward_between(&self, intermediate: &Tensor, from: usize, upto: usize) -> Result<Tensor> {
+    pub fn forward_between(
+        &self,
+        intermediate: &Tensor,
+        from: usize,
+        upto: usize,
+    ) -> Result<Tensor> {
         if upto >= self.layers.len() || from > upto {
             return Err(NnError::BadConfig(format!(
                 "invalid range ({from}, {upto}] for {} layers",
@@ -189,6 +195,47 @@ impl Network {
         let mut cur = intermediate.clone();
         for layer in &self.layers[from + 1..=upto] {
             cur = layer.forward(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Batched forward pass over runtime layers `(from, upto]`: `from` is
+    /// *exclusive* (`None` starts at the input), `upto` is *inclusive*.
+    ///
+    /// Every element of `xs` must be at the same point of the network (the
+    /// batched evaluators guarantee this). Results are bit-identical to
+    /// running [`Network::forward_prefix`] / [`Network::forward_between`]
+    /// per image; the win is one im2col+GEMM per conv layer and a
+    /// direct-into-output affine per dense sample, against `scratch`'s
+    /// preallocated buffers. The inputs are only borrowed — the first layer
+    /// reads them in place, so no upfront batch copy is made.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadConfig`] for out-of-range or inverted indices
+    /// and propagates layer shape errors.
+    pub fn forward_batch_segment(
+        &self,
+        xs: &[Tensor],
+        from: Option<usize>,
+        upto: usize,
+        scratch: &mut BatchScratch,
+    ) -> Result<Vec<Tensor>> {
+        if upto >= self.layers.len() || from.is_some_and(|f| f > upto) {
+            return Err(NnError::BadConfig(format!(
+                "invalid batch segment ({from:?}, {upto}] for {} layers",
+                self.layers.len()
+            )));
+        }
+        let start = from.map_or(0, |f| f + 1);
+        if start > upto {
+            // empty segment (from == upto): identity, exactly like
+            // `forward_between` with an empty layer range
+            return Ok(xs.to_vec());
+        }
+        let mut cur = self.layers[start].forward_batch(xs, scratch)?;
+        for layer in &self.layers[start + 1..=upto] {
+            cur = layer.forward_batch(&cur, scratch)?;
         }
         Ok(cur)
     }
@@ -396,7 +443,7 @@ mod tests {
         assert_eq!(outs[2].dims(), &[2, 3, 3]); // pool
         assert_eq!(outs[3].dims(), &[18]); // flatten
         assert_eq!(outs[5].dims(), &[4]); // final sigmoid
-        // last entry equals plain forward
+                                          // last entry equals plain forward
         assert_eq!(outs[5], net.forward(&Tensor::zeros(&[1, 8, 8])).unwrap());
     }
 
@@ -405,8 +452,8 @@ mod tests {
         let net = Network::from_spec(&tiny_spec(), 7).unwrap();
         let x = Tensor::full(&[1, 8, 8], 0.5);
         let outs = net.forward_all(&x).unwrap();
-        for i in 0..net.layer_count() {
-            assert_eq!(net.forward_prefix(&x, i).unwrap(), outs[i], "layer {i}");
+        for (i, out) in outs.iter().enumerate() {
+            assert_eq!(&net.forward_prefix(&x, i).unwrap(), out, "layer {i}");
         }
         assert!(net.forward_prefix(&x, 6).is_err());
     }
@@ -421,6 +468,50 @@ mod tests {
         assert_eq!(cont, outs[5]);
         assert!(net.forward_between(&outs[2], 3, 2).is_err());
         assert!(net.forward_between(&outs[2], 2, 6).is_err());
+    }
+
+    #[test]
+    fn forward_batch_segment_matches_per_image_paths() {
+        let net = Network::from_spec(&tiny_spec(), 7).unwrap();
+        let xs: Vec<Tensor> = (0..5)
+            .map(|i| Tensor::full(&[1, 8, 8], 0.1 * i as f32))
+            .collect();
+        let mut scratch = crate::batch::BatchScratch::new();
+        let last = net.layer_count() - 1;
+        // full prefix
+        let batched = net
+            .forward_batch_segment(&xs, None, last, &mut scratch)
+            .unwrap();
+        for (x, b) in xs.iter().zip(&batched) {
+            assert_eq!(&net.forward(x).unwrap(), b);
+        }
+        // mid-network continuation
+        let taps: Vec<Tensor> = xs
+            .iter()
+            .map(|x| net.forward_prefix(x, 2).unwrap())
+            .collect();
+        let cont = net
+            .forward_batch_segment(&taps, Some(2), last, &mut scratch)
+            .unwrap();
+        for (t, c) in taps.iter().zip(&cont) {
+            assert_eq!(&net.forward_between(t, 2, last).unwrap(), c);
+        }
+        // empty segment (from == upto) is identity, like forward_between
+        let idem = net
+            .forward_batch_segment(&taps, Some(2), 2, &mut scratch)
+            .unwrap();
+        assert_eq!(idem, taps);
+        let idem_last = net
+            .forward_batch_segment(&batched, Some(last), last, &mut scratch)
+            .unwrap();
+        assert_eq!(idem_last, batched);
+        // invalid ranges rejected
+        assert!(net
+            .forward_batch_segment(&xs, Some(3), 2, &mut scratch)
+            .is_err());
+        assert!(net
+            .forward_batch_segment(&xs, None, last + 1, &mut scratch)
+            .is_err());
     }
 
     #[test]
@@ -439,17 +530,13 @@ mod tests {
         let x = Tensor::full(&[1, 8, 8], 0.7);
         let target = crate::loss::one_hot(2, 4).unwrap();
         let mut opt = crate::optim::Sgd::new(0.5, 0.0, 0.0);
-        let initial = Loss::Mse
-            .value(&net.forward(&x).unwrap(), &target)
-            .unwrap();
+        let initial = Loss::Mse.value(&net.forward(&x).unwrap(), &target).unwrap();
         for _ in 0..50 {
             net.zero_grads();
             net.train_sample(&x, &target, Loss::Mse, 1.0).unwrap();
             opt.step(&mut net).unwrap();
         }
-        let trained = Loss::Mse
-            .value(&net.forward(&x).unwrap(), &target)
-            .unwrap();
+        let trained = Loss::Mse.value(&net.forward(&x).unwrap(), &target).unwrap();
         assert!(
             trained < initial * 0.5,
             "loss should halve: {initial} -> {trained}"

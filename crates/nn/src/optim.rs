@@ -101,10 +101,7 @@ mod tests {
     use cdl_tensor::Tensor;
 
     fn net() -> Network {
-        let spec = NetworkSpec::new(
-            vec![LayerSpec::dense(4, 3, Activation::Identity)],
-            &[4],
-        );
+        let spec = NetworkSpec::new(vec![LayerSpec::dense(4, 3, Activation::Identity)], &[4]);
         Network::from_spec(&spec, 17).unwrap()
     }
 

@@ -51,7 +51,12 @@ pub enum LayerSpec {
 
 impl LayerSpec {
     /// Convolution + activation shorthand.
-    pub fn conv(in_channels: usize, out_channels: usize, kernel: usize, activation: Activation) -> Self {
+    pub fn conv(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        activation: Activation,
+    ) -> Self {
         LayerSpec::Conv {
             in_channels,
             out_channels,
@@ -140,7 +145,10 @@ impl NetworkSpec {
                             "layer {i}: pooling expects [C,H,W], got {cur:?}"
                         )));
                     }
-                    if *window == 0 || !cur[1].is_multiple_of(*window) || !cur[2].is_multiple_of(*window) {
+                    if *window == 0
+                        || !cur[1].is_multiple_of(*window)
+                        || !cur[2].is_multiple_of(*window)
+                    {
                         return Err(NnError::BadConfig(format!(
                             "layer {i}: window {window} does not tile {cur:?}"
                         )));

@@ -238,7 +238,9 @@ mod tests {
         for _ in 0..n {
             let label = rng.random_range(0..2usize);
             let center = if label == 0 { -1.0 } else { 1.0 };
-            let v: Vec<f32> = (0..4).map(|_| center + rng.random_range(-0.3..0.3)).collect();
+            let v: Vec<f32> = (0..4)
+                .map(|_| center + rng.random_range(-0.3..0.3))
+                .collect();
             images.push(Tensor::from_vec(v, &[4]).unwrap());
             labels.push(label);
         }
@@ -246,10 +248,7 @@ mod tests {
     }
 
     fn toy_net(seed: u64) -> Network {
-        let spec = NetworkSpec::new(
-            vec![LayerSpec::dense(4, 2, Activation::Sigmoid)],
-            &[4],
-        );
+        let spec = NetworkSpec::new(vec![LayerSpec::dense(4, 2, Activation::Sigmoid)], &[4]);
         Network::from_spec(&spec, seed).unwrap()
     }
 

@@ -139,8 +139,8 @@ proptest! {
         let x = Tensor::from_vec(data, &[1, 8, 8]).unwrap();
         let outs = net.forward_all(&x).unwrap();
         prop_assert_eq!(outs.last().unwrap(), &net.forward(&x).unwrap());
-        for i in 0..net.layer_count() {
-            prop_assert_eq!(&net.forward_prefix(&x, i).unwrap(), &outs[i]);
+        for (i, out) in outs.iter().enumerate() {
+            prop_assert_eq!(&net.forward_prefix(&x, i).unwrap(), out);
         }
         // continuing from any split point reaches the same output
         for split in 0..net.layer_count() - 1 {

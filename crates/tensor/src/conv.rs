@@ -32,7 +32,7 @@ pub fn valid_out_size(input: usize, kernel: usize) -> Result<usize> {
     Ok(input - kernel + 1)
 }
 
-fn check_conv_operands(
+pub(crate) fn check_conv_operands(
     input: &Tensor,
     kernels: &Tensor,
 ) -> Result<(usize, usize, usize, usize, usize, usize)> {
@@ -63,6 +63,16 @@ fn check_conv_operands(
     Ok((c_in, h, w, c_out, kh, kw))
 }
 
+pub(crate) fn check_conv_bias(c_out: usize, bias: &[f32]) -> Result<()> {
+    if bias.len() != c_out {
+        return Err(TensorError::InvalidGeometry(format!(
+            "bias has {} entries for {c_out} output maps",
+            bias.len()
+        )));
+    }
+    Ok(())
+}
+
 /// Forward valid cross-correlation.
 ///
 /// `input` is `[C_in, H, W]`, `kernels` is `[C_out, C_in, kH, kW]`, `bias`
@@ -75,12 +85,7 @@ fn check_conv_operands(
 /// `C_out`.
 pub fn conv2d_valid(input: &Tensor, kernels: &Tensor, bias: &[f32]) -> Result<Tensor> {
     let (c_in, h, w, c_out, kh, kw) = check_conv_operands(input, kernels)?;
-    if bias.len() != c_out {
-        return Err(TensorError::InvalidGeometry(format!(
-            "bias has {} entries for {c_out} output maps",
-            bias.len()
-        )));
-    }
+    check_conv_bias(c_out, bias)?;
     let oh = valid_out_size(h, kh)?;
     let ow = valid_out_size(w, kw)?;
 
@@ -92,12 +97,12 @@ pub fn conv2d_valid(input: &Tensor, kernels: &Tensor, bias: &[f32]) -> Result<Te
     let k_plane = kh * kw;
     let k_filter = c_in * k_plane;
 
-    for m in 0..c_out {
+    for (m, &b) in bias.iter().enumerate() {
         let kbase = m * k_filter;
         let obase = m * oh * ow;
         for oy in 0..oh {
             for ox in 0..ow {
-                let mut acc = bias[m];
+                let mut acc = b;
                 for c in 0..c_in {
                     let xbase = c * in_plane;
                     let kcbase = kbase + c * k_plane;
@@ -176,10 +181,10 @@ pub fn conv2d_grad_kernels(
     let k_plane = kh * kw;
     let k_filter = c_in * k_plane;
 
-    for m in 0..c_out {
+    for (m, gbm) in gb.iter_mut().enumerate() {
         let obase = m * out_plane;
         // bias gradient: sum of upstream gradient over the output map
-        gb[m] = g[obase..obase + out_plane].iter().sum();
+        *gbm = g[obase..obase + out_plane].iter().sum();
         for c in 0..c_in {
             let xbase = c * in_plane;
             let kbase = m * k_filter + c * k_plane;

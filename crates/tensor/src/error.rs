@@ -70,7 +70,10 @@ impl fmt::Display for TensorError {
             }
             TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
             TensorError::ReshapeMismatch { from, to } => {
-                write!(f, "cannot reshape {from} elements into shape with {to} elements")
+                write!(
+                    f,
+                    "cannot reshape {from} elements into shape with {to} elements"
+                )
             }
             TensorError::EmptyTensor => write!(f, "operation requires a non-empty tensor"),
         }
@@ -85,11 +88,17 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = TensorError::LengthMismatch { expected: 6, actual: 5 };
+        let e = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
         assert!(e.to_string().contains('6'));
         assert!(e.to_string().contains('5'));
 
-        let e = TensorError::ShapeMismatch { left: vec![2, 3], right: vec![3, 2] };
+        let e = TensorError::ShapeMismatch {
+            left: vec![2, 3],
+            right: vec![3, 2],
+        };
         assert!(e.to_string().contains("[2, 3]"));
 
         let e = TensorError::InvalidGeometry("kernel 5x5 larger than input 3x3".into());

@@ -10,7 +10,7 @@
 //! performance ablation in `cargo bench -p cdl-bench --bench layers` and as
 //! the natural extension point for larger networks.
 
-use crate::conv::valid_out_size;
+use crate::conv::{check_conv_bias, check_conv_operands, valid_out_size};
 use crate::error::TensorError;
 use crate::tensor::Tensor;
 use crate::Result;
@@ -35,26 +35,65 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize) -> Result<Tensor> {
     let ow = valid_out_size(w, kw)?;
     let rows = c_in * kh * kw;
     let cols = oh * ow;
-    let x = input.data();
     let mut out = vec![0.0f32; rows * cols];
+    im2col_into(input, kh, kw, &mut out, cols, 0)?;
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Lowers one `[C_in, H, W]` input into a **column block** of a larger,
+/// preallocated patch matrix.
+///
+/// `out` is the row-major buffer of a `[C_in·kH·kW, total_cols]` matrix;
+/// this image's `oH·oW` patch columns are written starting at column
+/// `col_offset`. Batched evaluation lowers every image of a batch into one
+/// shared matrix (allocate once, reuse per stage) and runs a single GEMM.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] / [`TensorError::InvalidGeometry`]
+/// for malformed operands or a buffer/offset that cannot hold the block.
+pub fn im2col_into(
+    input: &Tensor,
+    kh: usize,
+    kw: usize,
+    out: &mut [f32],
+    total_cols: usize,
+    col_offset: usize,
+) -> Result<()> {
+    if input.rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            actual: input.rank(),
+        });
+    }
+    let (c_in, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    let oh = valid_out_size(h, kh)?;
+    let ow = valid_out_size(w, kw)?;
+    let rows = c_in * kh * kw;
+    let cols = oh * ow;
+    if col_offset + cols > total_cols || out.len() != rows * total_cols {
+        return Err(TensorError::InvalidGeometry(format!(
+            "im2col_into: {rows}x{cols} block at column {col_offset} does not fit a buffer of {} ({total_cols} total columns)",
+            out.len()
+        )));
+    }
+    let x = input.data();
     let in_plane = h * w;
 
     for c in 0..c_in {
         for ky in 0..kh {
             for kx in 0..kw {
                 let row = (c * kh + ky) * kw + kx;
-                let obase = row * cols;
+                let obase = row * total_cols + col_offset;
                 for oy in 0..oh {
                     let xrow = c * in_plane + (oy + ky) * w + kx;
                     let orow = obase + oy * ow;
-                    for ox in 0..ow {
-                        out[orow + ox] = x[xrow + ox];
-                    }
+                    out[orow..orow + ow].copy_from_slice(&x[xrow..xrow + ow]);
                 }
             }
         }
     }
-    Tensor::from_vec(out, &[rows, cols])
+    Ok(())
 }
 
 /// Valid cross-correlation via im2col + GEMM. Semantically identical to
@@ -64,50 +103,115 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize) -> Result<Tensor> {
 ///
 /// Same conditions as [`crate::conv::conv2d_valid`].
 pub fn conv2d_valid_im2col(input: &Tensor, kernels: &Tensor, bias: &[f32]) -> Result<Tensor> {
-    if kernels.rank() != 4 {
-        return Err(TensorError::RankMismatch {
-            expected: 4,
-            actual: kernels.rank(),
-        });
-    }
-    let (c_out, kc, kh, kw) = (
-        kernels.dims()[0],
-        kernels.dims()[1],
-        kernels.dims()[2],
-        kernels.dims()[3],
-    );
-    if input.rank() != 3 {
-        return Err(TensorError::RankMismatch {
-            expected: 3,
-            actual: input.rank(),
-        });
-    }
-    if kc != input.dims()[0] {
-        return Err(TensorError::InvalidGeometry(format!(
-            "kernel expects {kc} input channels, input has {}",
-            input.dims()[0]
-        )));
-    }
-    if bias.len() != c_out {
-        return Err(TensorError::InvalidGeometry(format!(
-            "bias has {} entries for {c_out} output maps",
-            bias.len()
-        )));
-    }
-    let oh = valid_out_size(input.dims()[1], kh)?;
-    let ow = valid_out_size(input.dims()[2], kw)?;
+    let (c_in, h, w, c_out, kh, kw) = check_conv_operands(input, kernels)?;
+    check_conv_bias(c_out, bias)?;
+    let oh = valid_out_size(h, kh)?;
+    let ow = valid_out_size(w, kw)?;
 
     let patches = im2col(input, kh, kw)?; // [kc*kh*kw, oh*ow]
-    let weights = kernels.reshape(&[c_out, kc * kh * kw])?;
+    let weights = kernels.reshape(&[c_out, c_in * kh * kw])?;
     let mut out = crate::ops::matmul(&weights, &patches)?; // [c_out, oh*ow]
     let cols = oh * ow;
-    for m in 0..c_out {
-        let b = bias[m];
+    for (m, &b) in bias.iter().enumerate() {
         for v in &mut out.data_mut()[m * cols..(m + 1) * cols] {
             *v += b;
         }
     }
     out.reshape(&[c_out, oh, ow])
+}
+
+/// Reusable buffers for [`conv2d_valid_batch`]: the shared patch matrix and
+/// GEMM output for a whole batch. Allocate once per evaluator, reuse per
+/// stage — repeated batches at the same geometry never reallocate.
+#[derive(Debug, Default, Clone)]
+pub struct ConvScratch {
+    /// The `[C_in·k², N·oH·oW]` im2col patch matrix of the current batch.
+    pub patches: Vec<f32>,
+    /// The `[C_out, N·oH·oW]` GEMM output of the current batch.
+    pub out: Vec<f32>,
+}
+
+/// Valid cross-correlation of a whole batch through one shared im2col
+/// lowering and one GEMM over preallocated scratch.
+///
+/// Every input must have the shape of `inputs[0]`. The accumulation order
+/// per output element — bias first, then taps in channel-major `(c, ky, kx)`
+/// order — is exactly [`crate::conv::conv2d_valid`]'s, so results are
+/// **bit-identical** to the per-image direct path.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::conv::conv2d_valid`], plus
+/// [`TensorError::ShapeMismatch`] when batch members disagree in shape.
+pub fn conv2d_valid_batch(
+    inputs: &[Tensor],
+    kernels: &Tensor,
+    bias: &[f32],
+    scratch: &mut ConvScratch,
+) -> Result<Vec<Tensor>> {
+    let Some(first) = inputs.first() else {
+        return Ok(Vec::new());
+    };
+    let (c_in, h, w, c_out, kh, kw) = check_conv_operands(first, kernels)?;
+    check_conv_bias(c_out, bias)?;
+    for t in inputs {
+        if t.shape() != first.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: first.dims().to_vec(),
+                right: t.dims().to_vec(),
+            });
+        }
+    }
+    let oh = valid_out_size(h, kh)?;
+    let ow = valid_out_size(w, kw)?;
+    let n = inputs.len();
+    let rows = c_in * kh * kw;
+    let cols_per = oh * ow;
+    let total_cols = n * cols_per;
+
+    // grow-only resize: every cell is overwritten below (patches by the
+    // per-image lowering, out by the bias fill), so stale contents from a
+    // previous batch/geometry never need re-zeroing
+    scratch.patches.resize(rows * total_cols, 0.0);
+    for (i, input) in inputs.iter().enumerate() {
+        im2col_into(
+            input,
+            kh,
+            kw,
+            &mut scratch.patches,
+            total_cols,
+            i * cols_per,
+        )?;
+    }
+
+    // GEMM with bias-seeded accumulators, p ascending per element — the
+    // exact addition sequence of the direct convolution.
+    scratch.out.resize(c_out * total_cols, 0.0);
+    for (m, &b) in bias.iter().enumerate() {
+        scratch.out[m * total_cols..(m + 1) * total_cols].fill(b);
+    }
+    let wd = kernels.data();
+    for m in 0..c_out {
+        let orow = &mut scratch.out[m * total_cols..(m + 1) * total_cols];
+        for p in 0..rows {
+            let av = wd[m * rows + p];
+            let brow = &scratch.patches[p * total_cols..(p + 1) * total_cols];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+
+    (0..n)
+        .map(|i| {
+            let mut data = Vec::with_capacity(c_out * cols_per);
+            for m in 0..c_out {
+                let base = m * total_cols + i * cols_per;
+                data.extend_from_slice(&scratch.out[base..base + cols_per]);
+            }
+            Tensor::from_vec(data, &[c_out, oh, ow])
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -137,9 +241,19 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::{RngExt, SeedableRng};
         let mut rng = StdRng::seed_from_u64(42);
-        for (c_in, c_out, k, size) in [(1usize, 1usize, 1usize, 4usize), (1, 6, 5, 28), (6, 12, 5, 12), (3, 9, 3, 5), (2, 4, 2, 6)] {
-            let x_data: Vec<f32> = (0..c_in * size * size).map(|_| rng.random_range(-1.0..1.0)).collect();
-            let k_data: Vec<f32> = (0..c_out * c_in * k * k).map(|_| rng.random_range(-0.5..0.5)).collect();
+        for (c_in, c_out, k, size) in [
+            (1usize, 1usize, 1usize, 4usize),
+            (1, 6, 5, 28),
+            (6, 12, 5, 12),
+            (3, 9, 3, 5),
+            (2, 4, 2, 6),
+        ] {
+            let x_data: Vec<f32> = (0..c_in * size * size)
+                .map(|_| rng.random_range(-1.0..1.0))
+                .collect();
+            let k_data: Vec<f32> = (0..c_out * c_in * k * k)
+                .map(|_| rng.random_range(-0.5..0.5))
+                .collect();
             let bias: Vec<f32> = (0..c_out).map(|_| rng.random_range(-0.2..0.2)).collect();
             let x = t(x_data, &[c_in, size, size]);
             let kernels = t(k_data, &[c_out, c_in, k, k]);
@@ -161,5 +275,93 @@ mod tests {
         assert!(conv2d_valid_im2col(&x, &k, &[0.0, 0.0]).is_err()); // bad bias
         assert!(im2col(&Tensor::ones(&[4, 4]), 2, 2).is_err()); // rank
         assert!(im2col(&x, 5, 5).is_err()); // kernel too big
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_direct() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for (n, c_in, c_out, k, size) in [
+            (1usize, 1usize, 6usize, 5usize, 28usize),
+            (4, 6, 12, 5, 12),
+            (9, 3, 4, 3, 7),
+        ] {
+            let inputs: Vec<Tensor> = (0..n)
+                .map(|_| {
+                    let d: Vec<f32> = (0..c_in * size * size)
+                        .map(|_| rng.random_range(-1.0..1.0))
+                        .collect();
+                    t(d, &[c_in, size, size])
+                })
+                .collect();
+            let k_data: Vec<f32> = (0..c_out * c_in * k * k)
+                .map(|_| rng.random_range(-0.5..0.5))
+                .collect();
+            let kernels = t(k_data, &[c_out, c_in, k, k]);
+            let bias: Vec<f32> = (0..c_out).map(|_| rng.random_range(-0.2..0.2)).collect();
+            let mut scratch = ConvScratch::default();
+            let batched = conv2d_valid_batch(&inputs, &kernels, &bias, &mut scratch).unwrap();
+            for (x, b) in inputs.iter().zip(&batched) {
+                let direct = conv2d_valid(x, &kernels, &bias).unwrap();
+                assert_eq!(direct.dims(), b.dims());
+                // bit-identical, not just close: the batched GEMM replays
+                // the direct path's exact addition sequence
+                for (dv, bv) in direct.data().iter().zip(b.data()) {
+                    assert_eq!(dv.to_bits(), bv.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scratch_reuse_across_geometries() {
+        let mut scratch = ConvScratch::default();
+        let k1 = Tensor::ones(&[2, 1, 2, 2]);
+        let a: Vec<Tensor> = (0..3).map(|i| Tensor::full(&[1, 5, 5], i as f32)).collect();
+        let first = conv2d_valid_batch(&a, &k1, &[0.1, 0.2], &mut scratch).unwrap();
+        // different geometry afterwards must be handled by the same scratch
+        let k2 = Tensor::ones(&[1, 2, 3, 3]);
+        let b: Vec<Tensor> = (0..2)
+            .map(|i| Tensor::full(&[2, 8, 8], 0.5 + i as f32))
+            .collect();
+        let second = conv2d_valid_batch(&b, &k2, &[0.0], &mut scratch).unwrap();
+        // then the original geometry again, bit-identically
+        let again = conv2d_valid_batch(&a, &k1, &[0.1, 0.2], &mut scratch).unwrap();
+        assert_eq!(first, again);
+        assert_eq!(second[0].dims(), &[1, 6, 6]);
+    }
+
+    #[test]
+    fn batch_validates_operands() {
+        let mut scratch = ConvScratch::default();
+        let k = Tensor::ones(&[1, 1, 2, 2]);
+        // empty batch is fine
+        assert!(conv2d_valid_batch(&[], &k, &[0.0], &mut scratch)
+            .unwrap()
+            .is_empty());
+        // mixed shapes rejected
+        let mixed = vec![Tensor::ones(&[1, 4, 4]), Tensor::ones(&[1, 5, 5])];
+        assert!(conv2d_valid_batch(&mixed, &k, &[0.0], &mut scratch).is_err());
+        // wrong channel count rejected
+        let xs = vec![Tensor::ones(&[2, 4, 4])];
+        assert!(conv2d_valid_batch(&xs, &k, &[0.0], &mut scratch).is_err());
+        // bad bias rejected
+        let xs = vec![Tensor::ones(&[1, 4, 4])];
+        assert!(conv2d_valid_batch(&xs, &k, &[0.0, 0.0], &mut scratch).is_err());
+    }
+
+    #[test]
+    fn im2col_into_validates_buffer() {
+        let x = Tensor::ones(&[1, 3, 3]);
+        let mut buf = vec![0.0f32; 4 * 4];
+        // block does not fit at offset 1 of a 4-column matrix
+        assert!(im2col_into(&x, 2, 2, &mut buf, 4, 1).is_err());
+        // wrong buffer size
+        let mut small = vec![0.0f32; 7];
+        assert!(im2col_into(&x, 2, 2, &mut small, 4, 0).is_err());
+        // valid at offset 0 matches im2col
+        assert!(im2col_into(&x, 2, 2, &mut buf, 4, 0).is_ok());
+        assert_eq!(buf, im2col(&x, 2, 2).unwrap().into_vec());
     }
 }

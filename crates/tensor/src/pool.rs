@@ -30,7 +30,9 @@ fn check_pool(input: &Tensor, window: usize) -> Result<(usize, usize, usize, usi
         });
     }
     if window == 0 {
-        return Err(TensorError::InvalidGeometry("zero-sized pooling window".into()));
+        return Err(TensorError::InvalidGeometry(
+            "zero-sized pooling window".into(),
+        ));
     }
     let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
     if h % window != 0 || w % window != 0 {
@@ -167,7 +169,9 @@ pub fn meanpool2d_backward(
         });
     }
     if window == 0 {
-        return Err(TensorError::InvalidGeometry("zero-sized pooling window".into()));
+        return Err(TensorError::InvalidGeometry(
+            "zero-sized pooling window".into(),
+        ));
     }
     let (c, h, w) = (input_shape[0], input_shape[1], input_shape[2]);
     if h % window != 0 || w % window != 0 {

@@ -26,7 +26,9 @@ pub struct Shape {
 impl Shape {
     /// Creates a shape from a dimension slice.
     pub fn new(dims: &[usize]) -> Self {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 
     /// The dimension list.

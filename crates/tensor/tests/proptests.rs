@@ -1,6 +1,7 @@
 //! Property-based tests for the tensor crate's core invariants.
 
-use cdl_tensor::{conv, ops, pool, Shape, Tensor};
+use cdl_tensor::im2col::{conv2d_valid_batch, ConvScratch};
+use cdl_tensor::{conv, im2col, ops, pool, Shape, Tensor};
 use proptest::prelude::*;
 
 /// Strategy: a small tensor with shape `[c, h, w]` and bounded values.
@@ -55,7 +56,7 @@ proptest! {
     fn maxpool_geq_meanpool(x in small_chw()) {
         let dims = x.dims().to_vec();
         let window = 1 + (dims[1].min(dims[2]) > 1) as usize;
-        if dims[1] % window != 0 || dims[2] % window != 0 {
+        if !dims[1].is_multiple_of(window) || !dims[2].is_multiple_of(window) {
             return Ok(()); // geometry not tileable; covered by unit tests
         }
         let mx = pool::maxpool2d(&x, window).unwrap().output;
@@ -86,7 +87,7 @@ proptest! {
     #[test]
     fn maxpool_backward_conserves_mass(x in small_chw()) {
         let dims = x.dims().to_vec();
-        if dims[1] % 2 != 0 || dims[2] % 2 != 0 {
+        if !dims[1].is_multiple_of(2) || !dims[2].is_multiple_of(2) {
             return Ok(());
         }
         let p = pool::maxpool2d(&x, 2).unwrap();
@@ -99,7 +100,7 @@ proptest! {
     #[test]
     fn meanpool_backward_conserves_mass(x in small_chw()) {
         let dims = x.dims().to_vec();
-        if dims[1] % 2 != 0 || dims[2] % 2 != 0 {
+        if !dims[1].is_multiple_of(2) || !dims[2].is_multiple_of(2) {
             return Ok(());
         }
         let p = pool::meanpool2d(&x, 2).unwrap();
@@ -115,6 +116,87 @@ proptest! {
         for dims in [[3usize, 4], [4, 3], [2, 6], [6, 2]] {
             let r = t.reshape(&dims).unwrap();
             prop_assert_eq!(r.data(), t.data());
+        }
+    }
+
+    /// The im2col+GEMM lowering agrees with direct convolution within 1e-4
+    /// across random shapes, and the batched path is bit-identical to the
+    /// direct path for every image of the batch.
+    #[test]
+    fn batched_conv_matches_direct(
+        n in 1usize..5,
+        cin in 1usize..4,
+        cout in 1usize..5,
+        k in 1usize..4,
+        extra in 0usize..5,
+        seed in 0u64..500,
+    ) {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let size = k + extra; // guarantees a valid geometry
+        let inputs: Vec<Tensor> = (0..n)
+            .map(|_| {
+                let d: Vec<f32> = (0..cin * size * size)
+                    .map(|_| rng.random_range(-2.0..2.0))
+                    .collect();
+                Tensor::from_vec(d, &[cin, size, size]).unwrap()
+            })
+            .collect();
+        let kd: Vec<f32> = (0..cout * cin * k * k).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let kernels = Tensor::from_vec(kd, &[cout, cin, k, k]).unwrap();
+        let bias: Vec<f32> = (0..cout).map(|_| rng.random_range(-0.3..0.3)).collect();
+
+        // single-image im2col+GEMM lowering: within 1e-4 of direct
+        for x in &inputs {
+            let direct = conv::conv2d_valid(x, &kernels, &bias).unwrap();
+            let lowered = im2col::conv2d_valid_im2col(x, &kernels, &bias).unwrap();
+            prop_assert_eq!(direct.dims(), lowered.dims());
+            for (a, b) in direct.data().iter().zip(lowered.data()) {
+                prop_assert!((a - b).abs() < 1e-4, "lowered mismatch: {} vs {}", a, b);
+            }
+        }
+
+        // batched scratch path: bit-identical to direct, per image
+        let mut scratch = ConvScratch::default();
+        let batched = conv2d_valid_batch(&inputs, &kernels, &bias, &mut scratch).unwrap();
+        prop_assert_eq!(batched.len(), inputs.len());
+        for (x, b) in inputs.iter().zip(&batched) {
+            let direct = conv::conv2d_valid(x, &kernels, &bias).unwrap();
+            prop_assert_eq!(direct.dims(), b.dims());
+            for (dv, bv) in direct.data().iter().zip(b.data()) {
+                prop_assert_eq!(dv.to_bits(), bv.to_bits());
+            }
+        }
+    }
+
+    /// Batched affine rows are bit-identical to matvec + bias per sample.
+    #[test]
+    fn affine_rows_matches_matvec(
+        rows in 1usize..6,
+        m in 1usize..5,
+        kdim in 1usize..8,
+        seed in 0u64..500,
+    ) {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let w_data: Vec<f32> = (0..m * kdim).map(|_| rng.random_range(-2.0..2.0)).collect();
+        let w = Tensor::from_vec(w_data, &[m, kdim]).unwrap();
+        let bias: Vec<f32> = (0..m).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let samples: Vec<Vec<f32>> = (0..rows)
+            .map(|_| (0..kdim).map(|_| rng.random_range(-2.0..2.0)).collect())
+            .collect();
+        let refs: Vec<&[f32]> = samples.iter().map(|s| s.as_slice()).collect();
+        let mut out = vec![0.0f32; rows * m];
+        ops::affine_rows_into(&refs, &w, &bias, &mut out).unwrap();
+        for (i, s) in samples.iter().enumerate() {
+            let x = Tensor::from_vec(s.clone(), &[kdim]).unwrap();
+            let mut y = ops::matvec(&w, &x).unwrap();
+            for (o, b) in y.data_mut().iter_mut().zip(&bias) {
+                *o += b;
+            }
+            for (a, b) in y.data().iter().zip(&out[i * m..(i + 1) * m]) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

@@ -30,7 +30,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     train(
         &mut baseline,
         &train_set,
-        &TrainConfig { epochs: 20, lr: 1.5, lr_decay: 0.95, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs: 20,
+            lr: 1.5,
+            lr_decay: 0.95,
+            ..TrainConfig::default()
+        },
     )?;
     let mut cdln = CdlBuilder::new(arch, ConfidencePolicy::sigmoid_prob(0.5))
         .build(baseline, &train_set, &BuilderConfig::default())?
@@ -59,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ship it: one JSON file
     let path = std::env::temp_dir().join("cdl_deployed.json");
     persist::save(&cdln, &path)?;
-    println!("saved {} bytes to {}", std::fs::metadata(&path)?.len(), path.display());
+    println!(
+        "saved {} bytes to {}",
+        std::fs::metadata(&path)?.len(),
+        path.display()
+    );
 
     // …and on the device: load + verify identical behaviour
     let loaded = persist::load(&path)?;

@@ -37,8 +37,8 @@ fn texture_dataset(n: usize, seed: u64) -> LabelledSet {
         for y in 0..SIZE {
             for x in 0..SIZE {
                 let v = match class {
-                    0 => ((x + phase) / 2 % 2) as f32,              // vertical bars
-                    1 => ((y + phase) / 2 % 2) as f32,              // horizontal bars
+                    0 => ((x + phase) / 2 % 2) as f32, // vertical bars
+                    1 => ((y + phase) / 2 % 2) as f32, // horizontal bars
                     2 => (((x + phase) / 2 + (y + phase) / 2) % 2) as f32, // checkerboard
                     _ => {
                         // centred blob
@@ -76,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let arch = CdlArchitecture {
         name: "textures_16".into(),
         spec,
-        taps: vec![TapPoint { spec_layer: 1, name: "O1".into() }],
+        taps: vec![TapPoint {
+            spec_layer: 1,
+            name: "O1".into(),
+        }],
     };
     arch.validate()?;
 
@@ -84,7 +87,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     train(
         &mut baseline,
         &train_set,
-        &TrainConfig { epochs: 10, lr: 1.2, lr_decay: 0.95, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs: 10,
+            lr: 1.2,
+            lr_decay: 0.95,
+            ..TrainConfig::default()
+        },
     )?;
 
     let trained = CdlBuilder::new(arch, ConfidencePolicy::sigmoid_prob(0.55)).build(

@@ -28,7 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     train(
         &mut baseline,
         &train_set,
-        &TrainConfig { epochs: 20, lr: 1.5, lr_decay: 0.95, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs: 20,
+            lr: 1.5,
+            lr_decay: 0.95,
+            ..TrainConfig::default()
+        },
     )?;
     let mut cdln = CdlBuilder::new(arch, ConfidencePolicy::sigmoid_prob(0.6))
         .build(baseline, &train_set, &BuilderConfig::default())?
@@ -53,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if reserve < 0.3 && !lowered {
             cdln.set_policy(ConfidencePolicy::sigmoid_prob(0.35))?;
             lowered = true;
-            println!("battery at {:.0}% → lowering δ to 0.35 (cheaper, slightly less accurate)", reserve * 100.0);
+            println!(
+                "battery at {:.0}% → lowering δ to 0.35 (cheaper, slightly less accurate)",
+                reserve * 100.0
+            );
         }
         let out = cdln.classify(frame)?;
         let cost_nj = model.total_pj(&out.ops, out.stages_activated) / 1e3;

@@ -51,7 +51,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         activations: 10,
         mem_reads: 507 * 11,
         mem_writes: 10,
-        ..OpCount::ZERO
     };
     let full: OpCount = per_layer.iter().copied().sum();
     let exit_ops = to_o1 + head;
@@ -62,17 +61,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let corners = [
         ("45nm defaults", EnergyModel::cmos_45nm()),
-        ("compute-only (no overheads)", EnergyModel::ideal(EnergyTable::cmos_45nm())),
+        (
+            "compute-only (no overheads)",
+            EnergyModel::ideal(EnergyTable::cmos_45nm()),
+        ),
         (
             "memory-expensive (SRAM x4)",
             EnergyModel {
-                table: EnergyTable { sram_read_pj: 20.0, sram_write_pj: 20.0, ..EnergyTable::cmos_45nm() },
+                table: EnergyTable {
+                    sram_read_pj: 20.0,
+                    sram_write_pj: 20.0,
+                    ..EnergyTable::cmos_45nm()
+                },
                 ..EnergyModel::cmos_45nm()
             },
         ),
         (
             "control-heavy (10 nJ/stage)",
-            EnergyModel { stage_control_pj: 10_000.0, ..EnergyModel::cmos_45nm() },
+            EnergyModel {
+                stage_control_pj: 10_000.0,
+                ..EnergyModel::cmos_45nm()
+            },
         ),
     ];
     for (name, m) in corners {

@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    the real IDX files instead, if you have them).
     let generator = SyntheticMnist::default();
     let (train_set, test_set) = generator.generate_split(3000, 600, 42);
-    println!("dataset: {} train / {} test images", train_set.len(), test_set.len());
+    println!(
+        "dataset: {} train / {} test images",
+        train_set.len(),
+        test_set.len()
+    );
 
     // 2. Baseline DLN: the paper's 8-layer Table II network.
     let arch = arch::mnist_3c();
@@ -29,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         lr_decay: 0.95,
         ..TrainConfig::default()
     };
-    println!("training the {} baseline ({} parameters)…", arch.name, baseline.param_count());
+    println!(
+        "training the {} baseline ({} parameters)…",
+        arch.name,
+        baseline.param_count()
+    );
     train(&mut baseline, &train_set, &cfg)?;
     let baseline_acc = evaluate(&baseline, &test_set)?;
     println!("baseline accuracy: {:.2}%", baseline_acc * 100.0);
@@ -37,7 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Algorithm 1: train linear classifiers at the pooling layers and
     //    admit those whose measured gain is positive.
     let policy = ConfidencePolicy::sigmoid_prob(0.5);
-    let trained = CdlBuilder::new(arch, policy).build(baseline, &train_set, &BuilderConfig::default())?;
+    let trained =
+        CdlBuilder::new(arch, policy).build(baseline, &train_set, &BuilderConfig::default())?;
     for report in trained.reports() {
         println!(
             "stage {}: {} features, classifies {}/{} training inputs, gain {:+.0} ops/input, admitted: {}",
@@ -74,7 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             "FC".to_string()
         };
-        println!("  exits at {name}: {count} ({:.1}%)", *count as f64 / n * 100.0);
+        println!(
+            "  exits at {name}: {count} ({:.1}%)",
+            *count as f64 / n * 100.0
+        );
     }
     Ok(())
 }

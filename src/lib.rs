@@ -3,18 +3,59 @@
 //! Facade crate re-exporting every sub-crate of the workspace so that
 //! examples and downstream users can depend on a single crate:
 //!
-//! * [`tensor`] — minimal f32 tensor library (conv/pool primitives),
-//! * [`nn`] — from-scratch CNN layers, losses and SGD trainer,
-//! * [`dataset`] — synthetic MNIST generator + IDX loader,
+//! * [`tensor`] — minimal f32 tensor library (conv/pool primitives, batched
+//!   im2col/GEMM entry points with reusable scratch),
+//! * [`nn`] — from-scratch CNN layers, losses and SGD trainer, plus
+//!   whole-batch forward passes ([`nn::batch`]),
+//! * [`dataset`] — synthetic MNIST generator (rayon-parallel) + IDX loader,
 //! * [`hw`] — analytical 45nm energy/area model,
 //! * [`core`] — the paper's contribution: cascaded linear classifiers with
-//!   confidence-gated early exit (Conditional Deep Learning).
+//!   confidence-gated early exit (Conditional Deep Learning), including the
+//!   batched serving path [`core::batch::BatchEvaluator`].
+//!
+//! ## Workspace layout & building
+//!
+//! The repository is a cargo workspace rooted at this crate:
+//!
+//! ```text
+//! crates/tensor    cdl-tensor   tensor primitives
+//! crates/nn        cdl-nn       layers / trainer
+//! crates/dataset   cdl-dataset  synthetic MNIST + IDX
+//! crates/hw        cdl-hw       energy model
+//! crates/core      cdl-core     the CDL mechanism (Algorithms 1 & 2)
+//! crates/bench     cdl-bench    experiment harness (fig*/table* binaries)
+//! vendor/*                      offline stand-ins for rand, serde(+derive),
+//!                               serde_json, proptest, criterion, rayon, bytes
+//! ```
+//!
+//! The build environment is fully offline: every external dependency is
+//! vendored under `vendor/` as a small, documented API-compatible subset.
+//! Do not add crates.io dependencies — extend the vendored crates instead.
+//!
+//! ```text
+//! cargo build --release            # build everything
+//! cargo test -q                    # full test suite (minutes)
+//! cargo run --release --example quickstart
+//! cargo bench -p cdl-bench --bench batch   # batched vs per-image serving
+//! cargo run --release -p cdl-bench --bin run_all   # every paper figure
+//! ```
 //!
 //! ## Quickstart
 //!
 //! See `examples/quickstart.rs` for an end-to-end train → attach heads →
-//! early-exit inference walkthrough, and `DESIGN.md` / `EXPERIMENTS.md` for
-//! the experiment index reproducing every table and figure of the paper.
+//! early-exit inference walkthrough (its compiled twin runs in
+//! `tests/quickstart_smoke.rs`), and `DESIGN.md` / `EXPERIMENTS.md` for the
+//! experiment index reproducing every table and figure of the paper.
+//!
+//! ## Batched serving
+//!
+//! High-throughput streams should go through
+//! [`core::batch::BatchEvaluator`] (or `cdl_bench::classify_batch_parallel`
+//! for rayon chunking): one persistent evaluator with preallocated
+//! im2col/GEMM scratch pushes whole batches stage by stage, compacting the
+//! still-active subset after every confidence gate. Outputs are
+//! bit-identical to per-image [`core::network::CdlNetwork::classify`]
+//! (enforced by `tests/batch_equivalence.rs`).
 
 pub use cdl_core as core;
 pub use cdl_dataset as dataset;

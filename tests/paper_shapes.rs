@@ -57,10 +57,14 @@ fn trained_base() -> Network {
 fn fig10_shape_delta_tradeoff() {
     let f = fixture();
     let mut cdl = CdlBuilder::new(arch::mnist_3c(), ConfidencePolicy::sigmoid_prob(0.5))
-        .build(trained_base(), &f.train_set, &BuilderConfig {
-            force_admit_all: true,
-            ..BuilderConfig::default()
-        })
+        .build(
+            trained_base(),
+            &f.train_set,
+            &BuilderConfig {
+                force_admit_all: true,
+                ..BuilderConfig::default()
+            },
+        )
         .unwrap()
         .into_network();
     let deltas = [0.15f32, 0.3, 0.5, 0.7, 0.9];
@@ -130,10 +134,14 @@ fn fig9_shape_stage_sweep() {
 fn fig8_shape_difficulty_ordering() {
     let f = fixture();
     let cdl = CdlBuilder::new(arch::mnist_3c(), ConfidencePolicy::sigmoid_prob(0.5))
-        .build(trained_base(), &f.train_set, &BuilderConfig {
-            force_admit_all: true,
-            ..BuilderConfig::default()
-        })
+        .build(
+            trained_base(),
+            &f.train_set,
+            &BuilderConfig {
+                force_admit_all: true,
+                ..BuilderConfig::default()
+            },
+        )
         .unwrap()
         .into_network();
     let report = cdl::core::stats::evaluate(&cdl, &f.test_set, &EnergyModel::cmos_45nm()).unwrap();
@@ -144,8 +152,7 @@ fn fig8_shape_difficulty_ordering() {
     // positive: digits that cascade deeper cost more
     let digits = &report.digits;
     let mean_fc: f64 = digits.iter().map(|d| d.fc_fraction).sum::<f64>() / digits.len() as f64;
-    let mean_e: f64 =
-        digits.iter().map(|d| d.normalized_energy).sum::<f64>() / digits.len() as f64;
+    let mean_e: f64 = digits.iter().map(|d| d.normalized_energy).sum::<f64>() / digits.len() as f64;
     let cov: f64 = digits
         .iter()
         .map(|d| (d.fc_fraction - mean_fc) * (d.normalized_energy - mean_e))
@@ -161,12 +168,9 @@ fn fig8_shape_difficulty_ordering() {
 #[test]
 fn algorithm1_gain_ordering() {
     let f = fixture();
-    let trained = CdlBuilder::new(
-        arch::mnist_3c_full(),
-        ConfidencePolicy::sigmoid_prob(0.5),
-    )
-    .build(trained_base(), &f.train_set, &BuilderConfig::default())
-    .unwrap();
+    let trained = CdlBuilder::new(arch::mnist_3c_full(), ConfidencePolicy::sigmoid_prob(0.5))
+        .build(trained_base(), &f.train_set, &BuilderConfig::default())
+        .unwrap();
     let reports = trained.reports();
     assert_eq!(reports.len(), 3);
     // stage 1 gain dominates later gains (it diverts the most traffic away

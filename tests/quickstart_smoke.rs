@@ -1,0 +1,79 @@
+//! Compiled twin of `examples/quickstart.rs`: the same train → attach heads
+//! → early-exit inference walkthrough, on a tiny synthetic split so it runs
+//! in seconds under `cargo test`. Keeps the quickstart flow (and the
+//! `cdl` facade paths it demonstrates) from bitrotting between releases.
+
+use cdl::core::arch;
+use cdl::core::builder::{BuilderConfig, CdlBuilder};
+use cdl::core::confidence::ConfidencePolicy;
+use cdl::dataset::SyntheticMnist;
+use cdl::nn::network::Network;
+use cdl::nn::trainer::{evaluate, train, TrainConfig};
+
+#[test]
+fn quickstart_flow_end_to_end() {
+    // 1. data (tiny split instead of the example's 3000/600)
+    let generator = SyntheticMnist::default();
+    // the sigmoid+MSE baseline has a long symmetry plateau: ~2k images are
+    // needed for it to break within a few epochs (1500 stays at chance)
+    let (train_set, test_set) = generator.generate_split(2200, 150, 42);
+    assert_eq!(train_set.len(), 2200);
+    assert_eq!(test_set.len(), 150);
+
+    // 2. baseline DLN (paper Table II)
+    let arch = arch::mnist_3c();
+    let mut baseline = Network::from_spec(&arch.spec, 7).expect("valid spec");
+    assert!(baseline.param_count() > 0);
+    let cfg = TrainConfig {
+        epochs: 15,
+        lr: 1.5,
+        lr_decay: 0.95,
+        ..TrainConfig::default()
+    };
+    train(&mut baseline, &train_set, &cfg).expect("baseline training");
+    let baseline_acc = evaluate(&baseline, &test_set).expect("evaluation");
+    assert!(
+        baseline_acc > 0.5,
+        "15-epoch baseline should clearly beat chance: {baseline_acc}"
+    );
+
+    // 3. Algorithm 1: attach + admit linear classifier stages
+    let policy = ConfidencePolicy::sigmoid_prob(0.5);
+    let trained = CdlBuilder::new(arch, policy)
+        .build(
+            baseline,
+            &train_set,
+            &BuilderConfig {
+                force_admit_all: true,
+                ..BuilderConfig::default()
+            },
+        )
+        .expect("Algorithm 1");
+    for report in trained.reports() {
+        assert!(report.features > 0);
+        assert!(report.reached > 0);
+    }
+    let cdln = trained.network();
+    assert!(cdln.stage_count() > 0, "force_admit_all must keep the taps");
+
+    // 4. Algorithm 2: early-exit inference over the test stream
+    let mut correct = 0usize;
+    let mut ops_sum = 0u64;
+    let mut exits = vec![0usize; cdln.stage_count() + 1];
+    for (image, &label) in test_set.images.iter().zip(&test_set.labels) {
+        let out = cdln.classify(image).expect("classification");
+        assert!(out.label < 10);
+        assert!(out.exit_stage <= cdln.stage_count());
+        exits[out.exit_stage] += 1;
+        ops_sum += out.ops.compute_ops();
+        if out.label == label {
+            correct += 1;
+        }
+    }
+    assert_eq!(exits.iter().sum::<usize>(), test_set.len());
+    // per-image ops never exceed the worst case
+    let worst = cdln.worst_case_ops().compute_ops();
+    assert!(ops_sum <= worst * test_set.len() as u64);
+    // and the stream average stays below worst case + accuracy is sane
+    assert!(correct > test_set.len() / 5);
+}

@@ -1,0 +1,86 @@
+//! Offline vendored stand-in for the `bytes` crate: the tiny [`Buf`]/
+//! [`BufMut`] subset that `cdl-dataset`'s IDX reader/writer uses.
+//!
+//! Matches upstream semantics: multi-byte integers are big-endian (the IDX
+//! wire format), reads advance the cursor, and out-of-bounds reads panic (the
+//! callers check [`Buf::remaining`] first).
+
+#![deny(missing_docs)]
+
+/// Read access to a cursor-like byte buffer.
+pub trait Buf {
+    /// Bytes left between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+
+    /// Reads one byte and advances.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer is exhausted.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a big-endian `u32` and advances.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than 4 bytes remain.
+    fn get_u32(&mut self) -> u32;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (first, rest) = self.split_first().expect("buffer exhausted");
+        let v = *first;
+        *self = rest;
+        v
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        assert!(self.len() >= 4, "buffer exhausted");
+        let (head, rest) = self.split_at(4);
+        let v = u32::from_be_bytes([head[0], head[1], head[2], head[3]]);
+        *self = rest;
+        v
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_big_endian() {
+        let mut out = Vec::new();
+        out.put_u32(0x0000_0803);
+        out.put_u8(0x2A);
+        assert_eq!(out, [0x00, 0x00, 0x08, 0x03, 0x2A]);
+        let mut cursor: &[u8] = &out;
+        assert_eq!(cursor.remaining(), 5);
+        assert_eq!(cursor.get_u32(), 0x0000_0803);
+        assert_eq!(cursor.get_u8(), 0x2A);
+        assert_eq!(cursor.remaining(), 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Implements the API surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`criterion_group!`]/[`criterion_main!`] (both plain and
+//! `name/config/targets` forms) — with a simple timing loop instead of
+//! criterion's statistical machinery: per benchmark it warms up once, runs
+//! `sample_size` timed samples, and prints min/mean/max nanoseconds per
+//! iteration. Good enough to compare implementations on one machine, which
+//! is all this repository's benches do.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, mut f: F) {
+        run_bench(&name.into(), self.sample_size, &mut f);
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        run_bench(&full, self.criterion.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (printing nothing extra; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure of a benchmark; runs the measured routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Option<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`, running it enough times for a stable reading.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warm up + estimate a per-call cost to pick an iteration count
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        // target ~10ms of work per sample, capped to keep long benches sane
+        let iters =
+            (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = Some(start.elapsed());
+        self.iters = iters;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher::default();
+        f(&mut b);
+        if let Some(elapsed) = b.elapsed {
+            per_iter.push(elapsed.as_secs_f64() * 1e9 / b.iters.max(1) as f64);
+        }
+    }
+    if per_iter.is_empty() {
+        println!("{name:<48} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "{name:<48} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a group of benchmark functions, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` executes bench binaries with --test:
+            // compile-check only, skip the timing loops.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loop_runs() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+        let mut group = c.benchmark_group("group");
+        group.bench_function("inner", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+    }
+}

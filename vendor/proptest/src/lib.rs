@@ -1,0 +1,364 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Provides the subset this workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and tuple
+//! strategies, [`collection::vec`], [`ProptestConfig::with_cases`], and the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`] macros.
+//!
+//! Unlike upstream there is no shrinking: a failing case panics with the
+//! case index, and the generator is fully deterministic (case `i` of every
+//! run draws the same values), so failures reproduce immediately.
+
+#![deny(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SampleUniform};
+use std::ops::Range;
+
+#[doc(hidden)]
+pub mod __internal {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// Deterministic per-case RNG: the same (test, case) pair always sees
+    /// the same stream.
+    pub fn case_rng(case: u64) -> StdRng {
+        use rand::SeedableRng as _;
+        StdRng::seed_from_u64(0x05EE_DCD1_C0DE_5EEDu64 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// Runner configuration (subset of upstream's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property within a test case (created by the `prop_assert*`
+/// macros; returning it fails the case with its message).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+
+    /// Alias of [`TestCaseError::fail`] matching upstream's constructor.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// from it (dependent generation).
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::RngExt;
+
+    /// Element count for [`vec`]: an exact size or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s whose elements come from `elem`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of `size` elements drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.hi > self.size.lo + 1 {
+                rng.random_range(self.size.lo..self.size.hi)
+            } else {
+                self.size.lo
+            };
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// The common imports of a proptest file.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases as u64 {
+                    let mut __rng = $crate::__internal::case_rng(__case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__e) = __result {
+                        panic!("proptest case {} failed: {}", __case, __e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case when the operands are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` == `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(*__l == *__r, $($fmt)*);
+    }};
+}
+
+/// Fails the current case when the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` != `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(*__l != *__r, $($fmt)*);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay in range.
+        #[test]
+        fn ranges_in_bounds(n in 3usize..17, f in -2.0f32..2.0) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        /// vec sizes respect both exact and ranged forms.
+        #[test]
+        fn vec_sizes(v in collection::vec(0u64..10, 2..6), w in collection::vec(0u64..10, 4usize)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert_eq!(w.len(), 4);
+        }
+
+        /// prop_map and prop_flat_map compose.
+        #[test]
+        fn combinators(x in (1usize..5).prop_flat_map(|n| collection::vec(0.0f32..1.0, n * 2)).prop_map(|v| v.len())) {
+            prop_assert!(x % 2 == 0 && (2..10).contains(&x));
+            if x == 4 {
+                return Ok(());
+            }
+            prop_assert_ne!(x, 4);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::Strategy;
+        let strat = crate::collection::vec(0u64..1000, 5usize);
+        let a: Vec<u64> = strat.generate(&mut crate::__internal::case_rng(3));
+        let b: Vec<u64> = strat.generate(&mut crate::__internal::case_rng(3));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,334 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! subset the workspace relies on: `#[derive(Serialize, Deserialize)]` on
+//! plain structs and enums (no `#[serde(...)]` attributes), driven through a
+//! simple self-describing [`Content`] tree that `serde_json` renders to and
+//! parses from JSON.
+//!
+//! The derive macros live in the sibling `serde_derive` crate and are
+//! re-exported here under the trait names, exactly like upstream serde, so
+//! `use serde::{Deserialize, Serialize};` imports both the traits and the
+//! derives.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value — the data model both derive output and
+/// `serde_json` speak.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative (or generally signed) integer.
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Content>),
+    /// Ordered map with string keys (preserves field order).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The entries of a map value, if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements of a sequence value, if this is one.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization into the [`Content`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Content`] tree.
+    fn serialize(&self) -> Content;
+}
+
+/// Deserialization from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Content`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the tree does not match `Self`'s shape.
+    fn deserialize(v: &Content) -> Result<Self, DeError>;
+}
+
+/// Looks up a struct field in a map's entries (derive-macro helper).
+///
+/// # Errors
+///
+/// Returns [`DeError`] when the field is absent.
+pub fn field<'a>(entries: &'a [(String, Content)], name: &str) -> Result<&'a Content, DeError> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError(format!("missing field `{name}`")))
+}
+
+fn type_err<T>(expected: &str, got: &Content) -> Result<T, DeError> {
+    Err(DeError(format!(
+        "expected {expected}, found {}",
+        got.kind()
+    )))
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Content) -> Result<Self, DeError> {
+                match v {
+                    Content::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range"))),
+                    Content::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range"))),
+                    Content::F64(n) if n.fract() == 0.0 && *n >= 0.0 => Ok(*n as $t),
+                    other => type_err("unsigned integer", other),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Content) -> Result<Self, DeError> {
+                match v {
+                    Content::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range"))),
+                    Content::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range"))),
+                    Content::F64(n) if n.fract() == 0.0 => Ok(*n as $t),
+                    other => type_err("integer", other),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                if (*self as f64).is_finite() {
+                    Content::F64(*self as f64)
+                } else {
+                    Content::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Content) -> Result<Self, DeError> {
+                match v {
+                    Content::F64(n) => Ok(*n as $t),
+                    Content::U64(n) => Ok(*n as $t),
+                    Content::I64(n) => Ok(*n as $t),
+                    Content::Null => Ok(<$t>::NAN),
+                    other => type_err("number", other),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Bool(b) => Ok(*b),
+            other => type_err("bool", other),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Str(s) => Ok(s.clone()),
+            other => type_err("string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for std::path::PathBuf {
+    fn serialize(&self) -> Content {
+        Content::Str(self.display().to_string())
+    }
+}
+
+impl Deserialize for std::path::PathBuf {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Str(s) => Ok(std::path::PathBuf::from(s)),
+            other => type_err("path string", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            Some(v) => v.serialize(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => type_err("sequence", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        let items = Vec::<T>::deserialize(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items).map_err(|_| DeError(format!("expected {N} elements, got {n}")))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Content) -> Result<Self, DeError> {
+                let items = v.as_seq().ok_or_else(|| DeError("expected tuple sequence".into()))?;
+                let want = [$($idx),+].len();
+                if items.len() != want {
+                    return Err(DeError(format!("expected {want}-tuple, got {} elements", items.len())));
+                }
+                Ok(($($name::deserialize(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
