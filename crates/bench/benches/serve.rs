@@ -1,0 +1,152 @@
+//! Criterion bench: streaming server throughput (`cdl_serve::Server`,
+//! dynamic batching + worker pool) vs the sequential per-image loop and the
+//! offline `BatchEvaluator`, on a 1k-request simulated stream.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cdl_core::arch;
+use cdl_core::batch::BatchEvaluator;
+use cdl_core::builder::{BuilderConfig, CdlBuilder};
+use cdl_core::confidence::ConfidencePolicy;
+use cdl_core::network::CdlNetwork;
+use cdl_dataset::SyntheticMnist;
+use cdl_nn::network::Network;
+use cdl_nn::trainer::{train, LabelledSet, TrainConfig};
+use cdl_serve::{BatchPolicy, Pending, Server, ServerConfig};
+
+fn prepare() -> (Arc<CdlNetwork>, LabelledSet) {
+    let (train_set, test_set) = SyntheticMnist::default().generate_split(1500, 1024, 23);
+    let arch = arch::mnist_3c();
+    let mut base = Network::from_spec(&arch.spec, 7).unwrap();
+    train(
+        &mut base,
+        &train_set,
+        &TrainConfig {
+            epochs: 6,
+            lr: 1.5,
+            lr_decay: 0.95,
+            ..TrainConfig::default()
+        },
+    )
+    .unwrap();
+    let cdl = CdlBuilder::new(arch, ConfidencePolicy::sigmoid_prob(0.5))
+        .build(
+            base,
+            &train_set,
+            &BuilderConfig {
+                force_admit_all: true,
+                ..BuilderConfig::default()
+            },
+        )
+        .unwrap()
+        .into_network();
+    (Arc::new(cdl), test_set)
+}
+
+/// Streams every image through a fresh server from `clients` submitter
+/// threads; returns the exit-stage checksum the other variants compute.
+fn stream_through_server(
+    net: &Arc<CdlNetwork>,
+    images: &[cdl_tensor::Tensor],
+    policy: BatchPolicy,
+    workers: usize,
+    clients: usize,
+) -> usize {
+    let server = Server::start(
+        Arc::clone(net),
+        ServerConfig {
+            policy,
+            queue_capacity: 2048,
+            workers,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let exits = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let server = &server;
+                scope.spawn(move || {
+                    let pendings: Vec<Pending> = images
+                        .iter()
+                        .skip(c)
+                        .step_by(clients)
+                        .map(|x| server.submit(x.clone()).unwrap())
+                        .collect();
+                    pendings
+                        .into_iter()
+                        .map(|p| p.wait().unwrap().exit_stage)
+                        .sum::<usize>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    server.shutdown();
+    exits
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let (cdl, test_set) = prepare();
+    let images = &test_set.images;
+    assert!(images.len() >= 1024);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(2);
+
+    let mut group = c.benchmark_group("serve_stream_1k");
+    group.sample_size(10);
+    group.bench_function("per_image_classify", |b| {
+        b.iter(|| {
+            let mut exits = 0usize;
+            for img in images {
+                exits += cdl.classify(black_box(img)).unwrap().exit_stage;
+            }
+            exits
+        })
+    });
+    group.bench_function("offline_batch_evaluator", |b| {
+        let mut eval = BatchEvaluator::new(&cdl);
+        b.iter(|| {
+            let outs = eval.classify_batch(black_box(images)).unwrap();
+            outs.iter().map(|o| o.exit_stage).sum::<usize>()
+        })
+    });
+    group.bench_function("server_mixed_64_1ms", |b| {
+        b.iter(|| {
+            stream_through_server(
+                &cdl,
+                black_box(images),
+                BatchPolicy::new(64, Duration::from_millis(1)),
+                workers,
+                4,
+            )
+        })
+    });
+    // a deadline-free size-bound policy only terminates when every batch
+    // fills: the stream length must divide evenly or the tail would wait
+    // forever (the clients block in wait() before shutdown can flush)
+    assert_eq!(images.len() % 128, 0, "size-bound stream must tile exactly");
+    group.bench_function("server_size_bound_128", |b| {
+        b.iter(|| {
+            stream_through_server(
+                &cdl,
+                black_box(images),
+                BatchPolicy::by_size(128),
+                workers,
+                4,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serve
+}
+criterion_main!(benches);

@@ -49,6 +49,10 @@ pub struct BatchEvaluator<'a> {
 }
 
 impl<'a> BatchEvaluator<'a> {
+    /// Images per [`BatchEvaluator::classify_stream`] chunk (see there for
+    /// the memory/throughput trade-off).
+    pub const STREAM_CHUNK: usize = 256;
+
     /// Creates an evaluator over `net` with empty (lazily grown) scratch.
     pub fn new(net: &'a CdlNetwork) -> Self {
         BatchEvaluator {
@@ -170,6 +174,56 @@ impl<'a> BatchEvaluator<'a> {
         }
         collect(outputs)
     }
+
+    /// Classifies an arbitrarily long stream by pushing
+    /// [`BatchEvaluator::STREAM_CHUNK`]-image chunks through
+    /// [`BatchEvaluator::classify_batch`] — large enough to amortise one
+    /// im2col+GEMM per conv layer, small enough to bound the scratch
+    /// matrices (~`chunk × out_h × out_w × k²·c` floats for the widest
+    /// layer). Outputs stay bit-identical to per-image
+    /// [`CdlNetwork::classify`], in input order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer/head evaluation errors.
+    pub fn classify_stream(&mut self, inputs: &[Tensor]) -> Result<Vec<CdlOutput>> {
+        let mut outputs = Vec::with_capacity(inputs.len());
+        for chunk in inputs.chunks(Self::STREAM_CHUNK) {
+            outputs.extend(self.classify_batch(chunk)?);
+        }
+        Ok(outputs)
+    }
+
+    /// Batched [`CdlNetwork::classify_baseline`]: runs the *baseline*
+    /// network alone (no heads, no gates) over the whole batch against this
+    /// evaluator's scratch, returning each image's `(label, baseline_ops)`.
+    ///
+    /// Bit-identical to calling `classify_baseline` per image — the batched
+    /// segment reproduces `Network::forward` exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer evaluation errors.
+    pub fn classify_baseline_batch(&mut self, inputs: &[Tensor]) -> Result<Vec<(usize, OpCount)>> {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let last = self.net.base().layer_count() - 1;
+        let finals =
+            self.net
+                .base()
+                .forward_batch_segment(inputs, None, last, &mut self.scratch)?;
+        let ops = self.net.baseline_ops();
+        finals
+            .iter()
+            .map(|out| {
+                let label = out
+                    .argmax()
+                    .ok_or_else(|| CdlError::BadStage("baseline produced empty output".into()))?;
+                Ok((label, ops))
+            })
+            .collect()
+    }
 }
 
 fn collect(outputs: Vec<Option<CdlOutput>>) -> Result<Vec<CdlOutput>> {
@@ -256,6 +310,30 @@ mod tests {
         let first = eval.classify_batch(&inputs).unwrap();
         let second = eval.classify_batch(&inputs).unwrap();
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn stream_matches_one_big_batch() {
+        let cdl = build_untrained();
+        // spans multiple STREAM_CHUNK chunks without being slow
+        let inputs = batch(BatchEvaluator::STREAM_CHUNK + 17);
+        let mut eval = BatchEvaluator::new(&cdl);
+        let streamed = eval.classify_stream(&inputs).unwrap();
+        let whole = eval.classify_batch(&inputs).unwrap();
+        assert_eq!(streamed, whole);
+        assert!(eval.classify_stream(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn baseline_batch_matches_per_image() {
+        let cdl = build_untrained();
+        let inputs = batch(13);
+        let mut eval = BatchEvaluator::new(&cdl);
+        let batched = eval.classify_baseline_batch(&inputs).unwrap();
+        for (img, got) in inputs.iter().zip(&batched) {
+            assert_eq!(*got, cdl.classify_baseline(img).unwrap());
+        }
+        assert!(eval.classify_baseline_batch(&[]).unwrap().is_empty());
     }
 
     #[test]

@@ -9,9 +9,14 @@ use cdl_hw::{EnergyModel, OpCount};
 use cdl_nn::trainer::LabelledSet;
 use serde::{Deserialize, Serialize};
 
+use crate::batch::BatchEvaluator;
 use crate::error::CdlError;
 use crate::network::CdlNetwork;
 use crate::Result;
+
+/// Images per batched evaluation pass (the [`BatchEvaluator`] streaming
+/// chunk: amortises GEMMs while bounding the scratch matrices).
+const EVAL_CHUNK: usize = BatchEvaluator::STREAM_CHUNK;
 
 /// Per-class statistics from one evaluation pass.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -112,6 +117,13 @@ impl EvalReport {
 /// Evaluates a CDLN on a test set, producing every statistic the paper's
 /// figures use.
 ///
+/// Both passes (conditional and baseline) run on the batched path: one
+/// persistent [`BatchEvaluator`] pushes [`EVAL_CHUNK`]-image chunks through
+/// the network, reusing its im2col/GEMM scratch across chunks. Per-image
+/// results — and therefore every statistic in the report — are
+/// bit-identical to the former per-image `classify` loop (the equivalence
+/// the batch test-suite pins down).
+///
 /// Energy is computed with `energy_model`; the baseline is charged a single
 /// control stage (one monolithic design), the CDLN one control charge per
 /// activated stage.
@@ -150,20 +162,24 @@ pub fn evaluate(
     ];
     let mut baseline_correct = 0usize;
 
-    for (img, &label) in test.images.iter().zip(&test.labels) {
-        let out = cdl.classify(img)?;
-        let energy = energy_model.total_pj(&out.ops, out.stages_activated);
-        let acc = &mut per_digit[label];
-        acc.count += 1;
-        acc.ops_sum += out.ops.compute_ops() as f64;
-        acc.energy_sum += energy;
-        acc.exits[out.exit_stage.min(stage_slots - 1)] += 1;
-        if out.label == label {
-            acc.correct += 1;
-        }
-        let (base_label, _) = cdl.classify_baseline(img)?;
-        if base_label == label {
-            baseline_correct += 1;
+    let mut eval = BatchEvaluator::new(cdl);
+    for (chunk_idx, chunk) in test.images.chunks(EVAL_CHUNK).enumerate() {
+        let labels = &test.labels[chunk_idx * EVAL_CHUNK..];
+        let outs = eval.classify_batch(chunk)?;
+        let base = eval.classify_baseline_batch(chunk)?;
+        for ((out, (base_label, _)), &label) in outs.iter().zip(&base).zip(labels) {
+            let energy = energy_model.total_pj(&out.ops, out.stages_activated);
+            let acc = &mut per_digit[label];
+            acc.count += 1;
+            acc.ops_sum += out.ops.compute_ops() as f64;
+            acc.energy_sum += energy;
+            acc.exits[out.exit_stage.min(stage_slots - 1)] += 1;
+            if out.label == label {
+                acc.correct += 1;
+            }
+            if *base_label == label {
+                baseline_correct += 1;
+            }
         }
     }
 
@@ -326,6 +342,37 @@ mod tests {
         for pair in energies.windows(2) {
             assert!(pair[0] <= pair[1] + 1e-12);
         }
+    }
+
+    #[test]
+    fn batched_evaluate_matches_per_image_reference() {
+        let (cdl, test_set) = trained_cdl();
+        let model = EnergyModel::cmos_45nm();
+        let report = evaluate(&cdl, &test_set, &model).unwrap();
+
+        // per-image reference for the integer-derived statistics
+        let mut exit_histogram = vec![0usize; cdl.stage_count() + 1];
+        let mut correct = 0usize;
+        let mut baseline_correct = 0usize;
+        let mut ops_sum = 0.0f64;
+        for (img, &label) in test_set.images.iter().zip(&test_set.labels) {
+            let out = cdl.classify(img).unwrap();
+            exit_histogram[out.exit_stage] += 1;
+            ops_sum += out.ops.compute_ops() as f64;
+            if out.label == label {
+                correct += 1;
+            }
+            let (base_label, _) = cdl.classify_baseline(img).unwrap();
+            if base_label == label {
+                baseline_correct += 1;
+            }
+        }
+        let n = test_set.len() as f64;
+        assert_eq!(report.exit_histogram, exit_histogram);
+        assert_eq!(report.accuracy, correct as f64 / n);
+        assert_eq!(report.baseline_accuracy, baseline_correct as f64 / n);
+        let reference = ops_sum / n / cdl.baseline_ops().compute_ops() as f64;
+        assert!((report.normalized_ops - reference).abs() < 1e-12);
     }
 
     #[test]

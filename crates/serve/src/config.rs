@@ -1,0 +1,186 @@
+//! Batch-formation policy and server configuration.
+
+use std::time::Duration;
+
+use cdl_hw::EnergyModel;
+
+use crate::error::{ServeError, ServeResult};
+
+/// When does the batcher stop collecting and dispatch a batch?
+///
+/// A batch is dispatched as soon as **either** bound is hit:
+///
+/// * `max_batch_size` requests have been collected (size-bound), or
+/// * `max_wait` has elapsed since the batch's *first* request arrived
+///   (deadline-bound) — the classic dynamic-batching latency cap.
+///
+/// `max_wait == None` disables the deadline: a batch waits (possibly
+/// forever) until it is full, which is only sensible for offline/throughput
+/// workloads or together with [`crate::Server::shutdown`], which flushes the
+/// partially formed batch. The three useful corners have constructors:
+/// [`BatchPolicy::by_size`], [`BatchPolicy::by_deadline`] and
+/// [`BatchPolicy::new`] (mixed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Dispatch as soon as this many requests are collected.
+    pub max_batch_size: usize,
+    /// Dispatch this long after the first request of the batch arrived,
+    /// full or not. `None` = wait until full.
+    pub max_wait: Option<Duration>,
+}
+
+impl BatchPolicy {
+    /// Mixed policy: dispatch at `max_batch_size` requests **or** after
+    /// `max_wait`, whichever comes first.
+    pub fn new(max_batch_size: usize, max_wait: Duration) -> Self {
+        BatchPolicy {
+            max_batch_size,
+            max_wait: Some(max_wait),
+        }
+    }
+
+    /// Pure size-bound policy: dispatch only when full (or at shutdown).
+    ///
+    /// **Liveness caveat**: without a deadline, a batch larger than the
+    /// number of requests that can be in flight never fills. With blocking
+    /// [`crate::Server::submit`] producers, keep
+    /// [`crate::ServerConfig::queue_capacity`] `>= max_batch_size`, or the
+    /// producers and the batcher wait on each other until
+    /// [`crate::Server::shutdown`] flushes the batch (`try_submit` callers
+    /// just see [`crate::ServeError::Full`] meanwhile — that stalled-open
+    /// shape is exactly what the backpressure tests use deterministically).
+    pub fn by_size(max_batch_size: usize) -> Self {
+        BatchPolicy {
+            max_batch_size,
+            max_wait: None,
+        }
+    }
+
+    /// Pure deadline-bound policy: dispatch whatever arrived within
+    /// `max_wait` of the first request (batch size limited only by the
+    /// submission queue capacity).
+    pub fn by_deadline(max_wait: Duration) -> Self {
+        BatchPolicy {
+            max_batch_size: usize::MAX,
+            max_wait: Some(max_wait),
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for a zero batch size or a zero
+    /// deadline.
+    pub fn validate(&self) -> ServeResult<()> {
+        if self.max_batch_size == 0 {
+            return Err(ServeError::BadConfig("max_batch_size must be >= 1".into()));
+        }
+        if self.max_wait == Some(Duration::ZERO) {
+            return Err(ServeError::BadConfig(
+                "max_wait must be > 0 (use max_batch_size = 1 for unbatched dispatch)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for BatchPolicy {
+    /// 32 requests or 2 ms, whichever first.
+    fn default() -> Self {
+        BatchPolicy::new(32, Duration::from_millis(2))
+    }
+}
+
+/// Configuration of a [`crate::Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Batch-formation policy.
+    pub policy: BatchPolicy,
+    /// Maximum number of **in-flight** requests: admitted (by `submit` /
+    /// `try_submit`) but not yet completed, cancelled or failed. Submitting
+    /// beyond this bound blocks (`submit`) or returns
+    /// [`ServeError::Full`] (`try_submit`) — the server's backpressure.
+    pub queue_capacity: usize,
+    /// Worker threads; each owns one persistent
+    /// [`cdl_core::batch::BatchEvaluator`] whose im2col/GEMM scratch is
+    /// reused across every batch it processes.
+    pub workers: usize,
+    /// Energy model used for the cumulative energy figure in
+    /// [`crate::ServerMetrics`].
+    pub energy_model: EnergyModel,
+}
+
+impl ServerConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for an invalid policy, a zero
+    /// queue capacity or an empty worker pool.
+    pub fn validate(&self) -> ServeResult<()> {
+        self.policy.validate()?;
+        if self.queue_capacity == 0 {
+            return Err(ServeError::BadConfig("queue_capacity must be >= 1".into()));
+        }
+        if self.workers == 0 {
+            return Err(ServeError::BadConfig("workers must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get().min(4))
+            .unwrap_or(2);
+        ServerConfig {
+            policy: BatchPolicy::default(),
+            queue_capacity: 1024,
+            workers,
+            energy_model: EnergyModel::cmos_45nm(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_constructors() {
+        let p = BatchPolicy::by_size(8);
+        assert_eq!(p.max_batch_size, 8);
+        assert_eq!(p.max_wait, None);
+        let p = BatchPolicy::by_deadline(Duration::from_millis(3));
+        assert_eq!(p.max_batch_size, usize::MAX);
+        assert_eq!(p.max_wait, Some(Duration::from_millis(3)));
+        let p = BatchPolicy::new(16, Duration::from_millis(1));
+        assert_eq!(p.max_batch_size, 16);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_policies_rejected() {
+        assert!(BatchPolicy::by_size(0).validate().is_err());
+        assert!(BatchPolicy::new(4, Duration::ZERO).validate().is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let ok = ServerConfig::default();
+        assert!(ok.validate().is_ok());
+        assert!(ok.workers >= 1);
+        let bad = ServerConfig {
+            queue_capacity: 0,
+            ..ServerConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = ServerConfig {
+            workers: 0,
+            ..ServerConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

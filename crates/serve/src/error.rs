@@ -1,0 +1,54 @@
+//! Error type for the serving layer.
+
+use cdl_core::CdlError;
+use std::fmt;
+
+/// Result alias used throughout `cdl-serve`.
+pub type ServeResult<T> = std::result::Result<T, ServeError>;
+
+/// Error produced by request submission or completion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded submission queue is at capacity (`try_submit` only —
+    /// `submit` blocks instead). The request was **not** admitted.
+    Full,
+    /// The server no longer accepts requests (shutdown has begun).
+    ShuttingDown,
+    /// The serving pipeline dropped the request without evaluating it
+    /// (a worker died, or the server was torn down abnormally). Graceful
+    /// [`crate::Server::shutdown`] drains the queue, so waiters only see
+    /// this on abnormal termination.
+    Disconnected,
+    /// The evaluator failed on the batch containing this request.
+    Eval(CdlError),
+    /// Invalid server configuration (zero-sized queue, empty worker pool,
+    /// zero-sized batches, …).
+    BadConfig(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Full => write!(f, "submission queue full"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Disconnected => write!(f, "request dropped by the serving pipeline"),
+            ServeError::Eval(e) => write!(f, "evaluation failed: {e}"),
+            ServeError::BadConfig(msg) => write!(f, "bad server configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Eval(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CdlError> for ServeError {
+    fn from(e: CdlError) -> Self {
+        ServeError::Eval(e)
+    }
+}

@@ -1,0 +1,97 @@
+//! # cdl-serve — streaming inference with dynamic batching
+//!
+//! A thread-and-channel serving layer over the batched early-exit evaluator
+//! ([`cdl_core::batch::BatchEvaluator`]): callers submit single images from
+//! any number of threads, the server transparently forms batches and
+//! answers through one-shot [`Pending`] handles. Results are
+//! **bit-identical** to per-image [`cdl_core::network::CdlNetwork::classify`]
+//! no matter how concurrent submissions are interleaved into batches (the
+//! same guarantee the batch-equivalence suite pins for `BatchEvaluator`).
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  clients                     cdl-serve                        evaluators
+//!  ───────                     ─────────                        ──────────
+//!  submit()/try_submit() ─▶ [bounded in-flight gate]
+//!        │                        │  backpressure: block / Full
+//!        ▼                        ▼
+//!   Pending handle ◀──┐     submission queue
+//!   (one-shot,        │           │
+//!    drop = cancel)   │           ▼
+//!                     │     batcher thread ── max_batch_size OR max_wait,
+//!                     │           │            whichever hits first
+//!                     │           ▼
+//!                     │       work queue
+//!                     │       ╱        ╲
+//!                     │      ▼          ▼
+//!                     └── worker 1 … worker N   each owns a persistent
+//!                          BatchEvaluator (im2col/GEMM scratch reused
+//!                          across every batch it processes)
+//! ```
+//!
+//! * **Admission** ([`Server::submit`] / [`Server::try_submit`]) is bounded
+//!   by [`ServerConfig::queue_capacity`] *in-flight* requests; beyond it,
+//!   `submit` blocks and `try_submit` returns [`ServeError::Full`].
+//! * **Batch formation** ([`BatchPolicy`]) dispatches a batch when it is
+//!   full or when `max_wait` has passed since its first request — the
+//!   classic dynamic-batching throughput/latency trade-off.
+//! * **Workers** pull formed batches from a shared queue; each owns one
+//!   persistent [`cdl_core::batch::BatchEvaluator`], so steady-state serving
+//!   performs no im2col/GEMM allocations.
+//! * **Cancellation**: dropping a [`Pending`] before evaluation removes the
+//!   request from its batch at no evaluator cost.
+//! * **Shutdown** ([`Server::shutdown`]) drains then stops: queued requests
+//!   and partially formed batches are flushed, every outstanding handle
+//!   resolves, threads join, and the final [`ServerMetrics`] snapshot is
+//!   returned (throughput, queue depth, batch-size histogram, latency
+//!   min/mean/p50/p99, cumulative ops + energy).
+//!
+//! ## Example
+//!
+//! ```
+//! use cdl_serve::{BatchPolicy, Server, ServerConfig};
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let arch = cdl_core::arch::mnist_3c();
+//! # let base = cdl_nn::network::Network::from_spec(&arch.spec, 3)?;
+//! # let feats = arch.tap_features()?;
+//! # let stages = arch.taps.iter().zip(&feats).map(|(t, &f)| {
+//! #     Ok((t.spec_layer, t.name.clone(),
+//! #         cdl_core::head::LinearClassifier::new(f, 10, 1)?))
+//! # }).collect::<Result<Vec<_>, cdl_core::CdlError>>()?;
+//! # let cdln = cdl_core::network::CdlNetwork::assemble(
+//! #     base, stages, cdl_core::confidence::ConfidencePolicy::max_prob(0.6))?;
+//! // cdln: a trained cdl_core::network::CdlNetwork
+//! let server = Server::start(
+//!     Arc::new(cdln),
+//!     ServerConfig {
+//!         policy: BatchPolicy::new(32, Duration::from_millis(2)),
+//!         ..ServerConfig::default()
+//!     },
+//! )?;
+//! let image = cdl_tensor::Tensor::full(&[1, 28, 28], 0.4);
+//! let pending = server.submit(image)?;          // returns immediately
+//! let output = pending.wait()?;                  // bit-identical to classify()
+//! println!("label {} at stage {}", output.label, output.exit_stage);
+//! println!("{}", server.shutdown());             // final metrics report
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod config;
+pub mod error;
+pub mod metrics;
+pub mod pending;
+pub mod server;
+
+pub use config::{BatchPolicy, ServerConfig};
+pub use error::{ServeError, ServeResult};
+pub use metrics::{LatencyStats, ServerMetrics};
+pub use pending::Pending;
+pub use server::Server;

@@ -1,0 +1,446 @@
+//! Server observability: counters, batch-size/exit histograms, latency
+//! percentiles and cumulative op/energy accounting.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use cdl_hw::{EnergyModel, OpCount};
+
+/// Completed-request latencies retained for percentile estimation: a
+/// sliding window of the most recent completions, so a long-running server
+/// stays at O(1) memory and snapshot cost (`min`/`mean`/`max`/`count` are
+/// exact lifetime accumulators regardless).
+const LATENCY_WINDOW: usize = 65_536;
+
+/// Latency distribution over completed requests (submit → result).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Completed requests over the server's lifetime.
+    pub count: u64,
+    /// Fastest request (lifetime).
+    pub min: Duration,
+    /// Arithmetic mean (lifetime).
+    pub mean: Duration,
+    /// Median over the most recent [`LATENCY_WINDOW`] completions.
+    pub p50: Duration,
+    /// 99th percentile over the most recent [`LATENCY_WINDOW`] completions.
+    pub p99: Duration,
+    /// Slowest request (lifetime).
+    pub max: Duration,
+}
+
+/// Why the batcher dispatched a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BatchCause {
+    /// `max_batch_size` reached.
+    Full,
+    /// `max_wait` elapsed since the batch's first request.
+    Deadline,
+    /// Shutdown flushed a partially formed batch.
+    Flush,
+}
+
+/// A point-in-time snapshot of a [`crate::Server`]'s counters.
+///
+/// Obtained from [`crate::Server::metrics`] (live) or returned by
+/// [`crate::Server::shutdown`] (final). `Display` renders a compact
+/// multi-line report.
+#[derive(Debug, Clone)]
+pub struct ServerMetrics {
+    /// Wall-clock since the server started.
+    pub elapsed: Duration,
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// `try_submit` calls bounced with [`crate::ServeError::Full`].
+    pub rejected: u64,
+    /// Requests evaluated and delivered.
+    pub completed: u64,
+    /// Requests whose [`crate::Pending`] was dropped before evaluation.
+    pub cancelled: u64,
+    /// Requests that failed (evaluator error / pipeline teardown).
+    pub failed: u64,
+    /// Admitted requests not yet completed/cancelled/failed.
+    pub queue_depth: usize,
+    /// Batches evaluated (batches whose live requests were all cancelled
+    /// are not counted — nothing was evaluated).
+    pub batches: u64,
+    /// Batches dispatched because they were full.
+    pub batches_full: u64,
+    /// Batches dispatched by the `max_wait` deadline.
+    pub batches_deadline: u64,
+    /// Partial batches flushed by shutdown.
+    pub batches_flushed: u64,
+    /// `batch_size_histogram[s]` = evaluated batches of size `s`.
+    pub batch_size_histogram: Vec<u64>,
+    /// Mean evaluated batch size.
+    pub mean_batch_size: f64,
+    /// Completed requests per second of server uptime.
+    pub throughput_rps: f64,
+    /// Submit→result latency distribution (`None` until something
+    /// completed).
+    pub latency: Option<LatencyStats>,
+    /// `exit_histogram[i]` = completed requests that exited at stage `i`
+    /// (last slot = final output layer).
+    pub exit_histogram: Vec<u64>,
+    /// Cumulative operations of every completed request.
+    pub total_ops: OpCount,
+    /// Cumulative hardware stages activated by completed requests.
+    pub stages_activated: u64,
+    /// Cumulative energy of completed requests under the server's
+    /// [`EnergyModel`], picojoules.
+    pub energy_pj: f64,
+}
+
+impl fmt::Display for ServerMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "uptime {:.3}s — {} submitted, {} completed ({:.0} req/s), \
+             {} cancelled, {} failed, {} rejected, queue depth {}",
+            self.elapsed.as_secs_f64(),
+            self.submitted,
+            self.completed,
+            self.throughput_rps,
+            self.cancelled,
+            self.failed,
+            self.rejected,
+            self.queue_depth,
+        )?;
+        writeln!(
+            f,
+            "batches: {} evaluated (mean size {:.1}; dispatched {} full / {} deadline / {} flush)",
+            self.batches,
+            self.mean_batch_size,
+            self.batches_full,
+            self.batches_deadline,
+            self.batches_flushed,
+        )?;
+        let hist: Vec<String> = self
+            .batch_size_histogram
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(size, n)| format!("{size}x{n}"))
+            .collect();
+        writeln!(f, "batch sizes (size x count): {}", hist.join(" "))?;
+        if let Some(lat) = &self.latency {
+            writeln!(
+                f,
+                "latency: min {:?} / mean {:?} / p50 {:?} / p99 {:?} / max {:?}",
+                lat.min, lat.mean, lat.p50, lat.p99, lat.max,
+            )?;
+        }
+        let exits: Vec<String> = self
+            .exit_histogram
+            .iter()
+            .enumerate()
+            .map(|(stage, &n)| format!("stage{stage}:{n}"))
+            .collect();
+        writeln!(f, "exits: {}", exits.join(" "))?;
+        write!(
+            f,
+            "work: {} compute ops, {} stages activated, {:.2} µJ total ({:.1} nJ/request)",
+            self.total_ops.compute_ops(),
+            self.stages_activated,
+            self.energy_pj / 1e6,
+            if self.completed > 0 {
+                self.energy_pj / 1e3 / self.completed as f64
+            } else {
+                0.0
+            },
+        )
+    }
+}
+
+/// Mutable counters behind one mutex (updated per batch, so contention is
+/// amortised over the batch size).
+#[derive(Debug, Default)]
+struct Counters {
+    completed: u64,
+    cancelled: u64,
+    failed: u64,
+    batches_full: u64,
+    batches_deadline: u64,
+    batches_flushed: u64,
+    batch_sizes: Vec<u64>,
+    latency_ring: Vec<u64>,
+    latency_next: usize,
+    latency_count: u64,
+    latency_sum_ns: u64,
+    latency_min_ns: u64,
+    latency_max_ns: u64,
+    exit_histogram: Vec<u64>,
+    total_ops: OpCount,
+    stages_activated: u64,
+}
+
+impl Counters {
+    fn record_latency(&mut self, ns: u64) {
+        self.latency_count += 1;
+        self.latency_sum_ns += ns;
+        self.latency_max_ns = self.latency_max_ns.max(ns);
+        self.latency_min_ns = if self.latency_count == 1 {
+            ns
+        } else {
+            self.latency_min_ns.min(ns)
+        };
+        if self.latency_ring.len() < LATENCY_WINDOW {
+            self.latency_ring.push(ns);
+        } else {
+            self.latency_ring[self.latency_next] = ns;
+            self.latency_next = (self.latency_next + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    fn latency_stats(&self) -> Option<LatencyStats> {
+        if self.latency_count == 0 {
+            return None;
+        }
+        let (p50, p99) = window_percentiles(&self.latency_ring);
+        Some(LatencyStats {
+            count: self.latency_count,
+            min: Duration::from_nanos(self.latency_min_ns),
+            mean: Duration::from_nanos(self.latency_sum_ns / self.latency_count),
+            p50,
+            p99,
+            max: Duration::from_nanos(self.latency_max_ns),
+        })
+    }
+}
+
+/// Shared metrics sink for the submit path, the batcher and the workers.
+#[derive(Debug)]
+pub(crate) struct Recorder {
+    started: Instant,
+    energy_model: EnergyModel,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    counters: Mutex<Counters>,
+}
+
+impl Recorder {
+    pub(crate) fn new(energy_model: EnergyModel) -> Self {
+        Recorder {
+            started: Instant::now(),
+            energy_model,
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            counters: Mutex::new(Counters::default()),
+        }
+    }
+
+    pub(crate) fn admitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Rolls back an [`Recorder::admitted`] whose send never reached the
+    /// pipeline (the request cannot complete, so counting it would leave
+    /// `submitted` permanently short of reality the other way).
+    pub(crate) fn unadmitted(&self) {
+        self.submitted.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn dispatched(&self, cause: BatchCause) {
+        let mut c = self.counters.lock().unwrap();
+        match cause {
+            BatchCause::Full => c.batches_full += 1,
+            BatchCause::Deadline => c.batches_deadline += 1,
+            BatchCause::Flush => c.batches_flushed += 1,
+        }
+    }
+
+    pub(crate) fn cancelled(&self, n: u64) {
+        if n > 0 {
+            self.counters.lock().unwrap().cancelled += n;
+        }
+    }
+
+    pub(crate) fn batch_failed(&self, n: u64) {
+        self.counters.lock().unwrap().failed += n;
+    }
+
+    /// Records one evaluated batch: per-request latencies, exits and op
+    /// accounting.
+    pub(crate) fn batch_completed(
+        &self,
+        outputs: impl Iterator<Item = (Duration, cdl_core::network::CdlOutput)>,
+    ) {
+        let mut c = self.counters.lock().unwrap();
+        let mut size = 0usize;
+        for (latency, out) in outputs {
+            size += 1;
+            c.completed += 1;
+            c.record_latency(latency.as_nanos() as u64);
+            if c.exit_histogram.len() <= out.exit_stage {
+                c.exit_histogram.resize(out.exit_stage + 1, 0);
+            }
+            c.exit_histogram[out.exit_stage] += 1;
+            c.total_ops += out.ops;
+            c.stages_activated += out.stages_activated;
+        }
+        if size > 0 {
+            if c.batch_sizes.len() <= size {
+                c.batch_sizes.resize(size + 1, 0);
+            }
+            c.batch_sizes[size] += 1;
+        }
+    }
+
+    /// Takes a consistent snapshot. `queue_depth` is sampled by the caller
+    /// (it lives in the admission gate, not here).
+    pub(crate) fn snapshot(&self, queue_depth: usize) -> ServerMetrics {
+        let c = self.counters.lock().unwrap();
+        let elapsed = self.started.elapsed();
+        let batches: u64 = c.batch_sizes.iter().sum();
+        let batched_requests: u64 = c
+            .batch_sizes
+            .iter()
+            .enumerate()
+            .map(|(size, &n)| size as u64 * n)
+            .sum();
+        let latency = c.latency_stats();
+        ServerMetrics {
+            elapsed,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: c.completed,
+            cancelled: c.cancelled,
+            failed: c.failed,
+            queue_depth,
+            batches,
+            batches_full: c.batches_full,
+            batches_deadline: c.batches_deadline,
+            batches_flushed: c.batches_flushed,
+            batch_size_histogram: c.batch_sizes.clone(),
+            mean_batch_size: if batches > 0 {
+                batched_requests as f64 / batches as f64
+            } else {
+                0.0
+            },
+            throughput_rps: if elapsed > Duration::ZERO {
+                c.completed as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
+            latency,
+            exit_histogram: c.exit_histogram.clone(),
+            total_ops: c.total_ops,
+            stages_activated: c.stages_activated,
+            energy_pj: self.energy_model.total_pj(&c.total_ops, c.stages_activated),
+        }
+    }
+}
+
+/// p50/p99 of a (non-empty) latency window; sorts a copy, which is bounded
+/// by [`LATENCY_WINDOW`] entries.
+fn window_percentiles(window: &[u64]) -> (Duration, Duration) {
+    let mut sorted = window.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    let pct = |q: f64| {
+        let idx = ((n - 1) as f64 * q).round() as usize;
+        Duration::from_nanos(sorted[idx])
+    };
+    (pct(0.5), pct(0.99))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdl_core::network::CdlOutput;
+
+    fn out(exit_stage: usize, macs: u64) -> CdlOutput {
+        CdlOutput {
+            label: 0,
+            exit_stage,
+            confidence: 1.0,
+            ops: OpCount {
+                macs,
+                ..OpCount::ZERO
+            },
+            stages_activated: exit_stage as u64 + 1,
+            exited_early: exit_stage == 0,
+        }
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let mut c = Counters::default();
+        assert!(c.latency_stats().is_none());
+        for i in 1..=100u64 {
+            c.record_latency(i * 1000);
+        }
+        let stats = c.latency_stats().unwrap();
+        assert_eq!(stats.count, 100);
+        assert_eq!(stats.min, Duration::from_nanos(1000));
+        assert_eq!(stats.max, Duration::from_nanos(100_000));
+        assert_eq!(stats.mean, Duration::from_nanos(50_500));
+        assert_eq!(stats.p50, Duration::from_nanos(51_000));
+        assert_eq!(stats.p99, Duration::from_nanos(99_000));
+    }
+
+    #[test]
+    fn latency_window_slides_but_lifetime_stats_persist() {
+        let mut c = Counters::default();
+        let extra = 10u64;
+        // one early outlier, then a window-and-a-bit of larger values
+        c.record_latency(5);
+        for i in 0..(LATENCY_WINDOW as u64 + extra) {
+            c.record_latency(1_000_000 + i);
+        }
+        let stats = c.latency_stats().unwrap();
+        assert_eq!(stats.count, LATENCY_WINDOW as u64 + extra + 1);
+        // lifetime min survives even though the outlier left the window
+        assert_eq!(stats.min, Duration::from_nanos(5));
+        assert_eq!(
+            stats.max,
+            Duration::from_nanos(1_000_000 + LATENCY_WINDOW as u64 + extra - 1)
+        );
+        // percentiles see only the most recent LATENCY_WINDOW entries
+        assert!(stats.p50 >= Duration::from_nanos(1_000_000));
+        // memory stays bounded
+        assert_eq!(c.latency_ring.len(), LATENCY_WINDOW);
+    }
+
+    #[test]
+    fn recorder_aggregates_batches() {
+        let rec = Recorder::new(EnergyModel::cmos_45nm());
+        rec.admitted();
+        rec.admitted();
+        rec.admitted();
+        rec.rejected();
+        rec.dispatched(BatchCause::Full);
+        rec.dispatched(BatchCause::Deadline);
+        rec.cancelled(1);
+        let ms = Duration::from_millis(1);
+        rec.batch_completed([(ms, out(0, 100)), (ms, out(2, 300))].into_iter());
+        rec.batch_completed([(ms, out(0, 100))].into_iter());
+        let snap = rec.snapshot(7);
+        assert_eq!(snap.submitted, 3);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.completed, 3);
+        assert_eq!(snap.cancelled, 1);
+        assert_eq!(snap.queue_depth, 7);
+        assert_eq!(snap.batches, 2);
+        assert_eq!(snap.batches_full, 1);
+        assert_eq!(snap.batches_deadline, 1);
+        assert_eq!(snap.batch_size_histogram[1], 1);
+        assert_eq!(snap.batch_size_histogram[2], 1);
+        assert!((snap.mean_batch_size - 1.5).abs() < 1e-12);
+        assert_eq!(snap.exit_histogram, vec![2, 0, 1]);
+        assert_eq!(snap.total_ops.macs, 500);
+        assert_eq!(snap.stages_activated, 1 + 3 + 1);
+        assert!(snap.energy_pj > 0.0);
+        assert!(snap.latency.is_some());
+        // the report renders
+        let text = snap.to_string();
+        assert!(text.contains("batches"));
+        assert!(text.contains("latency"));
+    }
+}

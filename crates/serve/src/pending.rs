@@ -1,0 +1,228 @@
+//! One-shot response handles: the future-like half a caller holds while the
+//! server works on its request.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use cdl_core::network::CdlOutput;
+
+use crate::error::{ServeError, ServeResult};
+
+/// Lifecycle of one request's response slot.
+#[derive(Debug)]
+enum SlotState {
+    /// Submitted, not yet evaluated.
+    Waiting,
+    /// Result available, not yet claimed by the waiter.
+    Done(ServeResult<CdlOutput>),
+    /// The caller dropped its [`Pending`] before the result arrived; the
+    /// pipeline will skip evaluating this request.
+    Cancelled,
+    /// Result handed to the waiter.
+    Claimed,
+}
+
+/// The shared slot between one [`Pending`] and one [`Fulfiller`].
+#[derive(Debug)]
+struct Slot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+/// Creates a connected response pair: the caller keeps the [`Pending`], the
+/// server pipeline carries the [`Fulfiller`] alongside the input tensor.
+pub(crate) fn pending_pair() -> (Pending, Fulfiller) {
+    let slot = Arc::new(Slot {
+        state: Mutex::new(SlotState::Waiting),
+        ready: Condvar::new(),
+    });
+    (
+        Pending {
+            slot: Arc::clone(&slot),
+        },
+        Fulfiller {
+            slot,
+            settled: false,
+        },
+    )
+}
+
+/// A pending classification: a one-shot, future-like handle to the
+/// [`cdl_core::network::CdlOutput`] the server will produce.
+///
+/// Dropping a `Pending` before the result arrives **cancels** the request:
+/// the batcher/workers skip it without spending any evaluator operations on
+/// it (it is counted in [`crate::ServerMetrics::cancelled`]).
+#[derive(Debug)]
+pub struct Pending {
+    slot: Arc<Slot>,
+}
+
+impl Pending {
+    /// `true` once the result is available ([`Pending::wait`] will not
+    /// block).
+    pub fn is_ready(&self) -> bool {
+        matches!(*self.slot.state.lock().unwrap(), SlotState::Done(_))
+    }
+
+    /// Blocks until the server produced this request's result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Eval`] when the evaluator failed on the batch
+    /// containing this request, [`ServeError::Disconnected`] when the
+    /// pipeline dropped it without evaluating.
+    pub fn wait(self) -> ServeResult<CdlOutput> {
+        let mut state = self.slot.state.lock().unwrap();
+        while matches!(*state, SlotState::Waiting) {
+            state = self.slot.ready.wait(state).unwrap();
+        }
+        match std::mem::replace(&mut *state, SlotState::Claimed) {
+            SlotState::Done(result) => result,
+            other => unreachable!("pending woke in non-terminal state {other:?}"),
+        }
+    }
+
+    /// Like [`Pending::wait`] with a timeout: `Ok(result)` when the result
+    /// arrived in time, `Err(self)` (the handle back, still live) when it
+    /// did not.
+    ///
+    /// # Errors
+    ///
+    /// Returns the handle itself on timeout so the caller can keep waiting.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<ServeResult<CdlOutput>, Pending> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.slot.state.lock().unwrap();
+        while matches!(*state, SlotState::Waiting) {
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now) else {
+                drop(state);
+                return Err(self);
+            };
+            let (guard, timed_out) = self.slot.ready.wait_timeout(state, remaining).unwrap();
+            state = guard;
+            if timed_out.timed_out() && matches!(*state, SlotState::Waiting) {
+                drop(state);
+                return Err(self);
+            }
+        }
+        match std::mem::replace(&mut *state, SlotState::Claimed) {
+            SlotState::Done(result) => Ok(result),
+            other => unreachable!("pending woke in non-terminal state {other:?}"),
+        }
+    }
+}
+
+impl Drop for Pending {
+    fn drop(&mut self) {
+        let mut state = self.slot.state.lock().unwrap();
+        if matches!(*state, SlotState::Waiting) {
+            *state = SlotState::Cancelled;
+        }
+    }
+}
+
+/// The pipeline's half of a response pair. Settling it exactly once (or
+/// dropping it, which settles with [`ServeError::Disconnected`]) guarantees
+/// no [`Pending`] waits forever.
+#[derive(Debug)]
+pub(crate) struct Fulfiller {
+    slot: Arc<Slot>,
+    settled: bool,
+}
+
+impl Fulfiller {
+    /// `true` when the caller dropped its handle: skip evaluation.
+    pub(crate) fn is_cancelled(&self) -> bool {
+        matches!(*self.slot.state.lock().unwrap(), SlotState::Cancelled)
+    }
+
+    /// Delivers the result (ignored if the caller cancelled meanwhile) and
+    /// wakes the waiter.
+    pub(crate) fn settle(mut self, result: ServeResult<CdlOutput>) {
+        self.settle_inner(result);
+    }
+
+    fn settle_inner(&mut self, result: ServeResult<CdlOutput>) {
+        if self.settled {
+            return;
+        }
+        self.settled = true;
+        let mut state = self.slot.state.lock().unwrap();
+        if matches!(*state, SlotState::Waiting) {
+            *state = SlotState::Done(result);
+            self.slot.ready.notify_all();
+        }
+    }
+}
+
+impl Drop for Fulfiller {
+    fn drop(&mut self) {
+        self.settle_inner(Err(ServeError::Disconnected));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdl_hw::OpCount;
+
+    fn output(label: usize) -> CdlOutput {
+        CdlOutput {
+            label,
+            exit_stage: 0,
+            confidence: 1.0,
+            ops: OpCount::ZERO,
+            stages_activated: 1,
+            exited_early: true,
+        }
+    }
+
+    #[test]
+    fn settle_then_wait() {
+        let (pending, fulfiller) = pending_pair();
+        assert!(!pending.is_ready());
+        fulfiller.settle(Ok(output(3)));
+        assert!(pending.is_ready());
+        assert_eq!(pending.wait().unwrap().label, 3);
+    }
+
+    #[test]
+    fn wait_blocks_until_settled_from_another_thread() {
+        let (pending, fulfiller) = pending_pair();
+        let handle = std::thread::spawn(move || pending.wait());
+        std::thread::sleep(Duration::from_millis(10));
+        fulfiller.settle(Ok(output(7)));
+        assert_eq!(handle.join().unwrap().unwrap().label, 7);
+    }
+
+    #[test]
+    fn wait_timeout_returns_handle_then_result() {
+        let (pending, fulfiller) = pending_pair();
+        let pending = pending
+            .wait_timeout(Duration::from_millis(5))
+            .expect_err("not settled yet");
+        fulfiller.settle(Ok(output(1)));
+        let result = pending
+            .wait_timeout(Duration::from_millis(5))
+            .expect("settled");
+        assert_eq!(result.unwrap().label, 1);
+    }
+
+    #[test]
+    fn dropping_pending_cancels() {
+        let (pending, fulfiller) = pending_pair();
+        assert!(!fulfiller.is_cancelled());
+        drop(pending);
+        assert!(fulfiller.is_cancelled());
+        // settling a cancelled slot is a quiet no-op
+        fulfiller.settle(Ok(output(0)));
+    }
+
+    #[test]
+    fn dropping_fulfiller_disconnects_waiter() {
+        let (pending, fulfiller) = pending_pair();
+        drop(fulfiller);
+        assert_eq!(pending.wait(), Err(ServeError::Disconnected));
+    }
+}

@@ -1,0 +1,607 @@
+//! The streaming inference server: bounded admission, dynamic batch
+//! formation, and a pool of persistent batched evaluators.
+
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use cdl_core::batch::BatchEvaluator;
+use cdl_core::network::CdlNetwork;
+use cdl_tensor::Tensor;
+
+use crate::config::{BatchPolicy, ServerConfig};
+use crate::error::{ServeError, ServeResult};
+use crate::metrics::{BatchCause, Recorder, ServerMetrics};
+use crate::pending::{pending_pair, Fulfiller, Pending};
+
+/// Counting semaphore bounding the number of in-flight requests — the
+/// server's backpressure. A slot is held from admission until the request
+/// reaches a terminal state (completed, cancelled-and-skipped, or failed).
+#[derive(Debug)]
+struct Gate {
+    capacity: usize,
+    in_flight: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Gate {
+    fn new(capacity: usize) -> Self {
+        Gate {
+            capacity,
+            in_flight: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Non-blocking: `false` when the queue is at capacity.
+    fn try_acquire(&self) -> bool {
+        let mut n = self.in_flight.lock().unwrap();
+        if *n >= self.capacity {
+            return false;
+        }
+        *n += 1;
+        true
+    }
+
+    /// Blocks until a slot frees up.
+    fn acquire(&self) {
+        let mut n = self.in_flight.lock().unwrap();
+        while *n >= self.capacity {
+            n = self.freed.wait(n).unwrap();
+        }
+        *n += 1;
+    }
+
+    fn release(&self) {
+        let mut n = self.in_flight.lock().unwrap();
+        *n = n.saturating_sub(1);
+        self.freed.notify_one();
+    }
+
+    fn depth(&self) -> usize {
+        *self.in_flight.lock().unwrap()
+    }
+}
+
+/// RAII in-flight slot: released when the request leaves the pipeline, on
+/// every path (delivered, cancelled, failed, or dropped by teardown).
+#[derive(Debug)]
+struct Ticket(Arc<Gate>);
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+/// One queued classification request.
+#[derive(Debug)]
+struct Request {
+    input: Tensor,
+    fulfiller: Fulfiller,
+    ticket: Ticket,
+    submitted_at: Instant,
+}
+
+/// A streaming inference server over one [`CdlNetwork`].
+///
+/// See the [crate-level docs](crate) for the architecture. Results are
+/// **bit-identical** to [`CdlNetwork::classify`] for every request,
+/// regardless of how concurrent submissions are interleaved into batches —
+/// the [`BatchEvaluator`] underneath guarantees per-image equivalence for
+/// any batch composition.
+///
+/// `shutdown` (or `Drop`) is graceful: the submission queue is drained,
+/// partially formed batches are flushed to the workers, and every
+/// outstanding [`Pending`] resolves before the threads exit.
+#[derive(Debug)]
+pub struct Server {
+    net: Arc<CdlNetwork>,
+    submit_tx: Option<Sender<Request>>,
+    gate: Arc<Gate>,
+    recorder: Arc<Recorder>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the batcher and worker threads and begins accepting requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for an invalid configuration.
+    pub fn start(net: Arc<CdlNetwork>, config: ServerConfig) -> ServeResult<Server> {
+        config.validate()?;
+        let gate = Arc::new(Gate::new(config.queue_capacity));
+        let recorder = Arc::new(Recorder::new(config.energy_model));
+        let (submit_tx, submit_rx) = channel::<Request>();
+        let (work_tx, work_rx) = channel::<Vec<Request>>();
+        let work_rx = Arc::new(Mutex::new(work_rx));
+
+        let batcher = {
+            let recorder = Arc::clone(&recorder);
+            let policy = config.policy;
+            std::thread::Builder::new()
+                .name("cdl-serve-batcher".into())
+                .spawn(move || run_batcher(submit_rx, work_tx, policy, &recorder))
+                .expect("spawn batcher thread")
+        };
+        let workers = (0..config.workers)
+            .map(|i| {
+                let net = Arc::clone(&net);
+                let work_rx = Arc::clone(&work_rx);
+                let recorder = Arc::clone(&recorder);
+                std::thread::Builder::new()
+                    .name(format!("cdl-serve-worker-{i}"))
+                    .spawn(move || run_worker(&net, &work_rx, &recorder))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        Ok(Server {
+            net,
+            submit_tx: Some(submit_tx),
+            gate,
+            recorder,
+            batcher: Some(batcher),
+            workers,
+        })
+    }
+
+    /// The network this server evaluates.
+    pub fn network(&self) -> &CdlNetwork {
+        &self.net
+    }
+
+    /// Submits a request, **blocking** while the in-flight queue is at
+    /// capacity (backpressure propagates to the producer).
+    ///
+    /// With a pure size-bound [`BatchPolicy`] whose `max_batch_size`
+    /// exceeds the queue capacity, the forming batch can never fill and
+    /// this call blocks until requests complete some other way — see the
+    /// liveness caveat on [`BatchPolicy::by_size`]; give the policy a
+    /// deadline or use [`Server::try_submit`] for such configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ShuttingDown`] if the pipeline is gone.
+    pub fn submit(&self, input: Tensor) -> ServeResult<Pending> {
+        self.gate.acquire();
+        self.admit(input)
+    }
+
+    /// Submits a request without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Full`] when the in-flight queue is at capacity
+    /// (the request is not admitted), [`ServeError::ShuttingDown`] if the
+    /// pipeline is gone.
+    pub fn try_submit(&self, input: Tensor) -> ServeResult<Pending> {
+        if !self.gate.try_acquire() {
+            self.recorder.rejected();
+            return Err(ServeError::Full);
+        }
+        self.admit(input)
+    }
+
+    fn admit(&self, input: Tensor) -> ServeResult<Pending> {
+        let (pending, fulfiller) = pending_pair();
+        let request = Request {
+            input,
+            fulfiller,
+            ticket: Ticket(Arc::clone(&self.gate)),
+            submitted_at: Instant::now(),
+        };
+        let tx = self.submit_tx.as_ref().expect("sender lives until drop");
+        // count before sending: a fast worker may complete the request
+        // before this thread resumes, and `completed > submitted` must
+        // never be observable in a snapshot
+        self.recorder.admitted();
+        if tx.send(request).is_err() {
+            // batcher died; the dropped request settles the pending with
+            // Disconnected and frees its ticket
+            self.recorder.unadmitted();
+            return Err(ServeError::ShuttingDown);
+        }
+        Ok(pending)
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics(&self) -> ServerMetrics {
+        self.recorder.snapshot(self.gate.depth())
+    }
+
+    /// Graceful drain-then-stop: stops admissions, lets the batcher flush
+    /// everything queued (including a partially formed batch), waits for
+    /// the workers to evaluate it all, and returns the final metrics.
+    /// Every outstanding [`Pending`] is resolved before this returns.
+    pub fn shutdown(mut self) -> ServerMetrics {
+        self.finish();
+        self.recorder.snapshot(self.gate.depth())
+    }
+
+    fn finish(&mut self) {
+        drop(self.submit_tx.take());
+        if let Some(handle) = self.batcher.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Batch-formation loop: collect until `max_batch_size` requests **or**
+/// `max_wait` past the batch's first arrival, whichever first; flush the
+/// tail on disconnect (shutdown).
+fn run_batcher(
+    rx: Receiver<Request>,
+    work_tx: Sender<Vec<Request>>,
+    policy: BatchPolicy,
+    recorder: &Recorder,
+) {
+    loop {
+        // block for the request that opens the next batch
+        let Ok(first) = rx.recv() else {
+            return; // drained and disconnected: workers stop when work_tx drops
+        };
+        let deadline = policy.max_wait.map(|w| Instant::now() + w);
+        let mut batch = vec![first];
+        let mut cause = BatchCause::Full;
+        while batch.len() < policy.max_batch_size {
+            let received = match deadline {
+                None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+                Some(d) => match d.checked_duration_since(Instant::now()) {
+                    None => Err(RecvTimeoutError::Timeout),
+                    Some(remaining) => rx.recv_timeout(remaining),
+                },
+            };
+            match received {
+                Ok(request) => batch.push(request),
+                Err(RecvTimeoutError::Timeout) => {
+                    cause = BatchCause::Deadline;
+                    break;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    cause = BatchCause::Flush;
+                    break;
+                }
+            }
+        }
+        let disconnected = cause == BatchCause::Flush;
+        recorder.dispatched(cause);
+        if work_tx.send(batch).is_err() {
+            return; // all workers died; dropped requests settle as Disconnected
+        }
+        if disconnected {
+            return;
+        }
+    }
+}
+
+/// Worker loop: one persistent [`BatchEvaluator`] per thread, batches pulled
+/// from the shared work queue until it closes.
+fn run_worker(net: &CdlNetwork, work_rx: &Mutex<Receiver<Vec<Request>>>, recorder: &Recorder) {
+    let mut eval = BatchEvaluator::new(net);
+    loop {
+        // holding the lock across recv() serialises *idle waiting*, not
+        // work: the receiver hands over one batch, the lock drops, and the
+        // next idle worker takes over the wait
+        let message = work_rx.lock().unwrap().recv();
+        let Ok(batch) = message else {
+            return;
+        };
+        process_batch(&mut eval, batch, recorder);
+    }
+}
+
+fn process_batch(eval: &mut BatchEvaluator<'_>, batch: Vec<Request>, recorder: &Recorder) {
+    let mut inputs = Vec::with_capacity(batch.len());
+    let mut live = Vec::with_capacity(batch.len());
+    let mut cancelled = 0u64;
+    for request in batch {
+        if request.fulfiller.is_cancelled() {
+            cancelled += 1; // dropping the request frees its ticket
+        } else {
+            inputs.push(request.input);
+            live.push((request.fulfiller, request.ticket, request.submitted_at));
+        }
+    }
+    recorder.cancelled(cancelled);
+    if inputs.is_empty() {
+        return;
+    }
+    // classify_stream, not classify_batch: a deadline-bound policy or a
+    // shutdown flush can hand over a batch as large as the whole queue, and
+    // the evaluator's scratch must stay bounded by its streaming chunk
+    match eval.classify_stream(&inputs) {
+        Ok(outputs) => {
+            let now = Instant::now();
+            recorder.batch_completed(
+                live.iter()
+                    .zip(&outputs)
+                    .map(|((_, _, submitted_at), out)| (now - *submitted_at, out.clone())),
+            );
+            for ((fulfiller, ticket, _), out) in live.into_iter().zip(outputs) {
+                fulfiller.settle(Ok(out));
+                drop(ticket);
+            }
+        }
+        Err(e) => {
+            recorder.batch_failed(live.len() as u64);
+            for (fulfiller, ticket, _) in live {
+                fulfiller.settle(Err(ServeError::Eval(e.clone())));
+                drop(ticket);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdl_core::arch::mnist_3c;
+    use cdl_core::confidence::ConfidencePolicy;
+    use cdl_core::head::LinearClassifier;
+    use cdl_nn::network::Network;
+    use std::time::Duration;
+
+    fn build_untrained() -> Arc<CdlNetwork> {
+        let arch = mnist_3c();
+        let base = Network::from_spec(&arch.spec, 3).unwrap();
+        let feats = arch.tap_features().unwrap();
+        let stages = arch
+            .taps
+            .iter()
+            .zip(&feats)
+            .map(|(t, &f)| {
+                (
+                    t.spec_layer,
+                    t.name.clone(),
+                    LinearClassifier::new(f, 10, 1).unwrap(),
+                )
+            })
+            .collect();
+        Arc::new(CdlNetwork::assemble(base, stages, ConfidencePolicy::max_prob(0.6)).unwrap())
+    }
+
+    fn images(n: usize) -> Vec<Tensor> {
+        (0..n)
+            .map(|i| Tensor::full(&[1, 28, 28], 0.1 + 0.07 * (i as f32 % 11.0)))
+            .collect()
+    }
+
+    fn config(policy: BatchPolicy, queue_capacity: usize, workers: usize) -> ServerConfig {
+        ServerConfig {
+            policy,
+            queue_capacity,
+            workers,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn serves_bit_identical_results() {
+        let net = build_untrained();
+        let server = Server::start(
+            Arc::clone(&net),
+            config(BatchPolicy::by_deadline(Duration::from_millis(2)), 64, 2),
+        )
+        .unwrap();
+        let inputs = images(24);
+        let pendings: Vec<Pending> = inputs
+            .iter()
+            .map(|x| server.submit(x.clone()).unwrap())
+            .collect();
+        for (x, pending) in inputs.iter().zip(pendings) {
+            assert_eq!(pending.wait().unwrap(), net.classify(x).unwrap());
+        }
+        let metrics = server.shutdown();
+        assert_eq!(metrics.completed, 24);
+        assert_eq!(metrics.failed, 0);
+        assert!(metrics.total_ops.compute_ops() > 0);
+        assert!(metrics.energy_pj > 0.0);
+    }
+
+    #[test]
+    fn backpressure_rejects_when_full() {
+        let net = build_untrained();
+        // a size-bound batch that never fills: nothing completes, so the
+        // 4-slot in-flight gate must fill deterministically
+        let server = Server::start(
+            Arc::clone(&net),
+            config(BatchPolicy::by_size(1 << 20), 4, 1),
+        )
+        .unwrap();
+        let inputs = images(4);
+        let pendings: Vec<Pending> = inputs
+            .iter()
+            .map(|x| server.try_submit(x.clone()).unwrap())
+            .collect();
+        assert_eq!(
+            server.try_submit(inputs[0].clone()).unwrap_err(),
+            ServeError::Full
+        );
+        let live = server.metrics();
+        assert_eq!(live.queue_depth, 4);
+        assert_eq!(live.rejected, 1);
+        assert_eq!(live.completed, 0);
+        // graceful shutdown flushes the partial batch and resolves everything
+        let metrics = server.shutdown();
+        assert_eq!(metrics.completed, 4);
+        assert_eq!(metrics.batches_flushed, 1);
+        assert_eq!(metrics.queue_depth, 0);
+        for (x, pending) in inputs.iter().zip(pendings) {
+            assert_eq!(pending.wait().unwrap(), net.classify(x).unwrap());
+        }
+    }
+
+    #[test]
+    fn deadline_forms_partial_batches() {
+        let net = build_untrained();
+        let server = Server::start(
+            Arc::clone(&net),
+            config(BatchPolicy::new(1000, Duration::from_millis(20)), 64, 1),
+        )
+        .unwrap();
+        let inputs = images(3);
+        let pendings: Vec<Pending> = inputs
+            .iter()
+            .map(|x| server.submit(x.clone()).unwrap())
+            .collect();
+        // no shutdown needed: the deadline alone must dispatch the batch
+        for (x, pending) in inputs.iter().zip(pendings) {
+            assert_eq!(pending.wait().unwrap(), net.classify(x).unwrap());
+        }
+        let metrics = server.shutdown();
+        assert_eq!(metrics.completed, 3);
+        assert!(metrics.batches_deadline >= 1);
+        assert_eq!(metrics.batches_full, 0);
+        let total_in_batches: u64 = metrics
+            .batch_size_histogram
+            .iter()
+            .enumerate()
+            .map(|(size, &n)| size as u64 * n)
+            .sum();
+        assert_eq!(total_in_batches, 3);
+    }
+
+    #[test]
+    fn size_bound_batches_dispatch_exactly_full() {
+        let net = build_untrained();
+        let server =
+            Server::start(Arc::clone(&net), config(BatchPolicy::by_size(4), 64, 2)).unwrap();
+        let inputs = images(8);
+        let pendings: Vec<Pending> = inputs
+            .iter()
+            .map(|x| server.submit(x.clone()).unwrap())
+            .collect();
+        for (x, pending) in inputs.iter().zip(pendings) {
+            assert_eq!(pending.wait().unwrap(), net.classify(x).unwrap());
+        }
+        let metrics = server.shutdown();
+        assert_eq!(metrics.completed, 8);
+        assert_eq!(metrics.batches_full, 2);
+        assert_eq!(metrics.batch_size_histogram[4], 2);
+        assert!((metrics.mean_batch_size - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropped_pendings_cancel_without_evaluation() {
+        let net = build_untrained();
+        let server = Server::start(
+            Arc::clone(&net),
+            config(BatchPolicy::by_size(1 << 20), 8, 1),
+        )
+        .unwrap();
+        for x in images(3) {
+            drop(server.submit(x).unwrap());
+        }
+        let metrics = server.shutdown();
+        assert_eq!(metrics.cancelled, 3);
+        assert_eq!(metrics.completed, 0);
+        assert_eq!(metrics.batches, 0, "nothing must be evaluated");
+        assert_eq!(metrics.total_ops.compute_ops(), 0);
+        assert_eq!(metrics.queue_depth, 0, "tickets released on cancel");
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_requests() {
+        let net = build_untrained();
+        let server = Server::start(
+            Arc::clone(&net),
+            config(BatchPolicy::by_size(1 << 20), 16, 2),
+        )
+        .unwrap();
+        let inputs = images(10);
+        let pendings: Vec<Pending> = inputs
+            .iter()
+            .map(|x| server.submit(x.clone()).unwrap())
+            .collect();
+        // none dispatched yet (size-bound batch can't fill) — shutdown must
+        // still deliver every single one
+        let metrics = server.shutdown();
+        assert_eq!(metrics.completed, 10);
+        for (x, pending) in inputs.iter().zip(pendings) {
+            assert_eq!(pending.wait().unwrap(), net.classify(x).unwrap());
+        }
+    }
+
+    #[test]
+    fn blocking_submit_rides_through_backpressure() {
+        let net = build_untrained();
+        // tiny queue + instant dispatch: submit must repeatedly block on the
+        // gate and resume as the workers drain
+        let server =
+            Server::start(Arc::clone(&net), config(BatchPolicy::by_size(1), 2, 2)).unwrap();
+        let inputs = images(20);
+        let pendings: Vec<Pending> = inputs
+            .iter()
+            .map(|x| server.submit(x.clone()).unwrap())
+            .collect();
+        for (x, pending) in inputs.iter().zip(pendings) {
+            assert_eq!(pending.wait().unwrap(), net.classify(x).unwrap());
+        }
+        let metrics = server.shutdown();
+        assert_eq!(metrics.completed, 20);
+        assert_eq!(metrics.batch_size_histogram[1], 20);
+    }
+
+    #[test]
+    fn concurrent_clients_interleave_arbitrarily() {
+        let net = build_untrained();
+        let server = Server::start(
+            Arc::clone(&net),
+            config(BatchPolicy::new(8, Duration::from_millis(1)), 128, 3),
+        )
+        .unwrap();
+        let inputs = images(60);
+        let outputs: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = inputs
+                .chunks(20)
+                .map(|chunk| {
+                    let server = &server;
+                    scope.spawn(move || {
+                        let pendings: Vec<Pending> = chunk
+                            .iter()
+                            .map(|x| server.submit(x.clone()).unwrap())
+                            .collect();
+                        pendings
+                            .into_iter()
+                            .map(|p| p.wait().unwrap())
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        for (x, out) in inputs.iter().zip(&outputs) {
+            assert_eq!(*out, net.classify(x).unwrap());
+        }
+        let metrics = server.shutdown();
+        assert_eq!(metrics.completed, 60);
+    }
+
+    #[test]
+    fn start_validates_config() {
+        let net = build_untrained();
+        let bad = config(BatchPolicy::by_size(0), 8, 1);
+        assert!(matches!(
+            Server::start(Arc::clone(&net), bad),
+            Err(ServeError::BadConfig(_))
+        ));
+        let bad = config(BatchPolicy::default(), 8, 0);
+        assert!(Server::start(net, bad).is_err());
+    }
+}

@@ -11,7 +11,9 @@
 //! * [`hw`] — analytical 45nm energy/area model,
 //! * [`core`] — the paper's contribution: cascaded linear classifiers with
 //!   confidence-gated early exit (Conditional Deep Learning), including the
-//!   batched serving path [`core::batch::BatchEvaluator`].
+//!   batched serving path [`core::batch::BatchEvaluator`],
+//! * [`serve`] — streaming inference server: bounded submission queue →
+//!   dynamic batcher → pool of persistent batched evaluators.
 //!
 //! ## Workspace layout & building
 //!
@@ -23,6 +25,7 @@
 //! crates/dataset   cdl-dataset  synthetic MNIST + IDX
 //! crates/hw        cdl-hw       energy model
 //! crates/core      cdl-core     the CDL mechanism (Algorithms 1 & 2)
+//! crates/serve     cdl-serve    streaming server w/ dynamic batching
 //! crates/bench     cdl-bench    experiment harness (fig*/table* binaries)
 //! vendor/*                      offline stand-ins for rand, serde(+derive),
 //!                               serde_json, proptest, criterion, rayon, bytes
@@ -37,6 +40,8 @@
 //! cargo test -q                    # full test suite (minutes)
 //! cargo run --release --example quickstart
 //! cargo bench -p cdl-bench --bench batch   # batched vs per-image serving
+//! cargo bench -p cdl-bench --bench serve   # streaming server throughput
+//! cargo run --release --example serve_stream       # serving demo + metrics
 //! cargo run --release -p cdl-bench --bin run_all   # every paper figure
 //! ```
 //!
@@ -56,9 +61,24 @@
 //! still-active subset after every confidence gate. Outputs are
 //! bit-identical to per-image [`core::network::CdlNetwork::classify`]
 //! (enforced by `tests/batch_equivalence.rs`).
+//!
+//! ## Streaming serving
+//!
+//! Online request streams go through [`serve::Server`]: callers submit
+//! single images from any number of threads and get one-shot
+//! [`serve::Pending`] handles back; a dynamic batcher forms batches by
+//! size-or-deadline ([`serve::BatchPolicy`]) and a worker pool of
+//! persistent `BatchEvaluator`s answers them. Backpressure (bounded
+//! in-flight queue), drop-to-cancel, graceful drain-then-stop shutdown and
+//! a [`serve::ServerMetrics`] snapshot (throughput, batch-size histogram,
+//! latency percentiles, cumulative ops/energy) are built in. Responses are
+//! bit-identical to per-image `classify` for every interleaving (enforced
+//! by `tests/serve_equivalence.rs`); see `examples/serve_stream.rs` for an
+//! end-to-end simulated workload.
 
 pub use cdl_core as core;
 pub use cdl_dataset as dataset;
 pub use cdl_hw as hw;
 pub use cdl_nn as nn;
+pub use cdl_serve as serve;
 pub use cdl_tensor as tensor;
