@@ -1,6 +1,7 @@
-//! Criterion bench: streaming server throughput (`cdl_serve::Server`,
-//! dynamic batching + worker pool) vs the sequential per-image loop and the
-//! offline `BatchEvaluator`, on a 1k-request simulated stream.
+//! Criterion bench: sharded streaming-server throughput
+//! (`cdl_serve::Router`, two models behind one front-end, dynamic batching
+//! per shard) vs the sequential per-image loop and the offline
+//! `BatchEvaluator`s, on a 1k-request two-model simulated stream.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -15,15 +16,17 @@ use cdl_core::network::CdlNetwork;
 use cdl_dataset::SyntheticMnist;
 use cdl_nn::network::Network;
 use cdl_nn::trainer::{train, LabelledSet, TrainConfig};
-use cdl_serve::{BatchPolicy, Pending, Server, ServerConfig};
+use cdl_serve::{BatchPolicy, ModelId, Pending, Router, ServerConfig, ShardSpec, SubmitOptions};
 
-fn prepare() -> (Arc<CdlNetwork>, LabelledSet) {
-    let (train_set, test_set) = SyntheticMnist::default().generate_split(1500, 1024, 23);
-    let arch = arch::mnist_3c();
-    let mut base = Network::from_spec(&arch.spec, 7).unwrap();
+fn train_model(
+    arch: cdl_core::arch::CdlArchitecture,
+    train_set: &LabelledSet,
+    seed: u64,
+) -> Arc<CdlNetwork> {
+    let mut base = Network::from_spec(&arch.spec, seed).unwrap();
     train(
         &mut base,
-        &train_set,
+        train_set,
         &TrainConfig {
             epochs: 6,
             lr: 1.5,
@@ -35,7 +38,7 @@ fn prepare() -> (Arc<CdlNetwork>, LabelledSet) {
     let cdl = CdlBuilder::new(arch, ConfidencePolicy::sigmoid_prob(0.5))
         .build(
             base,
-            &train_set,
+            train_set,
             &BuilderConfig {
                 force_admit_all: true,
                 ..BuilderConfig::default()
@@ -43,38 +46,66 @@ fn prepare() -> (Arc<CdlNetwork>, LabelledSet) {
         )
         .unwrap()
         .into_network();
-    (Arc::new(cdl), test_set)
+    Arc::new(cdl)
 }
 
-/// Streams every image through a fresh server from `clients` submitter
-/// threads; returns the exit-stage checksum the other variants compute.
-fn stream_through_server(
-    net: &Arc<CdlNetwork>,
+/// MNIST_2C + MNIST_3C trained on one synthetic set, plus the test images.
+fn prepare() -> (Arc<CdlNetwork>, Arc<CdlNetwork>, LabelledSet) {
+    let (train_set, test_set) = SyntheticMnist::default().generate_split(1500, 1024, 23);
+    let m2c = train_model(arch::mnist_2c(), &train_set, 7);
+    let m3c = train_model(arch::mnist_3c(), &train_set, 11);
+    (m2c, m3c, test_set)
+}
+
+/// The per-request override mix the streamed variants exercise (a quarter
+/// of the stream deviates from the deployment default).
+fn service_level(i: usize) -> SubmitOptions {
+    match i % 8 {
+        0..=5 => SubmitOptions::default(),
+        6 => SubmitOptions::with_delta(0.35),
+        _ => SubmitOptions::with_max_stage(0),
+    }
+}
+
+/// Streams every image through a fresh two-shard router from `clients`
+/// submitter threads — request `i` to model `i % 2` with its service
+/// level — and returns the exit-stage checksum the other variants compute.
+fn stream_through_router(
+    m2c: &Arc<CdlNetwork>,
+    m3c: &Arc<CdlNetwork>,
     images: &[cdl_tensor::Tensor],
     policy: BatchPolicy,
     workers: usize,
     clients: usize,
 ) -> usize {
-    let server = Server::start(
-        Arc::clone(net),
-        ServerConfig {
-            policy,
-            queue_capacity: 2048,
-            workers,
-            ..ServerConfig::default()
-        },
-    )
+    let config = ServerConfig {
+        policy,
+        queue_capacity: 2048,
+        workers,
+        ..ServerConfig::default()
+    };
+    let router = Router::start(vec![
+        ShardSpec::new("MNIST_2C", Arc::clone(m2c), config.clone()),
+        ShardSpec::new("MNIST_3C", Arc::clone(m3c), config),
+    ])
     .unwrap();
+    let models = [ModelId::from_index(0), ModelId::from_index(1)];
     let exits = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
-                let server = &server;
+                let router = &router;
+                let models = &models;
                 scope.spawn(move || {
                     let pendings: Vec<Pending> = images
                         .iter()
+                        .enumerate()
                         .skip(c)
                         .step_by(clients)
-                        .map(|x| server.submit(x.clone()).unwrap())
+                        .map(|(i, x)| {
+                            router
+                                .submit_with(models[i % 2], x.clone(), service_level(i))
+                                .unwrap()
+                        })
                         .collect();
                     pendings
                         .into_iter()
@@ -85,40 +116,58 @@ fn stream_through_server(
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).sum()
     });
-    server.shutdown();
+    router.shutdown();
     exits
 }
 
 fn bench_serve(c: &mut Criterion) {
-    let (cdl, test_set) = prepare();
+    let (m2c, m3c, test_set) = prepare();
     let images = &test_set.images;
     assert!(images.len() >= 1024);
+    let nets = [&m2c, &m3c];
     let workers = std::thread::available_parallelism()
         .map(|n| n.get().min(4))
         .unwrap_or(2);
 
-    let mut group = c.benchmark_group("serve_stream_1k");
+    let mut group = c.benchmark_group("serve_stream_2model_1k");
     group.sample_size(10);
     group.bench_function("per_image_classify", |b| {
         b.iter(|| {
             let mut exits = 0usize;
-            for img in images {
-                exits += cdl.classify(black_box(img)).unwrap().exit_stage;
+            for (i, img) in images.iter().enumerate() {
+                exits += nets[i % 2]
+                    .classify_with_override(black_box(img), service_level(i).exit_override())
+                    .unwrap()
+                    .exit_stage;
             }
             exits
         })
     });
-    group.bench_function("offline_batch_evaluator", |b| {
-        let mut eval = BatchEvaluator::new(&cdl);
+    group.bench_function("offline_batch_evaluators", |b| {
+        // offline upper bound: split the stream by model, one persistent
+        // evaluator each, default policy only (overrides need grouping,
+        // which is the router's job)
+        let mut eval_2c = BatchEvaluator::new(&m2c);
+        let mut eval_3c = BatchEvaluator::new(&m3c);
+        let (for_2c, for_3c): (Vec<_>, Vec<_>) =
+            images.iter().enumerate().partition(|(i, _)| i % 2 == 0);
+        let for_2c: Vec<_> = for_2c.into_iter().map(|(_, x)| x.clone()).collect();
+        let for_3c: Vec<_> = for_3c.into_iter().map(|(_, x)| x.clone()).collect();
         b.iter(|| {
-            let outs = eval.classify_batch(black_box(images)).unwrap();
-            outs.iter().map(|o| o.exit_stage).sum::<usize>()
+            let outs_2c = eval_2c.classify_batch(black_box(&for_2c)).unwrap();
+            let outs_3c = eval_3c.classify_batch(black_box(&for_3c)).unwrap();
+            outs_2c
+                .iter()
+                .chain(&outs_3c)
+                .map(|o| o.exit_stage)
+                .sum::<usize>()
         })
     });
-    group.bench_function("server_mixed_64_1ms", |b| {
+    group.bench_function("router_mixed_64_1ms", |b| {
         b.iter(|| {
-            stream_through_server(
-                &cdl,
+            stream_through_router(
+                &m2c,
+                &m3c,
                 black_box(images),
                 BatchPolicy::new(64, Duration::from_millis(1)),
                 workers,
@@ -127,15 +176,21 @@ fn bench_serve(c: &mut Criterion) {
         })
     });
     // a deadline-free size-bound policy only terminates when every batch
-    // fills: the stream length must divide evenly or the tail would wait
-    // forever (the clients block in wait() before shutdown can flush)
-    assert_eq!(images.len() % 128, 0, "size-bound stream must tile exactly");
-    group.bench_function("server_size_bound_128", |b| {
+    // fills: each shard sees half the stream, which must tile evenly or
+    // the tail would wait forever (the clients block in wait() before
+    // shutdown can flush)
+    assert_eq!(
+        (images.len() / 2) % 64,
+        0,
+        "size-bound per-shard stream must tile exactly"
+    );
+    group.bench_function("router_size_bound_64", |b| {
         b.iter(|| {
-            stream_through_server(
-                &cdl,
+            stream_through_router(
+                &m2c,
+                &m3c,
                 black_box(images),
-                BatchPolicy::by_size(128),
+                BatchPolicy::by_size(64),
                 workers,
                 4,
             )

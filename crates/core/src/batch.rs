@@ -31,7 +31,7 @@ use cdl_hw::OpCount;
 use cdl_nn::batch::BatchScratch;
 use cdl_tensor::Tensor;
 
-use crate::confidence::ConfidencePolicy;
+use crate::confidence::{ConfidencePolicy, ExitOverride};
 use crate::error::CdlError;
 use crate::network::{CdlNetwork, CdlOutput};
 use crate::Result;
@@ -88,6 +88,37 @@ impl<'a> BatchEvaluator<'a> {
         inputs: &[Tensor],
         policy: ConfidencePolicy,
     ) -> Result<Vec<CdlOutput>> {
+        self.classify_batch_capped(inputs, policy, None)
+    }
+
+    /// Classifies a batch with per-request [`ExitOverride`]s (δ replacement
+    /// and/or cascade-depth cap) applied **uniformly to the whole batch** —
+    /// the serving layer groups requests by effective override before
+    /// calling this, so scratch reuse and bit-exactness are preserved.
+    ///
+    /// Every output is bit-identical to
+    /// [`CdlNetwork::classify_with_override`] on the same input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdlError::BadPolicy`] when the overridden δ is out of
+    /// range; propagates layer/head evaluation errors.
+    pub fn classify_batch_with_override(
+        &mut self,
+        inputs: &[Tensor],
+        ovr: ExitOverride,
+    ) -> Result<Vec<CdlOutput>> {
+        let policy = ovr.effective_policy(self.net.policy());
+        policy.validate()?;
+        self.classify_batch_capped(inputs, policy, ovr.max_stage)
+    }
+
+    fn classify_batch_capped(
+        &mut self,
+        inputs: &[Tensor],
+        policy: ConfidencePolicy,
+        force_exit_at: Option<usize>,
+    ) -> Result<Vec<CdlOutput>> {
         let n = inputs.len();
         let mut outputs: Vec<Option<CdlOutput>> = (0..n).map(|_| None).collect();
         if n == 0 {
@@ -127,7 +158,7 @@ impl<'a> BatchEvaluator<'a> {
                 let row = &self.head_scores[k * classes..(k + 1) * classes];
                 let scores = Tensor::from_slice(row);
                 let decision = policy.decide(&scores)?;
-                if decision.exit {
+                if decision.exit || force_exit_at.is_some_and(|cap| stage_idx >= cap) {
                     outputs[active_idx[k]] = Some(CdlOutput {
                         label: decision.label,
                         exit_stage: stage_idx,
@@ -187,9 +218,25 @@ impl<'a> BatchEvaluator<'a> {
     ///
     /// Propagates layer/head evaluation errors.
     pub fn classify_stream(&mut self, inputs: &[Tensor]) -> Result<Vec<CdlOutput>> {
+        self.classify_stream_with_override(inputs, ExitOverride::NONE)
+    }
+
+    /// [`BatchEvaluator::classify_stream`] with one [`ExitOverride`]
+    /// applied to every image of the stream (see
+    /// [`BatchEvaluator::classify_batch_with_override`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdlError::BadPolicy`] when the overridden δ is out of
+    /// range; propagates layer/head evaluation errors.
+    pub fn classify_stream_with_override(
+        &mut self,
+        inputs: &[Tensor],
+        ovr: ExitOverride,
+    ) -> Result<Vec<CdlOutput>> {
         let mut outputs = Vec::with_capacity(inputs.len());
         for chunk in inputs.chunks(Self::STREAM_CHUNK) {
-            outputs.extend(self.classify_batch(chunk)?);
+            outputs.extend(self.classify_batch_with_override(chunk, ovr)?);
         }
         Ok(outputs)
     }
@@ -334,6 +381,36 @@ mod tests {
             assert_eq!(*got, cdl.classify_baseline(img).unwrap());
         }
         assert!(eval.classify_baseline_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn override_batch_matches_per_image_override() {
+        let cdl = build_untrained();
+        let inputs = batch(17);
+        let mut eval = BatchEvaluator::new(&cdl);
+        for ovr in [
+            ExitOverride::NONE,
+            ExitOverride::with_delta(0.45),
+            ExitOverride::with_delta(0.999),
+            ExitOverride::with_max_stage(0),
+            ExitOverride::with_max_stage(1),
+            ExitOverride {
+                delta: Some(0.999),
+                max_stage: Some(1),
+            },
+        ] {
+            let batched = eval.classify_batch_with_override(&inputs, ovr).unwrap();
+            for (img, out) in inputs.iter().zip(&batched) {
+                let single = cdl.classify_with_override(img, ovr).unwrap();
+                assert_eq!(*out, single, "override {ovr}");
+            }
+            let streamed = eval.classify_stream_with_override(&inputs, ovr).unwrap();
+            assert_eq!(streamed, batched, "override {ovr}");
+        }
+        // invalid δ is rejected before any evaluation
+        assert!(eval
+            .classify_batch_with_override(&inputs, ExitOverride::with_delta(-1.0))
+            .is_err());
     }
 
     #[test]

@@ -198,6 +198,90 @@ impl ConfidencePolicy {
     }
 }
 
+/// Per-request overrides of the network's termination behaviour — the
+/// runtime-adjustable knobs of the paper's Fig. 10 accuracy/energy
+/// trade-off, applicable to a single classification without touching the
+/// network's configured [`ConfidencePolicy`].
+///
+/// * `delta` replaces the policy's scalar threshold (via
+///   [`ConfidencePolicy::with_threshold`]): a lax δ exits earlier and
+///   spends less energy, a strict δ cascades deeper for accuracy.
+/// * `max_stage` caps the cascade: an input that reaches conditional stage
+///   `max_stage` (0-based) terminates there **unconditionally**, with that
+///   stage's head decision, regardless of confidence — an anytime-inference
+///   bound on per-request cost. Values `>= stage_count()` have no effect
+///   (the final layer stays reachable).
+///
+/// The default (`ExitOverride::NONE`) changes nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ExitOverride {
+    /// Replacement threshold for the policy's δ knob (`None` = keep the
+    /// network's configured threshold).
+    pub delta: Option<f32>,
+    /// Deepest conditional stage this input may cascade to (`None` = no
+    /// cap). Reaching this stage forces termination there.
+    pub max_stage: Option<usize>,
+}
+
+impl ExitOverride {
+    /// The no-op override: configured policy, uncapped cascade.
+    pub const NONE: ExitOverride = ExitOverride {
+        delta: None,
+        max_stage: None,
+    };
+
+    /// Overrides only the threshold δ.
+    pub fn with_delta(delta: f32) -> Self {
+        ExitOverride {
+            delta: Some(delta),
+            max_stage: None,
+        }
+    }
+
+    /// Caps only the cascade depth.
+    pub fn with_max_stage(max_stage: usize) -> Self {
+        ExitOverride {
+            delta: None,
+            max_stage: Some(max_stage),
+        }
+    }
+
+    /// `true` when this override changes nothing.
+    pub fn is_none(&self) -> bool {
+        self.delta.is_none() && self.max_stage.is_none()
+    }
+
+    /// The policy actually gating a request: `base` with this override's
+    /// δ substituted (when set).
+    pub fn effective_policy(&self, base: ConfidencePolicy) -> ConfidencePolicy {
+        match self.delta {
+            Some(d) => base.with_threshold(d),
+            None => base,
+        }
+    }
+
+    /// Validates the override against the policy it would modify.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdlError::BadPolicy`] when the substituted δ is out of
+    /// range for `base`'s policy type.
+    pub fn validate_for(&self, base: ConfidencePolicy) -> Result<()> {
+        self.effective_policy(base).validate()
+    }
+}
+
+impl std::fmt::Display for ExitOverride {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.delta, self.max_stage) {
+            (None, None) => write!(f, "default"),
+            (Some(d), None) => write!(f, "δ={d}"),
+            (None, Some(s)) => write!(f, "max_stage={s}"),
+            (Some(d), Some(s)) => write!(f, "δ={d}, max_stage={s}"),
+        }
+    }
+}
+
 impl std::fmt::Display for ConfidencePolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match *self {

@@ -71,7 +71,7 @@ pub mod sweep;
 pub use arch::CdlArchitecture;
 pub use batch::BatchEvaluator;
 pub use builder::{BuilderConfig, CdlBuilder, TrainedCdl};
-pub use confidence::{ConfidencePolicy, Decision};
+pub use confidence::{ConfidencePolicy, Decision, ExitOverride};
 pub use error::CdlError;
 pub use head::LinearClassifier;
 pub use network::{CdlNetwork, CdlOutput};

@@ -4,7 +4,7 @@ use cdl_hw::OpCount;
 use cdl_nn::network::Network;
 use cdl_tensor::Tensor;
 
-use crate::confidence::ConfidencePolicy;
+use crate::confidence::{ConfidencePolicy, ExitOverride};
 use crate::error::CdlError;
 use crate::head::LinearClassifier;
 use crate::Result;
@@ -193,6 +193,21 @@ impl CdlNetwork {
         self.classify_with_policy(x, self.policy)
     }
 
+    /// Classifies with per-request [`ExitOverride`]s applied to the
+    /// configured policy — the reference semantics of the serving layer's
+    /// per-request δ/`max_stage` knobs (the batched and sharded paths are
+    /// pinned bit-identical to this).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdlError::BadPolicy`] when the overridden δ is out of
+    /// range; propagates layer/head evaluation errors.
+    pub fn classify_with_override(&self, x: &Tensor, ovr: ExitOverride) -> Result<CdlOutput> {
+        let policy = ovr.effective_policy(self.policy);
+        policy.validate()?;
+        self.classify_impl_capped(x, |_| policy, ovr.max_stage)
+    }
+
     /// Classifies with a **per-stage policy schedule** — an extension beyond
     /// the paper's single global δ: early stages can be given stricter
     /// thresholds (they see easier inputs but have weaker features) and
@@ -229,6 +244,18 @@ impl CdlNetwork {
         x: &Tensor,
         policy_for: impl Fn(usize) -> ConfidencePolicy,
     ) -> Result<CdlOutput> {
+        self.classify_impl_capped(x, policy_for, None)
+    }
+
+    /// The cascade with an optional depth cap: reaching conditional stage
+    /// `force_exit_at` terminates there with that head's decision (same
+    /// label/confidence bits the gate computed), whatever the gate said.
+    fn classify_impl_capped(
+        &self,
+        x: &Tensor,
+        policy_for: impl Fn(usize) -> ConfidencePolicy,
+        force_exit_at: Option<usize>,
+    ) -> Result<CdlOutput> {
         let mut cur = x.clone();
         let mut prev_tap: Option<usize> = None;
         let mut ops = OpCount::ZERO;
@@ -246,7 +273,7 @@ impl CdlNetwork {
             ops += stage.ops_from_prev + stage.head_ops;
             let scores = stage.head.scores(&cur)?;
             let decision = policy_for(idx).decide(&scores)?;
-            if decision.exit {
+            if decision.exit || force_exit_at.is_some_and(|cap| idx >= cap) {
                 return Ok(CdlOutput {
                     label: decision.label,
                     exit_stage: idx,
@@ -483,6 +510,87 @@ mod tests {
         assert_eq!(out.exit_stage, 0);
         // empty schedule is rejected
         assert!(cdl.classify_with_schedule(&x, &[]).is_err());
+    }
+
+    #[test]
+    fn override_none_matches_classify() {
+        let cdl = build_untrained();
+        let x = Tensor::full(&[1, 28, 28], 0.4);
+        let plain = cdl.classify(&x).unwrap();
+        let ovr = cdl.classify_with_override(&x, ExitOverride::NONE).unwrap();
+        assert_eq!(plain, ovr);
+        // a cap at/after the final stage also changes nothing
+        let capped = cdl
+            .classify_with_override(&x, ExitOverride::with_max_stage(cdl.stage_count()))
+            .unwrap();
+        assert_eq!(plain, capped);
+    }
+
+    #[test]
+    fn delta_override_matches_explicit_policy() {
+        let cdl = build_untrained();
+        let x = Tensor::full(&[1, 28, 28], 0.4);
+        for delta in [0.3, 0.6, 0.999] {
+            let ovr = cdl
+                .classify_with_override(&x, ExitOverride::with_delta(delta))
+                .unwrap();
+            let explicit = cdl
+                .classify_with_policy(&x, cdl.policy().with_threshold(delta))
+                .unwrap();
+            assert_eq!(ovr, explicit, "delta {delta}");
+        }
+        // invalid δ is rejected before any evaluation
+        assert!(cdl
+            .classify_with_override(&x, ExitOverride::with_delta(0.0))
+            .is_err());
+    }
+
+    #[test]
+    fn max_stage_caps_the_cascade() {
+        let cdl = build_untrained();
+        let x = Tensor::full(&[1, 28, 28], 0.4);
+        // δ ≈ 1 never exits on its own → the cap must terminate stage s
+        let strict = ExitOverride {
+            delta: Some(0.999),
+            max_stage: None,
+        };
+        let uncapped = cdl.classify_with_override(&x, strict).unwrap();
+        assert_eq!(uncapped.exit_stage, cdl.stage_count());
+        for cap in 0..cdl.stage_count() {
+            let out = cdl
+                .classify_with_override(
+                    &x,
+                    ExitOverride {
+                        delta: Some(0.999),
+                        max_stage: Some(cap),
+                    },
+                )
+                .unwrap();
+            assert_eq!(out.exit_stage, cap);
+            assert!(out.exited_early);
+            assert_eq!(out.stages_activated, cap as u64 + 1);
+            assert!(out.ops.compute_ops() < uncapped.ops.compute_ops());
+        }
+    }
+
+    #[test]
+    fn exit_override_helpers() {
+        assert!(ExitOverride::NONE.is_none());
+        assert!(ExitOverride::default().is_none());
+        assert!(!ExitOverride::with_delta(0.5).is_none());
+        assert!(!ExitOverride::with_max_stage(1).is_none());
+        let p = ConfidencePolicy::max_prob(0.6);
+        assert_eq!(ExitOverride::NONE.effective_policy(p), p);
+        assert_eq!(
+            ExitOverride::with_delta(0.9)
+                .effective_policy(p)
+                .threshold(),
+            0.9
+        );
+        assert!(ExitOverride::with_delta(2.0).validate_for(p).is_err());
+        assert!(ExitOverride::with_delta(0.9).validate_for(p).is_ok());
+        assert_eq!(ExitOverride::NONE.to_string(), "default");
+        assert!(ExitOverride::with_delta(0.5).to_string().contains("0.5"));
     }
 
     #[test]

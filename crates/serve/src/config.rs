@@ -2,9 +2,73 @@
 
 use std::time::Duration;
 
+use cdl_core::confidence::{ConfidencePolicy, ExitOverride};
 use cdl_hw::EnergyModel;
 
 use crate::error::{ServeError, ServeResult};
+
+/// Per-request overrides carried on a submission — the runtime-adjustable
+/// accuracy/energy trade-off of the paper's Fig. 10, exposed per request so
+/// one stream can mix service levels.
+///
+/// * `delta` replaces the model's confidence threshold δ for this request
+///   only (lax δ → earlier exits, less energy; strict δ → deeper cascade,
+///   more accuracy).
+/// * `max_stage` caps how deep this request may cascade: reaching
+///   conditional stage `max_stage` (0-based) terminates there
+///   unconditionally — a hard per-request cost bound.
+///
+/// The worker pool groups each batch by effective override before
+/// evaluation, so responses stay **bit-identical** to
+/// [`cdl_core::network::CdlNetwork::classify_with_override`] regardless of
+/// which batch (and which mix of overrides) a request lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SubmitOptions {
+    /// Replacement δ for this request (`None` = the model's configured
+    /// threshold).
+    pub delta: Option<f32>,
+    /// Deepest conditional stage this request may cascade to (`None` = no
+    /// cap).
+    pub max_stage: Option<usize>,
+}
+
+impl SubmitOptions {
+    /// Overrides only δ.
+    pub fn with_delta(delta: f32) -> Self {
+        SubmitOptions {
+            delta: Some(delta),
+            max_stage: None,
+        }
+    }
+
+    /// Caps only the cascade depth.
+    pub fn with_max_stage(max_stage: usize) -> Self {
+        SubmitOptions {
+            delta: None,
+            max_stage: Some(max_stage),
+        }
+    }
+
+    /// The [`ExitOverride`] these options apply to the evaluator.
+    pub fn exit_override(&self) -> ExitOverride {
+        ExitOverride {
+            delta: self.delta,
+            max_stage: self.max_stage,
+        }
+    }
+
+    /// Validates the options against the policy they would override.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadOptions`] when the substituted δ is out of
+    /// range for the model's policy type.
+    pub fn validate_for(&self, policy: ConfidencePolicy) -> ServeResult<()> {
+        self.exit_override()
+            .validate_for(policy)
+            .map_err(|e| ServeError::BadOptions(e.to_string()))
+    }
+}
 
 /// When does the batcher stop collecting and dispatch a batch?
 ///

@@ -3,6 +3,8 @@
 use cdl_core::CdlError;
 use std::fmt;
 
+use crate::router::ModelId;
+
 /// Result alias used throughout `cdl-serve`.
 pub type ServeResult<T> = std::result::Result<T, ServeError>;
 
@@ -24,6 +26,12 @@ pub enum ServeError {
     /// Invalid server configuration (zero-sized queue, empty worker pool,
     /// zero-sized batches, …).
     BadConfig(String),
+    /// Invalid per-request [`crate::SubmitOptions`] (e.g. a δ override out
+    /// of range for the model's policy). The request was **not** admitted.
+    BadOptions(String),
+    /// The [`crate::ModelId`] on a routed request matches no shard of the
+    /// [`crate::Router`]. The request was **not** admitted.
+    UnknownModel(ModelId),
 }
 
 impl fmt::Display for ServeError {
@@ -34,6 +42,8 @@ impl fmt::Display for ServeError {
             ServeError::Disconnected => write!(f, "request dropped by the serving pipeline"),
             ServeError::Eval(e) => write!(f, "evaluation failed: {e}"),
             ServeError::BadConfig(msg) => write!(f, "bad server configuration: {msg}"),
+            ServeError::BadOptions(msg) => write!(f, "bad submit options: {msg}"),
+            ServeError::UnknownModel(id) => write!(f, "no shard serves model {id}"),
         }
     }
 }

@@ -46,6 +46,18 @@
 //!   resolves, threads join, and the final [`ServerMetrics`] snapshot is
 //!   returned (throughput, queue depth, batch-size histogram, latency
 //!   min/mean/p50/p99, cumulative ops + energy).
+//! * **Per-request overrides** ([`Server::submit_with`] +
+//!   [`SubmitOptions`]): each request may replace the model's confidence
+//!   threshold δ and/or cap its cascade depth — the Fig. 10
+//!   accuracy/energy trade-off, selectable per request. Workers group each
+//!   batch by effective override, so results stay bit-identical to
+//!   `classify_with_override` whatever mix of service levels a batch holds.
+//! * **Sharded multi-model serving** ([`Router`]): one front-end routing
+//!   requests by [`ModelId`] to per-model shards (each a full
+//!   batcher + worker-pool pipeline) with independent backpressure,
+//!   per-shard and aggregate metrics ([`RouterMetrics`]: routing histogram,
+//!   per-model exit/energy breakdown), and drain-then-stop shutdown across
+//!   all shards.
 //!
 //! ## Example
 //!
@@ -88,10 +100,12 @@ pub mod config;
 pub mod error;
 pub mod metrics;
 pub mod pending;
+pub mod router;
 pub mod server;
 
-pub use config::{BatchPolicy, ServerConfig};
+pub use config::{BatchPolicy, ServerConfig, SubmitOptions};
 pub use error::{ServeError, ServeResult};
-pub use metrics::{LatencyStats, ServerMetrics};
+pub use metrics::{LatencyStats, RouterMetrics, ServerMetrics, ShardMetrics};
 pub use pending::Pending;
+pub use router::{ModelId, Router, ShardSpec};
 pub use server::Server;

@@ -8,11 +8,14 @@ use std::time::{Duration, Instant};
 
 use cdl_hw::{EnergyModel, OpCount};
 
-/// Completed-request latencies retained for percentile estimation: a
-/// sliding window of the most recent completions, so a long-running server
-/// stays at O(1) memory and snapshot cost (`min`/`mean`/`max`/`count` are
-/// exact lifetime accumulators regardless).
-const LATENCY_WINDOW: usize = 65_536;
+/// Completed-request latencies retained for percentile estimation:
+/// **exactly the most recent 65 536 completions** (a fixed-size ring
+/// buffer), so a long-running server stays at O(1) memory and snapshot
+/// cost. Once the ring is full, every new completion **evicts the oldest
+/// retained sample**, so [`LatencyStats::p50`]/[`LatencyStats::p99`]
+/// describe only the trailing window; `min`/`mean`/`max`/`count` are exact
+/// lifetime accumulators regardless of the window.
+pub const LATENCY_WINDOW: usize = 65_536;
 
 /// Latency distribution over completed requests (submit → result).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,7 +67,11 @@ pub struct ServerMetrics {
     /// Admitted requests not yet completed/cancelled/failed.
     pub queue_depth: usize,
     /// Batches evaluated (batches whose live requests were all cancelled
-    /// are not counted — nothing was evaluated).
+    /// are not counted — nothing was evaluated). A dispatched batch whose
+    /// requests carry `k` distinct [`crate::SubmitOptions`] overrides is
+    /// evaluated as `k` policy-uniform sub-batches and counted `k` times
+    /// here (the `batches_full`/`batches_deadline`/`batches_flushed`
+    /// dispatch counters still count it once).
     pub batches: u64,
     /// Batches dispatched because they were full.
     pub batches_full: u64,
@@ -72,7 +79,9 @@ pub struct ServerMetrics {
     pub batches_deadline: u64,
     /// Partial batches flushed by shutdown.
     pub batches_flushed: u64,
-    /// `batch_size_histogram[s]` = evaluated batches of size `s`.
+    /// `batch_size_histogram[s]` = evaluated batches of size `s` (after
+    /// cancellation pruning and override grouping — see
+    /// [`ServerMetrics::batches`]).
     pub batch_size_histogram: Vec<u64>,
     /// Mean evaluated batch size.
     pub mean_batch_size: f64,
@@ -151,6 +160,142 @@ impl fmt::Display for ServerMetrics {
                 0.0
             },
         )
+    }
+}
+
+/// One shard's slice of a [`RouterMetrics`] snapshot.
+#[derive(Debug, Clone)]
+pub struct ShardMetrics {
+    /// The model name the shard was registered under.
+    pub model: String,
+    /// Requests the router routed (admitted) to this shard — counted at
+    /// the router front-end, so it must equal `metrics.submitted` in any
+    /// settled snapshot (a cross-check that nothing was mis-routed).
+    pub routed: u64,
+    /// The shard's own [`ServerMetrics`] snapshot.
+    pub metrics: ServerMetrics,
+}
+
+/// A point-in-time snapshot across every shard of a [`crate::Router`]:
+/// per-model breakdowns plus aggregate accessors (sums over shards).
+///
+/// Obtained from [`crate::Router::metrics`] (live) or returned by
+/// [`crate::Router::shutdown`] (final). `Display` renders the aggregate
+/// line followed by each shard's full report.
+#[derive(Debug, Clone)]
+pub struct RouterMetrics {
+    /// Per-shard metrics, in model registration order ([`crate::ModelId`]
+    /// index order).
+    pub shards: Vec<ShardMetrics>,
+}
+
+impl RouterMetrics {
+    /// Requests routed per model, in registration order — the routing
+    /// histogram.
+    pub fn routing_histogram(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.routed).collect()
+    }
+
+    /// Total requests admitted across shards.
+    pub fn submitted(&self) -> u64 {
+        self.shards.iter().map(|s| s.metrics.submitted).sum()
+    }
+
+    /// Total `try_submit` rejections across shards.
+    pub fn rejected(&self) -> u64 {
+        self.shards.iter().map(|s| s.metrics.rejected).sum()
+    }
+
+    /// Total requests evaluated and delivered across shards.
+    pub fn completed(&self) -> u64 {
+        self.shards.iter().map(|s| s.metrics.completed).sum()
+    }
+
+    /// Total requests cancelled across shards.
+    pub fn cancelled(&self) -> u64 {
+        self.shards.iter().map(|s| s.metrics.cancelled).sum()
+    }
+
+    /// Total requests failed across shards.
+    pub fn failed(&self) -> u64 {
+        self.shards.iter().map(|s| s.metrics.failed).sum()
+    }
+
+    /// Total in-flight requests across shards.
+    pub fn queue_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.metrics.queue_depth).sum()
+    }
+
+    /// Total batches evaluated across shards.
+    pub fn batches(&self) -> u64 {
+        self.shards.iter().map(|s| s.metrics.batches).sum()
+    }
+
+    /// Element-wise sum of the shards' exit histograms (index `i` =
+    /// completed requests that exited at stage `i` on *any* model; models
+    /// with fewer stages simply contribute nothing to the deeper slots).
+    pub fn exit_histogram(&self) -> Vec<u64> {
+        let len = self
+            .shards
+            .iter()
+            .map(|s| s.metrics.exit_histogram.len())
+            .max()
+            .unwrap_or(0);
+        let mut total = vec![0u64; len];
+        for shard in &self.shards {
+            for (slot, &n) in shard.metrics.exit_histogram.iter().enumerate() {
+                total[slot] += n;
+            }
+        }
+        total
+    }
+
+    /// Cumulative operations of every completed request across shards.
+    pub fn total_ops(&self) -> OpCount {
+        self.shards.iter().map(|s| s.metrics.total_ops).sum()
+    }
+
+    /// Cumulative hardware stages activated across shards.
+    pub fn stages_activated(&self) -> u64 {
+        self.shards.iter().map(|s| s.metrics.stages_activated).sum()
+    }
+
+    /// Cumulative energy across shards, picojoules (each shard priced
+    /// under its own [`EnergyModel`]).
+    pub fn energy_pj(&self) -> f64 {
+        self.shards.iter().map(|s| s.metrics.energy_pj).sum()
+    }
+}
+
+impl fmt::Display for RouterMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let histogram: Vec<String> = self
+            .shards
+            .iter()
+            .map(|s| format!("{}:{}", s.model, s.routed))
+            .collect();
+        writeln!(
+            f,
+            "router: {} models — {} routed ({}), {} completed, {} cancelled, \
+             {} failed, {} rejected, {:.2} µJ total",
+            self.shards.len(),
+            self.submitted(),
+            histogram.join(" "),
+            self.completed(),
+            self.cancelled(),
+            self.failed(),
+            self.rejected(),
+            self.energy_pj() / 1e6,
+        )?;
+        for (i, shard) in self.shards.iter().enumerate() {
+            writeln!(f, "── shard {} · {} ──", i, shard.model)?;
+            if i + 1 < self.shards.len() {
+                writeln!(f, "{}", shard.metrics)?;
+            } else {
+                write!(f, "{}", shard.metrics)?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -406,6 +551,72 @@ mod tests {
         assert!(stats.p50 >= Duration::from_nanos(1_000_000));
         // memory stays bounded
         assert_eq!(c.latency_ring.len(), LATENCY_WINDOW);
+    }
+
+    #[test]
+    fn latency_window_evicts_oldest_samples() {
+        let mut c = Counters::default();
+        // fill the ring with old samples…
+        for _ in 0..LATENCY_WINDOW {
+            c.record_latency(1_000);
+        }
+        // …then exactly LATENCY_WINDOW newer ones: every old sample must
+        // have been evicted, so the ring holds only the new value
+        for _ in 0..LATENCY_WINDOW {
+            c.record_latency(5_000);
+        }
+        assert_eq!(c.latency_ring.len(), LATENCY_WINDOW);
+        assert!(c.latency_ring.iter().all(|&ns| ns == 5_000));
+        let stats = c.latency_stats().unwrap();
+        assert_eq!(stats.p50, Duration::from_nanos(5_000));
+        assert_eq!(stats.p99, Duration::from_nanos(5_000));
+        // lifetime accumulators still remember the evicted era
+        assert_eq!(stats.min, Duration::from_nanos(1_000));
+        assert_eq!(stats.count, 2 * LATENCY_WINDOW as u64);
+    }
+
+    #[test]
+    fn router_metrics_aggregate_shard_sums() {
+        let mk = |n_batches: u64, exits: Vec<u64>| {
+            let rec = Recorder::new(EnergyModel::cmos_45nm());
+            let ms = Duration::from_millis(1);
+            for _ in 0..n_batches {
+                rec.admitted();
+                rec.dispatched(BatchCause::Full);
+            }
+            for (stage, &count) in exits.iter().enumerate() {
+                for _ in 0..count {
+                    rec.batch_completed([(ms, out(stage, 50))].into_iter());
+                }
+            }
+            rec.snapshot(1)
+        };
+        let metrics = RouterMetrics {
+            shards: vec![
+                ShardMetrics {
+                    model: "A".into(),
+                    routed: 3,
+                    metrics: mk(3, vec![2, 1]),
+                },
+                ShardMetrics {
+                    model: "B".into(),
+                    routed: 4,
+                    metrics: mk(4, vec![1, 0, 3]),
+                },
+            ],
+        };
+        assert_eq!(metrics.routing_histogram(), vec![3, 4]);
+        assert_eq!(metrics.submitted(), 7);
+        assert_eq!(metrics.completed(), 7);
+        assert_eq!(metrics.batches(), 7);
+        assert_eq!(metrics.queue_depth(), 2);
+        assert_eq!(metrics.exit_histogram(), vec![3, 1, 3]);
+        assert_eq!(metrics.total_ops().macs, 7 * 50);
+        assert!(metrics.energy_pj() > 0.0);
+        let text = metrics.to_string();
+        assert!(text.contains("router: 2 models"));
+        assert!(text.contains("shard 0 · A"));
+        assert!(text.contains("shard 1 · B"));
     }
 
     #[test]

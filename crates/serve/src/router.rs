@@ -1,0 +1,500 @@
+//! Sharded multi-network serving: one front-end fanning requests out to
+//! per-model shards.
+//!
+//! A [`Router`] owns one shard per registered model; each shard is the
+//! full single-model pipeline of [`Server`] — bounded admission gate,
+//! dynamic batcher, worker pool of persistent
+//! [`cdl_core::batch::BatchEvaluator`]s. Requests carry a [`ModelId`] and
+//! are routed synchronously to their shard's admission queue, so
+//! **backpressure is per shard**: a saturated model blocks (or bounces)
+//! only its own submitters, never traffic for the other models.
+//!
+//! Per-request [`SubmitOptions`] compose with routing: one stream can mix
+//! models *and* δ/depth service levels, and every response stays
+//! bit-identical to
+//! [`cdl_core::network::CdlNetwork::classify_with_override`] on the routed
+//! model (pinned by `tests/router_equivalence.rs`).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cdl_core::network::CdlNetwork;
+use cdl_tensor::Tensor;
+
+use crate::config::{ServerConfig, SubmitOptions};
+use crate::error::{ServeError, ServeResult};
+use crate::metrics::{RouterMetrics, ServerMetrics, ShardMetrics};
+use crate::pending::Pending;
+use crate::server::Server;
+
+/// Identifies one model (shard) registered with a [`Router`].
+///
+/// Ids are dense indices in registration order: the `i`-th
+/// [`ShardSpec`] passed to [`Router::start`] gets id `i`. Look one up by
+/// name with [`Router::model_id`], or construct it directly from a known
+/// registration index with [`ModelId::from_index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelId(usize);
+
+impl ModelId {
+    /// The id of the model registered at `index` (0-based registration
+    /// order).
+    pub fn from_index(index: usize) -> Self {
+        ModelId(index)
+    }
+
+    /// This id's registration index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model#{}", self.0)
+    }
+}
+
+/// One model's slice of a [`Router`]: the network it serves plus the
+/// serving configuration of its shard.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Model name, unique within the router (e.g. `"MNIST_2C"`).
+    pub name: String,
+    /// The network this shard evaluates.
+    pub net: Arc<CdlNetwork>,
+    /// The shard's pipeline configuration (batch policy, queue capacity,
+    /// worker count, energy model) — shards are configured independently.
+    pub config: ServerConfig,
+}
+
+impl ShardSpec {
+    /// A shard spec serving `net` under `name` with `config`.
+    pub fn new(name: impl Into<String>, net: Arc<CdlNetwork>, config: ServerConfig) -> Self {
+        ShardSpec {
+            name: name.into(),
+            net,
+            config,
+        }
+    }
+}
+
+/// One running shard: a [`Server`] plus the router-level routing counter.
+#[derive(Debug)]
+struct Shard {
+    name: String,
+    server: Server,
+    /// Requests the router admitted to this shard — counted at the router,
+    /// independently of the shard's own `submitted` counter, so metrics
+    /// consistency is a checkable invariant rather than a tautology.
+    routed: AtomicU64,
+}
+
+/// The sharded multi-network serving front-end.
+///
+/// See the [module docs](self) for the architecture and guarantees.
+/// `shutdown` (or `Drop`) drains every shard: all outstanding
+/// [`Pending`] handles across all models resolve before the threads exit.
+#[derive(Debug)]
+pub struct Router {
+    shards: Vec<Shard>,
+}
+
+impl Router {
+    /// Starts one shard per spec and begins accepting routed requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] when no shard is given, a model
+    /// name repeats, or any shard's [`ServerConfig`] is invalid.
+    pub fn start(specs: Vec<ShardSpec>) -> ServeResult<Router> {
+        if specs.is_empty() {
+            return Err(ServeError::BadConfig(
+                "router needs at least one shard".into(),
+            ));
+        }
+        for (i, spec) in specs.iter().enumerate() {
+            if specs[..i].iter().any(|s| s.name == spec.name) {
+                return Err(ServeError::BadConfig(format!(
+                    "duplicate model name {:?}",
+                    spec.name
+                )));
+            }
+        }
+        let shards = specs
+            .into_iter()
+            .map(|spec| {
+                Ok(Shard {
+                    server: Server::start(spec.net, spec.config)?,
+                    name: spec.name,
+                    routed: AtomicU64::new(0),
+                })
+            })
+            .collect::<ServeResult<Vec<Shard>>>()?;
+        Ok(Router { shards })
+    }
+
+    /// Number of registered models.
+    pub fn model_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `(id, name)` of every registered model, in registration order.
+    pub fn models(&self) -> impl Iterator<Item = (ModelId, &str)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ModelId(i), s.name.as_str()))
+    }
+
+    /// Looks a model up by name.
+    pub fn model_id(&self, name: &str) -> Option<ModelId> {
+        self.shards.iter().position(|s| s.name == name).map(ModelId)
+    }
+
+    /// The name `model` was registered under.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] for an unregistered id.
+    pub fn model_name(&self, model: ModelId) -> ServeResult<&str> {
+        Ok(self.shard(model)?.name.as_str())
+    }
+
+    /// The network `model`'s shard evaluates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] for an unregistered id.
+    pub fn network(&self, model: ModelId) -> ServeResult<&CdlNetwork> {
+        Ok(self.shard(model)?.server.network())
+    }
+
+    fn shard(&self, model: ModelId) -> ServeResult<&Shard> {
+        self.shards
+            .get(model.0)
+            .ok_or(ServeError::UnknownModel(model))
+    }
+
+    /// Routes a request to `model`'s shard, **blocking** while that shard's
+    /// in-flight queue is at capacity. Other shards are unaffected — their
+    /// submitters neither block nor queue behind this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] for an unregistered id,
+    /// [`ServeError::ShuttingDown`] if the shard's pipeline is gone.
+    pub fn submit(&self, model: ModelId, input: Tensor) -> ServeResult<Pending> {
+        self.submit_with(model, input, SubmitOptions::default())
+    }
+
+    /// [`Router::submit`] with per-request [`SubmitOptions`] (δ override
+    /// and/or cascade-depth cap for this request only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] for an unregistered id,
+    /// [`ServeError::BadOptions`] for an out-of-range δ override,
+    /// [`ServeError::ShuttingDown`] if the shard's pipeline is gone.
+    pub fn submit_with(
+        &self,
+        model: ModelId,
+        input: Tensor,
+        options: SubmitOptions,
+    ) -> ServeResult<Pending> {
+        let shard = self.shard(model)?;
+        let pending = shard.server.submit_with(input, options)?;
+        shard.routed.fetch_add(1, Ordering::Relaxed);
+        Ok(pending)
+    }
+
+    /// Routes a request to `model`'s shard without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] for an unregistered id,
+    /// [`ServeError::Full`] when that shard's queue is at capacity (the
+    /// request is not admitted; other shards keep accepting),
+    /// [`ServeError::ShuttingDown`] if the shard's pipeline is gone.
+    pub fn try_submit(&self, model: ModelId, input: Tensor) -> ServeResult<Pending> {
+        self.try_submit_with(model, input, SubmitOptions::default())
+    }
+
+    /// [`Router::try_submit`] with per-request [`SubmitOptions`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Router::try_submit`], plus [`ServeError::BadOptions`] for an
+    /// out-of-range δ override.
+    pub fn try_submit_with(
+        &self,
+        model: ModelId,
+        input: Tensor,
+        options: SubmitOptions,
+    ) -> ServeResult<Pending> {
+        let shard = self.shard(model)?;
+        let pending = shard.server.try_submit_with(input, options)?;
+        shard.routed.fetch_add(1, Ordering::Relaxed);
+        Ok(pending)
+    }
+
+    /// A point-in-time snapshot of one shard's [`ServerMetrics`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] for an unregistered id.
+    pub fn shard_metrics(&self, model: ModelId) -> ServeResult<ServerMetrics> {
+        Ok(self.shard(model)?.server.metrics())
+    }
+
+    /// A point-in-time snapshot across all shards: per-model breakdowns
+    /// (routing counts, exits, energy) plus aggregate accessors.
+    pub fn metrics(&self) -> RouterMetrics {
+        RouterMetrics {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ShardMetrics {
+                    model: s.name.clone(),
+                    routed: s.routed.load(Ordering::Relaxed),
+                    metrics: s.server.metrics(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Graceful drain-then-stop across **all** shards: every shard stops
+    /// admissions, flushes its queued and partially formed batches, and
+    /// resolves every outstanding [`Pending`] before its threads join.
+    /// Returns the final metrics snapshot.
+    pub fn shutdown(self) -> RouterMetrics {
+        RouterMetrics {
+            shards: self
+                .shards
+                .into_iter()
+                .map(|s| {
+                    let routed = s.routed.load(Ordering::Relaxed);
+                    ShardMetrics {
+                        model: s.name,
+                        routed,
+                        metrics: s.server.shutdown(),
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BatchPolicy;
+    use cdl_core::arch::{self, CdlArchitecture};
+    use cdl_core::confidence::{ConfidencePolicy, ExitOverride};
+    use cdl_core::head::LinearClassifier;
+    use cdl_nn::network::Network;
+    use std::time::Duration;
+
+    fn build_untrained(arch: CdlArchitecture, seed: u64) -> Arc<CdlNetwork> {
+        let base = Network::from_spec(&arch.spec, seed).unwrap();
+        let feats = arch.tap_features().unwrap();
+        let stages = arch
+            .taps
+            .iter()
+            .zip(&feats)
+            .map(|(t, &f)| {
+                (
+                    t.spec_layer,
+                    t.name.clone(),
+                    LinearClassifier::new(f, 10, 1).unwrap(),
+                )
+            })
+            .collect();
+        Arc::new(CdlNetwork::assemble(base, stages, ConfidencePolicy::max_prob(0.6)).unwrap())
+    }
+
+    fn two_model_specs(policy: BatchPolicy, queue_capacity: usize) -> Vec<ShardSpec> {
+        let config = ServerConfig {
+            policy,
+            queue_capacity,
+            workers: 1,
+            ..ServerConfig::default()
+        };
+        vec![
+            ShardSpec::new(
+                "MNIST_2C",
+                build_untrained(arch::mnist_2c(), 5),
+                config.clone(),
+            ),
+            ShardSpec::new("MNIST_3C", build_untrained(arch::mnist_3c(), 9), config),
+        ]
+    }
+
+    fn images(n: usize) -> Vec<Tensor> {
+        (0..n)
+            .map(|i| Tensor::full(&[1, 28, 28], 0.1 + 0.07 * (i as f32 % 11.0)))
+            .collect()
+    }
+
+    #[test]
+    fn routes_to_the_right_model() {
+        let router = Router::start(two_model_specs(
+            BatchPolicy::by_deadline(Duration::from_millis(2)),
+            64,
+        ))
+        .unwrap();
+        assert_eq!(router.model_count(), 2);
+        let m2c = router.model_id("MNIST_2C").unwrap();
+        let m3c = router.model_id("MNIST_3C").unwrap();
+        assert_eq!(router.model_name(m2c).unwrap(), "MNIST_2C");
+        assert_eq!(
+            router
+                .models()
+                .map(|(_, n)| n.to_string())
+                .collect::<Vec<_>>(),
+            vec!["MNIST_2C", "MNIST_3C"]
+        );
+        // 2C has 1 conditional stage, 3C has 2 — structurally different
+        assert_eq!(router.network(m2c).unwrap().stage_count(), 1);
+        assert_eq!(router.network(m3c).unwrap().stage_count(), 2);
+
+        let inputs = images(12);
+        let pendings: Vec<(ModelId, Pending)> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| {
+                let model = if i % 2 == 0 { m2c } else { m3c };
+                (model, router.submit(model, x.clone()).unwrap())
+            })
+            .collect();
+        for ((model, pending), x) in pendings.into_iter().zip(&inputs) {
+            let expected = router.network(model).unwrap().classify(x).unwrap();
+            assert_eq!(pending.wait().unwrap(), expected);
+        }
+        let metrics = router.shutdown();
+        assert_eq!(metrics.routing_histogram(), vec![6, 6]);
+        assert_eq!(metrics.completed(), 12);
+        assert_eq!(metrics.failed(), 0);
+        for shard in &metrics.shards {
+            assert_eq!(shard.routed, shard.metrics.submitted);
+        }
+    }
+
+    #[test]
+    fn unknown_model_is_a_typed_error() {
+        let router = Router::start(two_model_specs(BatchPolicy::default(), 8)).unwrap();
+        let ghost = ModelId::from_index(7);
+        let x = images(1).remove(0);
+        assert_eq!(
+            router.submit(ghost, x.clone()).unwrap_err(),
+            ServeError::UnknownModel(ghost)
+        );
+        assert_eq!(
+            router.try_submit(ghost, x).unwrap_err(),
+            ServeError::UnknownModel(ghost)
+        );
+        assert!(matches!(
+            router.shard_metrics(ghost),
+            Err(ServeError::UnknownModel(_))
+        ));
+        assert!(router.model_name(ghost).is_err());
+        // nothing was admitted anywhere
+        let metrics = router.shutdown();
+        assert_eq!(metrics.submitted(), 0);
+        assert!(ServeError::UnknownModel(ghost)
+            .to_string()
+            .contains("model#7"));
+    }
+
+    #[test]
+    fn per_request_overrides_route_with_the_request() {
+        let router = Router::start(two_model_specs(
+            BatchPolicy::by_deadline(Duration::from_millis(2)),
+            64,
+        ))
+        .unwrap();
+        let m3c = router.model_id("MNIST_3C").unwrap();
+        let x = images(1).remove(0);
+        // δ ≈ 1 never exits by confidence; capping at stage 0 must force it
+        let opts = SubmitOptions {
+            delta: Some(0.999),
+            max_stage: Some(0),
+        };
+        let out = router
+            .submit_with(m3c, x.clone(), opts)
+            .unwrap()
+            .wait()
+            .unwrap();
+        let expected = router
+            .network(m3c)
+            .unwrap()
+            .classify_with_override(
+                &x,
+                ExitOverride {
+                    delta: Some(0.999),
+                    max_stage: Some(0),
+                },
+            )
+            .unwrap();
+        assert_eq!(out, expected);
+        assert_eq!(out.exit_stage, 0);
+        // invalid overrides bounce at admission with a typed error
+        assert!(matches!(
+            router.submit_with(m3c, x, SubmitOptions::with_delta(7.0)),
+            Err(ServeError::BadOptions(_))
+        ));
+        router.shutdown();
+    }
+
+    #[test]
+    fn shard_backpressure_is_independent() {
+        // shard queues of 2; a size-bound batch that never fills keeps
+        // everything admitted to 2C stuck in its batcher
+        let router = Router::start(two_model_specs(BatchPolicy::by_size(1 << 20), 2)).unwrap();
+        let m2c = router.model_id("MNIST_2C").unwrap();
+        let m3c = router.model_id("MNIST_3C").unwrap();
+        let inputs = images(2);
+        let stuck: Vec<Pending> = inputs
+            .iter()
+            .map(|x| router.try_submit(m2c, x.clone()).unwrap())
+            .collect();
+        // 2C is saturated…
+        assert_eq!(
+            router.try_submit(m2c, inputs[0].clone()).unwrap_err(),
+            ServeError::Full
+        );
+        // …but 3C still accepts (and blocks nothing)
+        let other = router.try_submit(m3c, inputs[0].clone()).unwrap();
+        let live = router.metrics();
+        assert_eq!(live.shards[m2c.index()].metrics.rejected, 1);
+        assert_eq!(live.shards[m3c.index()].metrics.rejected, 0);
+        assert_eq!(live.rejected(), 1);
+        assert_eq!(live.queue_depth(), 3);
+        // drain-then-stop resolves handles across ALL shards
+        let metrics = router.shutdown();
+        assert_eq!(metrics.completed(), 3);
+        assert_eq!(metrics.queue_depth(), 0);
+        for pending in stuck {
+            pending.wait().unwrap();
+        }
+        other.wait().unwrap();
+    }
+
+    #[test]
+    fn start_validates_shard_set() {
+        assert!(matches!(
+            Router::start(vec![]),
+            Err(ServeError::BadConfig(_))
+        ));
+        let mut specs = two_model_specs(BatchPolicy::default(), 8);
+        specs[1].name = specs[0].name.clone();
+        assert!(matches!(
+            Router::start(specs),
+            Err(ServeError::BadConfig(_))
+        ));
+        let mut specs = two_model_specs(BatchPolicy::default(), 8);
+        specs[0].config.workers = 0;
+        assert!(Router::start(specs).is_err());
+    }
+}

@@ -7,10 +7,11 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use cdl_core::batch::BatchEvaluator;
+use cdl_core::confidence::ExitOverride;
 use cdl_core::network::CdlNetwork;
 use cdl_tensor::Tensor;
 
-use crate::config::{BatchPolicy, ServerConfig};
+use crate::config::{BatchPolicy, ServerConfig, SubmitOptions};
 use crate::error::{ServeError, ServeResult};
 use crate::metrics::{BatchCause, Recorder, ServerMetrics};
 use crate::pending::{pending_pair, Fulfiller, Pending};
@@ -79,6 +80,8 @@ impl Drop for Ticket {
 #[derive(Debug)]
 struct Request {
     input: Tensor,
+    /// Per-request δ/depth override (validated at admission).
+    overrides: ExitOverride,
     fulfiller: Fulfiller,
     ticket: Ticket,
     submitted_at: Instant,
@@ -167,8 +170,24 @@ impl Server {
     ///
     /// Returns [`ServeError::ShuttingDown`] if the pipeline is gone.
     pub fn submit(&self, input: Tensor) -> ServeResult<Pending> {
+        self.submit_with(input, SubmitOptions::default())
+    }
+
+    /// [`Server::submit`] with per-request [`SubmitOptions`]: this request
+    /// is gated with the overridden δ and/or capped cascade depth, while
+    /// the rest of the stream keeps the model's configured policy. The
+    /// response stays bit-identical to
+    /// [`CdlNetwork::classify_with_override`] with the same options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadOptions`] for an out-of-range δ override
+    /// (checked before admission), [`ServeError::ShuttingDown`] if the
+    /// pipeline is gone.
+    pub fn submit_with(&self, input: Tensor, options: SubmitOptions) -> ServeResult<Pending> {
+        options.validate_for(self.net.policy())?;
         self.gate.acquire();
-        self.admit(input)
+        self.admit(input, options.exit_override())
     }
 
     /// Submits a request without blocking.
@@ -179,17 +198,31 @@ impl Server {
     /// (the request is not admitted), [`ServeError::ShuttingDown`] if the
     /// pipeline is gone.
     pub fn try_submit(&self, input: Tensor) -> ServeResult<Pending> {
+        self.try_submit_with(input, SubmitOptions::default())
+    }
+
+    /// [`Server::try_submit`] with per-request [`SubmitOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadOptions`] for an out-of-range δ override,
+    /// [`ServeError::Full`] when the in-flight queue is at capacity (the
+    /// request is not admitted), [`ServeError::ShuttingDown`] if the
+    /// pipeline is gone.
+    pub fn try_submit_with(&self, input: Tensor, options: SubmitOptions) -> ServeResult<Pending> {
+        options.validate_for(self.net.policy())?;
         if !self.gate.try_acquire() {
             self.recorder.rejected();
             return Err(ServeError::Full);
         }
-        self.admit(input)
+        self.admit(input, options.exit_override())
     }
 
-    fn admit(&self, input: Tensor) -> ServeResult<Pending> {
+    fn admit(&self, input: Tensor, overrides: ExitOverride) -> ServeResult<Pending> {
         let (pending, fulfiller) = pending_pair();
         let request = Request {
             input,
+            overrides,
             fulfiller,
             ticket: Ticket(Arc::clone(&self.gate)),
             submitted_at: Instant::now(),
@@ -304,42 +337,54 @@ fn run_worker(net: &CdlNetwork, work_rx: &Mutex<Receiver<Vec<Request>>>, recorde
 }
 
 fn process_batch(eval: &mut BatchEvaluator<'_>, batch: Vec<Request>, recorder: &Recorder) {
-    let mut inputs = Vec::with_capacity(batch.len());
-    let mut live = Vec::with_capacity(batch.len());
+    // partition the dispatched batch into groups of identical effective
+    // override: each group is evaluated as one (sub-)batch, so the policy
+    // applied to every image is exactly its request's policy while scratch
+    // reuse and bit-exactness are preserved — a request's result does not
+    // depend on which overrides its batch neighbours carried
+    let mut groups: Vec<(ExitOverride, Vec<Request>)> = Vec::new();
     let mut cancelled = 0u64;
     for request in batch {
         if request.fulfiller.is_cancelled() {
             cancelled += 1; // dropping the request frees its ticket
         } else {
-            inputs.push(request.input);
-            live.push((request.fulfiller, request.ticket, request.submitted_at));
+            match groups.iter_mut().find(|(ovr, _)| *ovr == request.overrides) {
+                Some((_, members)) => members.push(request),
+                None => groups.push((request.overrides, vec![request])),
+            }
         }
     }
     recorder.cancelled(cancelled);
-    if inputs.is_empty() {
-        return;
-    }
-    // classify_stream, not classify_batch: a deadline-bound policy or a
-    // shutdown flush can hand over a batch as large as the whole queue, and
-    // the evaluator's scratch must stay bounded by its streaming chunk
-    match eval.classify_stream(&inputs) {
-        Ok(outputs) => {
-            let now = Instant::now();
-            recorder.batch_completed(
-                live.iter()
-                    .zip(&outputs)
-                    .map(|((_, _, submitted_at), out)| (now - *submitted_at, out.clone())),
-            );
-            for ((fulfiller, ticket, _), out) in live.into_iter().zip(outputs) {
-                fulfiller.settle(Ok(out));
-                drop(ticket);
-            }
+    for (overrides, members) in groups {
+        let mut inputs: Vec<Tensor> = Vec::with_capacity(members.len());
+        let mut live: Vec<(Fulfiller, Ticket, Instant)> = Vec::with_capacity(members.len());
+        for r in members {
+            inputs.push(r.input);
+            live.push((r.fulfiller, r.ticket, r.submitted_at));
         }
-        Err(e) => {
-            recorder.batch_failed(live.len() as u64);
-            for (fulfiller, ticket, _) in live {
-                fulfiller.settle(Err(ServeError::Eval(e.clone())));
-                drop(ticket);
+        // classify_stream, not classify_batch: a deadline-bound policy or a
+        // shutdown flush can hand over a batch as large as the whole queue,
+        // and the evaluator's scratch must stay bounded by its streaming
+        // chunk
+        match eval.classify_stream_with_override(&inputs, overrides) {
+            Ok(outputs) => {
+                let now = Instant::now();
+                recorder.batch_completed(
+                    live.iter()
+                        .zip(&outputs)
+                        .map(|((_, _, submitted_at), out)| (now - *submitted_at, out.clone())),
+                );
+                for ((fulfiller, ticket, _), out) in live.into_iter().zip(outputs) {
+                    fulfiller.settle(Ok(out));
+                    drop(ticket);
+                }
+            }
+            Err(e) => {
+                recorder.batch_failed(live.len() as u64);
+                for (fulfiller, ticket, _) in live {
+                    fulfiller.settle(Err(ServeError::Eval(e.clone())));
+                    drop(ticket);
+                }
             }
         }
     }

@@ -1,17 +1,21 @@
-//! Streaming serving demo: an open-loop client workload against
-//! [`cdl::serve::Server`], compared with the sequential per-image loop.
+//! Sharded streaming-serving demo: an open-loop two-model client workload
+//! against [`cdl::serve::Router`], compared with the sequential per-image
+//! loop.
 //!
-//! Trains a small CDLN, then fires `CDL_SERVE_REQUESTS` classification
-//! requests at the server from `CDL_SERVE_CLIENTS` concurrent client
-//! threads (open loop: clients submit on their own clock and collect the
-//! `Pending` handles, they do not wait for one answer before sending the
-//! next). Prints the server's final metrics report — throughput,
-//! batch-size histogram, latency percentiles, cumulative ops and energy —
-//! and cross-checks a sample of responses against `CdlNetwork::classify`.
+//! Trains the paper's two reference models (MNIST_2C with one conditional
+//! exit, MNIST_3C with two), then fires `CDL_SERVE_REQUESTS` classification
+//! requests at a two-shard router from `CDL_SERVE_CLIENTS` concurrent
+//! client threads (open loop: clients submit on their own clock and collect
+//! the `Pending` handles). Request `i` is routed to model `i % 2` and
+//! carries a per-request δ/depth override from a small service-level mix —
+//! the Fig. 10 accuracy/energy trade-off exercised per request within one
+//! stream. Prints the router's final per-shard + aggregate metrics report
+//! (routing histogram, per-model exit/energy breakdown) and cross-checks a
+//! sample of responses against `CdlNetwork::classify_with_override`.
 //!
 //! ```text
 //! cargo run --release --example serve_stream
-//! CDL_SERVE_REQUESTS=5000 CDL_SERVE_WORKERS=8 cargo run --release --example serve_stream
+//! CDL_SERVE_REQUESTS=5000 CDL_SERVE_WORKERS=4 cargo run --release --example serve_stream
 //! ```
 
 use std::sync::Arc;
@@ -20,10 +24,11 @@ use std::time::{Duration, Instant};
 use cdl::core::arch;
 use cdl::core::builder::{BuilderConfig, CdlBuilder};
 use cdl::core::confidence::ConfidencePolicy;
+use cdl::core::network::CdlNetwork;
 use cdl::dataset::SyntheticMnist;
 use cdl::nn::network::Network;
-use cdl::nn::trainer::{train, TrainConfig};
-use cdl::serve::{BatchPolicy, Pending, Server, ServerConfig};
+use cdl::nn::trainer::{train, LabelledSet, TrainConfig};
+use cdl::serve::{BatchPolicy, Pending, Router, ServerConfig, ShardSpec, SubmitOptions};
 use cdl::tensor::Tensor;
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -31,6 +36,47 @@ fn env_usize(name: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// The service-level mix of the stream: mostly the deployment default,
+/// with lax-δ (energy-saver), strict-δ (accuracy-first) and depth-capped
+/// (hard cost bound) requests mixed in.
+fn service_level(i: usize) -> SubmitOptions {
+    match i % 8 {
+        0..=4 => SubmitOptions::default(),
+        5 => SubmitOptions::with_delta(0.35),
+        6 => SubmitOptions::with_delta(0.9),
+        _ => SubmitOptions::with_max_stage(0),
+    }
+}
+
+fn train_model(
+    arch: cdl::core::arch::CdlArchitecture,
+    train_set: &LabelledSet,
+    seed: u64,
+) -> Result<Arc<CdlNetwork>, Box<dyn std::error::Error>> {
+    let mut baseline = Network::from_spec(&arch.spec, seed)?;
+    train(
+        &mut baseline,
+        train_set,
+        &TrainConfig {
+            epochs: 3,
+            lr: 1.5,
+            lr_decay: 0.95,
+            ..TrainConfig::default()
+        },
+    )?;
+    let cdln = CdlBuilder::new(arch, ConfidencePolicy::sigmoid_prob(0.5))
+        .build(
+            baseline,
+            train_set,
+            &BuilderConfig {
+                force_admit_all: true,
+                ..BuilderConfig::default()
+            },
+        )?
+        .into_network();
+    Ok(Arc::new(cdln))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -44,74 +90,66 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )
     .max(1);
 
-    // 1. A quickly trained CDLN (same recipe as the quickstart, smaller).
+    // 1. The paper's two reference models, quickly trained on one set.
     let (train_set, test_set) = SyntheticMnist::default().generate_split(800, 1024, 23);
-    let arch = arch::mnist_3c();
-    let mut baseline = Network::from_spec(&arch.spec, 7)?;
-    train(
-        &mut baseline,
-        &train_set,
-        &TrainConfig {
-            epochs: 3,
-            lr: 1.5,
-            lr_decay: 0.95,
-            ..TrainConfig::default()
-        },
-    )?;
-    let cdln = CdlBuilder::new(arch, ConfidencePolicy::sigmoid_prob(0.5))
-        .build(
-            baseline,
-            &train_set,
-            &BuilderConfig {
-                force_admit_all: true,
-                ..BuilderConfig::default()
-            },
-        )?
-        .into_network();
-    let cdln = Arc::new(cdln);
+    let m2c = train_model(arch::mnist_2c(), &train_set, 7)?;
+    let m3c = train_model(arch::mnist_3c(), &train_set, 11)?;
+    let nets = [&m2c, &m3c];
 
-    // 2. The request stream: cycle through the test images.
+    // 2. The request stream: cycle through the test images, alternating
+    //    models and cycling service levels.
     let stream: Vec<Tensor> = (0..requests)
         .map(|i| test_set.images[i % test_set.len()].clone())
         .collect();
 
-    // 3. Reference: the sequential per-image loop (one unmeasured warmup
-    //    pass first, so neither contender pays the cold caches).
-    for image in stream.iter().take(256) {
-        cdln.classify(image)?;
+    // 3. Reference: the sequential per-image loop over the same routed
+    //    workload (one unmeasured warmup pass first, so neither contender
+    //    pays the cold caches).
+    for (i, image) in stream.iter().enumerate().take(256) {
+        nets[i % 2].classify_with_override(image, service_level(i).exit_override())?;
     }
     let seq_started = Instant::now();
     let mut seq_exits = 0usize;
-    for image in &stream {
-        seq_exits += cdln.classify(image)?.exit_stage;
+    for (i, image) in stream.iter().enumerate() {
+        let out = nets[i % 2].classify_with_override(image, service_level(i).exit_override())?;
+        seq_exits += out.exit_stage;
     }
     let seq_elapsed = seq_started.elapsed();
     println!(
-        "sequential per-image loop: {} requests in {:.3}s ({:.0} req/s)",
+        "sequential per-image loop (2 models): {} requests in {:.3}s ({:.0} req/s)",
         requests,
         seq_elapsed.as_secs_f64(),
         requests as f64 / seq_elapsed.as_secs_f64(),
     );
 
-    // 4. The streaming server under an open-loop multi-client workload.
-    let server = Server::start(
-        Arc::clone(&cdln),
-        ServerConfig {
-            policy: BatchPolicy::new(128, Duration::from_millis(2)),
-            queue_capacity: 4096,
-            workers,
-            ..ServerConfig::default()
-        },
-    )?;
-    println!("server: {workers} workers, {clients} clients, batch ≤128 or 2ms\n");
+    // 4. The sharded router under an open-loop multi-client workload.
+    let config = ServerConfig {
+        policy: BatchPolicy::new(128, Duration::from_millis(2)),
+        queue_capacity: 4096,
+        workers,
+        ..ServerConfig::default()
+    };
+    let router = Router::start(vec![
+        ShardSpec::new("MNIST_2C", Arc::clone(&m2c), config.clone()),
+        ShardSpec::new("MNIST_3C", Arc::clone(&m3c), config),
+    ])?;
+    let models = [
+        router.model_id("MNIST_2C").expect("registered"),
+        router.model_id("MNIST_3C").expect("registered"),
+    ];
+    println!(
+        "router: 2 shards × {workers} workers, {clients} clients, batch ≤128 or 2ms, \
+         per-request δ/depth overrides\n"
+    );
 
     let run_workload =
-        |server: &Server| -> (Duration, Vec<(usize, cdl::core::network::CdlOutput)>) {
+        |router: &Router| -> (Duration, Vec<(usize, cdl::core::network::CdlOutput)>) {
             let started = Instant::now();
             let outputs = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..clients)
                     .map(|c| {
                         let stream = &stream;
+                        let models = &models;
                         scope.spawn(move || {
                             // client c owns every c-th request of the open stream
                             let mine: Vec<(usize, Pending)> = stream
@@ -119,7 +157,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                                 .enumerate()
                                 .skip(c)
                                 .step_by(clients)
-                                .map(|(i, image)| (i, server.submit(image.clone()).unwrap()))
+                                .map(|(i, image)| {
+                                    let pending = router
+                                        .submit_with(models[i % 2], image.clone(), service_level(i))
+                                        .unwrap();
+                                    (i, pending)
+                                })
                                 .collect();
                             mine.into_iter()
                                 .map(|(i, pending)| (i, pending.wait().unwrap()))
@@ -138,31 +181,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // warmup, and a scheduler hiccup on a loaded 1-core box shouldn't fail
     // the throughput claim below; the metrics report is snapshotted after
     // the first run so it always describes exactly one pass of the stream
-    let (first_elapsed, outputs) = run_workload(&server);
-    let metrics = server.metrics();
+    let (first_elapsed, outputs) = run_workload(&router);
+    let metrics = router.metrics();
     let srv_elapsed = if first_elapsed < seq_elapsed {
         first_elapsed
     } else {
-        run_workload(&server).0.min(first_elapsed)
+        run_workload(&router).0.min(first_elapsed)
     };
-    server.shutdown();
+    router.shutdown();
 
-    // 5. Spot-check equivalence: the streamed answers are bit-identical to
-    //    the per-image path, whatever batches they landed in.
+    // 5. Spot-check equivalence: the routed answers are bit-identical to
+    //    the per-image path on the routed model with the carried override,
+    //    whatever batches they landed in.
     let mut srv_exits = 0usize;
     for (i, out) in &outputs {
         srv_exits += out.exit_stage;
         if i % 97 == 0 {
-            assert_eq!(*out, cdln.classify(&stream[*i])?, "request {i}");
+            let expected = nets[i % 2]
+                .classify_with_override(&stream[*i], service_level(*i).exit_override())?;
+            assert_eq!(*out, expected, "request {i}");
         }
     }
     assert_eq!(outputs.len(), requests);
     assert_eq!(srv_exits, seq_exits, "same exit decisions as sequential");
 
-    println!("=== server metrics ===\n{metrics}\n");
+    println!("=== router metrics ===\n{metrics}\n");
     let speedup = seq_elapsed.as_secs_f64() / srv_elapsed.as_secs_f64();
     println!(
-        "server: {} requests in {:.3}s ({:.0} req/s) → {:.2}x vs sequential",
+        "router: {} requests in {:.3}s ({:.0} req/s) → {:.2}x vs sequential",
         requests,
         srv_elapsed.as_secs_f64(),
         requests as f64 / srv_elapsed.as_secs_f64(),
@@ -170,7 +216,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert!(
         srv_elapsed < seq_elapsed,
-        "dynamic batching + {workers} workers must beat the sequential loop \
+        "dynamic batching + 2 shards × {workers} workers must beat the sequential loop \
          ({srv_elapsed:?} vs {seq_elapsed:?})"
     );
     Ok(())

@@ -12,8 +12,9 @@
 //! * [`core`] — the paper's contribution: cascaded linear classifiers with
 //!   confidence-gated early exit (Conditional Deep Learning), including the
 //!   batched serving path [`core::batch::BatchEvaluator`],
-//! * [`serve`] — streaming inference server: bounded submission queue →
-//!   dynamic batcher → pool of persistent batched evaluators.
+//! * [`serve`] — streaming inference: bounded submission queue → dynamic
+//!   batcher → pool of persistent batched evaluators, per-request δ/depth
+//!   overrides, and a sharded multi-model [`serve::Router`] front-end.
 //!
 //! ## Workspace layout & building
 //!
@@ -75,6 +76,63 @@
 //! bit-identical to per-image `classify` for every interleaving (enforced
 //! by `tests/serve_equivalence.rs`); see `examples/serve_stream.rs` for an
 //! end-to-end simulated workload.
+//!
+//! ## Sharded multi-model serving & per-request δ overrides
+//!
+//! [`serve::Router`] serves **several models behind one front-end**: each
+//! registered [`serve::ShardSpec`] gets its own shard (admission gate →
+//! batcher → worker pool), requests are routed by [`serve::ModelId`], and
+//! backpressure is per shard — a saturated model never blocks traffic for
+//! the others. Each request may also carry [`serve::SubmitOptions`]: a
+//! replacement confidence threshold δ and/or a hard cascade-depth cap,
+//! which is the paper's Fig. 10 accuracy/energy trade-off selectable *per
+//! request* within one stream. Workers group every batch by effective
+//! override, so each response stays bit-identical to
+//! [`core::network::CdlNetwork::classify_with_override`] on the routed
+//! model (enforced by `tests/router_equivalence.rs` and the routing
+//! proptest in `tests/proptests.rs`); [`serve::RouterMetrics`] reports the
+//! routing histogram plus per-model exit/energy breakdowns.
+//!
+//! ```
+//! use cdl::serve::{Router, ServerConfig, ShardSpec, SubmitOptions};
+//! use std::sync::Arc;
+//!
+//! # fn build(arch: cdl::core::arch::CdlArchitecture, seed: u64)
+//! #     -> Result<cdl::core::network::CdlNetwork, Box<dyn std::error::Error>> {
+//! #     let base = cdl::nn::network::Network::from_spec(&arch.spec, seed)?;
+//! #     let feats = arch.tap_features()?;
+//! #     let stages = arch.taps.iter().zip(&feats).map(|(t, &f)| {
+//! #         Ok((t.spec_layer, t.name.clone(),
+//! #             cdl::core::head::LinearClassifier::new(f, 10, 1)?))
+//! #     }).collect::<Result<Vec<_>, cdl::core::CdlError>>()?;
+//! #     Ok(cdl::core::network::CdlNetwork::assemble(
+//! #         base, stages,
+//! #         cdl::core::confidence::ConfidencePolicy::sigmoid_prob(0.5))?)
+//! # }
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // two (here: untrained) models behind one front-end
+//! let router = Router::start(vec![
+//!     ShardSpec::new(
+//!         "MNIST_2C",
+//!         Arc::new(build(cdl::core::arch::mnist_2c(), 1)?),
+//!         ServerConfig::default(),
+//!     ),
+//!     ShardSpec::new(
+//!         "MNIST_3C",
+//!         Arc::new(build(cdl::core::arch::mnist_3c(), 2)?),
+//!         ServerConfig::default(),
+//!     ),
+//! ])?;
+//! let m3c = router.model_id("MNIST_3C").expect("registered");
+//! let image = cdl::tensor::Tensor::full(&[1, 28, 28], 0.4);
+//! // an energy-saver request: lax δ for this request only
+//! let pending = router.submit_with(m3c, image, SubmitOptions::with_delta(0.35))?;
+//! let output = pending.wait()?; // bit-identical to classify_with_override
+//! assert!(output.label < 10);
+//! println!("{}", router.shutdown()); // per-shard + aggregate report
+//! # Ok(())
+//! # }
+//! ```
 
 pub use cdl_core as core;
 pub use cdl_dataset as dataset;

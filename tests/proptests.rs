@@ -1,13 +1,67 @@
 //! Cross-crate property-based tests.
 
-use cdl::core::confidence::ConfidencePolicy;
+use cdl::core::confidence::{ConfidencePolicy, ExitOverride};
+use cdl::core::network::CdlNetwork;
 use cdl::dataset::generator::{SyntheticConfig, SyntheticMnist};
 use cdl::dataset::idx;
 use cdl::nn::activation::Activation;
 use cdl::nn::network::Network;
 use cdl::nn::spec::{LayerSpec, NetworkSpec};
+use cdl::serve::{ModelId, Router, ServerConfig, ShardSpec, SubmitOptions};
 use cdl::tensor::Tensor;
 use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+/// Two untrained CDLNs (MNIST_2C: 1 conditional stage, MNIST_3C: 2) —
+/// routing equivalence does not need trained weights, and assembling once
+/// keeps the proptest fast.
+fn shard_pair() -> &'static (Arc<CdlNetwork>, Arc<CdlNetwork>) {
+    static SHARED: OnceLock<(Arc<CdlNetwork>, Arc<CdlNetwork>)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let build = |arch: cdl::core::arch::CdlArchitecture, seed: u64| {
+            let base = Network::from_spec(&arch.spec, seed).unwrap();
+            let feats = arch.tap_features().unwrap();
+            let stages = arch
+                .taps
+                .iter()
+                .zip(&feats)
+                .map(|(t, &f)| {
+                    (
+                        t.spec_layer,
+                        t.name.clone(),
+                        cdl::core::head::LinearClassifier::new(f, 10, 1).unwrap(),
+                    )
+                })
+                .collect();
+            Arc::new(CdlNetwork::assemble(base, stages, ConfidencePolicy::max_prob(0.6)).unwrap())
+        };
+        (
+            build(cdl::core::arch::mnist_2c(), 3),
+            build(cdl::core::arch::mnist_3c(), 4),
+        )
+    })
+}
+
+/// Decodes a generated `(model, delta_code, stage_code)` triple into a
+/// routing decision plus per-request overrides.
+fn decode_route(model: usize, delta_code: usize, stage_code: usize) -> (ModelId, SubmitOptions) {
+    let delta = match delta_code {
+        0 => None,
+        1 => Some(0.3),
+        2 => Some(0.7),
+        _ => Some(0.97),
+    };
+    let max_stage = match stage_code {
+        0 => None,
+        1 => Some(0),
+        2 => Some(1),
+        _ => Some(5), // ≥ stage_count: no-op cap
+    };
+    (
+        ModelId::from_index(model),
+        SubmitOptions { delta, max_stage },
+    )
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -107,5 +161,82 @@ proptest! {
         let mut rng2 = rand::rngs::StdRng::seed_from_u64(seed);
         let s2 = gen.sample_with_difficulty(digit, difficulty, &mut rng2);
         prop_assert_eq!(s.image, s2.image);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random routing sequences with random per-request overrides: every
+    /// response is bit-identical to `classify_with_override` on the routed
+    /// model (nothing dropped or mis-routed), the router-level routing
+    /// histogram matches each shard's own admission count, and per-shard
+    /// metrics sum to the aggregate accessors.
+    #[test]
+    fn router_never_drops_or_misroutes(
+        routes in collection::vec((0usize..2, 0usize..4, 0usize..4, 1usize..12), 1..20),
+    ) {
+        let (m2c, m3c) = shard_pair();
+        let config = ServerConfig {
+            policy: cdl::serve::BatchPolicy::new(4, std::time::Duration::from_millis(1)),
+            queue_capacity: 64,
+            workers: 2,
+            ..ServerConfig::default()
+        };
+        let router = Router::start(vec![
+            ShardSpec::new("MNIST_2C", Arc::clone(m2c), config.clone()),
+            ShardSpec::new("MNIST_3C", Arc::clone(m3c), config),
+        ]).unwrap();
+
+        let mut expected_routed = [0u64; 2];
+        let pendings: Vec<_> = routes
+            .iter()
+            .map(|&(model, delta_code, stage_code, shade)| {
+                let (id, opts) = decode_route(model, delta_code, stage_code);
+                let image = Tensor::full(&[1, 28, 28], 0.05 * shade as f32);
+                expected_routed[model] += 1;
+                (id, opts, image.clone(), router.submit_with(id, image, opts).unwrap())
+            })
+            .collect();
+        // every submission resolves with the routed model's per-image result
+        for (id, opts, image, pending) in pendings {
+            let out = pending.wait().expect("no response dropped");
+            let net: &CdlNetwork = if id.index() == 0 { m2c } else { m3c };
+            let expected = net
+                .classify_with_override(
+                    &image,
+                    ExitOverride { delta: opts.delta, max_stage: opts.max_stage },
+                )
+                .unwrap();
+            prop_assert_eq!(out, expected, "misrouted or wrong override: {} {:?}", id, opts);
+        }
+
+        let metrics = router.shutdown();
+        prop_assert_eq!(metrics.routing_histogram(), expected_routed.to_vec());
+        prop_assert_eq!(metrics.completed(), routes.len() as u64);
+        prop_assert_eq!(metrics.failed(), 0);
+        prop_assert_eq!(metrics.cancelled(), 0);
+        prop_assert_eq!(metrics.queue_depth(), 0);
+        // per-shard metrics sum to the aggregate accessors
+        let mut submitted = 0;
+        let mut completed = 0;
+        let mut batches = 0;
+        let mut macs = 0;
+        let mut energy = 0.0;
+        for shard in &metrics.shards {
+            prop_assert_eq!(shard.routed, shard.metrics.submitted, "{}", &shard.model);
+            submitted += shard.metrics.submitted;
+            completed += shard.metrics.completed;
+            batches += shard.metrics.batches;
+            macs += shard.metrics.total_ops.macs;
+            energy += shard.metrics.energy_pj;
+        }
+        prop_assert_eq!(metrics.submitted(), submitted);
+        prop_assert_eq!(metrics.completed(), completed);
+        prop_assert_eq!(metrics.batches(), batches);
+        prop_assert_eq!(metrics.total_ops().macs, macs);
+        prop_assert!((metrics.energy_pj() - energy).abs() < 1e-9);
+        let exits: u64 = metrics.exit_histogram().iter().sum();
+        prop_assert_eq!(exits, completed);
     }
 }
