@@ -1,5 +1,7 @@
 //! Criterion bench: batched early-exit inference (`BatchEvaluator`) vs the
-//! per-image `CdlNetwork::classify` loop, on a ≥1k-image synthetic stream.
+//! per-image `CdlNetwork::classify` loop, on a ≥1k-image synthetic stream —
+//! with a GEMM-kernel dimension (`reference` loops vs the `tiled`
+//! microkernel default) on the batched variant.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -13,6 +15,7 @@ use cdl_core::network::CdlNetwork;
 use cdl_dataset::SyntheticMnist;
 use cdl_nn::network::Network;
 use cdl_nn::trainer::{train, LabelledSet, TrainConfig};
+use cdl_tensor::GemmKernel;
 
 fn prepare() -> (CdlNetwork, LabelledSet) {
     let (train_set, test_set) = SyntheticMnist::default().generate_split(1500, 1024, 23);
@@ -59,13 +62,17 @@ fn bench_batch(c: &mut Criterion) {
             exits
         })
     });
-    group.bench_function("batch_evaluator", |b| {
-        let mut eval = BatchEvaluator::new(&cdl);
-        b.iter(|| {
-            let outs = eval.classify_batch(black_box(images)).unwrap();
-            outs.iter().map(|o| o.exit_stage).sum::<usize>()
-        })
-    });
+    // the GEMM-kernel dimension: identical outputs (pinned by the
+    // equivalence suites), different inner loops
+    for kernel in GemmKernel::ALL {
+        group.bench_function(format!("batch_evaluator_{kernel}"), |b| {
+            let mut eval = BatchEvaluator::with_kernel(&cdl, kernel);
+            b.iter(|| {
+                let outs = eval.classify_batch(black_box(images)).unwrap();
+                outs.iter().map(|o| o.exit_stage).sum::<usize>()
+            })
+        });
+    }
     group.bench_function("batch_evaluator_rayon_chunks", |b| {
         b.iter(|| {
             let outs = classify_batch_parallel(&cdl, black_box(images), 128).unwrap();

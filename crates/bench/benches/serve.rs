@@ -16,7 +16,9 @@ use cdl_core::network::CdlNetwork;
 use cdl_dataset::SyntheticMnist;
 use cdl_nn::network::Network;
 use cdl_nn::trainer::{train, LabelledSet, TrainConfig};
-use cdl_serve::{BatchPolicy, ModelId, Pending, Router, ServerConfig, ShardSpec, SubmitOptions};
+use cdl_serve::{
+    BatchPolicy, GemmKernel, ModelId, Pending, Router, ServerConfig, ShardSpec, SubmitOptions,
+};
 
 fn train_model(
     arch: cdl_core::arch::CdlArchitecture,
@@ -77,11 +79,13 @@ fn stream_through_router(
     policy: BatchPolicy,
     workers: usize,
     clients: usize,
+    gemm_kernel: GemmKernel,
 ) -> usize {
     let config = ServerConfig {
         policy,
         queue_capacity: 2048,
         workers,
+        gemm_kernel,
         ..ServerConfig::default()
     };
     let router = Router::start(vec![
@@ -163,18 +167,23 @@ fn bench_serve(c: &mut Criterion) {
                 .sum::<usize>()
         })
     });
-    group.bench_function("router_mixed_64_1ms", |b| {
-        b.iter(|| {
-            stream_through_router(
-                &m2c,
-                &m3c,
-                black_box(images),
-                BatchPolicy::new(64, Duration::from_millis(1)),
-                workers,
-                4,
-            )
-        })
-    });
+    // the GEMM-kernel dimension on the streamed path: same responses
+    // (pinned by the equivalence suites), different worker inner loops
+    for kernel in GemmKernel::ALL {
+        group.bench_function(format!("router_mixed_64_1ms_{kernel}"), |b| {
+            b.iter(|| {
+                stream_through_router(
+                    &m2c,
+                    &m3c,
+                    black_box(images),
+                    BatchPolicy::new(64, Duration::from_millis(1)),
+                    workers,
+                    4,
+                    kernel,
+                )
+            })
+        });
+    }
     // a deadline-free size-bound policy only terminates when every batch
     // fills: each shard sees half the stream, which must tile evenly or
     // the tail would wait forever (the clients block in wait() before
@@ -193,6 +202,7 @@ fn bench_serve(c: &mut Criterion) {
                 BatchPolicy::by_size(64),
                 workers,
                 4,
+                GemmKernel::default(),
             )
         })
     });

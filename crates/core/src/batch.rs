@@ -29,6 +29,7 @@
 
 use cdl_hw::OpCount;
 use cdl_nn::batch::BatchScratch;
+use cdl_tensor::gemm::GemmKernel;
 use cdl_tensor::Tensor;
 
 use crate::confidence::{ConfidencePolicy, ExitOverride};
@@ -53,11 +54,21 @@ impl<'a> BatchEvaluator<'a> {
     /// the memory/throughput trade-off).
     pub const STREAM_CHUNK: usize = 256;
 
-    /// Creates an evaluator over `net` with empty (lazily grown) scratch.
+    /// Creates an evaluator over `net` with empty (lazily grown) scratch,
+    /// running the default GEMM microkernel ([`GemmKernel::Tiled`]).
     pub fn new(net: &'a CdlNetwork) -> Self {
+        Self::with_kernel(net, GemmKernel::default())
+    }
+
+    /// Creates an evaluator over `net` pinned to a specific
+    /// [`GemmKernel`] — selected once here, then run by every batched
+    /// conv, dense and head evaluation this evaluator performs. All
+    /// kernels are bit-identical; `Reference` exists for A/B benchmarking
+    /// and as the pinned baseline of the equivalence suites.
+    pub fn with_kernel(net: &'a CdlNetwork, kernel: GemmKernel) -> Self {
         BatchEvaluator {
             net,
-            scratch: BatchScratch::new(),
+            scratch: BatchScratch::with_kernel(kernel),
             head_scores: Vec::new(),
         }
     }
@@ -65,6 +76,11 @@ impl<'a> BatchEvaluator<'a> {
     /// The network this evaluator serves.
     pub fn network(&self) -> &CdlNetwork {
         self.net
+    }
+
+    /// The GEMM microkernel this evaluator runs.
+    pub fn gemm_kernel(&self) -> GemmKernel {
+        self.scratch.kernel
     }
 
     /// Classifies a batch with the network's configured policy.
@@ -149,7 +165,7 @@ impl<'a> BatchEvaluator<'a> {
 
             stage
                 .head
-                .scores_batch_into(&active, &mut self.head_scores)?;
+                .scores_batch_into(&active, &mut self.head_scores, self.scratch.kernel)?;
             let classes = stage.head.classes();
 
             let mut keep: Vec<Tensor> = Vec::with_capacity(active.len());
@@ -331,6 +347,22 @@ mod tests {
                 assert_eq!(*out, single, "policy {policy}");
             }
         }
+    }
+
+    #[test]
+    fn every_gemm_kernel_matches_per_image_classify() {
+        let cdl = build_untrained();
+        let inputs = batch(19);
+        for kernel in GemmKernel::ALL {
+            let mut eval = BatchEvaluator::with_kernel(&cdl, kernel);
+            assert_eq!(eval.gemm_kernel(), kernel);
+            let batched = eval.classify_batch(&inputs).unwrap();
+            for (img, out) in inputs.iter().zip(&batched) {
+                assert_eq!(*out, cdl.classify(img).unwrap(), "kernel {kernel}");
+            }
+        }
+        // the default evaluator runs the tiled kernel
+        assert_eq!(BatchEvaluator::new(&cdl).gemm_kernel(), GemmKernel::Tiled);
     }
 
     #[test]

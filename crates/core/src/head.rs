@@ -9,7 +9,7 @@
 
 use cdl_nn::activation::Activation;
 use cdl_nn::loss::one_hot;
-use cdl_tensor::{init::Init, ops, Tensor};
+use cdl_tensor::{gemm::GemmKernel, init::Init, ops, Tensor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -104,16 +104,23 @@ impl LinearClassifier {
     }
 
     /// Raw affine scores for a whole batch of feature tensors, written into
-    /// a preallocated buffer (`out` becomes `[batch, classes]` row-major).
+    /// a preallocated buffer (`out` becomes `[batch, classes]` row-major)
+    /// by the chosen GEMM microkernel.
     ///
-    /// Bit-identical to calling [`LinearClassifier::scores`] per element —
-    /// the batched affine kernel accumulates in the same order — while
-    /// performing no allocation beyond growing `out` on first use.
+    /// Bit-identical to calling [`LinearClassifier::scores`] per element
+    /// for **every** [`GemmKernel`] — each kernel accumulates per element
+    /// in the same order (see `cdl_tensor::gemm`) — while performing no
+    /// allocation beyond growing `out` on first use.
     ///
     /// # Errors
     ///
     /// Returns [`CdlError::BadStage`] on any fan-in mismatch.
-    pub fn scores_batch_into(&self, features: &[Tensor], out: &mut Vec<f32>) -> Result<()> {
+    pub fn scores_batch_into(
+        &self,
+        features: &[Tensor],
+        out: &mut Vec<f32>,
+        kernel: GemmKernel,
+    ) -> Result<()> {
         for f in features {
             if f.len() != self.features() {
                 return Err(CdlError::BadStage(format!(
@@ -127,7 +134,7 @@ impl LinearClassifier {
         let rows: Vec<&[f32]> = features.iter().map(Tensor::data).collect();
         // grow-only resize — every element is overwritten by the affine pass
         out.resize(features.len() * self.classes(), 0.0);
-        ops::affine_rows_into(&rows, &self.weight, self.bias.data(), out)?;
+        ops::affine_rows_into(&rows, &self.weight, self.bias.data(), out, kernel)?;
         Ok(())
     }
 

@@ -1,32 +1,74 @@
-//! Batched inference support: shared scratch buffers and whole-batch
-//! forwards through (slices of) a [`crate::network::Network`].
+//! Batched inference support: shared scratch buffers, the batch-wide GEMM
+//! kernel selection, and whole-batch forwards through (slices of) a
+//! [`crate::network::Network`].
 //!
 //! The pattern follows batched GPU evaluators (one persistent evaluator,
-//! preallocated buffers, whole batch per forward pass): a [`BatchScratch`]
-//! is allocated once and threaded through every
-//! [`crate::layer::Layer::forward_batch`] call, so steady-state batch
-//! inference performs no im2col/GEMM allocations. Convolutions lower the
-//! whole batch into one patch matrix and run a single GEMM; dense layers run
-//! one batched affine map. Both reproduce the per-image path **bit for
-//! bit** (see `cdl_tensor::im2col::conv2d_valid_batch` /
-//! `cdl_tensor::ops::affine_rows_into`), which the cross-crate equivalence
-//! tests pin down.
+//! preallocated buffers, whole batch per forward pass, conv algorithm
+//! picked once at construction): a [`BatchScratch`] is allocated once and
+//! threaded through every [`crate::layer::Layer::forward_batch`] call, so
+//! steady-state batch inference performs no im2col/GEMM allocations, and
+//! the [`GemmKernel`] it carries decides which microkernel runs every conv
+//! GEMM and batched affine. Convolutions lower the whole batch into one
+//! patch matrix and run a single GEMM; dense layers run one batched affine
+//! map. Both reproduce the per-image path **bit for bit** for every kernel
+//! (see `cdl_tensor::gemm` for why tiling never changes an element's
+//! addition sequence), which the cross-crate equivalence tests pin down per
+//! [`GemmKernel`] variant.
 
+use cdl_tensor::gemm::GemmKernel;
 use cdl_tensor::im2col::ConvScratch;
 
-/// Reusable buffers for batched forward passes.
+/// Reusable buffers plus the GEMM kernel choice for batched forward passes.
 ///
 /// One instance serves a whole network: each layer resizes the buffers it
-/// needs, and repeated batches at the same geometry never reallocate.
+/// needs, and repeated batches at the same geometry never reallocate. The
+/// kernel is fixed at construction ([`BatchScratch::new`] defaults to
+/// [`GemmKernel::Tiled`]; [`BatchScratch::with_kernel`] pins a specific
+/// one) so every layer of every batch runs the same microkernel.
 #[derive(Debug, Default, Clone)]
 pub struct BatchScratch {
     /// im2col patch matrix + GEMM output shared by all conv layers.
     pub conv: ConvScratch,
+    /// Row-major `[batch, out_features]` output block shared by all dense
+    /// layers' batched affine.
+    pub dense: Vec<f32>,
+    /// The GEMM microkernel every batched conv/dense/head evaluation runs.
+    pub kernel: GemmKernel,
 }
 
 impl BatchScratch {
-    /// A fresh, empty scratch (buffers grow on first use).
+    /// A fresh, empty scratch running the default kernel
+    /// ([`GemmKernel::Tiled`]); buffers grow on first use.
     pub fn new() -> Self {
         BatchScratch::default()
+    }
+
+    /// A fresh, empty scratch pinned to `kernel`.
+    pub fn with_kernel(kernel: GemmKernel) -> Self {
+        BatchScratch {
+            kernel,
+            ..BatchScratch::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_kernel_is_tiled() {
+        assert_eq!(BatchScratch::new().kernel, GemmKernel::Tiled);
+        assert_eq!(BatchScratch::default().kernel, GemmKernel::Tiled);
+    }
+
+    #[test]
+    fn with_kernel_pins_the_choice() {
+        for kernel in GemmKernel::ALL {
+            let scratch = BatchScratch::with_kernel(kernel);
+            assert_eq!(scratch.kernel, kernel);
+            assert!(scratch.conv.patches.is_empty());
+            assert!(scratch.dense.is_empty());
+        }
     }
 }

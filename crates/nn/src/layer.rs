@@ -48,7 +48,8 @@ pub trait Layer: std::fmt::Debug + Send + Sync {
     fn forward(&self, x: &Tensor) -> Result<Tensor>;
 
     /// Inference-mode forward pass over a whole batch, reusing the shared
-    /// scratch buffers.
+    /// scratch buffers (and running the GEMM microkernel they select — see
+    /// [`crate::batch::BatchScratch::kernel`]).
     ///
     /// Must produce exactly [`Layer::forward`]'s output for every element
     /// (the default implementation simply loops); layers with a genuinely

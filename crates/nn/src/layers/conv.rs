@@ -106,6 +106,7 @@ impl Layer for Conv2d {
             &self.kernels,
             self.bias.data(),
             &mut scratch.conv,
+            scratch.kernel,
         )?)
     }
 

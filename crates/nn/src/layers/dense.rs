@@ -113,7 +113,6 @@ impl Layer for Dense {
     }
 
     fn forward_batch(&self, xs: &[Tensor], scratch: &mut BatchScratch) -> Result<Vec<Tensor>> {
-        let _ = scratch;
         if xs.len() < 2 {
             return xs.iter().map(|x| self.forward(x)).collect();
         }
@@ -121,15 +120,26 @@ impl Layer for Dense {
             self.check_input(x)?;
         }
         let m = self.out_features;
-        let k = self.in_features;
-        xs.iter()
-            .map(|x| {
-                // tensors are row-major and contiguous, so each input's
-                // buffer is already its flattened feature vector; the affine
-                // kernel writes straight into the output tensor's storage
-                let mut data = vec![0.0f32; m];
-                ops::affine_row(x.data(), self.weight.data(), k, self.bias.data(), &mut data);
-                Ok(Tensor::from_vec(data, &[m])?)
+        // tensors are row-major and contiguous, so each input's buffer is
+        // already its flattened feature vector; the whole batch runs as one
+        // GEMM into the shared dense scratch block under the scratch's
+        // kernel choice (bit-identical to per-sample affine_row for every
+        // kernel)
+        let rows: Vec<&[f32]> = xs.iter().map(Tensor::data).collect();
+        scratch.dense.resize(xs.len() * m, 0.0);
+        ops::affine_rows_into(
+            &rows,
+            &self.weight,
+            self.bias.data(),
+            &mut scratch.dense,
+            scratch.kernel,
+        )?;
+        (0..xs.len())
+            .map(|i| {
+                Ok(Tensor::from_vec(
+                    scratch.dense[i * m..(i + 1) * m].to_vec(),
+                    &[m],
+                )?)
             })
             .collect()
     }

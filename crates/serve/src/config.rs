@@ -4,6 +4,7 @@ use std::time::Duration;
 
 use cdl_core::confidence::{ConfidencePolicy, ExitOverride};
 use cdl_hw::EnergyModel;
+use cdl_tensor::gemm::GemmKernel;
 
 use crate::error::{ServeError, ServeResult};
 
@@ -173,6 +174,12 @@ pub struct ServerConfig {
     /// Energy model used for the cumulative energy figure in
     /// [`crate::ServerMetrics`].
     pub energy_model: EnergyModel,
+    /// GEMM microkernel every worker's evaluator runs (selected once at
+    /// [`crate::Server::start`]). All kernels are bit-identical
+    /// (`cdl_tensor::gemm`); [`GemmKernel::Tiled`] is the fast default,
+    /// [`GemmKernel::Reference`] the pinned baseline for A/B comparison —
+    /// shards of a [`crate::Router`] may mix kernels freely.
+    pub gemm_kernel: GemmKernel,
 }
 
 impl ServerConfig {
@@ -204,6 +211,7 @@ impl Default for ServerConfig {
             queue_capacity: 1024,
             workers,
             energy_model: EnergyModel::cmos_45nm(),
+            gemm_kernel: GemmKernel::default(),
         }
     }
 }
@@ -229,6 +237,22 @@ mod tests {
     fn invalid_policies_rejected() {
         assert!(BatchPolicy::by_size(0).validate().is_err());
         assert!(BatchPolicy::new(4, Duration::ZERO).validate().is_err());
+    }
+
+    #[test]
+    fn config_round_trips_gemm_kernel() {
+        // default config runs the tiled kernel…
+        assert_eq!(ServerConfig::default().gemm_kernel, GemmKernel::Tiled);
+        // …and an explicit choice survives validation untouched
+        for kernel in GemmKernel::ALL {
+            let config = ServerConfig {
+                gemm_kernel: kernel,
+                ..ServerConfig::default()
+            };
+            assert!(config.validate().is_ok());
+            assert_eq!(config.gemm_kernel, kernel);
+            assert_eq!(config.clone().gemm_kernel, kernel);
+        }
     }
 
     #[test]

@@ -37,8 +37,11 @@
 //!   full or when `max_wait` has passed since its first request — the
 //!   classic dynamic-batching throughput/latency trade-off.
 //! * **Workers** pull formed batches from a shared queue; each owns one
-//!   persistent [`cdl_core::batch::BatchEvaluator`], so steady-state serving
-//!   performs no im2col/GEMM allocations.
+//!   persistent [`cdl_core::batch::BatchEvaluator`] pinned to the
+//!   configured GEMM microkernel ([`ServerConfig::gemm_kernel`], default
+//!   [`GemmKernel::Tiled`]), so steady-state serving performs no
+//!   im2col/GEMM allocations and every batch runs the kernel chosen once
+//!   at startup.
 //! * **Cancellation**: dropping a [`Pending`] before evaluation removes the
 //!   request from its batch at no evaluator cost.
 //! * **Shutdown** ([`Server::shutdown`]) drains then stops: queued requests
@@ -103,6 +106,7 @@ pub mod pending;
 pub mod router;
 pub mod server;
 
+pub use cdl_tensor::gemm::GemmKernel;
 pub use config::{BatchPolicy, ServerConfig, SubmitOptions};
 pub use error::{ServeError, ServeResult};
 pub use metrics::{LatencyStats, RouterMetrics, ServerMetrics, ShardMetrics};

@@ -9,6 +9,7 @@ use std::time::Instant;
 use cdl_core::batch::BatchEvaluator;
 use cdl_core::confidence::ExitOverride;
 use cdl_core::network::CdlNetwork;
+use cdl_tensor::gemm::GemmKernel;
 use cdl_tensor::Tensor;
 
 use crate::config::{BatchPolicy, ServerConfig, SubmitOptions};
@@ -101,6 +102,7 @@ struct Request {
 #[derive(Debug)]
 pub struct Server {
     net: Arc<CdlNetwork>,
+    gemm_kernel: GemmKernel,
     submit_tx: Option<Sender<Request>>,
     gate: Arc<Gate>,
     recorder: Arc<Recorder>,
@@ -135,15 +137,17 @@ impl Server {
                 let net = Arc::clone(&net);
                 let work_rx = Arc::clone(&work_rx);
                 let recorder = Arc::clone(&recorder);
+                let kernel = config.gemm_kernel;
                 std::thread::Builder::new()
                     .name(format!("cdl-serve-worker-{i}"))
-                    .spawn(move || run_worker(&net, &work_rx, &recorder))
+                    .spawn(move || run_worker(&net, kernel, &work_rx, &recorder))
                     .expect("spawn worker thread")
             })
             .collect();
 
         Ok(Server {
             net,
+            gemm_kernel: config.gemm_kernel,
             submit_tx: Some(submit_tx),
             gate,
             recorder,
@@ -155,6 +159,12 @@ impl Server {
     /// The network this server evaluates.
     pub fn network(&self) -> &CdlNetwork {
         &self.net
+    }
+
+    /// The GEMM microkernel every worker's evaluator runs (from
+    /// [`ServerConfig::gemm_kernel`]).
+    pub fn gemm_kernel(&self) -> GemmKernel {
+        self.gemm_kernel
     }
 
     /// Submits a request, **blocking** while the in-flight queue is at
@@ -320,10 +330,16 @@ fn run_batcher(
     }
 }
 
-/// Worker loop: one persistent [`BatchEvaluator`] per thread, batches pulled
-/// from the shared work queue until it closes.
-fn run_worker(net: &CdlNetwork, work_rx: &Mutex<Receiver<Vec<Request>>>, recorder: &Recorder) {
-    let mut eval = BatchEvaluator::new(net);
+/// Worker loop: one persistent [`BatchEvaluator`] per thread, pinned to the
+/// configured GEMM microkernel, batches pulled from the shared work queue
+/// until it closes.
+fn run_worker(
+    net: &CdlNetwork,
+    kernel: GemmKernel,
+    work_rx: &Mutex<Receiver<Vec<Request>>>,
+    recorder: &Recorder,
+) {
+    let mut eval = BatchEvaluator::with_kernel(net, kernel);
     loop {
         // holding the lock across recv() serialises *idle waiting*, not
         // work: the receiver hands over one batch, the lock drops, and the

@@ -1,0 +1,591 @@
+//! Register-blocked GEMM microkernels behind a runtime [`GemmKernel`]
+//! choice — the shared inner engine of the two batched hot paths
+//! ([`crate::im2col::conv2d_valid_batch`] and
+//! [`crate::ops::affine_rows_into`]).
+//!
+//! # Why a kernel *enum* instead of just a faster loop
+//!
+//! Every batched evaluator in this workspace promises results that are
+//! **bit-identical** to the per-image reference path, and the equivalence
+//! suites enforce that promise per kernel. Keeping the original loops alive
+//! as [`GemmKernel::Reference`] makes the pinned baseline executable: any
+//! future kernel (std::simd, intrinsics, a packed/blocked L2 design) is a
+//! new enum variant that must reproduce `Reference` bit for bit before it
+//! can become the default. [`GemmKernel::Tiled`] is the current default
+//! everywhere a batch is evaluated.
+//!
+//! # Tiling scheme
+//!
+//! Both kernels tile the M×N *output* plane into small register blocks and
+//! keep the **full-k inner loop sequential per output element**:
+//!
+//! * [`gemm_nn`] (`C = bias ⊕ A·B`, the im2col convolution shape) uses
+//!   6×8 tiles: 6 output rows × 8 output columns of accumulators live in
+//!   registers for the whole `k` loop, and the 8-wide column dimension is a
+//!   straight independent-lane loop that autovectorizes. The reference
+//!   kernel instead re-reads and re-writes each `n`-length output row once
+//!   per `k` step — `m·k` passes over memory versus one per tile here,
+//!   which is where the speedup comes from.
+//! * [`gemm_nt`] (`out = rows·Wᵀ + bias`, the batched dense/head shape)
+//!   uses 4×4 tiles: 16 independent dot-product accumulators advance
+//!   through `k` together. A single f32 dot product cannot be vectorized
+//!   without reassociating the sum (which would change results), so the win
+//!   here is instruction-level parallelism — 16 dependency chains keep the
+//!   FPU busy — plus one pass over each operand row per tile instead of
+//!   one per output element.
+//!
+//! # Why the k-order is preserved
+//!
+//! f32 addition is not associative, so the *sequence* of additions that
+//! produces an output element defines its bit pattern. Tiling only
+//! repartitions **which** elements are computed together; within one
+//! element the accumulation stays exactly the reference order (`gemm_nn`:
+//! bias first, then `p = 0..k` ascending; `gemm_nt`: `p = 0..k` ascending
+//! from zero, bias added last). Tails — `m` or `n` not divisible by the
+//! tile — fall back to narrower blocks or scalar loops with the same
+//! per-element order, so parity holds for every shape, including `k = 0`
+//! (pure bias). The parity proptests in `crates/tensor/tests/proptests.rs`
+//! pin every variant against a naive triple loop bit for bit.
+//!
+//! # When to pick which kernel
+//!
+//! `Tiled` is strictly a performance transformation and the right default.
+//! `Reference` exists for A/B benchmarking (`cargo bench -p cdl-bench
+//! --bench batch`), for bisecting a suspected kernel bug in production
+//! (flip one shard's [`ServerConfig`] to `Reference` and diff), and as the
+//! executable specification new kernels are tested against.
+//!
+//! [`ServerConfig`]: ../../cdl_serve/struct.ServerConfig.html
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which GEMM inner kernel the batched paths run.
+///
+/// Selected once at evaluator construction
+/// (`BatchEvaluator::with_kernel`, `BatchScratch::with_kernel`, or
+/// `ServerConfig::gemm_kernel`) and threaded through every batched conv,
+/// dense and head evaluation. All variants are bit-identical; they differ
+/// only in speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GemmKernel {
+    /// The original straight loops — the pinned executable baseline.
+    Reference,
+    /// Register-blocked 6×8 / 4×4 output tiling (see the
+    /// [module docs](self)). The default.
+    #[default]
+    Tiled,
+}
+
+impl GemmKernel {
+    /// Every kernel variant, for parity tests and benches that iterate the
+    /// whole set.
+    pub const ALL: [GemmKernel; 2] = [GemmKernel::Reference, GemmKernel::Tiled];
+}
+
+impl fmt::Display for GemmKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GemmKernel::Reference => "reference",
+            GemmKernel::Tiled => "tiled",
+        })
+    }
+}
+
+impl FromStr for GemmKernel {
+    type Err = String;
+
+    /// Parses `"reference"` / `"tiled"` (case-insensitive), for env-driven
+    /// configuration in examples and experiment binaries.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "reference" => Ok(GemmKernel::Reference),
+            "tiled" => Ok(GemmKernel::Tiled),
+            other => Err(format!(
+                "unknown GEMM kernel {other:?} (expected \"reference\" or \"tiled\")"
+            )),
+        }
+    }
+}
+
+/// Rows × columns of the [`gemm_nn`] register tile (output rows of `A·B`).
+/// Six rows × eight columns is 12 SSE (6 AVX) accumulator registers — the
+/// tallest tile that still fits the x86-64 baseline register file, and it
+/// covers the paper's 6-map C1 layer in a single row block.
+const NN_MR: usize = 6;
+/// Columns per [`gemm_nn`] register tile — the autovectorized lane count.
+const NN_NR: usize = 8;
+/// Sample rows per [`gemm_nt`] register tile.
+const NT_MR: usize = 4;
+/// Output features per [`gemm_nt`] register tile.
+const NT_NR: usize = 4;
+
+/// Bias-seeded matrix product `out[i][j] = bias[i] + Σ_p a[i,p]·b[p,j]`
+/// over row-major buffers: `a` is `[m, k]`, `b` is `[k, n]`, `out` is
+/// `[m, n]`.
+///
+/// This is the im2col convolution shape: `a` the reshaped kernel bank,
+/// `b` the batch patch matrix, `bias` one value per output channel. The
+/// per-element accumulation order — bias first, then `p` ascending — is
+/// identical for every kernel, so all variants produce the same bits.
+///
+/// # Panics
+///
+/// Panics when a buffer length disagrees with `m`/`k`/`n` (callers
+/// pre-validate shapes; this guards the unsafe-free indexing below).
+// a GEMM takes three matrices and their dimensions — bundling them into a
+// struct would only obscure the BLAS-shaped signature
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nn(
+    kernel: GemmKernel,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "gemm_nn: a must be [m={m}, k={k}]");
+    assert_eq!(b.len(), k * n, "gemm_nn: b must be [k={k}, n={n}]");
+    assert_eq!(bias.len(), m, "gemm_nn: bias must have m={m} entries");
+    assert_eq!(out.len(), m * n, "gemm_nn: out must be [m={m}, n={n}]");
+    match kernel {
+        GemmKernel::Reference => gemm_nn_reference(m, k, n, a, b, bias, out),
+        GemmKernel::Tiled => gemm_nn_tiled(m, k, n, a, b, bias, out),
+    }
+}
+
+/// The original batched-conv loop: seed every output row with its bias,
+/// then stream `out[i][·] += a[i,p] · b[p][·]` for `p` ascending.
+fn gemm_nn_reference(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    for (i, &bv) in bias.iter().enumerate() {
+        out[i * n..(i + 1) * n].fill(bv);
+    }
+    for i in 0..m {
+        let orow = &mut out[i * n..(i + 1) * n];
+        for p in 0..k {
+            let av = a[i * k + p];
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Register-blocked variant: 6×8 output tiles accumulate in registers
+/// across the whole `k` loop; `m`/`n` tails fall back to narrower blocks
+/// and scalar columns with the same per-element order. The row-block
+/// height is dispatched to a const-generic microkernel so the compiler
+/// fully unrolls the tile and keeps every accumulator in a register.
+fn gemm_nn_tiled(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    let mut i0 = 0;
+    while i0 < m {
+        let mr = NN_MR.min(m - i0);
+        match mr {
+            6 => nn_row_block::<6>(i0, k, n, a, b, bias, out),
+            5 => nn_row_block::<5>(i0, k, n, a, b, bias, out),
+            4 => nn_row_block::<4>(i0, k, n, a, b, bias, out),
+            3 => nn_row_block::<3>(i0, k, n, a, b, bias, out),
+            2 => nn_row_block::<2>(i0, k, n, a, b, bias, out),
+            _ => nn_row_block::<1>(i0, k, n, a, b, bias, out),
+        }
+        i0 += mr;
+    }
+}
+
+/// All `n` columns of the `MR` output rows starting at `i0`: full 8-wide
+/// tiles first, then a scalar column tail with the identical per-element
+/// order.
+#[inline]
+fn nn_row_block<const MR: usize>(
+    i0: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    let n_main = n - n % NN_NR;
+    let mut j0 = 0;
+    while j0 < n_main {
+        nn_microkernel::<MR>(i0, j0, k, n, a, b, bias, out);
+        j0 += NN_NR;
+    }
+    // column tail (n % NN_NR columns): scalar accumulator per element,
+    // bias first then p ascending — bit-identical, just unblocked
+    for mi in 0..MR {
+        let i = i0 + mi;
+        let arow = &a[i * k..(i + 1) * k];
+        for j in n_main..n {
+            let mut acc = bias[i];
+            for (p, &av) in arow.iter().enumerate() {
+                acc += av * b[p * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// One `MR×NN_NR` output tile: accumulators seeded with the row bias, then
+/// every `p` broadcasts `a[i,p]` against an 8-wide slice of `b[p]` — the
+/// independent lanes are what autovectorizes, and the const `MR` lets the
+/// whole tile live in registers for the duration of the `k` loop.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn nn_microkernel<const MR: usize>(
+    i0: usize,
+    j0: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    let arows: [&[f32]; MR] = std::array::from_fn(|mi| &a[(i0 + mi) * k..(i0 + mi) * k + k]);
+    let mut acc: [[f32; NN_NR]; MR] = std::array::from_fn(|mi| [bias[i0 + mi]; NN_NR]);
+    for p in 0..k {
+        let brow = &b[p * n + j0..p * n + j0 + NN_NR];
+        for (lanes, arow) in acc.iter_mut().zip(&arows) {
+            let av = arow[p];
+            for (o, &bv) in lanes.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    for (mi, lanes) in acc.iter().enumerate() {
+        let obase = (i0 + mi) * n + j0;
+        out[obase..obase + NN_NR].copy_from_slice(lanes);
+    }
+}
+
+/// Batched affine map `out[i][r] = (Σ_p rows[i][p]·w[r,p]) + bias[r]` —
+/// one dot product per (sample, output) pair, bias added **after** the
+/// sum, exactly [`crate::ops::affine_row`]'s order.
+///
+/// `w` is the row-major `[m, k]` weight buffer with `m = bias.len()`;
+/// `out` is `[rows.len(), m]` row-major. This is the dense-layer / head
+/// shape: both operands are traversed along `k`, so the tiled variant
+/// wins through instruction-level parallelism (16 independent
+/// accumulators), not lane vectorization — see the [module docs](self).
+///
+/// # Panics
+///
+/// Panics when a buffer length disagrees with the shapes (callers
+/// pre-validate; this guards the indexing below).
+pub fn gemm_nt(
+    kernel: GemmKernel,
+    k: usize,
+    rows: &[&[f32]],
+    w: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    let m = bias.len();
+    assert_eq!(w.len(), m * k, "gemm_nt: w must be [m={m}, k={k}]");
+    assert_eq!(
+        out.len(),
+        rows.len() * m,
+        "gemm_nt: out must be [rows={}, m={m}]",
+        rows.len()
+    );
+    for row in rows {
+        assert_eq!(row.len(), k, "gemm_nt: every row must have k={k} entries");
+    }
+    match kernel {
+        GemmKernel::Reference => gemm_nt_reference(k, rows, w, bias, out),
+        GemmKernel::Tiled => gemm_nt_tiled(k, rows, w, bias, out),
+    }
+}
+
+/// The original batched-affine loop: [`crate::ops::affine_row`] per sample.
+fn gemm_nt_reference(k: usize, rows: &[&[f32]], w: &[f32], bias: &[f32], out: &mut [f32]) {
+    let m = bias.len();
+    for (i, row) in rows.iter().enumerate() {
+        crate::ops::affine_row(row, w, k, bias, &mut out[i * m..(i + 1) * m]);
+    }
+}
+
+/// Register-blocked variant: up to 4 samples × 4 outputs of dot-product
+/// accumulators advance through `k` together; ragged tails shrink the
+/// tile, never the per-element order. Both tile dimensions are dispatched
+/// to a const-generic microkernel so all 16 accumulators stay in
+/// registers.
+fn gemm_nt_tiled(k: usize, rows: &[&[f32]], w: &[f32], bias: &[f32], out: &mut [f32]) {
+    let mut i0 = 0;
+    while i0 < rows.len() {
+        let mr = NT_MR.min(rows.len() - i0);
+        match mr {
+            4 => nt_row_block::<4>(i0, k, rows, w, bias, out),
+            3 => nt_row_block::<3>(i0, k, rows, w, bias, out),
+            2 => nt_row_block::<2>(i0, k, rows, w, bias, out),
+            _ => nt_row_block::<1>(i0, k, rows, w, bias, out),
+        }
+        i0 += mr;
+    }
+}
+
+/// All `m` outputs of the `MR` samples starting at `i0`, in 4-wide output
+/// tiles with a narrower tail.
+#[inline]
+fn nt_row_block<const MR: usize>(
+    i0: usize,
+    k: usize,
+    rows: &[&[f32]],
+    w: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    let m = bias.len();
+    let xr: [&[f32]; MR] = std::array::from_fn(|mi| &rows[i0 + mi][..k]);
+    let mut r0 = 0;
+    while r0 < m {
+        let nr = NT_NR.min(m - r0);
+        match nr {
+            4 => nt_microkernel::<MR, 4>(i0, r0, k, &xr, w, bias, out),
+            3 => nt_microkernel::<MR, 3>(i0, r0, k, &xr, w, bias, out),
+            2 => nt_microkernel::<MR, 2>(i0, r0, k, &xr, w, bias, out),
+            _ => nt_microkernel::<MR, 1>(i0, r0, k, &xr, w, bias, out),
+        }
+        r0 += nr;
+    }
+}
+
+/// One `MR×NR` tile of (sample, output) dot products: `MR·NR` independent
+/// accumulators advance through `k` together — per element the sum is
+/// still a single sequential chain from zero, bias added last, exactly
+/// [`crate::ops::affine_row`]'s order.
+#[inline]
+fn nt_microkernel<const MR: usize, const NR: usize>(
+    i0: usize,
+    r0: usize,
+    k: usize,
+    xr: &[&[f32]; MR],
+    w: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    let m = bias.len();
+    let wr: [&[f32]; NR] = std::array::from_fn(|ni| &w[(r0 + ni) * k..(r0 + ni) * k + k]);
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..k {
+        for (lanes, xrow) in acc.iter_mut().zip(xr) {
+            let xv = xrow[p];
+            for (o, wrow) in lanes.iter_mut().zip(&wr) {
+                *o += xv * wrow[p];
+            }
+        }
+    }
+    for (mi, lanes) in acc.iter().enumerate() {
+        let obase = (i0 + mi) * m + r0;
+        for (ni, &v) in lanes.iter().enumerate() {
+            out[obase + ni] = v + bias[r0 + ni];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn fill(rng: &mut StdRng, len: usize) -> Vec<f32> {
+        (0..len).map(|_| rng.random_range(-2.0..2.0)).collect()
+    }
+
+    /// Naive triple loop replaying the reference accumulation order for
+    /// the nn (bias-first) shape.
+    fn naive_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], bias: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = bias[i];
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Naive loop replaying the reference order for the nt (bias-last)
+    /// shape.
+    fn naive_nt(k: usize, rows: &[&[f32]], w: &[f32], bias: &[f32]) -> Vec<f32> {
+        let m = bias.len();
+        let mut out = vec![0.0f32; rows.len() * m];
+        for (i, row) in rows.iter().enumerate() {
+            for r in 0..m {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += w[r * k + p] * row[p];
+                }
+                out[i * m + r] = acc + bias[r];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn nn_kernels_bit_identical_across_shapes() {
+        let mut rng = StdRng::seed_from_u64(41);
+        // deliberately ragged shapes: tile tails in m and n, k = 0,
+        // single row / column, and the exact 4×8 tile
+        for (m, k, n) in [
+            (1usize, 1usize, 1usize),
+            (4, 5, 8),
+            (6, 25, 147),
+            (5, 3, 9),
+            (3, 0, 7),
+            (1, 12, 31),
+            (12, 150, 1),
+            (7, 7, 7),
+        ] {
+            let a = fill(&mut rng, m * k);
+            let b = fill(&mut rng, k * n);
+            let bias = fill(&mut rng, m);
+            let expected = naive_nn(m, k, n, &a, &b, &bias);
+            for kernel in GemmKernel::ALL {
+                let mut out = vec![f32::NAN; m * n];
+                gemm_nn(kernel, m, k, n, &a, &b, &bias, &mut out);
+                for (got, want) in out.iter().zip(&expected) {
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "{kernel} nn mismatch at ({m},{k},{n})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nt_kernels_bit_identical_across_shapes() {
+        let mut rng = StdRng::seed_from_u64(43);
+        for (rows_n, m, k) in [
+            (1usize, 1usize, 1usize),
+            (4, 4, 9),
+            (5, 10, 864),
+            (9, 3, 17),
+            (2, 6, 0),
+            (1, 13, 5),
+            (16, 1, 12),
+        ] {
+            let samples: Vec<Vec<f32>> = (0..rows_n).map(|_| fill(&mut rng, k)).collect();
+            let rows: Vec<&[f32]> = samples.iter().map(Vec::as_slice).collect();
+            let w = fill(&mut rng, m * k);
+            let bias = fill(&mut rng, m);
+            let expected = naive_nt(k, &rows, &w, &bias);
+            for kernel in GemmKernel::ALL {
+                let mut out = vec![f32::NAN; rows_n * m];
+                gemm_nt(kernel, k, &rows, &w, &bias, &mut out);
+                for (got, want) in out.iter().zip(&expected) {
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "{kernel} nt mismatch at ({rows_n},{m},{k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_k_is_pure_bias() {
+        for kernel in GemmKernel::ALL {
+            let mut out = vec![9.0f32; 6];
+            gemm_nn(kernel, 2, 0, 3, &[], &[], &[1.5, -0.5], &mut out);
+            assert_eq!(out, [1.5, 1.5, 1.5, -0.5, -0.5, -0.5]);
+            let mut out = vec![9.0f32; 4];
+            let rows: Vec<&[f32]> = vec![&[], &[]];
+            gemm_nt(kernel, 0, &rows, &[], &[0.25, -1.0], &mut out);
+            assert_eq!(out, [0.25, -1.0, 0.25, -1.0]);
+        }
+    }
+
+    #[test]
+    fn empty_row_set_writes_nothing() {
+        for kernel in GemmKernel::ALL {
+            let mut out = Vec::new();
+            gemm_nt(kernel, 3, &[], &[0.0; 6], &[0.0, 0.0], &mut out);
+            assert!(out.is_empty());
+            gemm_nn(kernel, 0, 3, 4, &[], &[0.0; 12], &[], &mut out);
+        }
+    }
+
+    #[test]
+    fn known_values_match_hand_computation() {
+        // A = [[1,2],[3,4]], B = [[5,6,7],[8,9,10]], bias = [0.5, -0.5]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        for kernel in GemmKernel::ALL {
+            let mut out = [0.0f32; 6];
+            gemm_nn(kernel, 2, 2, 3, &a, &b, &[0.5, -0.5], &mut out);
+            assert_eq!(out, [21.5, 24.5, 27.5, 46.5, 53.5, 60.5]);
+        }
+        // rows·Wᵀ + bias with W = A: row [1,1] → [1+2+0.5, 3+4-0.5]
+        for kernel in GemmKernel::ALL {
+            let row: &[f32] = &[1.0, 1.0];
+            let mut out = [0.0f32; 2];
+            gemm_nt(kernel, 2, &[row], &a, &[0.5, -0.5], &mut out);
+            assert_eq!(out, [3.5, 6.5]);
+        }
+    }
+
+    #[test]
+    fn validates_buffer_shapes() {
+        let r = std::panic::catch_unwind(|| {
+            let mut out = vec![0.0f32; 4];
+            gemm_nn(
+                GemmKernel::Tiled,
+                2,
+                2,
+                2,
+                &[0.0; 3],
+                &[0.0; 4],
+                &[0.0; 2],
+                &mut out,
+            );
+        });
+        assert!(r.is_err(), "short a must panic");
+        let r = std::panic::catch_unwind(|| {
+            let row: &[f32] = &[0.0; 3];
+            let mut out = vec![0.0f32; 2];
+            gemm_nt(GemmKernel::Tiled, 2, &[row], &[0.0; 4], &[0.0; 2], &mut out);
+        });
+        assert!(r.is_err(), "wrong row length must panic");
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        assert_eq!(GemmKernel::default(), GemmKernel::Tiled);
+        for kernel in GemmKernel::ALL {
+            assert_eq!(kernel.to_string().parse::<GemmKernel>().unwrap(), kernel);
+        }
+        assert_eq!(
+            "Reference".parse::<GemmKernel>().unwrap(),
+            GemmKernel::Reference
+        );
+        assert!("avx512".parse::<GemmKernel>().is_err());
+    }
+}

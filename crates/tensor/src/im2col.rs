@@ -12,6 +12,7 @@
 
 use crate::conv::{check_conv_bias, check_conv_operands, valid_out_size};
 use crate::error::TensorError;
+use crate::gemm::{self, GemmKernel};
 use crate::tensor::Tensor;
 use crate::Result;
 
@@ -132,11 +133,14 @@ pub struct ConvScratch {
 }
 
 /// Valid cross-correlation of a whole batch through one shared im2col
-/// lowering and one GEMM over preallocated scratch.
+/// lowering and one GEMM over preallocated scratch, evaluated by the
+/// chosen [`GemmKernel`].
 ///
 /// Every input must have the shape of `inputs[0]`. The accumulation order
 /// per output element — bias first, then taps in channel-major `(c, ky, kx)`
-/// order — is exactly [`crate::conv::conv2d_valid`]'s, so results are
+/// order — is exactly [`crate::conv::conv2d_valid`]'s **for every
+/// kernel** (the tiled kernel repartitions the output plane but never an
+/// element's addition sequence; see [`crate::gemm`]), so results are
 /// **bit-identical** to the per-image direct path.
 ///
 /// # Errors
@@ -148,6 +152,7 @@ pub fn conv2d_valid_batch(
     kernels: &Tensor,
     bias: &[f32],
     scratch: &mut ConvScratch,
+    kernel: GemmKernel,
 ) -> Result<Vec<Tensor>> {
     let Some(first) = inputs.first() else {
         return Ok(Vec::new());
@@ -185,22 +190,19 @@ pub fn conv2d_valid_batch(
     }
 
     // GEMM with bias-seeded accumulators, p ascending per element — the
-    // exact addition sequence of the direct convolution.
+    // exact addition sequence of the direct convolution, whichever
+    // microkernel runs it.
     scratch.out.resize(c_out * total_cols, 0.0);
-    for (m, &b) in bias.iter().enumerate() {
-        scratch.out[m * total_cols..(m + 1) * total_cols].fill(b);
-    }
-    let wd = kernels.data();
-    for m in 0..c_out {
-        let orow = &mut scratch.out[m * total_cols..(m + 1) * total_cols];
-        for p in 0..rows {
-            let av = wd[m * rows + p];
-            let brow = &scratch.patches[p * total_cols..(p + 1) * total_cols];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    }
+    gemm::gemm_nn(
+        kernel,
+        c_out,
+        rows,
+        total_cols,
+        kernels.data(),
+        &scratch.patches,
+        bias,
+        &mut scratch.out,
+    );
 
     (0..n)
         .map(|i| {
@@ -301,14 +303,19 @@ mod tests {
             let kernels = t(k_data, &[c_out, c_in, k, k]);
             let bias: Vec<f32> = (0..c_out).map(|_| rng.random_range(-0.2..0.2)).collect();
             let mut scratch = ConvScratch::default();
-            let batched = conv2d_valid_batch(&inputs, &kernels, &bias, &mut scratch).unwrap();
-            for (x, b) in inputs.iter().zip(&batched) {
-                let direct = conv2d_valid(x, &kernels, &bias).unwrap();
-                assert_eq!(direct.dims(), b.dims());
-                // bit-identical, not just close: the batched GEMM replays
-                // the direct path's exact addition sequence
-                for (dv, bv) in direct.data().iter().zip(b.data()) {
-                    assert_eq!(dv.to_bits(), bv.to_bits());
+            for gemm_kernel in GemmKernel::ALL {
+                let batched =
+                    conv2d_valid_batch(&inputs, &kernels, &bias, &mut scratch, gemm_kernel)
+                        .unwrap();
+                for (x, b) in inputs.iter().zip(&batched) {
+                    let direct = conv2d_valid(x, &kernels, &bias).unwrap();
+                    assert_eq!(direct.dims(), b.dims());
+                    // bit-identical, not just close: the batched GEMM
+                    // replays the direct path's exact addition sequence,
+                    // whichever microkernel ran it
+                    for (dv, bv) in direct.data().iter().zip(b.data()) {
+                        assert_eq!(dv.to_bits(), bv.to_bits(), "kernel {gemm_kernel}");
+                    }
                 }
             }
         }
@@ -316,39 +323,43 @@ mod tests {
 
     #[test]
     fn batch_scratch_reuse_across_geometries() {
+        let gemm_kernel = GemmKernel::default();
         let mut scratch = ConvScratch::default();
         let k1 = Tensor::ones(&[2, 1, 2, 2]);
         let a: Vec<Tensor> = (0..3).map(|i| Tensor::full(&[1, 5, 5], i as f32)).collect();
-        let first = conv2d_valid_batch(&a, &k1, &[0.1, 0.2], &mut scratch).unwrap();
+        let first = conv2d_valid_batch(&a, &k1, &[0.1, 0.2], &mut scratch, gemm_kernel).unwrap();
         // different geometry afterwards must be handled by the same scratch
         let k2 = Tensor::ones(&[1, 2, 3, 3]);
         let b: Vec<Tensor> = (0..2)
             .map(|i| Tensor::full(&[2, 8, 8], 0.5 + i as f32))
             .collect();
-        let second = conv2d_valid_batch(&b, &k2, &[0.0], &mut scratch).unwrap();
+        let second = conv2d_valid_batch(&b, &k2, &[0.0], &mut scratch, gemm_kernel).unwrap();
         // then the original geometry again, bit-identically
-        let again = conv2d_valid_batch(&a, &k1, &[0.1, 0.2], &mut scratch).unwrap();
+        let again = conv2d_valid_batch(&a, &k1, &[0.1, 0.2], &mut scratch, gemm_kernel).unwrap();
         assert_eq!(first, again);
         assert_eq!(second[0].dims(), &[1, 6, 6]);
     }
 
     #[test]
     fn batch_validates_operands() {
+        let gemm_kernel = GemmKernel::default();
         let mut scratch = ConvScratch::default();
         let k = Tensor::ones(&[1, 1, 2, 2]);
         // empty batch is fine
-        assert!(conv2d_valid_batch(&[], &k, &[0.0], &mut scratch)
-            .unwrap()
-            .is_empty());
+        assert!(
+            conv2d_valid_batch(&[], &k, &[0.0], &mut scratch, gemm_kernel)
+                .unwrap()
+                .is_empty()
+        );
         // mixed shapes rejected
         let mixed = vec![Tensor::ones(&[1, 4, 4]), Tensor::ones(&[1, 5, 5])];
-        assert!(conv2d_valid_batch(&mixed, &k, &[0.0], &mut scratch).is_err());
+        assert!(conv2d_valid_batch(&mixed, &k, &[0.0], &mut scratch, gemm_kernel).is_err());
         // wrong channel count rejected
         let xs = vec![Tensor::ones(&[2, 4, 4])];
-        assert!(conv2d_valid_batch(&xs, &k, &[0.0], &mut scratch).is_err());
+        assert!(conv2d_valid_batch(&xs, &k, &[0.0], &mut scratch, gemm_kernel).is_err());
         // bad bias rejected
         let xs = vec![Tensor::ones(&[1, 4, 4])];
-        assert!(conv2d_valid_batch(&xs, &k, &[0.0, 0.0], &mut scratch).is_err());
+        assert!(conv2d_valid_batch(&xs, &k, &[0.0, 0.0], &mut scratch, gemm_kernel).is_err());
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! * a row-major, heap-allocated `f32` [`Tensor`] with a dynamic [`Shape`],
 //! * elementwise arithmetic and reductions ([`ops`]),
 //! * dense matrix–vector / matrix–matrix products ([`ops`]),
+//! * register-blocked GEMM microkernels behind a runtime [`GemmKernel`]
+//!   selection for the batched hot paths ([`gemm`]),
 //! * *valid* 2-D multi-channel convolution / cross-correlation and their
 //!   gradients ([`conv`]),
 //! * max- and mean-pooling with argmax bookkeeping for backprop ([`pool`]),
@@ -36,6 +38,7 @@
 
 pub mod conv;
 pub mod error;
+pub mod gemm;
 pub mod im2col;
 pub mod init;
 pub mod ops;
@@ -44,6 +47,7 @@ pub mod shape;
 pub mod tensor;
 
 pub use error::TensorError;
+pub use gemm::GemmKernel;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

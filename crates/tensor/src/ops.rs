@@ -5,6 +5,7 @@
 //! class of silent-shape bugs.
 
 use crate::error::TensorError;
+use crate::gemm::{self, GemmKernel};
 use crate::tensor::Tensor;
 use crate::Result;
 
@@ -228,20 +229,29 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     Tensor::from_vec(out, &[m, n])
 }
 
-/// Batched affine map `out[i] = W·rows[i] + b` into a preallocated buffer.
+/// Batched affine map `out[i] = W·rows[i] + b` into a preallocated buffer,
+/// evaluated by the chosen [`GemmKernel`].
 ///
 /// `rows` are the flattened input vectors of a batch (each of length
 /// `W.cols`), `w` is `[m, k]`, `bias` has `m` entries, and `out` must hold
 /// `rows.len()·m` values (row-major, one output row per input row). The
 /// per-element accumulation — `k` ascending, bias added after the dot
-/// product — is exactly [`matvec`]-then-bias, so results are bit-identical
-/// to the per-sample path used by dense layers and classifier heads.
+/// product — is exactly [`matvec`]-then-bias for **every** kernel, so
+/// results are bit-identical to the per-sample path used by dense layers
+/// and classifier heads regardless of the kernel picked (see
+/// [`crate::gemm`]).
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`] on
 /// operand disagreement.
-pub fn affine_rows_into(rows: &[&[f32]], w: &Tensor, bias: &[f32], out: &mut [f32]) -> Result<()> {
+pub fn affine_rows_into(
+    rows: &[&[f32]],
+    w: &Tensor,
+    bias: &[f32],
+    out: &mut [f32],
+    kernel: GemmKernel,
+) -> Result<()> {
     if w.rank() != 2 {
         return Err(TensorError::RankMismatch {
             expected: 2,
@@ -255,24 +265,24 @@ pub fn affine_rows_into(rows: &[&[f32]], w: &Tensor, bias: &[f32], out: &mut [f3
             right: vec![rows.len(), bias.len(), out.len()],
         });
     }
-    for (i, row) in rows.iter().enumerate() {
+    for row in rows {
         if row.len() != k {
             return Err(TensorError::ShapeMismatch {
                 left: w.dims().to_vec(),
                 right: vec![row.len()],
             });
         }
-        affine_row(row, w.data(), k, bias, &mut out[i * m..(i + 1) * m]);
     }
+    gemm::gemm_nt(kernel, k, rows, w.data(), bias, out);
     Ok(())
 }
 
 /// One affine row `out = W·row + b` against pre-validated operands (`wd` is
-/// the row-major `[out.len(), k]` weight buffer) — the shared inner kernel
-/// of [`affine_rows_into`] and the batched dense layer, which writes each
-/// sample's output straight into its own tensor buffer, avoiding an
-/// intermediate copy. Accumulates `k` ascending, bias after: bit-identical
-/// to [`matvec`]-then-bias.
+/// the row-major `[out.len(), k]` weight buffer) — the per-sample
+/// **reference kernel** of the batched affine: `GemmKernel::Reference`
+/// replays exactly this loop per row, and every other kernel must match it
+/// bit for bit (see [`crate::gemm`]). Accumulates `k` ascending, bias
+/// after: bit-identical to [`matvec`]-then-bias.
 pub fn affine_row(row: &[f32], wd: &[f32], k: usize, bias: &[f32], out: &mut [f32]) {
     for (r, o) in out.iter_mut().enumerate() {
         let wrow = &wd[r * k..(r + 1) * k];
@@ -434,37 +444,40 @@ mod tests {
             vec![-3.0, 2.5, 0.125],
         ];
         let rows: Vec<&[f32]> = rows_data.iter().map(|r| r.as_slice()).collect();
-        let mut out = vec![0.0f32; rows.len() * 2];
-        affine_rows_into(&rows, &w, &bias, &mut out).unwrap();
-        for (i, row) in rows_data.iter().enumerate() {
-            let x = t(row.clone(), &[3]);
-            let mut y = matvec(&w, &x).unwrap();
-            for (o, b) in y.data_mut().iter_mut().zip(&bias) {
-                *o += b;
-            }
-            for (a, b) in y.data().iter().zip(&out[i * 2..(i + 1) * 2]) {
-                assert_eq!(a.to_bits(), b.to_bits());
+        for kernel in crate::gemm::GemmKernel::ALL {
+            let mut out = vec![0.0f32; rows.len() * 2];
+            affine_rows_into(&rows, &w, &bias, &mut out, kernel).unwrap();
+            for (i, row) in rows_data.iter().enumerate() {
+                let x = t(row.clone(), &[3]);
+                let mut y = matvec(&w, &x).unwrap();
+                for (o, b) in y.data_mut().iter_mut().zip(&bias) {
+                    *o += b;
+                }
+                for (a, b) in y.data().iter().zip(&out[i * 2..(i + 1) * 2]) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "kernel {kernel}");
+                }
             }
         }
     }
 
     #[test]
     fn affine_rows_validates() {
+        let kernel = crate::gemm::GemmKernel::default();
         let w = t(vec![1.0, 2.0], &[1, 2]);
         let row: &[f32] = &[1.0, 2.0];
         let mut out = vec![0.0f32; 1];
-        assert!(affine_rows_into(&[row], &w, &[0.0], &mut out).is_ok());
+        assert!(affine_rows_into(&[row], &w, &[0.0], &mut out, kernel).is_ok());
         // wrong bias length
-        assert!(affine_rows_into(&[row], &w, &[0.0, 0.0], &mut out).is_err());
+        assert!(affine_rows_into(&[row], &w, &[0.0, 0.0], &mut out, kernel).is_err());
         // wrong out length
         let mut bad_out = vec![0.0f32; 2];
-        assert!(affine_rows_into(&[row], &w, &[0.0], &mut bad_out).is_err());
+        assert!(affine_rows_into(&[row], &w, &[0.0], &mut bad_out, kernel).is_err());
         // wrong row length
         let short: &[f32] = &[1.0];
-        assert!(affine_rows_into(&[short], &w, &[0.0], &mut out).is_err());
+        assert!(affine_rows_into(&[short], &w, &[0.0], &mut out, kernel).is_err());
         // rank-1 weight
         let w1 = t(vec![1.0, 2.0], &[2]);
-        assert!(affine_rows_into(&[row], &w1, &[0.0], &mut out).is_err());
+        assert!(affine_rows_into(&[row], &w1, &[0.0], &mut out, kernel).is_err());
     }
 
     #[test]

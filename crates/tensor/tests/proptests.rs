@@ -1,5 +1,6 @@
 //! Property-based tests for the tensor crate's core invariants.
 
+use cdl_tensor::gemm::{self, GemmKernel};
 use cdl_tensor::im2col::{conv2d_valid_batch, ConvScratch};
 use cdl_tensor::{conv, im2col, ops, pool, Shape, Tensor};
 use proptest::prelude::*;
@@ -156,15 +157,19 @@ proptest! {
             }
         }
 
-        // batched scratch path: bit-identical to direct, per image
+        // batched scratch path: bit-identical to direct, per image, for
+        // every GEMM microkernel
         let mut scratch = ConvScratch::default();
-        let batched = conv2d_valid_batch(&inputs, &kernels, &bias, &mut scratch).unwrap();
-        prop_assert_eq!(batched.len(), inputs.len());
-        for (x, b) in inputs.iter().zip(&batched) {
-            let direct = conv::conv2d_valid(x, &kernels, &bias).unwrap();
-            prop_assert_eq!(direct.dims(), b.dims());
-            for (dv, bv) in direct.data().iter().zip(b.data()) {
-                prop_assert_eq!(dv.to_bits(), bv.to_bits());
+        for gemm_kernel in GemmKernel::ALL {
+            let batched =
+                conv2d_valid_batch(&inputs, &kernels, &bias, &mut scratch, gemm_kernel).unwrap();
+            prop_assert_eq!(batched.len(), inputs.len());
+            for (x, b) in inputs.iter().zip(&batched) {
+                let direct = conv::conv2d_valid(x, &kernels, &bias).unwrap();
+                prop_assert_eq!(direct.dims(), b.dims());
+                for (dv, bv) in direct.data().iter().zip(b.data()) {
+                    prop_assert_eq!(dv.to_bits(), bv.to_bits(), "kernel {}", gemm_kernel);
+                }
             }
         }
     }
@@ -186,16 +191,98 @@ proptest! {
             .map(|_| (0..kdim).map(|_| rng.random_range(-2.0..2.0)).collect())
             .collect();
         let refs: Vec<&[f32]> = samples.iter().map(|s| s.as_slice()).collect();
-        let mut out = vec![0.0f32; rows * m];
-        ops::affine_rows_into(&refs, &w, &bias, &mut out).unwrap();
-        for (i, s) in samples.iter().enumerate() {
-            let x = Tensor::from_vec(s.clone(), &[kdim]).unwrap();
-            let mut y = ops::matvec(&w, &x).unwrap();
-            for (o, b) in y.data_mut().iter_mut().zip(&bias) {
-                *o += b;
+        for gemm_kernel in GemmKernel::ALL {
+            let mut out = vec![0.0f32; rows * m];
+            ops::affine_rows_into(&refs, &w, &bias, &mut out, gemm_kernel).unwrap();
+            for (i, s) in samples.iter().enumerate() {
+                let x = Tensor::from_vec(s.clone(), &[kdim]).unwrap();
+                let mut y = ops::matvec(&w, &x).unwrap();
+                for (o, b) in y.data_mut().iter_mut().zip(&bias) {
+                    *o += b;
+                }
+                for (a, b) in y.data().iter().zip(&out[i * m..(i + 1) * m]) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "kernel {}", gemm_kernel);
+                }
             }
-            for (a, b) in y.data().iter().zip(&out[i * m..(i + 1) * m]) {
-                prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Kernel parity, nn shape: every [`GemmKernel`] is bit-identical to a
+    /// naive triple loop replaying the reference accumulation order (bias
+    /// first, then k ascending), across random (m, k, n) — including
+    /// remainder tails (m % 4, n % 8 ≠ 0 by construction of the ranges),
+    /// k = 0, and single-row/column outputs.
+    #[test]
+    fn gemm_nn_kernels_match_naive_triple_loop(
+        m in 1usize..11,
+        kdim in 0usize..30,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..m * kdim).map(|_| rng.random_range(-2.0..2.0)).collect();
+        let b: Vec<f32> = (0..kdim * n).map(|_| rng.random_range(-2.0..2.0)).collect();
+        let bias: Vec<f32> = (0..m).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let mut expected = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = bias[i];
+                for p in 0..kdim {
+                    acc += a[i * kdim + p] * b[p * n + j];
+                }
+                expected[i * n + j] = acc;
+            }
+        }
+        for gemm_kernel in GemmKernel::ALL {
+            let mut out = vec![f32::NAN; m * n];
+            gemm::gemm_nn(gemm_kernel, m, kdim, n, &a, &b, &bias, &mut out);
+            for (got, want) in out.iter().zip(&expected) {
+                prop_assert_eq!(
+                    got.to_bits(), want.to_bits(),
+                    "kernel {} at ({}, {}, {})", gemm_kernel, m, kdim, n
+                );
+            }
+        }
+    }
+
+    /// Kernel parity, nt shape: every [`GemmKernel`] is bit-identical to a
+    /// naive per-element dot-then-bias loop across random (rows, m, k) —
+    /// including ragged tile tails, k = 0 and single-sample/single-output
+    /// extremes.
+    #[test]
+    fn gemm_nt_kernels_match_naive_dot_loop(
+        rows in 1usize..10,
+        m in 1usize..11,
+        kdim in 0usize..30,
+        seed in 0u64..1000,
+    ) {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let samples: Vec<Vec<f32>> = (0..rows)
+            .map(|_| (0..kdim).map(|_| rng.random_range(-2.0..2.0)).collect())
+            .collect();
+        let refs: Vec<&[f32]> = samples.iter().map(|s| s.as_slice()).collect();
+        let w: Vec<f32> = (0..m * kdim).map(|_| rng.random_range(-2.0..2.0)).collect();
+        let bias: Vec<f32> = (0..m).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let mut expected = vec![0.0f32; rows * m];
+        for (i, s) in samples.iter().enumerate() {
+            for r in 0..m {
+                let mut acc = 0.0f32;
+                for p in 0..kdim {
+                    acc += w[r * kdim + p] * s[p];
+                }
+                expected[i * m + r] = acc + bias[r];
+            }
+        }
+        for gemm_kernel in GemmKernel::ALL {
+            let mut out = vec![f32::NAN; rows * m];
+            gemm::gemm_nt(gemm_kernel, kdim, &refs, &w, &bias, &mut out);
+            for (got, want) in out.iter().zip(&expected) {
+                prop_assert_eq!(
+                    got.to_bits(), want.to_bits(),
+                    "kernel {} at ({}, {}, {})", gemm_kernel, rows, m, kdim
+                );
             }
         }
     }

@@ -10,8 +10,11 @@
 //! carries a per-request δ/depth override from a small service-level mix —
 //! the Fig. 10 accuracy/energy trade-off exercised per request within one
 //! stream. Prints the router's final per-shard + aggregate metrics report
-//! (routing histogram, per-model exit/energy breakdown) and cross-checks a
-//! sample of responses against `CdlNetwork::classify_with_override`.
+//! (routing histogram, per-model exit/energy breakdown), cross-checks a
+//! sample of responses against `CdlNetwork::classify_with_override`, and
+//! finishes with a GEMM-kernel A/B: the same workload against a
+//! reference-kernel router, asserting the tiled default is at least as
+//! fast.
 //!
 //! ```text
 //! cargo run --release --example serve_stream
@@ -28,7 +31,9 @@ use cdl::core::network::CdlNetwork;
 use cdl::dataset::SyntheticMnist;
 use cdl::nn::network::Network;
 use cdl::nn::trainer::{train, LabelledSet, TrainConfig};
-use cdl::serve::{BatchPolicy, Pending, Router, ServerConfig, ShardSpec, SubmitOptions};
+use cdl::serve::{
+    BatchPolicy, GemmKernel, Pending, Router, ServerConfig, ShardSpec, SubmitOptions,
+};
 use cdl::tensor::Tensor;
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -122,16 +127,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         requests as f64 / seq_elapsed.as_secs_f64(),
     );
 
-    // 4. The sharded router under an open-loop multi-client workload.
+    // 4. The sharded router under an open-loop multi-client workload,
+    //    workers on the tiled GEMM microkernel (the default).
     let config = ServerConfig {
         policy: BatchPolicy::new(128, Duration::from_millis(2)),
         queue_capacity: 4096,
         workers,
+        gemm_kernel: GemmKernel::Tiled,
         ..ServerConfig::default()
     };
     let router = Router::start(vec![
         ShardSpec::new("MNIST_2C", Arc::clone(&m2c), config.clone()),
-        ShardSpec::new("MNIST_3C", Arc::clone(&m3c), config),
+        ShardSpec::new("MNIST_3C", Arc::clone(&m3c), config.clone()),
     ])?;
     let models = [
         router.model_id("MNIST_2C").expect("registered"),
@@ -179,15 +186,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
     // best of two runs: the first batch pays scratch allocation and thread
     // warmup, and a scheduler hiccup on a loaded 1-core box shouldn't fail
-    // the throughput claim below; the metrics report is snapshotted after
-    // the first run so it always describes exactly one pass of the stream
+    // the throughput claims below — always taking both runs keeps this
+    // measurement symmetric with the reference-kernel one it is compared
+    // against; the metrics report is snapshotted after the first run so it
+    // always describes exactly one pass of the stream
     let (first_elapsed, outputs) = run_workload(&router);
     let metrics = router.metrics();
-    let srv_elapsed = if first_elapsed < seq_elapsed {
-        first_elapsed
-    } else {
-        run_workload(&router).0.min(first_elapsed)
-    };
+    let srv_elapsed = run_workload(&router).0.min(first_elapsed);
     router.shutdown();
 
     // 5. Spot-check equivalence: the routed answers are bit-identical to
@@ -208,7 +213,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== router metrics ===\n{metrics}\n");
     let speedup = seq_elapsed.as_secs_f64() / srv_elapsed.as_secs_f64();
     println!(
-        "router: {} requests in {:.3}s ({:.0} req/s) → {:.2}x vs sequential",
+        "router (tiled GEMM): {} requests in {:.3}s ({:.0} req/s) → {:.2}x vs sequential",
         requests,
         srv_elapsed.as_secs_f64(),
         requests as f64 / srv_elapsed.as_secs_f64(),
@@ -218,6 +223,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         srv_elapsed < seq_elapsed,
         "dynamic batching + 2 shards × {workers} workers must beat the sequential loop \
          ({srv_elapsed:?} vs {seq_elapsed:?})"
+    );
+
+    // 6. A/B the GEMM microkernel: the identical workload against a router
+    //    whose workers run the pinned Reference loops. Both kernels are
+    //    bit-identical (same exit decisions below), so throughput is the
+    //    only thing allowed to differ — and the tiled default must not be
+    //    slower (best-of-two on each side, like the sequential comparison).
+    let ref_router = Router::start(vec![
+        ShardSpec::new(
+            "MNIST_2C",
+            Arc::clone(&m2c),
+            ServerConfig {
+                gemm_kernel: GemmKernel::Reference,
+                ..config.clone()
+            },
+        ),
+        ShardSpec::new(
+            "MNIST_3C",
+            Arc::clone(&m3c),
+            ServerConfig {
+                gemm_kernel: GemmKernel::Reference,
+                ..config
+            },
+        ),
+    ])?;
+    let (ref_first, ref_outputs) = run_workload(&ref_router);
+    let ref_elapsed = run_workload(&ref_router).0.min(ref_first);
+    ref_router.shutdown();
+    let ref_exits: usize = ref_outputs.iter().map(|(_, out)| out.exit_stage).sum();
+    assert_eq!(ref_exits, srv_exits, "kernels must agree bit for bit");
+    println!(
+        "router (reference GEMM): {} requests in {:.3}s ({:.0} req/s) → tiled is {:.2}x",
+        requests,
+        ref_elapsed.as_secs_f64(),
+        requests as f64 / ref_elapsed.as_secs_f64(),
+        ref_elapsed.as_secs_f64() / srv_elapsed.as_secs_f64(),
+    );
+    assert!(
+        srv_elapsed <= ref_elapsed,
+        "the tiled GEMM kernel must not be slower than the reference loops \
+         ({srv_elapsed:?} vs {ref_elapsed:?})"
     );
     Ok(())
 }

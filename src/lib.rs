@@ -4,7 +4,8 @@
 //! examples and downstream users can depend on a single crate:
 //!
 //! * [`tensor`] — minimal f32 tensor library (conv/pool primitives, batched
-//!   im2col/GEMM entry points with reusable scratch),
+//!   im2col/GEMM entry points with reusable scratch, and the
+//!   register-blocked GEMM microkernels behind [`tensor::GemmKernel`]),
 //! * [`nn`] — from-scratch CNN layers, losses and SGD trainer, plus
 //!   whole-batch forward passes ([`nn::batch`]),
 //! * [`dataset`] — synthetic MNIST generator (rayon-parallel) + IDX loader,
@@ -62,6 +63,23 @@
 //! still-active subset after every confidence gate. Outputs are
 //! bit-identical to per-image [`core::network::CdlNetwork::classify`]
 //! (enforced by `tests/batch_equivalence.rs`).
+//!
+//! ## GEMM microkernels
+//!
+//! Both batched hot paths — the im2col convolution GEMM and the batched
+//! dense/head affine — run through `cdl_tensor::gemm`, a register-blocked,
+//! tail-handled microkernel layer behind the [`tensor::GemmKernel`] enum.
+//! `Tiled` (the default everywhere) keeps 6×8 / 4×4 output tiles in
+//! registers across the whole k loop; `Reference` is the original straight
+//! loops, kept alive as the pinned executable baseline. Every kernel
+//! accumulates each output element in the identical order (bias/k
+//! sequence preserved), so all variants are **bit-identical** — pinned by
+//! parity proptests against a naive triple loop and by running the batch /
+//! serve equivalence suites once per kernel. The kernel is chosen once at
+//! evaluator construction ([`core::batch::BatchEvaluator::with_kernel`],
+//! `nn::batch::BatchScratch::with_kernel`) or per serving shard
+//! ([`serve::ServerConfig`]'s `gemm_kernel`); `cargo bench -p cdl-bench
+//! --bench batch` A/Bs the kernels on a 1k-image stream.
 //!
 //! ## Streaming serving
 //!

@@ -3,8 +3,9 @@
 //! The `BatchEvaluator` must be a pure performance transformation: for every
 //! image of a batch, the label, exit stage, confidence, op count, and
 //! early-exit flag must be **bit-identical** to `CdlNetwork::classify` on
-//! that image alone — across policies, batch compositions, and repeated use
-//! of one evaluator's scratch buffers.
+//! that image alone — across policies, batch compositions, repeated use of
+//! one evaluator's scratch buffers, and **every `GemmKernel` variant** (the
+//! tiled microkernel is pinned here exactly like the reference loops).
 
 use cdl::core::arch;
 use cdl::core::batch::BatchEvaluator;
@@ -14,6 +15,7 @@ use cdl::core::network::CdlNetwork;
 use cdl::dataset::SyntheticMnist;
 use cdl::nn::network::Network;
 use cdl::nn::trainer::{train, LabelledSet, TrainConfig};
+use cdl::tensor::GemmKernel;
 use std::sync::OnceLock;
 
 /// Trains once, shares across the three tests (training dominates runtime).
@@ -54,47 +56,53 @@ fn build_cdln() -> (CdlNetwork, LabelledSet) {
 #[test]
 fn batched_inference_is_bit_identical_to_per_image() {
     let (cdln, test_set) = trained_cdln();
-    let mut eval = BatchEvaluator::new(cdln);
+    // once per GemmKernel variant: the tiled default must satisfy the exact
+    // same bit-level pin as the reference loops
+    for kernel in GemmKernel::ALL {
+        let mut eval = BatchEvaluator::with_kernel(cdln, kernel);
 
-    let batched = eval.classify_batch(&test_set.images).expect("batched pass");
-    assert_eq!(batched.len(), test_set.len());
+        let batched = eval.classify_batch(&test_set.images).expect("batched pass");
+        assert_eq!(batched.len(), test_set.len());
 
-    let mut exit_histogram = vec![0usize; cdln.stage_count() + 1];
-    for (image, out) in test_set.images.iter().zip(&batched) {
-        let single = cdln.classify(image).expect("per-image pass");
-        // CdlOutput derives PartialEq: label, exit_stage, confidence (f32
-        // equality, i.e. bit-identical scores), ops, stages_activated,
-        // exited_early must all agree
-        assert_eq!(*out, single);
-        exit_histogram[out.exit_stage] += 1;
+        let mut exit_histogram = vec![0usize; cdln.stage_count() + 1];
+        for (image, out) in test_set.images.iter().zip(&batched) {
+            let single = cdln.classify(image).expect("per-image pass");
+            // CdlOutput derives PartialEq: label, exit_stage, confidence
+            // (f32 equality, i.e. bit-identical scores), ops,
+            // stages_activated, exited_early must all agree
+            assert_eq!(*out, single, "kernel {kernel}");
+            exit_histogram[out.exit_stage] += 1;
+        }
+        // the comparison is only meaningful if the cascade actually
+        // branches: with trained heads and the paper's δ some images must
+        // exit early and some must reach the final classifier
+        assert!(
+            exit_histogram[..cdln.stage_count()].iter().sum::<usize>() > 0,
+            "no image exited early — equivalence test degenerated ({kernel}): {exit_histogram:?}"
+        );
     }
-    // the comparison is only meaningful if the cascade actually branches:
-    // with trained heads and the paper's δ some images must exit early and
-    // some must reach the final classifier
-    assert!(
-        exit_histogram[..cdln.stage_count()].iter().sum::<usize>() > 0,
-        "no image exited early — equivalence test degenerated: {exit_histogram:?}"
-    );
 }
 
 #[test]
 fn equivalence_holds_across_policies_and_scratch_reuse() {
     let (cdln, test_set) = trained_cdln();
     let images = &test_set.images[..64.min(test_set.len())];
-    let mut eval = BatchEvaluator::new(cdln);
-    for policy in [
-        ConfidencePolicy::sigmoid_prob(0.5),
-        ConfidencePolicy::sigmoid_prob(0.7),
-        ConfidencePolicy::max_prob(0.6),
-        ConfidencePolicy::margin(0.2),
-        ConfidencePolicy::entropy(0.4),
-    ] {
-        let batched = eval
-            .classify_batch_with_policy(images, policy)
-            .expect("batched pass");
-        for (image, out) in images.iter().zip(&batched) {
-            let single = cdln.classify_with_policy(image, policy).expect("per-image");
-            assert_eq!(*out, single, "policy {policy}");
+    for kernel in GemmKernel::ALL {
+        let mut eval = BatchEvaluator::with_kernel(cdln, kernel);
+        for policy in [
+            ConfidencePolicy::sigmoid_prob(0.5),
+            ConfidencePolicy::sigmoid_prob(0.7),
+            ConfidencePolicy::max_prob(0.6),
+            ConfidencePolicy::margin(0.2),
+            ConfidencePolicy::entropy(0.4),
+        ] {
+            let batched = eval
+                .classify_batch_with_policy(images, policy)
+                .expect("batched pass");
+            for (image, out) in images.iter().zip(&batched) {
+                let single = cdln.classify_with_policy(image, policy).expect("per-image");
+                assert_eq!(*out, single, "policy {policy}, kernel {kernel}");
+            }
         }
     }
 }
@@ -102,13 +110,15 @@ fn equivalence_holds_across_policies_and_scratch_reuse() {
 #[test]
 fn chunked_batches_agree_with_one_big_batch() {
     let (cdln, test_set) = trained_cdln();
-    let mut eval = BatchEvaluator::new(cdln);
-    let whole = eval.classify_batch(&test_set.images).expect("whole batch");
-    for chunk_size in [1usize, 7, 50] {
-        let mut chunked = Vec::with_capacity(test_set.len());
-        for chunk in test_set.images.chunks(chunk_size) {
-            chunked.extend(eval.classify_batch(chunk).expect("chunk"));
+    for kernel in GemmKernel::ALL {
+        let mut eval = BatchEvaluator::with_kernel(cdln, kernel);
+        let whole = eval.classify_batch(&test_set.images).expect("whole batch");
+        for chunk_size in [1usize, 7, 50] {
+            let mut chunked = Vec::with_capacity(test_set.len());
+            for chunk in test_set.images.chunks(chunk_size) {
+                chunked.extend(eval.classify_batch(chunk).expect("chunk"));
+            }
+            assert_eq!(whole, chunked, "chunk size {chunk_size}, kernel {kernel}");
         }
-        assert_eq!(whole, chunked, "chunk size {chunk_size}");
     }
 }

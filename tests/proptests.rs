@@ -165,7 +165,41 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Cross-crate kernel parity: one batch through a `BatchEvaluator`
+    /// pinned to each `GemmKernel` variant yields bit-identical
+    /// `CdlOutput`s (label, exit stage, confidence, op/energy accounting),
+    /// all equal to per-image `classify` — the end-to-end pin of the tiled
+    /// microkernel on whole cascades, not just isolated GEMMs.
+    #[test]
+    fn gemm_kernels_agree_end_to_end(
+        n in 1usize..12,
+        shade in 0usize..20,
+        model in 0usize..2,
+    ) {
+        use cdl::core::batch::BatchEvaluator;
+        use cdl::tensor::GemmKernel;
+        let (m2c, m3c) = shard_pair();
+        let net: &CdlNetwork = if model == 0 { m2c } else { m3c };
+        let images: Vec<Tensor> = (0..n)
+            .map(|i| Tensor::full(&[1, 28, 28], 0.03 * ((i + shade) % 30) as f32))
+            .collect();
+        let per_kernel: Vec<_> = GemmKernel::ALL
+            .into_iter()
+            .map(|kernel| {
+                let mut eval = BatchEvaluator::with_kernel(net, kernel);
+                prop_assert_eq!(eval.gemm_kernel(), kernel);
+                Ok(eval.classify_batch(&images).unwrap())
+            })
+            .collect::<Result<_, TestCaseError>>()?;
+        for (i, img) in images.iter().enumerate() {
+            let single = net.classify(img).unwrap();
+            for (outs, kernel) in per_kernel.iter().zip(GemmKernel::ALL) {
+                prop_assert_eq!(&outs[i], &single, "image {} kernel {}", i, kernel);
+            }
+        }
+    }
 
     /// Random routing sequences with random per-request overrides: every
     /// response is bit-identical to `classify_with_override` on the routed
