@@ -1,85 +1,67 @@
 //! Criterion bench: batched early-exit inference (`BatchEvaluator`) vs the
 //! per-image `CdlNetwork::classify` loop, on a ≥1k-image synthetic stream —
-//! with a GEMM-kernel dimension (`reference` loops vs the `tiled`
-//! microkernel default) on the batched variant.
+//! with a GEMM-kernel dimension (`reference` loops vs `tiled` register
+//! blocks vs the explicit-AVX2 `simd` arm) on the batched variant. For the
+//! committed machine-readable summary, see
+//! `cargo run --release --example bench_report` (`BENCH_5.json`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use cdl_bench::pipeline::classify_batch_parallel;
+use cdl_bench::pipeline::{classify_batch_parallel, train_demo_model};
 use cdl_core::arch;
 use cdl_core::batch::BatchEvaluator;
-use cdl_core::builder::{BuilderConfig, CdlBuilder};
-use cdl_core::confidence::ConfidencePolicy;
 use cdl_core::network::CdlNetwork;
 use cdl_dataset::SyntheticMnist;
-use cdl_nn::network::Network;
-use cdl_nn::trainer::{train, LabelledSet, TrainConfig};
+use cdl_nn::trainer::LabelledSet;
 use cdl_tensor::GemmKernel;
 
-fn prepare() -> (CdlNetwork, LabelledSet) {
+fn prepare() -> (CdlNetwork, CdlNetwork, LabelledSet) {
     let (train_set, test_set) = SyntheticMnist::default().generate_split(1500, 1024, 23);
-    let arch = arch::mnist_3c();
-    let mut base = Network::from_spec(&arch.spec, 7).unwrap();
-    train(
-        &mut base,
-        &train_set,
-        &TrainConfig {
-            epochs: 6,
-            lr: 1.5,
-            lr_decay: 0.95,
-            ..TrainConfig::default()
-        },
-    )
-    .unwrap();
-    let cdl = CdlBuilder::new(arch, ConfidencePolicy::sigmoid_prob(0.5))
-        .build(
-            base,
-            &train_set,
-            &BuilderConfig {
-                force_admit_all: true,
-                ..BuilderConfig::default()
-            },
-        )
-        .unwrap()
-        .into_network();
-    (cdl, test_set)
+    let cdl_2c = train_demo_model(arch::mnist_2c(), &train_set, 6, 7).unwrap();
+    let cdl_3c = train_demo_model(arch::mnist_3c(), &train_set, 6, 7).unwrap();
+    (cdl_2c, cdl_3c, test_set)
 }
 
 fn bench_batch(c: &mut Criterion) {
-    let (cdl, test_set) = prepare();
+    let (cdl_2c, cdl_3c, test_set) = prepare();
     let images = &test_set.images;
     assert!(images.len() >= 1024);
 
-    let mut group = c.benchmark_group("batch_inference_1k");
-    group.sample_size(10);
-    group.bench_function("per_image_classify", |b| {
-        b.iter(|| {
-            let mut exits = 0usize;
-            for img in images {
-                exits += cdl.classify(black_box(img)).unwrap().exit_stage;
-            }
-            exits
-        })
-    });
-    // the GEMM-kernel dimension: identical outputs (pinned by the
-    // equivalence suites), different inner loops
-    for kernel in GemmKernel::ALL {
-        group.bench_function(format!("batch_evaluator_{kernel}"), |b| {
-            let mut eval = BatchEvaluator::with_kernel(&cdl, kernel);
+    // both paper models: MNIST_2C's wide feature maps are compute-bound
+    // (where the SIMD kernels pay most), MNIST_3C's narrow C1 is
+    // memory-bound and its C3 takes the fused kernel's GEMM fallback
+    for (model, cdl) in [("2c", &cdl_2c), ("3c", &cdl_3c)] {
+        let mut group = c.benchmark_group(format!("batch_inference_1k_{model}"));
+        group.sample_size(10);
+        group.bench_function("per_image_classify", |b| {
             b.iter(|| {
-                let outs = eval.classify_batch(black_box(images)).unwrap();
+                let mut exits = 0usize;
+                for img in images {
+                    exits += cdl.classify(black_box(img)).unwrap().exit_stage;
+                }
+                exits
+            })
+        });
+        // the GEMM-kernel dimension: identical outputs (pinned by the
+        // equivalence suites), different inner loops
+        for kernel in GemmKernel::ALL {
+            group.bench_function(format!("batch_evaluator_{kernel}"), |b| {
+                let mut eval = BatchEvaluator::with_kernel(cdl, kernel);
+                b.iter(|| {
+                    let outs = eval.classify_batch(black_box(images)).unwrap();
+                    outs.iter().map(|o| o.exit_stage).sum::<usize>()
+                })
+            });
+        }
+        group.bench_function("batch_evaluator_rayon_chunks", |b| {
+            b.iter(|| {
+                let outs = classify_batch_parallel(cdl, black_box(images), 128).unwrap();
                 outs.iter().map(|o| o.exit_stage).sum::<usize>()
             })
         });
+        group.finish();
     }
-    group.bench_function("batch_evaluator_rayon_chunks", |b| {
-        b.iter(|| {
-            let outs = classify_batch_parallel(&cdl, black_box(images), 128).unwrap();
-            outs.iter().map(|o| o.exit_stage).sum::<usize>()
-        })
-    });
-    group.finish();
 }
 
 criterion_group! {

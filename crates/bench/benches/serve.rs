@@ -8,54 +8,21 @@ use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Duration;
 
+use cdl_bench::pipeline::train_demo_model;
 use cdl_core::arch;
 use cdl_core::batch::BatchEvaluator;
-use cdl_core::builder::{BuilderConfig, CdlBuilder};
-use cdl_core::confidence::ConfidencePolicy;
 use cdl_core::network::CdlNetwork;
 use cdl_dataset::SyntheticMnist;
-use cdl_nn::network::Network;
-use cdl_nn::trainer::{train, LabelledSet, TrainConfig};
+use cdl_nn::trainer::LabelledSet;
 use cdl_serve::{
     BatchPolicy, GemmKernel, ModelId, Pending, Router, ServerConfig, ShardSpec, SubmitOptions,
 };
 
-fn train_model(
-    arch: cdl_core::arch::CdlArchitecture,
-    train_set: &LabelledSet,
-    seed: u64,
-) -> Arc<CdlNetwork> {
-    let mut base = Network::from_spec(&arch.spec, seed).unwrap();
-    train(
-        &mut base,
-        train_set,
-        &TrainConfig {
-            epochs: 6,
-            lr: 1.5,
-            lr_decay: 0.95,
-            ..TrainConfig::default()
-        },
-    )
-    .unwrap();
-    let cdl = CdlBuilder::new(arch, ConfidencePolicy::sigmoid_prob(0.5))
-        .build(
-            base,
-            train_set,
-            &BuilderConfig {
-                force_admit_all: true,
-                ..BuilderConfig::default()
-            },
-        )
-        .unwrap()
-        .into_network();
-    Arc::new(cdl)
-}
-
 /// MNIST_2C + MNIST_3C trained on one synthetic set, plus the test images.
 fn prepare() -> (Arc<CdlNetwork>, Arc<CdlNetwork>, LabelledSet) {
     let (train_set, test_set) = SyntheticMnist::default().generate_split(1500, 1024, 23);
-    let m2c = train_model(arch::mnist_2c(), &train_set, 7);
-    let m3c = train_model(arch::mnist_3c(), &train_set, 11);
+    let m2c = Arc::new(train_demo_model(arch::mnist_2c(), &train_set, 6, 7).unwrap());
+    let m3c = Arc::new(train_demo_model(arch::mnist_3c(), &train_set, 6, 11).unwrap());
     (m2c, m3c, test_set)
 }
 

@@ -289,6 +289,50 @@ pub fn prepare(
     })
 }
 
+/// Trains a fresh baseline on `train_set` and assembles the CDLN with the
+/// standard demo recipe — lr 1.5, decay 0.95, sigmoid-prob δ = 0.5
+/// policy, force-admitted heads — parameterized only by architecture,
+/// epoch count and seed.
+///
+/// This is the **single** model setup shared by the examples
+/// (`serve_stream`, `bench_report`) and the criterion benches
+/// (`batch`, `serve`): they must all measure the same network, so the
+/// recipe lives here instead of being repeated (and drifting) per
+/// call site. Unlike [`prepare`], there is no cache and no env-driven
+/// configuration — deterministic in, deterministic out.
+///
+/// # Errors
+///
+/// Propagates training/builder failures as boxed errors.
+pub fn train_demo_model(
+    arch: CdlArchitecture,
+    train_set: &LabelledSet,
+    epochs: usize,
+    seed: u64,
+) -> Result<CdlNetwork, BenchError> {
+    let mut base = Network::from_spec(&arch.spec, seed)?;
+    train(
+        &mut base,
+        train_set,
+        &TrainConfig {
+            epochs,
+            lr: 1.5,
+            lr_decay: 0.95,
+            ..TrainConfig::default()
+        },
+    )?;
+    Ok(CdlBuilder::new(arch, ConfidencePolicy::sigmoid_prob(0.5))
+        .build(
+            base,
+            train_set,
+            &BuilderConfig {
+                force_admit_all: true,
+                ..BuilderConfig::default()
+            },
+        )?
+        .into_network())
+}
+
 /// Batched, data-parallel early-exit inference over an image stream.
 ///
 /// Splits `images` into chunks of `chunk_size` and groups the chunks into

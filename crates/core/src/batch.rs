@@ -55,7 +55,9 @@ impl<'a> BatchEvaluator<'a> {
     pub const STREAM_CHUNK: usize = 256;
 
     /// Creates an evaluator over `net` with empty (lazily grown) scratch,
-    /// running the default GEMM microkernel ([`GemmKernel::Tiled`]).
+    /// running the detected GEMM microkernel ([`GemmKernel::detect`] —
+    /// the AVX2 `Simd` arm on hosts that support it, `Tiled` otherwise;
+    /// the detection runs once here, never per batch).
     pub fn new(net: &'a CdlNetwork) -> Self {
         Self::with_kernel(net, GemmKernel::default())
     }
@@ -361,8 +363,11 @@ mod tests {
                 assert_eq!(*out, cdl.classify(img).unwrap(), "kernel {kernel}");
             }
         }
-        // the default evaluator runs the tiled kernel
-        assert_eq!(BatchEvaluator::new(&cdl).gemm_kernel(), GemmKernel::Tiled);
+        // the default evaluator runs the host-detected kernel
+        assert_eq!(
+            BatchEvaluator::new(&cdl).gemm_kernel(),
+            GemmKernel::detect()
+        );
     }
 
     #[test]

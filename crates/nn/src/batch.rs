@@ -23,7 +23,8 @@ use cdl_tensor::im2col::ConvScratch;
 /// One instance serves a whole network: each layer resizes the buffers it
 /// needs, and repeated batches at the same geometry never reallocate. The
 /// kernel is fixed at construction ([`BatchScratch::new`] defaults to
-/// [`GemmKernel::Tiled`]; [`BatchScratch::with_kernel`] pins a specific
+/// [`GemmKernel::detect`] — the AVX2 `Simd` arm where the host supports
+/// it, `Tiled` otherwise; [`BatchScratch::with_kernel`] pins a specific
 /// one) so every layer of every batch runs the same microkernel.
 #[derive(Debug, Default, Clone)]
 pub struct BatchScratch {
@@ -37,8 +38,8 @@ pub struct BatchScratch {
 }
 
 impl BatchScratch {
-    /// A fresh, empty scratch running the default kernel
-    /// ([`GemmKernel::Tiled`]); buffers grow on first use.
+    /// A fresh, empty scratch running the detected kernel
+    /// ([`GemmKernel::detect`]); buffers grow on first use.
     pub fn new() -> Self {
         BatchScratch::default()
     }
@@ -57,9 +58,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn default_kernel_is_tiled() {
-        assert_eq!(BatchScratch::new().kernel, GemmKernel::Tiled);
-        assert_eq!(BatchScratch::default().kernel, GemmKernel::Tiled);
+    fn default_kernel_is_the_detected_one() {
+        assert_eq!(BatchScratch::new().kernel, GemmKernel::detect());
+        assert_eq!(BatchScratch::default().kernel, GemmKernel::detect());
+        // never the baseline loops by default
+        assert_ne!(BatchScratch::new().kernel, GemmKernel::Reference);
     }
 
     #[test]

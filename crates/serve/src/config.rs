@@ -176,9 +176,10 @@ pub struct ServerConfig {
     pub energy_model: EnergyModel,
     /// GEMM microkernel every worker's evaluator runs (selected once at
     /// [`crate::Server::start`]). All kernels are bit-identical
-    /// (`cdl_tensor::gemm`); [`GemmKernel::Tiled`] is the fast default,
-    /// [`GemmKernel::Reference`] the pinned baseline for A/B comparison —
-    /// shards of a [`crate::Router`] may mix kernels freely.
+    /// (`cdl_tensor::gemm`); the default is [`GemmKernel::detect`] — the
+    /// AVX2 `Simd` arm where the host supports it, `Tiled` otherwise —
+    /// and [`GemmKernel::Reference`] is the pinned baseline for A/B
+    /// comparison. Shards of a [`crate::Router`] may mix kernels freely.
     pub gemm_kernel: GemmKernel,
 }
 
@@ -241,8 +242,9 @@ mod tests {
 
     #[test]
     fn config_round_trips_gemm_kernel() {
-        // default config runs the tiled kernel…
-        assert_eq!(ServerConfig::default().gemm_kernel, GemmKernel::Tiled);
+        // default config runs the host-detected kernel (never Reference)…
+        assert_eq!(ServerConfig::default().gemm_kernel, GemmKernel::detect());
+        assert_ne!(ServerConfig::default().gemm_kernel, GemmKernel::Reference);
         // …and an explicit choice survives validation untouched
         for kernel in GemmKernel::ALL {
             let config = ServerConfig {

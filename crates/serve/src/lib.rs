@@ -39,7 +39,8 @@
 //! * **Workers** pull formed batches from a shared queue; each owns one
 //!   persistent [`cdl_core::batch::BatchEvaluator`] pinned to the
 //!   configured GEMM microkernel ([`ServerConfig::gemm_kernel`], default
-//!   [`GemmKernel::Tiled`]), so steady-state serving performs no
+//!   [`GemmKernel::detect`] — the AVX2 `Simd` arm where the host supports
+//!   it), so steady-state serving performs no
 //!   im2col/GEMM allocations and every batch runs the kernel chosen once
 //!   at startup.
 //! * **Cancellation**: dropping a [`Pending`] before evaluation removes the

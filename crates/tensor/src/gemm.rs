@@ -9,10 +9,12 @@
 //! **bit-identical** to the per-image reference path, and the equivalence
 //! suites enforce that promise per kernel. Keeping the original loops alive
 //! as [`GemmKernel::Reference`] makes the pinned baseline executable: any
-//! future kernel (std::simd, intrinsics, a packed/blocked L2 design) is a
-//! new enum variant that must reproduce `Reference` bit for bit before it
-//! can become the default. [`GemmKernel::Tiled`] is the current default
-//! everywhere a batch is evaluated.
+//! future kernel (intrinsics, a packed/blocked L2 design) is a new enum
+//! variant that must reproduce `Reference` bit for bit before it can
+//! become the default. [`GemmKernel::Simd`] — explicit AVX2 intrinsics —
+//! is the default wherever the host supports it ([`GemmKernel::detect`]
+//! runs once at evaluator/shard construction); [`GemmKernel::Tiled`] is
+//! the portable default everywhere else.
 //!
 //! # Tiling scheme
 //!
@@ -47,13 +49,97 @@
 //! (pure bias). The parity proptests in `crates/tensor/tests/proptests.rs`
 //! pin every variant against a naive triple loop bit for bit.
 //!
+//! # The SIMD arm: lane layout, and why mul+add instead of FMA
+//!
+//! [`GemmKernel::Simd`] re-expresses the tiled design in explicit
+//! `core::arch::x86_64` AVX2 intrinsics, 8 f32 lanes per `__m256` vector.
+//! The crucial layout decision is **which dimension becomes the lanes**:
+//! both microkernels vectorize across the *output-column* dimension (`n`
+//! columns of `gemm_nn`, output features of `gemm_nt`), so **each lane
+//! owns exactly one output element** and accumulates *its own* k-loop
+//! sequentially — `p = 0, 1, 2, …` in program order, one addition per
+//! step, exactly like the scalar reference. Lanes never cooperate on an
+//! element, so no horizontal reduction (and no reassociated addition tree)
+//! ever touches an accumulator. That is what keeps the SIMD arm
+//! **bit-identical**: vectorizing across independent elements is pure
+//! repartitioning; vectorizing *within* an element's dot product would
+//! split its addition chain into per-lane partial sums and change the
+//! rounding sequence.
+//!
+//! The second bit-exactness decision is arithmetic: the k-step is a
+//! separate `_mm256_mul_ps` followed by `_mm256_add_ps`, **never**
+//! `_mm256_fmadd_ps`. An FMA computes `a·b + c` with a *single* rounding
+//! of the infinitely precise product-sum; the scalar reference (and every
+//! other kernel) rounds the product first, then rounds the sum — two
+//! roundings. Fused results are usually *more* accurate, but they are
+//! different bits, and the contract of this module is bit-parity with
+//! `Reference`, enforced by the parity proptests across all three arms.
+//! (The tiled kernel has the same property implicitly: the autovectorizer
+//! may not fuse because the source says `mul` then `add` and `-C
+//! target-feature` doesn't enable FMA contraction for baseline x86-64.)
+//!
+//! Per shape:
+//!
+//! * `gemm_nn`: up to 6 rows × 16 columns per tile — two `__m256`
+//!   accumulators per row (12 accumulators + 2 loaded `b` vectors + 1
+//!   broadcast = 15 of the 16 ymm registers), seeded with the row bias;
+//!   per `p` one broadcast of `a[i,p]` (`_mm256_set1_ps`) is shared by
+//!   two contiguous unaligned loads of `b[p][j0..j0+16]`, halving the
+//!   broadcast overhead that dominates the small-`k` conv layers. An
+//!   8-wide tile covers the 8..=15-column remainder, and ragged `n % 8` /
+//!   `m` tails fall back to the same scalar loops the tiled kernel uses.
+//!   (The paper-scale C1 layers are DRAM-bandwidth-bound at ~1 flop/byte,
+//!   so the SIMD gain there is bounded by memory, not arithmetic — the
+//!   compute-rich C2/C3/head shapes are where the 1.5–2x shows up.)
+//! * `gemm_nt`: the 8 lanes are 8 *output features*, whose weight rows are
+//!   `k`-strided in the row-major `[m, k]` buffer — a gather per step if
+//!   read in place. Instead each 8-feature block is **packed once** into
+//!   an interleaved `[k × 8]` scratch (`pack[p·8 + lane] = w[r0+lane, p]`,
+//!   zero-padded lanes past `m`), turning every k-step into one contiguous
+//!   load + one broadcast of `x[p]`, amortized over all samples in the
+//!   batch. Up to 4 samples advance together to reuse each packed load.
+//!   The pack buffer is a thread-local `Vec` reused across calls, so the
+//!   steady-state no-allocation promise of the batched paths holds.
+//! * **Fused direct convolution** ([`conv2d_direct_simd`]): for the conv
+//!   hot path the Simd arm goes one step further than a faster GEMM — it
+//!   skips the im2col lowering entirely. Lanes are contiguous output-x
+//!   positions, whose receptive fields are contiguous spans of the input
+//!   rows, so every tap is one weight broadcast against contiguous input
+//!   loads; three output channels share each load. The patch-matrix
+//!   write, its read-back, and the output copy-out all disappear — which
+//!   is worth more than the arithmetic at batch sizes whose patch matrix
+//!   outgrows the cache. Requires `ow ≥ 8` (a full vector of output
+//!   columns); narrower feature maps (e.g. the paper's 3×3 C3) take the
+//!   im2col + [`gemm_nn`] path. Bit-exactness is preserved because the
+//!   fused loop accumulates bias first, then taps in channel-major
+//!   `(c, ky, kx)` ascending order — exactly the im2col patch-row order
+//!   the GEMM sums.
+//!
+//! # Runtime detection and fallback
+//!
+//! AVX2 is a runtime property of the host, so the kernel is chosen
+//! **once, at evaluator/shard construction**, via [`GemmKernel::detect`]
+//! (`is_x86_feature_detected!("avx2")`): `Simd` where available, `Tiled`
+//! otherwise. `GemmKernel::default()` delegates to `detect()`, which is
+//! how every `BatchEvaluator::new` / `BatchScratch::new` /
+//! `ServerConfig::default` picks the fastest bit-identical kernel without
+//! call-site changes. Selecting [`GemmKernel::Simd`] explicitly on a host
+//! without AVX2 (or on a non-x86 build, where the intrinsics module is
+//! compiled out) transparently runs the `Tiled` loops — same bits, so the
+//! fallback is observable only in throughput. Tests pin that path via the
+//! [`force_simd_fallback`] hook.
+//!
 //! # When to pick which kernel
 //!
-//! `Tiled` is strictly a performance transformation and the right default.
-//! `Reference` exists for A/B benchmarking (`cargo bench -p cdl-bench
-//! --bench batch`), for bisecting a suspected kernel bug in production
-//! (flip one shard's [`ServerConfig`] to `Reference` and diff), and as the
-//! executable specification new kernels are tested against.
+//! `detect()` (the default) is right everywhere: `Simd` on AVX2 hosts,
+//! `Tiled` elsewhere — strictly performance transformations. `Reference`
+//! exists for A/B benchmarking (`cargo bench -p cdl-bench --bench batch`),
+//! for bisecting a suspected kernel bug in production (flip one shard's
+//! [`ServerConfig`] to `Reference` and diff), and as the executable
+//! specification new kernels are tested against. The next escalation
+//! steps if LeNet-scale feature maps are outgrown: an AVX-512 variant
+//! (16-lane, same lane-per-element layout) and a packed/L2-blocked
+//! operand layout.
 //!
 //! [`ServerConfig`]: ../../cdl_serve/struct.ServerConfig.html
 
@@ -67,20 +153,62 @@ use std::str::FromStr;
 /// `ServerConfig::gemm_kernel`) and threaded through every batched conv,
 /// dense and head evaluation. All variants are bit-identical; they differ
 /// only in speed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GemmKernel {
     /// The original straight loops — the pinned executable baseline.
     Reference,
     /// Register-blocked 6×8 / 4×4 output tiling (see the
-    /// [module docs](self)). The default.
-    #[default]
+    /// [module docs](self)). The portable default.
     Tiled,
+    /// Explicit AVX2 intrinsics, 8 f32 lanes across the output-column
+    /// dimension (see the [module docs](self)). Transparently runs the
+    /// `Tiled` loops on hosts without AVX2 and on non-x86 builds.
+    Simd,
 }
 
 impl GemmKernel {
     /// Every kernel variant, for parity tests and benches that iterate the
     /// whole set.
-    pub const ALL: [GemmKernel; 2] = [GemmKernel::Reference, GemmKernel::Tiled];
+    pub const ALL: [GemmKernel; 3] = [GemmKernel::Reference, GemmKernel::Tiled, GemmKernel::Simd];
+
+    /// The fastest kernel this host can run: [`GemmKernel::Simd`] when the
+    /// CPU reports AVX2 (`is_x86_feature_detected!`), [`GemmKernel::Tiled`]
+    /// otherwise. This is what `GemmKernel::default()` returns, so every
+    /// evaluator/shard constructed without an explicit kernel picks it up
+    /// — the detection runs once per construction, never in the hot loop.
+    pub fn detect() -> GemmKernel {
+        if simd::available() {
+            GemmKernel::Simd
+        } else {
+            GemmKernel::Tiled
+        }
+    }
+
+    /// Whether the [`GemmKernel::Simd`] arm would actually run its AVX2
+    /// microkernels on this host (rather than falling back to `Tiled`).
+    /// Benches and examples use this to annotate or skip SIMD-specific
+    /// throughput assertions.
+    pub fn simd_available() -> bool {
+        simd::available()
+    }
+}
+
+impl Default for GemmKernel {
+    /// [`GemmKernel::detect`] — the fastest bit-identical kernel for this
+    /// host.
+    fn default() -> Self {
+        GemmKernel::detect()
+    }
+}
+
+/// Test hook: force the [`GemmKernel::Simd`] arm to take its non-AVX2
+/// fallback path (the `Tiled` loops) regardless of what the host supports.
+/// Process-global; results are unchanged by construction (all kernels are
+/// bit-identical), so flipping it concurrently with other work is safe —
+/// only throughput and [`GemmKernel::detect`] are affected.
+#[doc(hidden)]
+pub fn force_simd_fallback(on: bool) {
+    simd::force_fallback(on);
 }
 
 impl fmt::Display for GemmKernel {
@@ -88,6 +216,7 @@ impl fmt::Display for GemmKernel {
         f.write_str(match self {
             GemmKernel::Reference => "reference",
             GemmKernel::Tiled => "tiled",
+            GemmKernel::Simd => "simd",
         })
     }
 }
@@ -95,14 +224,17 @@ impl fmt::Display for GemmKernel {
 impl FromStr for GemmKernel {
     type Err = String;
 
-    /// Parses `"reference"` / `"tiled"` (case-insensitive), for env-driven
-    /// configuration in examples and experiment binaries.
+    /// Parses `"reference"` / `"tiled"` / `"simd"` (alias `"avx2"`) plus
+    /// `"auto"` (= [`GemmKernel::detect`]), case-insensitive, for
+    /// env-driven configuration in examples and experiment binaries.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s.to_ascii_lowercase().as_str() {
             "reference" => Ok(GemmKernel::Reference),
             "tiled" => Ok(GemmKernel::Tiled),
+            "simd" | "avx2" => Ok(GemmKernel::Simd),
+            "auto" => Ok(GemmKernel::detect()),
             other => Err(format!(
-                "unknown GEMM kernel {other:?} (expected \"reference\" or \"tiled\")"
+                "unknown GEMM kernel {other:?} (expected \"reference\", \"tiled\", \"simd\" or \"auto\")"
             )),
         }
     }
@@ -153,6 +285,17 @@ pub fn gemm_nn(
     match kernel {
         GemmKernel::Reference => gemm_nn_reference(m, k, n, a, b, bias, out),
         GemmKernel::Tiled => gemm_nn_tiled(m, k, n, a, b, bias, out),
+        GemmKernel::Simd => {
+            #[cfg(target_arch = "x86_64")]
+            if simd::available() {
+                // SAFETY: `available()` just confirmed AVX2 at runtime, and
+                // the shape asserts above guarantee every in-bounds access
+                // the microkernels perform.
+                unsafe { simd::gemm_nn_avx2(m, k, n, a, b, bias, out) };
+                return;
+            }
+            gemm_nn_tiled(m, k, n, a, b, bias, out)
+        }
     }
 }
 
@@ -314,6 +457,15 @@ pub fn gemm_nt(
     match kernel {
         GemmKernel::Reference => gemm_nt_reference(k, rows, w, bias, out),
         GemmKernel::Tiled => gemm_nt_tiled(k, rows, w, bias, out),
+        GemmKernel::Simd => {
+            #[cfg(target_arch = "x86_64")]
+            if simd::available() {
+                // SAFETY: AVX2 confirmed at runtime; shapes asserted above.
+                unsafe { simd::gemm_nt_avx2(k, rows, w, bias, out) };
+                return;
+            }
+            gemm_nt_tiled(k, rows, w, bias, out)
+        }
     }
 }
 
@@ -403,11 +555,460 @@ fn nt_microkernel<const MR: usize, const NR: usize>(
     }
 }
 
+/// Explicit AVX2 microkernels for [`GemmKernel::Simd`] — see the module
+/// docs for the lane layout and the mul+add (not FMA) bit-exactness
+/// argument.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use std::arch::x86_64::{
+        __m256, _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_setzero_ps,
+        _mm256_storeu_ps,
+    };
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    use super::NN_MR;
+
+    /// Lane width of one `__m256` vector of f32.
+    const LANES: usize = 8;
+    /// Samples advanced together per packed weight block in
+    /// [`gemm_nt_avx2`] — each reuses the same packed load of 8 weights.
+    const NT_SIMD_MR: usize = 4;
+
+    static FORCE_FALLBACK: AtomicBool = AtomicBool::new(false);
+
+    thread_local! {
+        /// Interleaved `[k × 8]` weight pack reused across [`gemm_nt_avx2`]
+        /// calls, so steady-state batched inference stays allocation-free.
+        static NT_PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(super) fn force_fallback(on: bool) {
+        FORCE_FALLBACK.store(on, Ordering::SeqCst);
+    }
+
+    pub(super) fn available() -> bool {
+        !FORCE_FALLBACK.load(Ordering::SeqCst) && is_x86_feature_detected!("avx2")
+    }
+
+    /// AVX2 `gemm_nn`: up to 6 rows × 16 columns per tile — two `__m256`
+    /// accumulators per row (12 + 2 loaded `b` vectors + 1 broadcast = 15
+    /// of the 16 ymm registers), so each broadcast of `a[i,p]` is reused
+    /// across 16 lanes. Ragged `n` tails run an 8-wide tile and then the
+    /// identical scalar order; ragged `m` tails shrink `MR`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support and the `gemm_nn` shape
+    /// invariants (`a = [m,k]`, `b = [k,n]`, `bias = [m]`, `out = [m,n]`).
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn gemm_nn_avx2(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        bias: &[f32],
+        out: &mut [f32],
+    ) {
+        let mut i0 = 0;
+        while i0 < m {
+            let mr = NN_MR.min(m - i0);
+            match mr {
+                6 => nn_rows_avx2::<6>(i0, k, n, a, b, bias, out),
+                5 => nn_rows_avx2::<5>(i0, k, n, a, b, bias, out),
+                4 => nn_rows_avx2::<4>(i0, k, n, a, b, bias, out),
+                3 => nn_rows_avx2::<3>(i0, k, n, a, b, bias, out),
+                2 => nn_rows_avx2::<2>(i0, k, n, a, b, bias, out),
+                _ => nn_rows_avx2::<1>(i0, k, n, a, b, bias, out),
+            }
+            i0 += mr;
+        }
+    }
+
+    /// All `n` columns of the `MR` rows starting at `i0`: 16-wide
+    /// double-vector tiles, an 8-wide tile on the remainder, then the same
+    /// scalar column tail as the tiled kernel. Every lane everywhere owns
+    /// one output element's full sequential k-chain.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn nn_rows_avx2<const MR: usize>(
+        i0: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        bias: &[f32],
+        out: &mut [f32],
+    ) {
+        let bp = b.as_ptr();
+        let n_wide = n - n % (2 * LANES);
+        let n_main = n - n % LANES;
+        let mut j0 = 0;
+        while j0 < n_wide {
+            // each lane owns out[i0+mi][j0+lane]: seeded with the row
+            // bias, then one mul+add per p — the scalar chain, 16
+            // elements at a time, one broadcast of a[i,p] per row shared
+            // by both halves
+            let mut lo: [__m256; MR] = std::array::from_fn(|mi| _mm256_set1_ps(bias[i0 + mi]));
+            let mut hi: [__m256; MR] = std::array::from_fn(|mi| _mm256_set1_ps(bias[i0 + mi]));
+            for p in 0..k {
+                let bv0 = _mm256_loadu_ps(bp.add(p * n + j0));
+                let bv1 = _mm256_loadu_ps(bp.add(p * n + j0 + LANES));
+                for mi in 0..MR {
+                    let av = _mm256_set1_ps(*a.get_unchecked((i0 + mi) * k + p));
+                    lo[mi] = _mm256_add_ps(lo[mi], _mm256_mul_ps(av, bv0));
+                    hi[mi] = _mm256_add_ps(hi[mi], _mm256_mul_ps(av, bv1));
+                }
+            }
+            for mi in 0..MR {
+                let obase = (i0 + mi) * n + j0;
+                _mm256_storeu_ps(out.as_mut_ptr().add(obase), lo[mi]);
+                _mm256_storeu_ps(out.as_mut_ptr().add(obase + LANES), hi[mi]);
+            }
+            j0 += 2 * LANES;
+        }
+        while j0 < n_main {
+            // one 8-wide tile on the 8..=15-column remainder
+            let mut acc: [__m256; MR] = std::array::from_fn(|mi| _mm256_set1_ps(bias[i0 + mi]));
+            for p in 0..k {
+                let bv = _mm256_loadu_ps(bp.add(p * n + j0));
+                for (mi, lanes) in acc.iter_mut().enumerate() {
+                    let av = _mm256_set1_ps(*a.get_unchecked((i0 + mi) * k + p));
+                    *lanes = _mm256_add_ps(*lanes, _mm256_mul_ps(av, bv));
+                }
+            }
+            for (mi, lanes) in acc.iter().enumerate() {
+                _mm256_storeu_ps(out.as_mut_ptr().add((i0 + mi) * n + j0), *lanes);
+            }
+            j0 += LANES;
+        }
+        // column tail (n % 8 columns): scalar, bias first then p ascending
+        for mi in 0..MR {
+            let i = i0 + mi;
+            let arow = &a[i * k..(i + 1) * k];
+            for j in n_main..n {
+                let mut acc = bias[i];
+                for (p, &av) in arow.iter().enumerate() {
+                    acc += av * b[p * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+    }
+
+    /// AVX2 `gemm_nt`: each 8-output-feature block is packed once into an
+    /// interleaved `[k × 8]` buffer (lanes past `m` zero-padded), then up
+    /// to [`NT_SIMD_MR`] samples advance through `k` together, reusing
+    /// every packed load. Per element the sum is a single sequential chain
+    /// from zero with the bias added last — `affine_row`'s exact order.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support and the `gemm_nt` shape
+    /// invariants (`w = [m,k]` with `m = bias.len()`, every row of length
+    /// `k`, `out = [rows.len(), m]`).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gemm_nt_avx2(
+        k: usize,
+        rows: &[&[f32]],
+        w: &[f32],
+        bias: &[f32],
+        out: &mut [f32],
+    ) {
+        let m = bias.len();
+        NT_PACK.with(|cell| {
+            let mut pack = cell.borrow_mut();
+            pack.resize(k * LANES, 0.0);
+            let mut r0 = 0;
+            while r0 < m {
+                let nr = LANES.min(m - r0);
+                for lane in 0..LANES {
+                    if lane < nr {
+                        let wrow = &w[(r0 + lane) * k..(r0 + lane) * k + k];
+                        for (p, &wv) in wrow.iter().enumerate() {
+                            pack[p * LANES + lane] = wv;
+                        }
+                    } else {
+                        // padded lanes compute garbage dot products that
+                        // are never stored; zero keeps them finite
+                        for p in 0..k {
+                            pack[p * LANES + lane] = 0.0;
+                        }
+                    }
+                }
+                let mut i0 = 0;
+                while i0 < rows.len() {
+                    let mr = NT_SIMD_MR.min(rows.len() - i0);
+                    match mr {
+                        4 => nt_samples_avx2::<4>(i0, r0, nr, k, rows, &pack, bias, out),
+                        3 => nt_samples_avx2::<3>(i0, r0, nr, k, rows, &pack, bias, out),
+                        2 => nt_samples_avx2::<2>(i0, r0, nr, k, rows, &pack, bias, out),
+                        _ => nt_samples_avx2::<1>(i0, r0, nr, k, rows, &pack, bias, out),
+                    }
+                    i0 += mr;
+                }
+                r0 += nr;
+            }
+        });
+    }
+
+    /// `MR` samples × one packed 8-feature block: `MR` accumulator vectors
+    /// advance through `k` together, every step one packed load shared by
+    /// all samples plus one broadcast per sample.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn nt_samples_avx2<const MR: usize>(
+        i0: usize,
+        r0: usize,
+        nr: usize,
+        k: usize,
+        rows: &[&[f32]],
+        pack: &[f32],
+        bias: &[f32],
+        out: &mut [f32],
+    ) {
+        let m = bias.len();
+        let xr: [&[f32]; MR] = std::array::from_fn(|mi| rows[i0 + mi]);
+        let mut acc: [__m256; MR] = [_mm256_setzero_ps(); MR];
+        let pp = pack.as_ptr();
+        for p in 0..k {
+            let wv = _mm256_loadu_ps(pp.add(p * LANES));
+            for (lanes, xrow) in acc.iter_mut().zip(&xr) {
+                let xv = _mm256_set1_ps(*xrow.get_unchecked(p));
+                *lanes = _mm256_add_ps(*lanes, _mm256_mul_ps(xv, wv));
+            }
+        }
+        for (mi, lanes) in acc.iter().enumerate() {
+            let mut tmp = [0.0f32; LANES];
+            _mm256_storeu_ps(tmp.as_mut_ptr(), *lanes);
+            let obase = (i0 + mi) * m + r0;
+            for (ni, &v) in tmp.iter().take(nr).enumerate() {
+                out[obase + ni] = v + bias[r0 + ni];
+            }
+        }
+    }
+
+    /// Output channels advanced together per fused-conv tile — each input
+    /// load is reused by this many weight broadcasts.
+    const CONV_OC: usize = 3;
+
+    /// Fused direct convolution: lanes are contiguous output-x positions
+    /// (whose receptive fields are contiguous in the input row), so every
+    /// tap is one broadcast of `w[oc, c, ky, kx]` against contiguous
+    /// unaligned loads of the input — no patch matrix, no copy-out.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2 support and the conv shape
+    /// invariants (`input = [c_in, h, w]`, `weights = [c_out, c_in, kh,
+    /// kw]`, `bias = [c_out]`, `out = [c_out, oh, ow]` with the valid
+    /// geometry `oh = h - kh + 1`, `ow = w - kw + 1`, `ow >= 8`).
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn conv2d_direct_avx2(
+        input: &[f32],
+        c_in: usize,
+        h: usize,
+        w: usize,
+        weights: &[f32],
+        kh: usize,
+        kw: usize,
+        bias: &[f32],
+        out: &mut [f32],
+        oh: usize,
+        ow: usize,
+        c_out: usize,
+    ) {
+        let mut oc0 = 0;
+        while oc0 < c_out {
+            let ocr = CONV_OC.min(c_out - oc0);
+            match ocr {
+                3 => conv_oc_block_avx2::<3>(
+                    oc0, input, c_in, h, w, weights, kh, kw, bias, out, oh, ow,
+                ),
+                2 => conv_oc_block_avx2::<2>(
+                    oc0, input, c_in, h, w, weights, kh, kw, bias, out, oh, ow,
+                ),
+                _ => conv_oc_block_avx2::<1>(
+                    oc0, input, c_in, h, w, weights, kh, kw, bias, out, oh, ow,
+                ),
+            }
+            oc0 += ocr;
+        }
+    }
+
+    /// `OC` output channels × one output row × up-to-16 output columns per
+    /// tile: `2·OC` accumulators (≤ 6) + 2 input vectors + 1 broadcast
+    /// stay comfortably inside the 16 ymm registers. Per element the
+    /// accumulation is bias first, then taps in `(c, ky, kx)` ascending
+    /// order — the im2col patch-row order, hence bit-parity with
+    /// [`super::gemm_nn`] on the lowered form.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn conv_oc_block_avx2<const OC: usize>(
+        oc0: usize,
+        input: &[f32],
+        c_in: usize,
+        h: usize,
+        w: usize,
+        weights: &[f32],
+        kh: usize,
+        kw: usize,
+        bias: &[f32],
+        out: &mut [f32],
+        oh: usize,
+        ow: usize,
+    ) {
+        let ip = input.as_ptr();
+        let ktaps = c_in * kh * kw;
+        let ow_wide = ow - ow % (2 * LANES);
+        let ow_main = ow - ow % LANES;
+        for oy in 0..oh {
+            let mut ox = 0;
+            while ox < ow_wide {
+                let mut lo: [__m256; OC] = std::array::from_fn(|o| _mm256_set1_ps(bias[oc0 + o]));
+                let mut hi: [__m256; OC] = std::array::from_fn(|o| _mm256_set1_ps(bias[oc0 + o]));
+                for c in 0..c_in {
+                    for ky in 0..kh {
+                        let irow = ip.add(c * h * w + (oy + ky) * w + ox);
+                        for kx in 0..kw {
+                            let iv0 = _mm256_loadu_ps(irow.add(kx));
+                            let iv1 = _mm256_loadu_ps(irow.add(kx + LANES));
+                            let tap = (c * kh + ky) * kw + kx;
+                            for o in 0..OC {
+                                let wv =
+                                    _mm256_set1_ps(*weights.get_unchecked((oc0 + o) * ktaps + tap));
+                                lo[o] = _mm256_add_ps(lo[o], _mm256_mul_ps(wv, iv0));
+                                hi[o] = _mm256_add_ps(hi[o], _mm256_mul_ps(wv, iv1));
+                            }
+                        }
+                    }
+                }
+                for o in 0..OC {
+                    let obase = (oc0 + o) * oh * ow + oy * ow + ox;
+                    _mm256_storeu_ps(out.as_mut_ptr().add(obase), lo[o]);
+                    _mm256_storeu_ps(out.as_mut_ptr().add(obase + LANES), hi[o]);
+                }
+                ox += 2 * LANES;
+            }
+            while ox < ow_main {
+                let mut acc: [__m256; OC] = std::array::from_fn(|o| _mm256_set1_ps(bias[oc0 + o]));
+                for c in 0..c_in {
+                    for ky in 0..kh {
+                        let irow = ip.add(c * h * w + (oy + ky) * w + ox);
+                        for kx in 0..kw {
+                            let iv = _mm256_loadu_ps(irow.add(kx));
+                            let tap = (c * kh + ky) * kw + kx;
+                            for (o, lanes) in acc.iter_mut().enumerate() {
+                                let wv =
+                                    _mm256_set1_ps(*weights.get_unchecked((oc0 + o) * ktaps + tap));
+                                *lanes = _mm256_add_ps(*lanes, _mm256_mul_ps(wv, iv));
+                            }
+                        }
+                    }
+                }
+                for (o, lanes) in acc.iter().enumerate() {
+                    let obase = (oc0 + o) * oh * ow + oy * ow + ox;
+                    _mm256_storeu_ps(out.as_mut_ptr().add(obase), *lanes);
+                }
+                ox += LANES;
+            }
+            // scalar column tail: same per-element order, unblocked
+            for ox in ow_main..ow {
+                for o in 0..OC {
+                    let oc = oc0 + o;
+                    let mut acc = bias[oc];
+                    for c in 0..c_in {
+                        for ky in 0..kh {
+                            let ibase = c * h * w + (oy + ky) * w + ox;
+                            let wbase = (oc * c_in + c) * kh * kw + ky * kw;
+                            for kx in 0..kw {
+                                acc += weights[wbase + kx] * input[ibase + kx];
+                            }
+                        }
+                    }
+                    out[oc * oh * ow + oy * ow + ox] = acc;
+                }
+            }
+        }
+    }
+}
+
+/// Crate-internal entry for the fused direct convolution of the
+/// [`GemmKernel::Simd`] arm: convolves one `[c_in, h, w]` image straight
+/// from its feature maps (no im2col materialization), writing the
+/// `[c_out, oh, ow]` output. Returns `false` — and writes nothing — when
+/// the host lacks AVX2 or the geometry is out of the kernel's profile
+/// (`ow < 8`: too few output columns to fill a vector register), in which
+/// case the caller must run the im2col + [`gemm_nn`] path instead.
+///
+/// Bit-exactness: each output lane accumulates `bias` first, then the
+/// taps in channel-major `(c, ky, kx)` ascending order with separate
+/// mul+add — exactly the im2col patch-row order that [`gemm_nn`] sums, so
+/// fused and lowered results are identical to the last bit (pinned by the
+/// conv parity suites, which iterate every kernel).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn conv2d_direct_simd(
+    input: &[f32],
+    c_in: usize,
+    h: usize,
+    w: usize,
+    weights: &[f32],
+    c_out: usize,
+    kh: usize,
+    kw: usize,
+    bias: &[f32],
+    out: &mut [f32],
+    oh: usize,
+    ow: usize,
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if !simd::available() || ow < 8 {
+            return false;
+        }
+        debug_assert_eq!(input.len(), c_in * h * w);
+        debug_assert_eq!(weights.len(), c_out * c_in * kh * kw);
+        debug_assert_eq!(bias.len(), c_out);
+        debug_assert_eq!(out.len(), c_out * oh * ow);
+        // SAFETY: AVX2 confirmed; the debug asserts document the shape
+        // invariants the (checked-indexing-free) microkernels rely on,
+        // which `conv2d_valid_batch` has already validated.
+        unsafe {
+            simd::conv2d_direct_avx2(input, c_in, h, w, weights, kh, kw, bias, out, oh, ow, c_out);
+        }
+        true
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (input, c_in, h, w, weights, c_out, kh, kw, bias, out, oh, ow);
+        false
+    }
+}
+
+/// Non-x86 stand-in: the `Simd` arm always takes the `Tiled` fallback.
+#[cfg(not(target_arch = "x86_64"))]
+mod simd {
+    pub(super) fn force_fallback(_on: bool) {}
+
+    pub(super) fn available() -> bool {
+        false
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
+
+    /// Serializes the tests that read *and* the test that flips the
+    /// process-global forced-fallback flag: a flip between two reads in a
+    /// concurrently running detection test would fail it spuriously.
+    /// (Result bits are flip-immune — only detection itself is not.)
+    static DETECTION_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn fill(rng: &mut StdRng, len: usize) -> Vec<f32> {
         (0..len).map(|_| rng.random_range(-2.0..2.0)).collect()
@@ -578,7 +1179,6 @@ mod tests {
 
     #[test]
     fn display_parse_round_trip() {
-        assert_eq!(GemmKernel::default(), GemmKernel::Tiled);
         for kernel in GemmKernel::ALL {
             assert_eq!(kernel.to_string().parse::<GemmKernel>().unwrap(), kernel);
         }
@@ -586,6 +1186,121 @@ mod tests {
             "Reference".parse::<GemmKernel>().unwrap(),
             GemmKernel::Reference
         );
+        assert_eq!("avx2".parse::<GemmKernel>().unwrap(), GemmKernel::Simd);
+        // "auto" and the Default impl both resolve to the detected kernel,
+        // which is always one of the two fast arms
+        let auto = "auto".parse::<GemmKernel>().unwrap();
+        assert!(auto == GemmKernel::Simd || auto == GemmKernel::Tiled);
+        assert_ne!(GemmKernel::default(), GemmKernel::Reference);
         assert!("avx512".parse::<GemmKernel>().is_err());
+    }
+
+    #[test]
+    fn detect_matches_host_support() {
+        let _guard = DETECTION_LOCK.lock().unwrap();
+        if GemmKernel::simd_available() {
+            assert_eq!(GemmKernel::detect(), GemmKernel::Simd);
+        } else {
+            assert_eq!(GemmKernel::detect(), GemmKernel::Tiled);
+        }
+    }
+
+    /// The `Simd` arm on a host (or build) without AVX2 must silently run
+    /// the `Tiled` loops with identical results — exercised here through
+    /// the forced-fallback hook, on shapes with ragged tails in every
+    /// dimension. The guard restores the real dispatch even on panic.
+    #[test]
+    fn simd_forced_fallback_is_bit_identical_to_tiled() {
+        let _guard = DETECTION_LOCK.lock().unwrap();
+        struct Restore;
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                force_simd_fallback(false);
+            }
+        }
+        let _restore = Restore;
+        let mut rng = StdRng::seed_from_u64(77);
+        let (m, k, n) = (7usize, 13usize, 29usize);
+        let a = fill(&mut rng, m * k);
+        let b = fill(&mut rng, k * n);
+        let bias = fill(&mut rng, m);
+        let mut tiled = vec![f32::NAN; m * n];
+        gemm_nn(GemmKernel::Tiled, m, k, n, &a, &b, &bias, &mut tiled);
+
+        force_simd_fallback(true);
+        assert!(!GemmKernel::simd_available());
+        assert_eq!(GemmKernel::detect(), GemmKernel::Tiled);
+        let mut forced = vec![f32::NAN; m * n];
+        gemm_nn(GemmKernel::Simd, m, k, n, &a, &b, &bias, &mut forced);
+        for (got, want) in forced.iter().zip(&tiled) {
+            assert_eq!(got.to_bits(), want.to_bits(), "forced-fallback nn");
+        }
+
+        let samples: Vec<Vec<f32>> = (0..5).map(|_| fill(&mut rng, k)).collect();
+        let rows: Vec<&[f32]> = samples.iter().map(Vec::as_slice).collect();
+        let w = fill(&mut rng, m * k);
+        let mut tiled_nt = vec![f32::NAN; rows.len() * m];
+        gemm_nt(GemmKernel::Tiled, k, &rows, &w, &bias, &mut tiled_nt);
+        let mut forced_nt = vec![f32::NAN; rows.len() * m];
+        gemm_nt(GemmKernel::Simd, k, &rows, &w, &bias, &mut forced_nt);
+        for (got, want) in forced_nt.iter().zip(&tiled_nt) {
+            assert_eq!(got.to_bits(), want.to_bits(), "forced-fallback nt");
+        }
+        drop(_restore);
+        // with the hook released, detection is back to the host truth
+        assert_eq!(
+            GemmKernel::simd_available(),
+            GemmKernel::detect() == GemmKernel::Simd
+        );
+    }
+
+    /// SIMD-specific shape torture: n exactly one vector, n just past a
+    /// vector boundary, n under one vector, and a head-shaped nt (m = 10 →
+    /// one 8-lane block + a 2-lane tail) — all three kernels bit-identical.
+    #[test]
+    fn simd_tail_shapes_match_reference() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for (m, k, n) in [
+            (3usize, 11usize, 8usize),
+            (6, 25, 9),
+            (2, 4, 7),
+            (13, 3, 40),
+            (1, 30, 17),
+        ] {
+            let a = fill(&mut rng, m * k);
+            let b = fill(&mut rng, k * n);
+            let bias = fill(&mut rng, m);
+            let expected = naive_nn(m, k, n, &a, &b, &bias);
+            for kernel in GemmKernel::ALL {
+                let mut out = vec![f32::NAN; m * n];
+                gemm_nn(kernel, m, k, n, &a, &b, &bias, &mut out);
+                for (got, want) in out.iter().zip(&expected) {
+                    assert_eq!(got.to_bits(), want.to_bits(), "{kernel} at ({m},{k},{n})");
+                }
+            }
+        }
+        for (rows_n, m, k) in [
+            (6usize, 10usize, 84usize),
+            (3, 8, 5),
+            (5, 17, 12),
+            (1, 2, 9),
+        ] {
+            let samples: Vec<Vec<f32>> = (0..rows_n).map(|_| fill(&mut rng, k)).collect();
+            let rows: Vec<&[f32]> = samples.iter().map(Vec::as_slice).collect();
+            let w = fill(&mut rng, m * k);
+            let bias = fill(&mut rng, m);
+            let expected = naive_nt(k, &rows, &w, &bias);
+            for kernel in GemmKernel::ALL {
+                let mut out = vec![f32::NAN; rows_n * m];
+                gemm_nt(kernel, k, &rows, &w, &bias, &mut out);
+                for (got, want) in out.iter().zip(&expected) {
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "{kernel} at ({rows_n},{m},{k})"
+                    );
+                }
+            }
+        }
     }
 }

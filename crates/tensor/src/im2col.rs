@@ -134,13 +134,17 @@ pub struct ConvScratch {
 
 /// Valid cross-correlation of a whole batch through one shared im2col
 /// lowering and one GEMM over preallocated scratch, evaluated by the
-/// chosen [`GemmKernel`].
+/// chosen [`GemmKernel`] — except on the [`GemmKernel::Simd`] arm with
+/// wide-enough feature maps (`ow >= 8`), which convolves each image
+/// **directly from its feature maps** (fused AVX2 kernel, no patch
+/// matrix; see [`crate::gemm`]).
 ///
 /// Every input must have the shape of `inputs[0]`. The accumulation order
 /// per output element — bias first, then taps in channel-major `(c, ky, kx)`
 /// order — is exactly [`crate::conv::conv2d_valid`]'s **for every
-/// kernel** (the tiled kernel repartitions the output plane but never an
-/// element's addition sequence; see [`crate::gemm`]), so results are
+/// kernel** (the tiled kernel repartitions the output plane — and the
+/// fused SIMD kernel skips the lowering — but never changes an element's
+/// addition sequence; see [`crate::gemm`]), so results are
 /// **bit-identical** to the per-image direct path.
 ///
 /// # Errors
@@ -173,6 +177,40 @@ pub fn conv2d_valid_batch(
     let rows = c_in * kh * kw;
     let cols_per = oh * ow;
     let total_cols = n * cols_per;
+
+    // Fused fast path for the Simd arm: convolve each image straight from
+    // its feature maps — no patch-matrix materialization, no copy-out.
+    // Bit-identical to the lowered path (the fused kernel accumulates
+    // bias first, then taps in the im2col patch-row order; see
+    // `cdl_tensor::gemm`). Applicability is a pure function of geometry
+    // and host support, so if the first image takes the fused path the
+    // whole batch does.
+    if kernel == GemmKernel::Simd {
+        let mut fused = Vec::with_capacity(n);
+        for input in inputs {
+            let mut data = vec![0.0f32; c_out * cols_per];
+            if !gemm::conv2d_direct_simd(
+                input.data(),
+                c_in,
+                h,
+                w,
+                kernels.data(),
+                c_out,
+                kh,
+                kw,
+                bias,
+                &mut data,
+                oh,
+                ow,
+            ) {
+                break; // narrow geometry or no AVX2 — take the GEMM path
+            }
+            fused.push(Tensor::from_vec(data, &[c_out, oh, ow])?);
+        }
+        if fused.len() == n {
+            return Ok(fused);
+        }
+    }
 
     // grow-only resize: every cell is overwritten below (patches by the
     // per-image lowering, out by the bias fill), so stale contents from a
@@ -285,9 +323,16 @@ mod tests {
         use rand::{RngExt, SeedableRng};
         let mut rng = StdRng::seed_from_u64(11);
         for (n, c_in, c_out, k, size) in [
+            // ow = 24: fused Simd path, 16-wide + 8-wide tiles, OC blocks 3+3
             (1usize, 1usize, 6usize, 5usize, 28usize),
+            // ow = 8: fused path at the single-vector boundary, OC 3+3+3+3
             (4, 6, 12, 5, 12),
+            // ow = 5: narrow geometry — Simd falls back to im2col + GEMM
             (9, 3, 4, 3, 7),
+            // ow = 10 with c_out = 2: fused path's OC=2 tail block
+            (3, 2, 2, 3, 12),
+            // ow = 9 with c_out = 7: OC blocks 3+3+1 and a 1-wide column tail
+            (2, 1, 7, 2, 10),
         ] {
             let inputs: Vec<Tensor> = (0..n)
                 .map(|_| {

@@ -7,8 +7,9 @@
 //! * a row-major, heap-allocated `f32` [`Tensor`] with a dynamic [`Shape`],
 //! * elementwise arithmetic and reductions ([`ops`]),
 //! * dense matrix–vector / matrix–matrix products ([`ops`]),
-//! * register-blocked GEMM microkernels behind a runtime [`GemmKernel`]
-//!   selection for the batched hot paths ([`gemm`]),
+//! * register-blocked and explicit-AVX2 GEMM microkernels behind a
+//!   runtime [`GemmKernel`] selection for the batched hot paths
+//!   ([`gemm`]), all bit-identical to the reference loops,
 //! * *valid* 2-D multi-channel convolution / cross-correlation and their
 //!   gradients ([`conv`]),
 //! * max- and mean-pooling with argmax bookkeeping for backprop ([`pool`]),

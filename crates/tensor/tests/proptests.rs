@@ -129,7 +129,10 @@ proptest! {
         cin in 1usize..4,
         cout in 1usize..5,
         k in 1usize..4,
-        extra in 0usize..5,
+        // up to ow = 12: exercises both the fused direct-conv path of the
+        // Simd arm (ow >= 8, incl. the 8..=15 single-vector tile and the
+        // scalar column tail) and its narrow-geometry GEMM fallback
+        extra in 0usize..12,
         seed in 0u64..500,
     ) {
         use rand::{RngExt, SeedableRng};
@@ -207,11 +210,14 @@ proptest! {
         }
     }
 
-    /// Kernel parity, nn shape: every [`GemmKernel`] is bit-identical to a
+    /// Kernel parity, nn shape: every [`GemmKernel`] — the reference
+    /// loops, the register-blocked tiles, and the AVX2 `Simd` arm (or its
+    /// transparent fallback on non-AVX2 hosts) — is bit-identical to a
     /// naive triple loop replaying the reference accumulation order (bias
     /// first, then k ascending), across random (m, k, n) — including
-    /// remainder tails (m % 4, n % 8 ≠ 0 by construction of the ranges),
-    /// k = 0, and single-row/column outputs.
+    /// remainder tails (m % 4 ≠ 0 and unaligned n % 8 ≠ 0, the SIMD
+    /// vector-tail case, by construction of the ranges), k = 0, and
+    /// single-row/column outputs.
     #[test]
     fn gemm_nn_kernels_match_naive_triple_loop(
         m in 1usize..11,
@@ -246,10 +252,11 @@ proptest! {
         }
     }
 
-    /// Kernel parity, nt shape: every [`GemmKernel`] is bit-identical to a
-    /// naive per-element dot-then-bias loop across random (rows, m, k) —
-    /// including ragged tile tails, k = 0 and single-sample/single-output
-    /// extremes.
+    /// Kernel parity, nt shape: every [`GemmKernel`] (including the AVX2
+    /// `Simd` arm's packed-weight path and its ragged last block when
+    /// m % 8 ≠ 0) is bit-identical to a naive per-element dot-then-bias
+    /// loop across random (rows, m, k) — including ragged tile tails,
+    /// k = 0 and single-sample/single-output extremes.
     #[test]
     fn gemm_nt_kernels_match_naive_dot_loop(
         rows in 1usize..10,

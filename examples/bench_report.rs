@@ -1,0 +1,279 @@
+//! Machine-readable per-kernel benchmark summary: runs the 1k-image
+//! batched-inference workload and the routed-serving workload once per
+//! [`GemmKernel`] arm and writes `BENCH_5.json` (throughput + speedup vs
+//! the pinned `Reference` loops per kernel), so the perf trajectory is
+//! tracked across PRs as a committed artifact rather than scrollback.
+//!
+//! The two workloads mirror the criterion benches (`batch` and `serve` in
+//! `crates/bench/benches/`) but take minutes → seconds: best-of-N timed
+//! passes after one warmup, no statistical machinery. Exit-stage counts
+//! are cross-checked between kernels on every pass — a kernel that
+//! drifted bitwise would change an exit decision long before it changed a
+//! committed throughput number.
+//!
+//! ```text
+//! cargo run --release --example bench_report
+//! CDL_BENCH_SERVE_REQUESTS=5000 CDL_BENCH_PASSES=5 \
+//!     cargo run --release --example bench_report
+//! CDL_BENCH_REPORT_PATH=/tmp/bench.json cargo run --release --example bench_report
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cdl::core::arch;
+use cdl::core::batch::BatchEvaluator;
+use cdl::core::network::CdlNetwork;
+use cdl::dataset::SyntheticMnist;
+use cdl::nn::trainer::LabelledSet;
+use cdl::serve::{BatchPolicy, GemmKernel, Pending, Router, ServerConfig, ShardSpec};
+use cdl::tensor::Tensor;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Report {
+    pr: u32,
+    generated_by: String,
+    host: Host,
+    workloads: Vec<Workload>,
+}
+
+#[derive(Serialize)]
+struct Host {
+    avx2: bool,
+    detected_kernel: String,
+    rayon_threads: usize,
+    serve_workers: usize,
+}
+
+#[derive(Serialize)]
+struct Workload {
+    name: String,
+    unit: String,
+    n: usize,
+    passes: usize,
+    results: Vec<KernelResult>,
+}
+
+#[derive(Serialize)]
+struct KernelResult {
+    kernel: String,
+    seconds: f64,
+    throughput: f64,
+    speedup_vs_reference: f64,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn train_model(
+    arch: arch::CdlArchitecture,
+    train_set: &LabelledSet,
+    seed: u64,
+) -> Result<Arc<CdlNetwork>, Box<dyn std::error::Error>> {
+    // the standard demo recipe shared with the criterion benches — see
+    // `cdl_bench::pipeline::train_demo_model`
+    let cdln = cdl_bench::pipeline::train_demo_model(arch, train_set, 3, seed)
+        .map_err(|e| e as Box<dyn std::error::Error>)?;
+    Ok(Arc::new(cdln))
+}
+
+/// Best-of-`passes` wall time for `f` after one unmeasured warmup call.
+/// Returns (seconds, checksum-from-last-pass) — the checksum (summed exit
+/// stages) is compared across kernels by the callers.
+fn best_of<F: FnMut() -> usize>(passes: usize, mut f: F) -> (f64, usize) {
+    f(); // warmup: scratch allocation, branch predictors, page faults
+    let mut best = f64::INFINITY;
+    let mut check = 0usize;
+    for _ in 0..passes.max(1) {
+        let started = Instant::now();
+        check = f();
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    (best, check)
+}
+
+fn into_results(per_kernel: Vec<(GemmKernel, f64)>, n: usize) -> Vec<KernelResult> {
+    let ref_seconds = per_kernel
+        .iter()
+        .find(|(k, _)| *k == GemmKernel::Reference)
+        .expect("reference always measured")
+        .1;
+    per_kernel
+        .into_iter()
+        .map(|(kernel, seconds)| KernelResult {
+            kernel: kernel.to_string(),
+            seconds,
+            throughput: n as f64 / seconds,
+            speedup_vs_reference: ref_seconds / seconds,
+        })
+        .collect()
+}
+
+/// Workload 1: the 1k-image batched stream through one persistent
+/// [`BatchEvaluator`] per kernel (the `batch` criterion bench's shape),
+/// once per paper model — MNIST_2C's wider layers are compute-bound
+/// (where SIMD pays most), MNIST_3C's narrow C1 is memory-bound (where
+/// every kernel converges on DRAM bandwidth).
+fn batch_workload(
+    name: &str,
+    cdl: &CdlNetwork,
+    images: &[Tensor],
+    passes: usize,
+) -> Result<Workload, Box<dyn std::error::Error>> {
+    let mut per_kernel = Vec::new();
+    let mut checks = Vec::new();
+    for kernel in GemmKernel::ALL {
+        let mut eval = BatchEvaluator::with_kernel(cdl, kernel);
+        let (seconds, check) = best_of(passes, || {
+            eval.classify_batch(images)
+                .expect("batch evaluation failed")
+                .iter()
+                .map(|o| o.exit_stage)
+                .sum()
+        });
+        println!(
+            "{name} {kernel:>9}: {:.1} images/s ({seconds:.4}s)",
+            images.len() as f64 / seconds
+        );
+        per_kernel.push((kernel, seconds));
+        checks.push(check);
+    }
+    assert!(
+        checks.windows(2).all(|w| w[0] == w[1]),
+        "kernels disagreed on exit decisions: {checks:?}"
+    );
+    Ok(Workload {
+        name: name.into(),
+        unit: "images/s".into(),
+        n: images.len(),
+        passes,
+        results: into_results(per_kernel, images.len()),
+    })
+}
+
+/// Workload 2: the two-model routed serving stream (the `serve` criterion
+/// bench's shape): submit every request up front, wait for every
+/// response, per kernel.
+fn serve_workload(
+    m2c: &Arc<CdlNetwork>,
+    m3c: &Arc<CdlNetwork>,
+    images: &[Tensor],
+    requests: usize,
+    workers: usize,
+    passes: usize,
+) -> Result<Workload, Box<dyn std::error::Error>> {
+    let mut per_kernel = Vec::new();
+    let mut checks = Vec::new();
+    for kernel in GemmKernel::ALL {
+        let config = ServerConfig {
+            policy: BatchPolicy::new(128, Duration::from_millis(2)),
+            queue_capacity: 4096,
+            workers,
+            gemm_kernel: kernel,
+            ..ServerConfig::default()
+        };
+        let router = Router::start(vec![
+            ShardSpec::new("MNIST_2C", Arc::clone(m2c), config.clone()),
+            ShardSpec::new("MNIST_3C", Arc::clone(m3c), config),
+        ])?;
+        let models = [
+            router.model_id("MNIST_2C").expect("registered"),
+            router.model_id("MNIST_3C").expect("registered"),
+        ];
+        let (seconds, check) = best_of(passes, || {
+            let pending: Vec<Pending> = (0..requests)
+                .map(|i| {
+                    router
+                        .submit(models[i % 2], images[i % images.len()].clone())
+                        .expect("submit failed")
+                })
+                .collect();
+            pending
+                .into_iter()
+                .map(|p| p.wait().expect("request failed").exit_stage)
+                .sum()
+        });
+        router.shutdown();
+        println!(
+            "routed_serve {kernel:>9}: {:.1} req/s ({seconds:.4}s)",
+            requests as f64 / seconds
+        );
+        per_kernel.push((kernel, seconds));
+        checks.push(check);
+    }
+    assert!(
+        checks.windows(2).all(|w| w[0] == w[1]),
+        "kernels disagreed on exit decisions: {checks:?}"
+    );
+    Ok(Workload {
+        name: "routed_serve".into(),
+        unit: "requests/s".into(),
+        n: requests,
+        passes,
+        results: into_results(per_kernel, requests),
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let passes = env_usize("CDL_BENCH_PASSES", 3);
+    let serve_requests = env_usize("CDL_BENCH_SERVE_REQUESTS", 2000);
+    let report_path =
+        std::env::var("CDL_BENCH_REPORT_PATH").unwrap_or_else(|_| "BENCH_5.json".into());
+    let workers = env_usize(
+        "CDL_SERVE_WORKERS",
+        std::thread::available_parallelism()
+            .map(|n| n.get().min(4))
+            .unwrap_or(2),
+    )
+    .max(1);
+
+    let (train_set, test_set) = SyntheticMnist::default().generate_split(800, 1024, 23);
+    let m2c = train_model(arch::mnist_2c(), &train_set, 7)?;
+    let m3c = train_model(arch::mnist_3c(), &train_set, 11)?;
+    println!(
+        "host: avx2 {}, detected kernel `{}`, {} rayon threads, {workers} serve workers\n",
+        GemmKernel::simd_available(),
+        GemmKernel::detect(),
+        rayon::current_num_threads(),
+    );
+
+    let report = Report {
+        pr: 5,
+        generated_by: "cargo run --release --example bench_report".into(),
+        host: Host {
+            avx2: GemmKernel::simd_available(),
+            detected_kernel: GemmKernel::detect().to_string(),
+            rayon_threads: rayon::current_num_threads(),
+            serve_workers: workers,
+        },
+        workloads: vec![
+            batch_workload("batch_1k_2c", &m2c, &test_set.images, passes)?,
+            batch_workload("batch_1k_3c", &m3c, &test_set.images, passes)?,
+            serve_workload(
+                &m2c,
+                &m3c,
+                &test_set.images,
+                serve_requests,
+                workers,
+                passes,
+            )?,
+        ],
+    };
+
+    std::fs::write(&report_path, serde_json::to_string_pretty(&report)?)?;
+    println!("\nwrote {report_path}");
+    for w in &report.workloads {
+        for r in &w.results {
+            println!(
+                "  {} {:>9}: {:>8.1} {} ({:.2}x vs reference)",
+                w.name, r.kernel, r.throughput, w.unit, r.speedup_vs_reference
+            );
+        }
+    }
+    Ok(())
+}

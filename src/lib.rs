@@ -67,19 +67,25 @@
 //! ## GEMM microkernels
 //!
 //! Both batched hot paths — the im2col convolution GEMM and the batched
-//! dense/head affine — run through `cdl_tensor::gemm`, a register-blocked,
-//! tail-handled microkernel layer behind the [`tensor::GemmKernel`] enum.
-//! `Tiled` (the default everywhere) keeps 6×8 / 4×4 output tiles in
-//! registers across the whole k loop; `Reference` is the original straight
-//! loops, kept alive as the pinned executable baseline. Every kernel
-//! accumulates each output element in the identical order (bias/k
-//! sequence preserved), so all variants are **bit-identical** — pinned by
-//! parity proptests against a naive triple loop and by running the batch /
-//! serve equivalence suites once per kernel. The kernel is chosen once at
-//! evaluator construction ([`core::batch::BatchEvaluator::with_kernel`],
+//! dense/head affine — run through `cdl_tensor::gemm`, a microkernel
+//! layer behind the [`tensor::GemmKernel`] enum. `Simd` (the default on
+//! AVX2 hosts, via construction-time `GemmKernel::detect()`) runs
+//! explicit 8-lane AVX2 intrinsics with each lane owning one output
+//! element — separate mul+add, never FMA, so the rounding sequence stays
+//! the scalar one; `Tiled` (the portable default) keeps 6×8 / 4×4 output
+//! tiles in registers across the whole k loop; `Reference` is the
+//! original straight loops, kept alive as the pinned executable baseline.
+//! Every kernel accumulates each output element in the identical order
+//! (bias/k sequence preserved), so all variants are **bit-identical** —
+//! pinned by parity proptests against a naive triple loop and by running
+//! the batch / serve equivalence suites once per kernel. The kernel is
+//! chosen once at evaluator construction
+//! ([`core::batch::BatchEvaluator::with_kernel`],
 //! `nn::batch::BatchScratch::with_kernel`) or per serving shard
 //! ([`serve::ServerConfig`]'s `gemm_kernel`); `cargo bench -p cdl-bench
-//! --bench batch` A/Bs the kernels on a 1k-image stream.
+//! --bench batch` A/Bs the kernels on a 1k-image stream, and
+//! `cargo run --release --example bench_report` writes the machine-
+//! readable per-kernel throughput summary `BENCH_5.json`.
 //!
 //! ## Streaming serving
 //!

@@ -2,19 +2,53 @@
 //!
 //! Provides the data-parallel subset the workspace uses — `par_iter`,
 //! `par_chunks`, `into_par_iter` over vectors and `usize` ranges, with
-//! `map`/`for_each`/`collect`/`sum` — implemented over `std::thread::scope`.
+//! `map`/`for_each`/`collect`/`sum` — implemented over a **persistent
+//! worker pool**: a lazily-initialized set of parked threads fed by a
+//! shared job queue. The first parallel call spawns the workers; every
+//! later call reuses them, so steady-state parallel sections pay a queue
+//! push + wakeup instead of a thread spawn per call (the old
+//! `std::thread::scope` implementation spawned and joined OS threads on
+//! every `map`/`join`).
 //!
 //! Semantics differ from upstream in one deliberate way: `map` is *eager*
-//! (it distributes the items over threads and runs the closure immediately),
-//! so chains like `xs.par_iter().map(f).collect()` behave identically for
-//! the pure closures this workspace uses, while the implementation stays a
-//! few hundred lines. Item order is always preserved. The worker count
-//! honours `RAYON_NUM_THREADS` and falls back to the machine's available
-//! parallelism.
+//! (it distributes the items over the pool and runs the closure
+//! immediately), so chains like `xs.par_iter().map(f).collect()` behave
+//! identically for the pure closures this workspace uses, while the
+//! implementation stays a few hundred lines. Item order is always
+//! preserved. The worker count honours `RAYON_NUM_THREADS` and falls back
+//! to the machine's available parallelism; the pool is sized once, at
+//! first use (later changes to the variable alter how work is *split*,
+//! not how many workers exist).
+//!
+//! # Scoped borrows on a persistent pool
+//!
+//! Parallel closures borrow from the caller's stack, but a persistent
+//! pool's job queue is `'static`. The bridge is [`run_scoped`]: it
+//! erases the job lifetimes (the one `unsafe` in this crate) and then
+//! **blocks the caller until a completion latch counts every job down**,
+//! so every borrow provably outlives every job — the same contract
+//! `std::thread::scope` enforces, relocated onto pooled threads.
+//!
+//! # Panic and nesting behaviour
+//!
+//! A panicking job never takes a worker down: jobs run under
+//! `catch_unwind`, the first payload is stashed in the latch, and the
+//! *caller* resumes it after all sibling jobs finish — so a panic inside
+//! `par_iter().map(...)` or `join` propagates to the calling thread
+//! exactly like the scoped implementation, and the pool stays serviceable
+//! afterwards. Parallel calls made *from inside* a pool job (nested
+//! parallelism) run inline on that worker — the pool never blocks one of
+//! its own threads on its own queue, which is what rules out deadlock.
 
 #![deny(missing_docs)]
 
-/// Number of worker threads the pool-free implementation will use.
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Number of worker threads parallel calls will try to keep busy (the
+/// caller's thread plus the pool workers).
 pub fn current_num_threads() -> usize {
     std::env::var("RAYON_NUM_THREADS")
         .ok()
@@ -27,7 +61,147 @@ pub fn current_num_threads() -> usize {
         })
 }
 
+/// A type-erased job with its lifetime erased to `'static` — sound only
+/// because [`run_scoped`] keeps the submitting caller blocked until the
+/// job has run to completion.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    job_ready: Condvar,
+}
+
+struct Pool {
+    shared: Arc<PoolShared>,
+    /// Worker-thread count, fixed at initialization (the caller thread
+    /// participates in every parallel section, hence the `- 1`). Read by
+    /// the leak-detection test.
+    #[cfg_attr(not(test), allow(dead_code))]
+    workers: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn in_pool_worker() -> bool {
+    IS_POOL_WORKER.with(Cell::get)
+}
+
+/// The process-wide pool, spawning its workers on first use. Workers park
+/// on the queue condvar between jobs and live for the rest of the
+/// process; they hold only the queue `Arc`, so process exit reclaims
+/// everything without a join.
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let workers = current_num_threads().saturating_sub(1).max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
+        });
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("rayon-worker-{i}"))
+                .spawn(move || {
+                    IS_POOL_WORKER.with(|f| f.set(true));
+                    loop {
+                        let job = {
+                            let mut queue = shared.queue.lock().unwrap();
+                            loop {
+                                if let Some(job) = queue.pop_front() {
+                                    break job;
+                                }
+                                queue = shared.job_ready.wait(queue).unwrap();
+                            }
+                        };
+                        // jobs are wrapped in catch_unwind by run_scoped,
+                        // so this call never unwinds through the loop
+                        job();
+                    }
+                })
+                .expect("failed to spawn rayon pool worker");
+        }
+        Pool { shared, workers }
+    })
+}
+
+/// Completion latch one `run_scoped` call waits on: counts outstanding
+/// jobs and carries the first panic payload back to the caller.
+struct Latch {
+    state: Mutex<LatchState>,
+    all_done: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<PanicPayload>,
+}
+
+/// Runs `jobs` on the persistent pool while the caller runs `local`
+/// inline, returning only when **every** job has completed. The first
+/// panic — from a job or from `local` — is resumed on the caller *after*
+/// that barrier, so data borrowed by the jobs stays alive for their whole
+/// execution even on the unwind path.
+fn run_scoped<'scope>(jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>, local: impl FnOnce()) {
+    let latch = Arc::new(Latch {
+        state: Mutex::new(LatchState {
+            remaining: jobs.len(),
+            panic: None,
+        }),
+        all_done: Condvar::new(),
+    });
+    let pool = pool();
+    {
+        let mut queue = pool.shared.queue.lock().unwrap();
+        for job in jobs {
+            let latch = Arc::clone(&latch);
+            let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                // `job` is consumed (and its borrows released) before the
+                // latch ticks down, so by the time the caller unblocks no
+                // live closure references its stack
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                let mut state = latch.state.lock().unwrap();
+                if let Err(payload) = result {
+                    state.panic.get_or_insert(payload);
+                }
+                state.remaining -= 1;
+                if state.remaining == 0 {
+                    latch.all_done.notify_all();
+                }
+            });
+            // SAFETY: the transmute only erases the `'scope` lifetime of
+            // the boxed closure. The loop below keeps this stack frame —
+            // and therefore everything the closure borrows — alive until
+            // the latch confirms the closure has finished running.
+            let wrapped: Job = unsafe { std::mem::transmute(wrapped) };
+            queue.push_back(wrapped);
+        }
+    }
+    pool.shared.job_ready.notify_all();
+
+    let local_panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(local)).err();
+
+    let mut state = latch.state.lock().unwrap();
+    while state.remaining > 0 {
+        state = latch.all_done.wait(state).unwrap();
+    }
+    let job_panic = state.panic.take();
+    drop(state);
+    if let Some(payload) = job_panic.or(local_panic) {
+        std::panic::resume_unwind(payload);
+    }
+}
+
 /// Runs two closures, potentially in parallel, returning both results.
+///
+/// `a` runs on the calling thread; `b` is offered to the pool. With one
+/// configured thread — or when already inside a pool worker — both run
+/// sequentially on the caller.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -35,15 +209,24 @@ where
     RA: Send,
     RB: Send,
 {
-    if current_num_threads() <= 1 {
-        return (a(), b());
-    }
-    std::thread::scope(|s| {
-        let hb = s.spawn(b);
+    if current_num_threads() <= 1 || in_pool_worker() {
         let ra = a();
-        let rb = hb.join().expect("rayon::join worker panicked");
-        (ra, rb)
-    })
+        let rb = b();
+        return (ra, rb);
+    }
+    let mut ra = None;
+    let mut rb = None;
+    {
+        let rb_slot = &mut rb;
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            *rb_slot = Some(b());
+        });
+        run_scoped(vec![job], || ra = Some(a()));
+    }
+    (
+        ra.expect("rayon::join caller closure did not run"),
+        rb.expect("rayon::join worker panicked"),
+    )
 }
 
 fn parallel_map<T, O, F>(items: Vec<T>, f: F) -> Vec<O>
@@ -54,7 +237,7 @@ where
 {
     let n = items.len();
     let threads = current_num_threads().min(n.max(1));
-    if threads <= 1 || n <= 1 {
+    if threads <= 1 || n <= 1 || in_pool_worker() {
         return items.into_iter().map(f).collect();
     }
     let chunk = n.div_ceil(threads);
@@ -67,18 +250,28 @@ where
         }
         chunks.push(c);
     }
+    let nchunks = chunks.len();
+    let mut slots: Vec<Option<Vec<O>>> = Vec::with_capacity(nchunks);
+    slots.resize_with(nchunks, || None);
     let f = &f;
-    let results: Vec<Vec<O>> = std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<O>>()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rayon worker panicked"))
-            .collect()
+    // the caller owns the last chunk; the rest go to the pool
+    let local_chunk = chunks.pop().expect("at least one chunk");
+    let (local_slot, pool_slots) = slots.split_last_mut().expect("at least one slot");
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+        .into_iter()
+        .zip(pool_slots.iter_mut())
+        .map(|(c, slot)| {
+            Box::new(move || *slot = Some(c.into_iter().map(f).collect::<Vec<O>>()))
+                as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    run_scoped(jobs, || {
+        *local_slot = Some(local_chunk.into_iter().map(f).collect());
     });
-    results.into_iter().flatten().collect()
+    slots
+        .into_iter()
+        .flat_map(|s| s.expect("pool job completed without writing its slot"))
+        .collect()
 }
 
 /// An order-preserving parallel iterator over an already-materialized list.
@@ -216,7 +409,16 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Forces real pool usage even on 1-core test machines. Idempotent and
+    /// process-global — every test that needs parallelism sets the same
+    /// value, so concurrent test threads never disagree.
+    fn force_parallel() {
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+    }
 
     #[test]
     fn map_preserves_order() {
@@ -265,5 +467,103 @@ mod tests {
     fn range_u64_and_sum() {
         let s: u64 = (0u64..100).into_par_iter().map(|x| x).sum();
         assert_eq!(s, 4950);
+    }
+
+    /// The pool is created once and reused: across many parallel calls,
+    /// the set of distinct threads that ever ran a pool job is bounded by
+    /// the fixed worker count — no spawn-per-call, no thread leak.
+    #[test]
+    fn pool_threads_are_reused_across_calls_without_leaking() {
+        force_parallel();
+        let seen = Mutex::new(HashSet::new());
+        let caller = std::thread::current().id();
+        for round in 0..50 {
+            let v: Vec<usize> = (0..64).collect();
+            let out: Vec<usize> = v
+                .into_par_iter()
+                .map(|x| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    x + round
+                })
+                .collect();
+            assert_eq!(out.len(), 64);
+        }
+        let mut distinct = seen.lock().unwrap().clone();
+        distinct.remove(&caller);
+        assert!(
+            !distinct.is_empty(),
+            "with RAYON_NUM_THREADS=4 some jobs must run on pool workers"
+        );
+        assert!(
+            distinct.len() <= super::pool().workers,
+            "jobs ran on {} distinct non-caller threads, but the pool only \
+             owns {} workers — threads are being spawned per call",
+            distinct.len(),
+            super::pool().workers
+        );
+    }
+
+    /// A panicking job propagates to the caller (like thread::scope did)
+    /// and leaves the pool fully serviceable.
+    #[test]
+    fn panic_in_job_propagates_and_pool_survives() {
+        force_parallel();
+        let r = std::panic::catch_unwind(|| {
+            let v: Vec<usize> = (0..64).collect();
+            let _: Vec<usize> = v
+                .into_par_iter()
+                .map(|x| {
+                    if x == 63 {
+                        panic!("boom in job");
+                    }
+                    x
+                })
+                .collect();
+        });
+        assert!(r.is_err(), "the job panic must reach the caller");
+        // the pool still works after the panic
+        let v: Vec<usize> = (0..100).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    /// Same contract for `join`: a panic in either closure reaches the
+    /// caller, and the pool keeps serving afterwards.
+    #[test]
+    fn panic_in_join_propagates_and_pool_survives() {
+        force_parallel();
+        let r = std::panic::catch_unwind(|| super::join(|| 1, || panic!("boom in join")));
+        assert!(r.is_err());
+        let (a, b) = super::join(|| 10, || 20);
+        assert_eq!((a, b), (10, 20));
+    }
+
+    /// Parallel calls from inside a pool job run inline on that worker —
+    /// correct results, and no pool-on-pool deadlock.
+    #[test]
+    fn nested_parallelism_runs_inline_and_completes() {
+        force_parallel();
+        let v: Vec<usize> = (0..16).collect();
+        let out: Vec<usize> = v
+            .into_par_iter()
+            .map(|x| {
+                let inner: Vec<usize> = (0..8usize).collect();
+                inner.into_par_iter().map(move |y| x * 8 + y).sum::<usize>()
+            })
+            .collect();
+        let expected: Vec<usize> = (0..16)
+            .map(|x| (0..8).map(|y| x * 8 + y).sum::<usize>())
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    /// Borrowed data survives the pooled jobs: the closures capture slices
+    /// of a caller-stack vector, exactly like the old scoped threads.
+    #[test]
+    fn scoped_borrows_remain_valid() {
+        force_parallel();
+        let data: Vec<u64> = (0..1024).collect();
+        let sums: Vec<u64> = data.par_chunks(100).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
     }
 }

@@ -48,6 +48,19 @@ pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
     Ok(to_string(value)?.into_bytes())
 }
 
+/// Serializes a value to human-readable JSON with 2-space indentation
+/// (for committed artifacts like bench reports, where diffs matter).
+///
+/// # Errors
+///
+/// Infallible for the vendored data model; the `Result` mirrors upstream.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content_pretty(&value.serialize(), 0, &mut out);
+    out.push('\n');
+    Ok(out)
+}
+
 /// Deserializes a value from a JSON string.
 ///
 /// # Errors
@@ -114,6 +127,50 @@ fn write_content(v: &Content, out: &mut String) {
             }
             out.push('}');
         }
+    }
+}
+
+fn write_content_pretty(v: &Content, depth: usize, out: &mut String) {
+    const INDENT: &str = "  ";
+    match v {
+        Content::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                for _ in 0..=depth {
+                    out.push_str(INDENT);
+                }
+                write_content_pretty(item, depth + 1, out);
+            }
+            out.push('\n');
+            for _ in 0..depth {
+                out.push_str(INDENT);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                for _ in 0..=depth {
+                    out.push_str(INDENT);
+                }
+                write_json_string(k, out);
+                out.push_str(": ");
+                write_content_pretty(val, depth + 1, out);
+            }
+            out.push('\n');
+            for _ in 0..depth {
+                out.push_str(INDENT);
+            }
+            out.push('}');
+        }
+        // scalars, empty seqs and empty maps render exactly as compact
+        other => write_content(other, out),
     }
 }
 
@@ -407,5 +464,22 @@ mod tests {
     fn whitespace_tolerated() {
         let v: Vec<u64> = from_str(" [ 1 , 2 , 3 ] ").unwrap();
         assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pretty_output_parses_back_and_indents() {
+        let v = vec![vec![1u64, 2], vec![3]];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("[\n"), "nested seqs must break lines");
+        assert!(pretty.contains("  "), "indentation present");
+        assert!(
+            pretty.ends_with('\n'),
+            "trailing newline for committed files"
+        );
+        let back: Vec<Vec<u64>> = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+        // scalars and empties stay compact
+        assert_eq!(to_string_pretty(&7u64).unwrap(), "7\n");
+        assert_eq!(to_string_pretty(&Vec::<u64>::new()).unwrap(), "[]\n");
     }
 }
