@@ -1,5 +1,7 @@
-//! Batch-formation policy and server configuration.
+//! Batch-formation policy, replica placement and server configuration.
 
+use std::fmt;
+use std::str::FromStr;
 use std::time::Duration;
 
 use cdl_core::confidence::{ConfidencePolicy, ExitOverride};
@@ -7,6 +9,150 @@ use cdl_hw::EnergyModel;
 use cdl_tensor::gemm::GemmKernel;
 
 use crate::error::{ServeError, ServeResult};
+
+/// How a [`crate::Router`] picks the replica that admits a request, chosen
+/// once per submission over the replica set's **live queue depths** (the
+/// gate occupancy [`crate::Server::queue_depth`] reports).
+///
+/// Whatever the policy picks, the response is bit-identical — every replica
+/// of a model serves the same network — so placement only shapes load,
+/// latency and backpressure, never results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Cycle through the replicas in index order (a lock-free counter):
+    /// perfectly even admission counts, blind to load imbalance.
+    #[default]
+    RoundRobin,
+    /// Scan every replica's queue depth and place on the least loaded
+    /// (ties to the lowest index). Best balance, O(replicas) per admission.
+    LeastLoaded,
+    /// Sample two distinct replicas pseudo-randomly and place on the less
+    /// loaded of the pair — the classic power-of-two-choices compromise:
+    /// near-least-loaded balance at O(1) probes per admission.
+    PowerOfTwoChoices,
+}
+
+impl PlacementPolicy {
+    /// Every placement policy, for equivalence sweeps.
+    pub const ALL: [PlacementPolicy; 3] = [
+        PlacementPolicy::RoundRobin,
+        PlacementPolicy::LeastLoaded,
+        PlacementPolicy::PowerOfTwoChoices,
+    ];
+}
+
+impl fmt::Display for PlacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PlacementPolicy::RoundRobin => "round_robin",
+            PlacementPolicy::LeastLoaded => "least_loaded",
+            PlacementPolicy::PowerOfTwoChoices => "p2c",
+        })
+    }
+}
+
+impl FromStr for PlacementPolicy {
+    type Err = ServeError;
+
+    /// Parses `"round_robin"`/`"rr"`, `"least_loaded"`, and
+    /// `"p2c"`/`"power_of_two_choices"` (case-insensitive, `-` ≡ `_`).
+    fn from_str(s: &str) -> ServeResult<Self> {
+        match s.to_ascii_lowercase().replace('-', "_").as_str() {
+            "round_robin" | "rr" => Ok(PlacementPolicy::RoundRobin),
+            "least_loaded" => Ok(PlacementPolicy::LeastLoaded),
+            "p2c" | "power_of_two" | "power_of_two_choices" => {
+                Ok(PlacementPolicy::PowerOfTwoChoices)
+            }
+            other => Err(ServeError::BadConfig(format!(
+                "unknown placement policy {other:?} \
+                 (expected round_robin, least_loaded or p2c)"
+            ))),
+        }
+    }
+}
+
+/// How a model is replicated inside a [`crate::Router`]: the replica count
+/// and the [`PlacementPolicy`] choosing among them at admission time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaSpec {
+    /// Number of identical shards serving this model (each the full
+    /// gate → batcher → worker-pool pipeline). Must be ≥ 1.
+    pub replicas: usize,
+    /// The admission-time placement policy over the replica set.
+    pub placement: PlacementPolicy,
+}
+
+impl ReplicaSpec {
+    /// `replicas` shards balanced by `placement`.
+    pub fn new(replicas: usize, placement: PlacementPolicy) -> Self {
+        ReplicaSpec {
+            replicas,
+            placement,
+        }
+    }
+
+    /// The unreplicated spec: one shard (placement is then irrelevant).
+    pub fn single() -> Self {
+        ReplicaSpec::default()
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for a zero replica count.
+    pub fn validate(&self) -> ServeResult<()> {
+        if self.replicas == 0 {
+            return Err(ServeError::BadConfig("replicas must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ReplicaSpec {
+    /// One replica, round-robin (vacuously) placed.
+    fn default() -> Self {
+        ReplicaSpec {
+            replicas: 1,
+            placement: PlacementPolicy::RoundRobin,
+        }
+    }
+}
+
+impl fmt::Display for ReplicaSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.replicas, self.placement)
+    }
+}
+
+impl FromStr for ReplicaSpec {
+    type Err = ServeError;
+
+    /// Parses `"N"` (N replicas, default placement), `"POLICY"` (one
+    /// replica… which any policy serves trivially — more useful combined),
+    /// or `"NxPOLICY"` (e.g. `"3xleast_loaded"`, `"4xp2c"`).
+    fn from_str(s: &str) -> ServeResult<Self> {
+        let spec = if let Some((count, policy)) = s.split_once('x') {
+            let replicas: usize = count
+                .trim()
+                .parse()
+                .map_err(|_| ServeError::BadConfig(format!("bad replica count in {s:?}")))?;
+            ReplicaSpec::new(replicas, policy.trim().parse()?)
+        } else if let Ok(replicas) = s.trim().parse::<usize>() {
+            ReplicaSpec {
+                replicas,
+                ..ReplicaSpec::default()
+            }
+        } else {
+            ReplicaSpec {
+                placement: s.trim().parse()?,
+                ..ReplicaSpec::default()
+            }
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
 
 /// Per-request overrides carried on a submission — the runtime-adjustable
 /// accuracy/energy trade-off of the paper's Fig. 10, exposed per request so
@@ -238,6 +384,62 @@ mod tests {
     fn invalid_policies_rejected() {
         assert!(BatchPolicy::by_size(0).validate().is_err());
         assert!(BatchPolicy::new(4, Duration::ZERO).validate().is_err());
+    }
+
+    #[test]
+    fn placement_policy_parses_and_displays() {
+        for policy in PlacementPolicy::ALL {
+            // Display → FromStr round trip
+            assert_eq!(
+                policy.to_string().parse::<PlacementPolicy>().unwrap(),
+                policy
+            );
+        }
+        assert_eq!(
+            "rr".parse::<PlacementPolicy>().unwrap(),
+            PlacementPolicy::RoundRobin
+        );
+        assert_eq!(
+            "Least-Loaded".parse::<PlacementPolicy>().unwrap(),
+            PlacementPolicy::LeastLoaded
+        );
+        assert_eq!(
+            "power_of_two_choices".parse::<PlacementPolicy>().unwrap(),
+            PlacementPolicy::PowerOfTwoChoices
+        );
+        assert!(matches!(
+            "weighted".parse::<PlacementPolicy>(),
+            Err(ServeError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn replica_spec_parses_and_validates() {
+        assert_eq!(ReplicaSpec::default(), ReplicaSpec::single());
+        assert_eq!(
+            "3xleast_loaded".parse::<ReplicaSpec>().unwrap(),
+            ReplicaSpec::new(3, PlacementPolicy::LeastLoaded)
+        );
+        assert_eq!(
+            "4 x p2c".parse::<ReplicaSpec>().unwrap(),
+            ReplicaSpec::new(4, PlacementPolicy::PowerOfTwoChoices)
+        );
+        assert_eq!(
+            "2".parse::<ReplicaSpec>().unwrap(),
+            ReplicaSpec::new(2, PlacementPolicy::RoundRobin)
+        );
+        assert_eq!(
+            "least_loaded".parse::<ReplicaSpec>().unwrap(),
+            ReplicaSpec::new(1, PlacementPolicy::LeastLoaded)
+        );
+        // Display → FromStr round trip
+        let spec = ReplicaSpec::new(3, PlacementPolicy::PowerOfTwoChoices);
+        assert_eq!(spec.to_string().parse::<ReplicaSpec>().unwrap(), spec);
+        assert!(ReplicaSpec::new(0, PlacementPolicy::RoundRobin)
+            .validate()
+            .is_err());
+        assert!("0xrr".parse::<ReplicaSpec>().is_err());
+        assert!("threexrr".parse::<ReplicaSpec>().is_err());
     }
 
     #[test]

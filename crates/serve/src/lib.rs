@@ -62,6 +62,18 @@
 //!   per-shard and aggregate metrics ([`RouterMetrics`]: routing histogram,
 //!   per-model exit/energy breakdown), and drain-then-stop shutdown across
 //!   all shards.
+//! * **Replica sets** ([`ReplicaSpec`]): each model may be served by N
+//!   identical replicas behind one [`ModelId`]; at admission a
+//!   [`PlacementPolicy`] (round-robin, least-loaded, or
+//!   power-of-two-choices over live queue depths) picks the replica.
+//!   Backpressure stays per replica, the routed/submitted cross-check
+//!   holds per replica ([`metrics::ReplicaMetrics`]), and responses are
+//!   bit-identical whichever replica serves them.
+//! * **Network edge** ([`net`]): a length-prefixed binary TCP protocol
+//!   ([`TcpServer`] / [`TcpClient`]) in front of the router — pipelined
+//!   request ids per connection, per-connection writer threads draining
+//!   completions, typed error replies, and bit-exact f32 transport
+//!   (IEEE-754 bit patterns on the wire).
 //!
 //! ## Example
 //!
@@ -103,14 +115,16 @@
 pub mod config;
 pub mod error;
 pub mod metrics;
+pub mod net;
 pub mod pending;
 pub mod router;
 pub mod server;
 
 pub use cdl_tensor::gemm::GemmKernel;
-pub use config::{BatchPolicy, ServerConfig, SubmitOptions};
+pub use config::{BatchPolicy, PlacementPolicy, ReplicaSpec, ServerConfig, SubmitOptions};
 pub use error::{ServeError, ServeResult};
-pub use metrics::{LatencyStats, RouterMetrics, ServerMetrics, ShardMetrics};
+pub use metrics::{LatencyStats, ReplicaMetrics, RouterMetrics, ServerMetrics, ShardMetrics};
+pub use net::{ErrorCode, ErrorReply, TcpClient, TcpServer};
 pub use pending::Pending;
 pub use router::{ModelId, Router, ShardSpec};
 pub use server::Server;

@@ -8,6 +8,8 @@ use std::time::{Duration, Instant};
 
 use cdl_hw::{EnergyModel, OpCount};
 
+use crate::config::PlacementPolicy;
+
 /// Completed-request latencies retained for percentile estimation:
 /// **exactly the most recent 65 536 completions** (a fixed-size ring
 /// buffer), so a long-running server stays at O(1) memory and snapshot
@@ -85,7 +87,13 @@ pub struct ServerMetrics {
     pub batch_size_histogram: Vec<u64>,
     /// Mean evaluated batch size.
     pub mean_batch_size: f64,
-    /// Completed requests per second of server uptime.
+    /// Completed requests per second over the server's **active span** —
+    /// the wall-clock between its first and its last completion — so a
+    /// server that sat idle before its first request or after its last one
+    /// (e.g. a long pre-drain tail) is not understated. When the span is
+    /// degenerate (zero completions, or every completion at one instant,
+    /// as with a single completed request) the rate falls back to
+    /// completions per second of total uptime.
     pub throughput_rps: f64,
     /// Submit→result latency distribution (`None` until something
     /// completed).
@@ -163,17 +171,116 @@ impl fmt::Display for ServerMetrics {
     }
 }
 
-/// One shard's slice of a [`RouterMetrics`] snapshot.
+/// One replica's slice of a [`ShardMetrics`] snapshot.
+#[derive(Debug, Clone)]
+pub struct ReplicaMetrics {
+    /// Requests the router placed on this replica — counted at the router
+    /// front-end *before* the replica's own admission (and rolled back if
+    /// admission fails), independently of the replica's `submitted`
+    /// counter. A concurrent snapshot may therefore transiently observe
+    /// `routed > metrics.submitted` (a placement in flight), but **never**
+    /// `metrics.submitted > routed`; in any settled snapshot the two are
+    /// equal — a cross-check that nothing was mis-placed or dropped.
+    pub routed: u64,
+    /// The replica's own [`ServerMetrics`] snapshot.
+    pub metrics: ServerMetrics,
+}
+
+/// One model's slice of a [`RouterMetrics`] snapshot: the placement policy
+/// plus every replica's [`ReplicaMetrics`], with rollup accessors summing
+/// over the replica set.
 #[derive(Debug, Clone)]
 pub struct ShardMetrics {
-    /// The model name the shard was registered under.
+    /// The model name the replica set was registered under.
     pub model: String,
-    /// Requests the router routed (admitted) to this shard — counted at
-    /// the router front-end, so it must equal `metrics.submitted` in any
-    /// settled snapshot (a cross-check that nothing was mis-routed).
-    pub routed: u64,
-    /// The shard's own [`ServerMetrics`] snapshot.
-    pub metrics: ServerMetrics,
+    /// The admission-time placement policy choosing among the replicas.
+    pub placement: PlacementPolicy,
+    /// Per-replica metrics, in replica-index order.
+    pub replicas: Vec<ReplicaMetrics>,
+}
+
+impl ShardMetrics {
+    /// Total requests the router routed to this model (sum over replicas).
+    pub fn routed(&self) -> u64 {
+        self.replicas.iter().map(|r| r.routed).sum()
+    }
+
+    /// Requests placed per replica, in replica-index order — the placement
+    /// histogram showing how the policy spread this model's admissions.
+    pub fn placement_histogram(&self) -> Vec<u64> {
+        self.replicas.iter().map(|r| r.routed).collect()
+    }
+
+    /// Total requests admitted across this model's replicas.
+    pub fn submitted(&self) -> u64 {
+        self.replicas.iter().map(|r| r.metrics.submitted).sum()
+    }
+
+    /// Total `try_submit` rejections across this model's replicas.
+    pub fn rejected(&self) -> u64 {
+        self.replicas.iter().map(|r| r.metrics.rejected).sum()
+    }
+
+    /// Total requests evaluated and delivered across this model's replicas.
+    pub fn completed(&self) -> u64 {
+        self.replicas.iter().map(|r| r.metrics.completed).sum()
+    }
+
+    /// Total requests cancelled across this model's replicas.
+    pub fn cancelled(&self) -> u64 {
+        self.replicas.iter().map(|r| r.metrics.cancelled).sum()
+    }
+
+    /// Total requests failed across this model's replicas.
+    pub fn failed(&self) -> u64 {
+        self.replicas.iter().map(|r| r.metrics.failed).sum()
+    }
+
+    /// Total in-flight requests across this model's replicas — the live
+    /// queue depth the `LeastLoaded`/`PowerOfTwoChoices` policies balance.
+    pub fn queue_depth(&self) -> usize {
+        self.replicas.iter().map(|r| r.metrics.queue_depth).sum()
+    }
+
+    /// Total batches evaluated across this model's replicas.
+    pub fn batches(&self) -> u64 {
+        self.replicas.iter().map(|r| r.metrics.batches).sum()
+    }
+
+    /// Element-wise sum of the replicas' exit histograms.
+    pub fn exit_histogram(&self) -> Vec<u64> {
+        sum_exit_histograms(self.replicas.iter().map(|r| &r.metrics.exit_histogram))
+    }
+
+    /// Cumulative operations of every completed request across replicas.
+    pub fn total_ops(&self) -> OpCount {
+        self.replicas.iter().map(|r| r.metrics.total_ops).sum()
+    }
+
+    /// Cumulative hardware stages activated across replicas.
+    pub fn stages_activated(&self) -> u64 {
+        self.replicas
+            .iter()
+            .map(|r| r.metrics.stages_activated)
+            .sum()
+    }
+
+    /// Cumulative energy across replicas, picojoules.
+    pub fn energy_pj(&self) -> f64 {
+        self.replicas.iter().map(|r| r.metrics.energy_pj).sum()
+    }
+}
+
+/// Element-wise sum of exit histograms of possibly different depths.
+fn sum_exit_histograms<'a>(histograms: impl Iterator<Item = &'a Vec<u64>> + Clone) -> Vec<u64> {
+    let len = histograms.clone().map(|h| h.len()).max().unwrap_or(0);
+    let mut total = vec![0u64; len];
+    for histogram in histograms {
+        for (slot, &n) in histogram.iter().enumerate() {
+            total[slot] += n;
+        }
+    }
+    total
 }
 
 /// A point-in-time snapshot across every shard of a [`crate::Router`]:
@@ -191,79 +298,81 @@ pub struct RouterMetrics {
 
 impl RouterMetrics {
     /// Requests routed per model, in registration order — the routing
-    /// histogram.
+    /// histogram (each entry summed over that model's replicas; see
+    /// [`ShardMetrics::placement_histogram`] for the per-replica split).
     pub fn routing_histogram(&self) -> Vec<u64> {
-        self.shards.iter().map(|s| s.routed).collect()
+        self.shards.iter().map(|s| s.routed()).collect()
     }
 
-    /// Total requests admitted across shards.
+    /// Per-model placement histograms, in registration order: entry `m` is
+    /// [`ShardMetrics::placement_histogram`] of model `m` — how each
+    /// model's placement policy spread its admissions across replicas.
+    pub fn placement_histograms(&self) -> Vec<Vec<u64>> {
+        self.shards
+            .iter()
+            .map(|s| s.placement_histogram())
+            .collect()
+    }
+
+    /// Total requests admitted across all models and replicas.
     pub fn submitted(&self) -> u64 {
-        self.shards.iter().map(|s| s.metrics.submitted).sum()
+        self.shards.iter().map(|s| s.submitted()).sum()
     }
 
-    /// Total `try_submit` rejections across shards.
+    /// Total `try_submit` rejections across all models and replicas.
     pub fn rejected(&self) -> u64 {
-        self.shards.iter().map(|s| s.metrics.rejected).sum()
+        self.shards.iter().map(|s| s.rejected()).sum()
     }
 
-    /// Total requests evaluated and delivered across shards.
+    /// Total requests evaluated and delivered across all models and
+    /// replicas.
     pub fn completed(&self) -> u64 {
-        self.shards.iter().map(|s| s.metrics.completed).sum()
+        self.shards.iter().map(|s| s.completed()).sum()
     }
 
-    /// Total requests cancelled across shards.
+    /// Total requests cancelled across all models and replicas.
     pub fn cancelled(&self) -> u64 {
-        self.shards.iter().map(|s| s.metrics.cancelled).sum()
+        self.shards.iter().map(|s| s.cancelled()).sum()
     }
 
-    /// Total requests failed across shards.
+    /// Total requests failed across all models and replicas.
     pub fn failed(&self) -> u64 {
-        self.shards.iter().map(|s| s.metrics.failed).sum()
+        self.shards.iter().map(|s| s.failed()).sum()
     }
 
-    /// Total in-flight requests across shards.
+    /// Total in-flight requests across all models and replicas.
     pub fn queue_depth(&self) -> usize {
-        self.shards.iter().map(|s| s.metrics.queue_depth).sum()
+        self.shards.iter().map(|s| s.queue_depth()).sum()
     }
 
-    /// Total batches evaluated across shards.
+    /// Total batches evaluated across all models and replicas.
     pub fn batches(&self) -> u64 {
-        self.shards.iter().map(|s| s.metrics.batches).sum()
+        self.shards.iter().map(|s| s.batches()).sum()
     }
 
     /// Element-wise sum of the shards' exit histograms (index `i` =
     /// completed requests that exited at stage `i` on *any* model; models
     /// with fewer stages simply contribute nothing to the deeper slots).
     pub fn exit_histogram(&self) -> Vec<u64> {
-        let len = self
-            .shards
-            .iter()
-            .map(|s| s.metrics.exit_histogram.len())
-            .max()
-            .unwrap_or(0);
-        let mut total = vec![0u64; len];
-        for shard in &self.shards {
-            for (slot, &n) in shard.metrics.exit_histogram.iter().enumerate() {
-                total[slot] += n;
-            }
-        }
-        total
+        let per_shard: Vec<Vec<u64>> = self.shards.iter().map(|s| s.exit_histogram()).collect();
+        sum_exit_histograms(per_shard.iter())
     }
 
-    /// Cumulative operations of every completed request across shards.
+    /// Cumulative operations of every completed request across all models
+    /// and replicas.
     pub fn total_ops(&self) -> OpCount {
-        self.shards.iter().map(|s| s.metrics.total_ops).sum()
+        self.shards.iter().map(|s| s.total_ops()).sum()
     }
 
-    /// Cumulative hardware stages activated across shards.
+    /// Cumulative hardware stages activated across all models and replicas.
     pub fn stages_activated(&self) -> u64 {
-        self.shards.iter().map(|s| s.metrics.stages_activated).sum()
+        self.shards.iter().map(|s| s.stages_activated()).sum()
     }
 
-    /// Cumulative energy across shards, picojoules (each shard priced
-    /// under its own [`EnergyModel`]).
+    /// Cumulative energy across all models and replicas, picojoules (each
+    /// replica priced under its own [`EnergyModel`]).
     pub fn energy_pj(&self) -> f64 {
-        self.shards.iter().map(|s| s.metrics.energy_pj).sum()
+        self.shards.iter().map(|s| s.energy_pj()).sum()
     }
 }
 
@@ -272,7 +381,7 @@ impl fmt::Display for RouterMetrics {
         let histogram: Vec<String> = self
             .shards
             .iter()
-            .map(|s| format!("{}:{}", s.model, s.routed))
+            .map(|s| format!("{}:{}", s.model, s.routed()))
             .collect();
         writeln!(
             f,
@@ -288,11 +397,28 @@ impl fmt::Display for RouterMetrics {
             self.energy_pj() / 1e6,
         )?;
         for (i, shard) in self.shards.iter().enumerate() {
-            writeln!(f, "── shard {} · {} ──", i, shard.model)?;
-            if i + 1 < self.shards.len() {
-                writeln!(f, "{}", shard.metrics)?;
-            } else {
-                write!(f, "{}", shard.metrics)?;
+            let placement: Vec<String> = shard
+                .placement_histogram()
+                .iter()
+                .map(|n| n.to_string())
+                .collect();
+            writeln!(
+                f,
+                "── shard {} · {} — {} replica(s), {} placement [{}] ──",
+                i,
+                shard.model,
+                shard.replicas.len(),
+                shard.placement,
+                placement.join(" "),
+            )?;
+            for (r, replica) in shard.replicas.iter().enumerate() {
+                writeln!(f, "· replica {} — routed {}", r, replica.routed)?;
+                let last = i + 1 == self.shards.len() && r + 1 == shard.replicas.len();
+                if last {
+                    write!(f, "{}", replica.metrics)?;
+                } else {
+                    writeln!(f, "{}", replica.metrics)?;
+                }
             }
         }
         Ok(())
@@ -319,6 +445,11 @@ struct Counters {
     exit_histogram: Vec<u64>,
     total_ops: OpCount,
     stages_activated: u64,
+    /// When the first request completed — the start of the active span
+    /// `throughput_rps` is computed over.
+    first_completion: Option<Instant>,
+    /// When the most recent request completed — the end of the active span.
+    last_completion: Option<Instant>,
 }
 
 impl Counters {
@@ -434,6 +565,9 @@ impl Recorder {
                 c.batch_sizes.resize(size + 1, 0);
             }
             c.batch_sizes[size] += 1;
+            let now = Instant::now();
+            c.first_completion.get_or_insert(now);
+            c.last_completion = Some(now);
         }
     }
 
@@ -468,10 +602,24 @@ impl Recorder {
             } else {
                 0.0
             },
-            throughput_rps: if elapsed > Duration::ZERO {
-                c.completed as f64 / elapsed.as_secs_f64()
-            } else {
-                0.0
+            throughput_rps: {
+                // rate over the active span (first → last completion); a
+                // degenerate span (nothing completed, or one instant) falls
+                // back to total uptime — see the field docs
+                let active = match (c.first_completion, c.last_completion) {
+                    (Some(first), Some(last)) => last.saturating_duration_since(first),
+                    _ => Duration::ZERO,
+                };
+                let span = if active > Duration::ZERO {
+                    active
+                } else {
+                    elapsed
+                };
+                if c.completed > 0 && span > Duration::ZERO {
+                    c.completed as f64 / span.as_secs_f64()
+                } else {
+                    0.0
+                }
             },
             latency,
             exit_histogram: c.exit_histogram.clone(),
@@ -575,41 +723,60 @@ mod tests {
         assert_eq!(stats.count, 2 * LATENCY_WINDOW as u64);
     }
 
+    fn shard_snapshot(n_requests: u64, exits: Vec<u64>) -> ServerMetrics {
+        let rec = Recorder::new(EnergyModel::cmos_45nm());
+        let ms = Duration::from_millis(1);
+        for _ in 0..n_requests {
+            rec.admitted();
+            rec.dispatched(BatchCause::Full);
+        }
+        for (stage, &count) in exits.iter().enumerate() {
+            for _ in 0..count {
+                rec.batch_completed([(ms, out(stage, 50))].into_iter());
+            }
+        }
+        rec.snapshot(1)
+    }
+
     #[test]
-    fn router_metrics_aggregate_shard_sums() {
-        let mk = |n_batches: u64, exits: Vec<u64>| {
-            let rec = Recorder::new(EnergyModel::cmos_45nm());
-            let ms = Duration::from_millis(1);
-            for _ in 0..n_batches {
-                rec.admitted();
-                rec.dispatched(BatchCause::Full);
-            }
-            for (stage, &count) in exits.iter().enumerate() {
-                for _ in 0..count {
-                    rec.batch_completed([(ms, out(stage, 50))].into_iter());
-                }
-            }
-            rec.snapshot(1)
-        };
+    fn router_metrics_aggregate_replica_sums() {
         let metrics = RouterMetrics {
             shards: vec![
                 ShardMetrics {
                     model: "A".into(),
-                    routed: 3,
-                    metrics: mk(3, vec![2, 1]),
+                    placement: PlacementPolicy::RoundRobin,
+                    replicas: vec![ReplicaMetrics {
+                        routed: 3,
+                        metrics: shard_snapshot(3, vec![2, 1]),
+                    }],
                 },
                 ShardMetrics {
                     model: "B".into(),
-                    routed: 4,
-                    metrics: mk(4, vec![1, 0, 3]),
+                    placement: PlacementPolicy::LeastLoaded,
+                    replicas: vec![
+                        ReplicaMetrics {
+                            routed: 2,
+                            metrics: shard_snapshot(2, vec![1, 0, 1]),
+                        },
+                        ReplicaMetrics {
+                            routed: 2,
+                            metrics: shard_snapshot(2, vec![0, 0, 2]),
+                        },
+                    ],
                 },
             ],
         };
         assert_eq!(metrics.routing_histogram(), vec![3, 4]);
+        assert_eq!(metrics.placement_histograms(), vec![vec![3], vec![2, 2]]);
+        assert_eq!(metrics.shards[1].routed(), 4);
+        assert_eq!(metrics.shards[1].placement_histogram(), vec![2, 2]);
+        assert_eq!(metrics.shards[1].submitted(), 4);
+        assert_eq!(metrics.shards[1].completed(), 4);
+        assert_eq!(metrics.shards[1].exit_histogram(), vec![1, 0, 3]);
         assert_eq!(metrics.submitted(), 7);
         assert_eq!(metrics.completed(), 7);
         assert_eq!(metrics.batches(), 7);
-        assert_eq!(metrics.queue_depth(), 2);
+        assert_eq!(metrics.queue_depth(), 3);
         assert_eq!(metrics.exit_histogram(), vec![3, 1, 3]);
         assert_eq!(metrics.total_ops().macs, 7 * 50);
         assert!(metrics.energy_pj() > 0.0);
@@ -617,6 +784,56 @@ mod tests {
         assert!(text.contains("router: 2 models"));
         assert!(text.contains("shard 0 · A"));
         assert!(text.contains("shard 1 · B"));
+        assert!(text.contains("least_loaded"));
+        assert!(text.contains("replica 1"));
+    }
+
+    #[test]
+    fn throughput_is_computed_over_the_active_span() {
+        let rec = Recorder::new(EnergyModel::cmos_45nm());
+        let ms = Duration::from_millis(1);
+        // two completion bursts a little apart, then a long idle tail
+        for _ in 0..10 {
+            rec.admitted();
+        }
+        rec.dispatched(BatchCause::Full);
+        rec.batch_completed((0..5).map(|_| (ms, out(0, 10))));
+        std::thread::sleep(Duration::from_millis(20));
+        rec.dispatched(BatchCause::Full);
+        rec.batch_completed((0..5).map(|_| (ms, out(0, 10))));
+        std::thread::sleep(Duration::from_millis(200));
+        let snap = rec.snapshot(0);
+        // the active span is ~20ms; lifetime uptime is ~220ms. A
+        // lifetime-based rate would report ≤ 50 rps here; the span-based
+        // rate must be an order of magnitude above it.
+        let lifetime_rate = snap.completed as f64 / snap.elapsed.as_secs_f64();
+        assert!(
+            snap.throughput_rps > 2.0 * lifetime_rate,
+            "active-span rate {} should beat lifetime rate {} (idle tail excluded)",
+            snap.throughput_rps,
+            lifetime_rate
+        );
+        // and it can never exceed what the span supports: span >= 20ms
+        // (two sleeps bound it below), so the rate is bounded above too
+        assert!(snap.throughput_rps <= 10.0 / 0.02 + 1.0);
+    }
+
+    #[test]
+    fn throughput_falls_back_to_uptime_on_degenerate_spans() {
+        // nothing completed → 0
+        let rec = Recorder::new(EnergyModel::cmos_45nm());
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(rec.snapshot(0).throughput_rps, 0.0);
+        // a single completion instant → completed / uptime (never inf/NaN)
+        let rec = Recorder::new(EnergyModel::cmos_45nm());
+        rec.admitted();
+        rec.batch_completed([(Duration::from_millis(1), out(0, 10))].into_iter());
+        std::thread::sleep(Duration::from_millis(5));
+        let snap = rec.snapshot(0);
+        assert!(snap.throughput_rps.is_finite());
+        assert!(snap.throughput_rps > 0.0);
+        let uptime_rate = snap.completed as f64 / snap.elapsed.as_secs_f64();
+        assert!((snap.throughput_rps - uptime_rate).abs() <= uptime_rate * 0.5);
     }
 
     #[test]

@@ -1,0 +1,955 @@
+//! Length-prefixed binary TCP edge over the replicated [`Router`].
+//!
+//! This is the process boundary of the serving stack: a [`TcpServer`]
+//! accepts plain `std::net` connections and multiplexes **pipelined**
+//! requests per connection onto the router, and a blocking [`TcpClient`]
+//! speaks the same protocol from the other end. Everything below the edge
+//! is unchanged — requests admitted over TCP go through the exact same
+//! placement → gate → batcher → worker pipeline as in-process
+//! [`Router::submit_with`] calls, and responses stay bit-identical to
+//! [`cdl_core::network::CdlNetwork::classify_with_override`] (f32s travel
+//! as IEEE-754 bit patterns, so the round trip is bit-exact; pinned by
+//! `tests/net_loopback.rs`).
+//!
+//! # Wire protocol
+//!
+//! Every frame is a big-endian `u32` body length followed by the body
+//! (at most [`MAX_FRAME`] bytes), encoded with the vendored [`bytes`]
+//! [`Buf`]/[`BufMut`] traits.
+//!
+//! Request body:
+//!
+//! ```text
+//! u64 request id        (client-chosen; echoed verbatim in the response)
+//! u16 model-name length, then that many UTF-8 bytes
+//! u8  option flags      (bit0: δ override follows, bit1: stage cap follows)
+//! f32 δ override        (iff bit0)
+//! u32 max stage         (iff bit1)
+//! u8  rank, then u32 × rank dims, then f32 × volume payload
+//! ```
+//!
+//! Response body:
+//!
+//! ```text
+//! u64 request id
+//! u8  status            (0 = OK, else an ErrorCode discriminant)
+//! OK  → u32 label · u32 exit stage · f32 confidence · u64 × 6 op counts
+//!       (macs, adds, compares, activations, mem reads, mem writes) ·
+//!       u64 stages activated · u8 exited-early flag
+//! err → u16 message length, then that many UTF-8 bytes
+//! ```
+//!
+//! # Connection model
+//!
+//! Per connection the server runs a **reader** thread (decodes frames,
+//! resolves the model by name, submits through the router's placement
+//! policy) and a **writer** thread fed over a channel (drains each routed
+//! request's [`Pending`] and streams responses back). Because submission
+//! and completion are decoupled, a client may pipeline arbitrarily many
+//! requests before reading a single response; responses can complete
+//! out of submission order (different replicas, different batches) and
+//! carry the request id so the client can match them up. Backpressure is
+//! per connection and per replica: a blocking-admission stall on one
+//! connection's reader never delays other connections.
+//!
+//! A client that disconnects mid-request only cancels **its own** pending
+//! work: the reader marks the connection dead, the writer drops the
+//! orphaned [`Pending`] handles (recorded as `cancelled` in the replica's
+//! metrics), and the shard itself keeps serving everyone else.
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::{Buf, BufMut};
+use cdl_core::network::CdlOutput;
+use cdl_hw::OpCount;
+use cdl_tensor::Tensor;
+
+use crate::config::SubmitOptions;
+use crate::error::ServeError;
+use crate::pending::Pending;
+use crate::router::Router;
+
+/// Hard cap on a frame body, request or response: 16 MiB — comfortably
+/// above any 28×28 batch-of-one payload, far below anything that could
+/// be a desynchronised stream misread as a length.
+pub const MAX_FRAME: u32 = 16 << 20;
+
+/// How often blocked reads/waits re-check the stop and dead flags.
+const POLL: Duration = Duration::from_millis(50);
+
+const FLAG_DELTA: u8 = 1 << 0;
+const FLAG_MAX_STAGE: u8 = 1 << 1;
+
+/// Request id used on error replies for frames too corrupt to carry one.
+const NO_ID: u64 = u64::MAX;
+
+/// Typed error category carried in a response frame's status byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// No replica set serves the requested model name.
+    UnknownModel = 1,
+    /// The per-request override was rejected at admission.
+    BadOptions = 2,
+    /// The placed replica's queue was at capacity.
+    Full = 3,
+    /// The router is shutting down.
+    ShuttingDown = 4,
+    /// The pipeline dropped the request without evaluating it.
+    Disconnected = 5,
+    /// The evaluator failed on the batch containing this request.
+    Eval = 6,
+    /// The request frame could not be decoded.
+    Malformed = 7,
+}
+
+impl ErrorCode {
+    fn from_status(status: u8) -> Option<ErrorCode> {
+        match status {
+            1 => Some(ErrorCode::UnknownModel),
+            2 => Some(ErrorCode::BadOptions),
+            3 => Some(ErrorCode::Full),
+            4 => Some(ErrorCode::ShuttingDown),
+            5 => Some(ErrorCode::Disconnected),
+            6 => Some(ErrorCode::Eval),
+            7 => Some(ErrorCode::Malformed),
+            _ => None,
+        }
+    }
+}
+
+impl From<&ServeError> for ErrorCode {
+    fn from(e: &ServeError) -> ErrorCode {
+        match e {
+            ServeError::Full => ErrorCode::Full,
+            ServeError::ShuttingDown => ErrorCode::ShuttingDown,
+            ServeError::Disconnected => ErrorCode::Disconnected,
+            ServeError::Eval(_) => ErrorCode::Eval,
+            ServeError::BadOptions(_) | ServeError::BadConfig(_) => ErrorCode::BadOptions,
+            ServeError::UnknownModel(_) => ErrorCode::UnknownModel,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::UnknownModel => "unknown model",
+            ErrorCode::BadOptions => "bad options",
+            ErrorCode::Full => "queue full",
+            ErrorCode::ShuttingDown => "shutting down",
+            ErrorCode::Disconnected => "disconnected",
+            ErrorCode::Eval => "evaluation failed",
+            ErrorCode::Malformed => "malformed frame",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The error half of a response frame: a typed category plus the server's
+/// human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorReply {
+    /// Typed category (drives client-side handling: retry on
+    /// [`ErrorCode::Full`], fail fast on [`ErrorCode::UnknownModel`], …).
+    pub code: ErrorCode,
+    /// Server-side detail, for logs and operators.
+    pub message: String,
+}
+
+impl std::fmt::Display for ErrorReply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ErrorReply {}
+
+// ---------------------------------------------------------------------------
+// frame codec
+// ---------------------------------------------------------------------------
+
+fn malformed(what: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.into())
+}
+
+/// Appends `body` as one length-prefixed frame to `out`.
+fn put_frame(out: &mut Vec<u8>, body: &[u8]) -> io::Result<()> {
+    if body.len() > MAX_FRAME as usize {
+        return Err(malformed(format!(
+            "frame body of {} bytes exceeds MAX_FRAME ({MAX_FRAME})",
+            body.len()
+        )));
+    }
+    out.put_u32(body.len() as u32);
+    out.put_slice(body);
+    Ok(())
+}
+
+fn encode_request(
+    out: &mut Vec<u8>,
+    id: u64,
+    model: &str,
+    options: SubmitOptions,
+    input: &Tensor,
+) -> io::Result<()> {
+    if model.len() > u16::MAX as usize {
+        return Err(malformed("model name longer than u16::MAX bytes"));
+    }
+    if input.dims().len() > u8::MAX as usize {
+        return Err(malformed("tensor rank exceeds u8::MAX"));
+    }
+    let mut body = Vec::with_capacity(32 + model.len() + 4 * input.data().len());
+    body.put_u64(id);
+    body.put_u16(model.len() as u16);
+    body.put_slice(model.as_bytes());
+    let mut flags = 0u8;
+    if options.delta.is_some() {
+        flags |= FLAG_DELTA;
+    }
+    if options.max_stage.is_some() {
+        flags |= FLAG_MAX_STAGE;
+    }
+    body.put_u8(flags);
+    if let Some(delta) = options.delta {
+        body.put_f32(delta);
+    }
+    if let Some(max_stage) = options.max_stage {
+        body.put_u32(u32::try_from(max_stage).map_err(|_| malformed("max_stage exceeds u32"))?);
+    }
+    body.put_u8(input.dims().len() as u8);
+    for &d in input.dims() {
+        body.put_u32(u32::try_from(d).map_err(|_| malformed("tensor dim exceeds u32"))?);
+    }
+    for &v in input.data() {
+        body.put_f32(v);
+    }
+    put_frame(out, &body)
+}
+
+struct RequestFrame {
+    id: u64,
+    model: String,
+    options: SubmitOptions,
+    input: Tensor,
+}
+
+/// Pulls `n` checked bytes-worth of remaining capacity or fails.
+fn need(cursor: &&[u8], n: usize, what: &str) -> io::Result<()> {
+    if cursor.remaining() < n {
+        return Err(malformed(format!("truncated frame: {what}")));
+    }
+    Ok(())
+}
+
+fn decode_request(body: &[u8]) -> io::Result<RequestFrame> {
+    let mut cursor = body;
+    need(&cursor, 8, "request id")?;
+    let id = cursor.get_u64();
+    need(&cursor, 2, "model-name length")?;
+    let name_len = cursor.get_u16() as usize;
+    need(&cursor, name_len, "model name")?;
+    let mut name = vec![0u8; name_len];
+    cursor.copy_to_slice(&mut name);
+    let model = String::from_utf8(name).map_err(|_| malformed("model name is not valid UTF-8"))?;
+    need(&cursor, 1, "option flags")?;
+    let flags = cursor.get_u8();
+    if flags & !(FLAG_DELTA | FLAG_MAX_STAGE) != 0 {
+        return Err(malformed(format!("unknown option flags {flags:#04x}")));
+    }
+    let mut options = SubmitOptions::default();
+    if flags & FLAG_DELTA != 0 {
+        need(&cursor, 4, "delta override")?;
+        options.delta = Some(cursor.get_f32());
+    }
+    if flags & FLAG_MAX_STAGE != 0 {
+        need(&cursor, 4, "max-stage cap")?;
+        options.max_stage = Some(cursor.get_u32() as usize);
+    }
+    need(&cursor, 1, "tensor rank")?;
+    let rank = cursor.get_u8() as usize;
+    need(&cursor, 4 * rank, "tensor dims")?;
+    let dims: Vec<usize> = (0..rank).map(|_| cursor.get_u32() as usize).collect();
+    let volume: usize = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| {
+            acc.checked_mul(d)
+                .filter(|&v| v <= (MAX_FRAME as usize) / 4)
+        })
+        .ok_or_else(|| malformed("tensor volume overflows the frame cap"))?;
+    need(&cursor, 4 * volume, "tensor payload")?;
+    let data: Vec<f32> = (0..volume).map(|_| cursor.get_f32()).collect();
+    if cursor.remaining() != 0 {
+        return Err(malformed(format!(
+            "{} trailing bytes after tensor payload",
+            cursor.remaining()
+        )));
+    }
+    let input =
+        Tensor::from_vec(data, &dims).map_err(|e| malformed(format!("bad tensor shape: {e}")))?;
+    Ok(RequestFrame {
+        id,
+        model,
+        options,
+        input,
+    })
+}
+
+fn encode_response(
+    out: &mut Vec<u8>,
+    id: u64,
+    result: &Result<CdlOutput, ErrorReply>,
+) -> io::Result<()> {
+    let mut body = Vec::with_capacity(96);
+    body.put_u64(id);
+    match result {
+        Ok(output) => {
+            body.put_u8(0);
+            body.put_u32(u32::try_from(output.label).map_err(|_| malformed("label exceeds u32"))?);
+            body.put_u32(
+                u32::try_from(output.exit_stage)
+                    .map_err(|_| malformed("exit stage exceeds u32"))?,
+            );
+            body.put_f32(output.confidence);
+            body.put_u64(output.ops.macs);
+            body.put_u64(output.ops.adds);
+            body.put_u64(output.ops.compares);
+            body.put_u64(output.ops.activations);
+            body.put_u64(output.ops.mem_reads);
+            body.put_u64(output.ops.mem_writes);
+            body.put_u64(output.stages_activated);
+            body.put_u8(output.exited_early as u8);
+        }
+        Err(reply) => {
+            body.put_u8(reply.code as u8);
+            let msg = reply.message.as_bytes();
+            let take = msg.len().min(u16::MAX as usize);
+            body.put_u16(take as u16);
+            body.put_slice(&msg[..take]);
+        }
+    }
+    put_frame(out, &body)
+}
+
+fn decode_response(body: &[u8]) -> io::Result<(u64, Result<CdlOutput, ErrorReply>)> {
+    let mut cursor = body;
+    need(&cursor, 9, "response header")?;
+    let id = cursor.get_u64();
+    let status = cursor.get_u8();
+    if status == 0 {
+        need(&cursor, 4 + 4 + 4 + 8 * 7 + 1, "output payload")?;
+        let output = CdlOutput {
+            label: cursor.get_u32() as usize,
+            exit_stage: cursor.get_u32() as usize,
+            confidence: cursor.get_f32(),
+            ops: OpCount {
+                macs: cursor.get_u64(),
+                adds: cursor.get_u64(),
+                compares: cursor.get_u64(),
+                activations: cursor.get_u64(),
+                mem_reads: cursor.get_u64(),
+                mem_writes: cursor.get_u64(),
+            },
+            stages_activated: cursor.get_u64(),
+            exited_early: cursor.get_u8() != 0,
+        };
+        if cursor.remaining() != 0 {
+            return Err(malformed("trailing bytes after output payload"));
+        }
+        Ok((id, Ok(output)))
+    } else {
+        let code = ErrorCode::from_status(status)
+            .ok_or_else(|| malformed(format!("unknown status byte {status}")))?;
+        need(&cursor, 2, "error-message length")?;
+        let msg_len = cursor.get_u16() as usize;
+        need(&cursor, msg_len, "error message")?;
+        let mut msg = vec![0u8; msg_len];
+        cursor.copy_to_slice(&mut msg);
+        if cursor.remaining() != 0 {
+            return Err(malformed("trailing bytes after error message"));
+        }
+        let message =
+            String::from_utf8(msg).map_err(|_| malformed("error message is not valid UTF-8"))?;
+        Ok((id, Err(ErrorReply { code, message })))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// server
+// ---------------------------------------------------------------------------
+
+enum Reply {
+    /// A routed request: the writer drains the handle and streams the
+    /// output back.
+    Routed(u64, Pending),
+    /// An admission-time failure: the writer streams the typed error back.
+    Error(u64, ErrorReply),
+}
+
+enum ReadOutcome {
+    Full,
+    /// Clean EOF at a frame boundary (no bytes of the next frame read).
+    Eof,
+    /// The server is stopping; abandon the connection.
+    Stopped,
+}
+
+/// `read_exact` that re-checks `stop` every [`POLL`] (the stream has a
+/// read timeout of [`POLL`]). `at_boundary` distinguishes a clean EOF
+/// between frames from a truncated frame.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+    at_boundary: bool,
+) -> io::Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(ReadOutcome::Stopped);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && at_boundary {
+                    Ok(ReadOutcome::Eof)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "peer closed mid-frame",
+                    ))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+/// The per-connection writer: drains [`Reply`]s in arrival order, waiting
+/// out each [`Pending`] in [`POLL`] slices so a dead connection (or a
+/// stopping server) cancels outstanding work instead of blocking forever.
+fn run_writer(
+    stream: TcpStream,
+    rx: Receiver<Reply>,
+    stop: Arc<AtomicBool>,
+    dead: Arc<AtomicBool>,
+) {
+    let mut writer = BufWriter::new(stream);
+    let mut frame = Vec::new();
+    'conn: while let Ok(mut reply) = rx.recv() {
+        loop {
+            let (id, result) = match reply {
+                Reply::Error(id, e) => (id, Err(e)),
+                Reply::Routed(id, mut pending) => loop {
+                    if dead.load(Ordering::Relaxed) || stop.load(Ordering::Relaxed) {
+                        // dropping the handle cancels the request; the
+                        // replica records it and keeps serving others
+                        break 'conn;
+                    }
+                    match pending.wait_timeout(POLL) {
+                        Ok(result) => break (id, result.map_err(|e| to_reply(&e))),
+                        Err(unresolved) => pending = unresolved,
+                    }
+                },
+            };
+            frame.clear();
+            if encode_response(&mut frame, id, &result).is_err()
+                || writer.write_all(&frame).is_err()
+            {
+                dead.store(true, Ordering::Relaxed);
+                break 'conn;
+            }
+            // keep streaming while more completions are queued, then flush
+            match rx.try_recv() {
+                Ok(next) => reply = next,
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        if writer.flush().is_err() {
+            dead.store(true, Ordering::Relaxed);
+            break;
+        }
+    }
+    // unread replies drop here; their Pendings cancel in the pipeline
+}
+
+fn to_reply(e: &ServeError) -> ErrorReply {
+    ErrorReply {
+        code: ErrorCode::from(e),
+        message: e.to_string(),
+    }
+}
+
+/// The per-connection reader: decodes frames, routes them, and feeds the
+/// writer. Returns when the peer disconnects, the stream desyncs, or the
+/// server stops.
+fn run_reader(
+    mut stream: TcpStream,
+    router: &Router,
+    tx: &Sender<Reply>,
+    stop: &AtomicBool,
+    dead: &AtomicBool,
+) {
+    let mut body = Vec::new();
+    loop {
+        let mut header = [0u8; 4];
+        match read_full(&mut stream, &mut header, stop, true) {
+            Ok(ReadOutcome::Full) => {}
+            Ok(ReadOutcome::Stopped) => return,
+            Ok(ReadOutcome::Eof) | Err(_) => {
+                // the peer is gone (even a clean close means nobody will
+                // read further responses): mark the connection dead so the
+                // writer cancels this connection's outstanding work
+                dead.store(true, Ordering::Relaxed);
+                return;
+            }
+        }
+        let len = u32::from_be_bytes(header);
+        if len == 0 || len > MAX_FRAME {
+            // the stream can't be trusted past a bogus length: report and
+            // hang up rather than misparse whatever follows
+            let _ = tx.send(Reply::Error(
+                NO_ID,
+                ErrorReply {
+                    code: ErrorCode::Malformed,
+                    message: format!("frame length {len} outside 1..={MAX_FRAME}"),
+                },
+            ));
+            return;
+        }
+        body.resize(len as usize, 0);
+        match read_full(&mut stream, &mut body, stop, false) {
+            Ok(ReadOutcome::Full) => {}
+            Ok(ReadOutcome::Stopped) => return,
+            Ok(ReadOutcome::Eof) | Err(_) => {
+                dead.store(true, Ordering::Relaxed);
+                return;
+            }
+        }
+        let request = match decode_request(&body) {
+            Ok(request) => request,
+            Err(e) => {
+                // the frame boundary itself was sound, so the connection
+                // survives a malformed body: reply and keep reading
+                let id = if body.len() >= 8 {
+                    u64::from_be_bytes(body[..8].try_into().unwrap())
+                } else {
+                    NO_ID
+                };
+                let reply = ErrorReply {
+                    code: ErrorCode::Malformed,
+                    message: e.to_string(),
+                };
+                if tx.send(Reply::Error(id, reply)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let reply = match router.model_id(&request.model) {
+            None => Reply::Error(
+                request.id,
+                ErrorReply {
+                    code: ErrorCode::UnknownModel,
+                    message: format!("no replica set serves {:?}", request.model),
+                },
+            ),
+            // blocking admission: a saturated replica back-pressures this
+            // connection's pipeline without touching other connections
+            Some(model) => match router.submit_with(model, request.input, request.options) {
+                Ok(pending) => Reply::Routed(request.id, pending),
+                Err(e) => Reply::Error(request.id, to_reply(&e)),
+            },
+        };
+        if tx.send(reply).is_err() {
+            return; // writer is gone (write error already marked dead)
+        }
+    }
+}
+
+/// Blocking TCP front door over an [`Router`]: accepts connections and
+/// serves the [module-level wire protocol](self) until dropped or
+/// [`TcpServer::shutdown`].
+///
+/// The server shares the router (`Arc`) and never consumes it — shut the
+/// edge down first, then [`Router::shutdown`] to drain and collect final
+/// metrics:
+///
+/// ```ignore
+/// let router = Arc::new(Router::start(specs)?);
+/// let edge = TcpServer::bind("127.0.0.1:0", Arc::clone(&router))?;
+/// let addr = edge.local_addr();
+/// // … clients connect to `addr` …
+/// edge.shutdown();
+/// let metrics = Arc::try_unwrap(router).unwrap().shutdown();
+/// ```
+#[derive(Debug)]
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, router: Arc<Router>) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let connections = Arc::clone(&connections);
+            std::thread::spawn(move || loop {
+                let (stream, _) = match listener.accept() {
+                    Ok(conn) => conn,
+                    Err(_) => {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        continue;
+                    }
+                };
+                if stop.load(Ordering::Relaxed) {
+                    return; // the shutdown self-connect, or a late client
+                }
+                let router = Arc::clone(&router);
+                let stop = Arc::clone(&stop);
+                let handle = std::thread::spawn(move || serve_connection(stream, router, stop));
+                connections.lock().unwrap().push(handle);
+            })
+        };
+        Ok(TcpServer {
+            local_addr,
+            stop,
+            accept: Some(accept),
+            connections,
+        })
+    }
+
+    /// The bound address — the port to hand to [`TcpClient::connect`]
+    /// after binding port 0.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, disconnects every connection, and joins all edge
+    /// threads. Responses already completed are flushed; requests still
+    /// in flight are cancelled (their submitters see the connection
+    /// close). The shared router keeps running.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(accept) = self.accept.take() {
+            // wake the blocking accept() with a throwaway connection
+            let _ = TcpStream::connect(self.local_addr);
+            let _ = accept.join();
+        }
+        let handles = std::mem::take(&mut *self.connections.lock().unwrap());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_connection(stream: TcpStream, router: Arc<Router>, stop: Arc<AtomicBool>) {
+    // frames are read in POLL slices so a stop is never missed for long
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let write_half = match stream.try_clone() {
+        Ok(half) => half,
+        Err(_) => return,
+    };
+    let dead = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel();
+    let writer = {
+        let stop = Arc::clone(&stop);
+        let dead = Arc::clone(&dead);
+        std::thread::spawn(move || run_writer(write_half, rx, stop, dead))
+    };
+    run_reader(stream, &router, &tx, &stop, &dead);
+    drop(tx); // writer drains what's queued, then exits
+    let _ = writer.join();
+}
+
+// ---------------------------------------------------------------------------
+// client
+// ---------------------------------------------------------------------------
+
+/// Blocking client for the [module-level wire protocol](self).
+///
+/// [`TcpClient::submit`] and [`TcpClient::recv`] are decoupled so a
+/// client can pipeline: write a burst of requests, then match the
+/// responses (which may arrive out of submission order) by id.
+/// [`TcpClient::call`] is the one-in-one-out convenience wrapper.
+#[derive(Debug)]
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl TcpClient {
+    /// Connects to a [`TcpServer`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        let read_half = stream.try_clone()?;
+        Ok(TcpClient {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+            next_id: 0,
+        })
+    }
+
+    /// Sends one request (model by registered name, per-request
+    /// [`SubmitOptions`]) and returns the request id to match the
+    /// response with. Does **not** wait for the response — pipeline as
+    /// many submits as you like before receiving.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unencodable inputs (oversized name, rank, or payload) or
+    /// a broken connection.
+    pub fn submit(
+        &mut self,
+        model: &str,
+        input: &Tensor,
+        options: SubmitOptions,
+    ) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut frame = Vec::new();
+        encode_request(&mut frame, id, model, options, input)?;
+        self.writer.write_all(&frame)?;
+        self.writer.flush()?;
+        Ok(id)
+    }
+
+    /// Blocks for the next response frame: the request id it answers,
+    /// and either the bit-exact [`CdlOutput`] or the server's typed
+    /// [`ErrorReply`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the connection closes or the stream desyncs.
+    pub fn recv(&mut self) -> io::Result<(u64, Result<CdlOutput, ErrorReply>)> {
+        let mut header = [0u8; 4];
+        self.reader.read_exact(&mut header)?;
+        let len = u32::from_be_bytes(header);
+        if len == 0 || len > MAX_FRAME {
+            return Err(malformed(format!(
+                "response frame length {len} outside 1..={MAX_FRAME}"
+            )));
+        }
+        let mut body = vec![0u8; len as usize];
+        self.reader.read_exact(&mut body)?;
+        decode_response(&body)
+    }
+
+    /// Submit-then-receive for the non-pipelined case.
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpClient::submit`] and [`TcpClient::recv`], plus a protocol
+    /// error if the server answers a different request id (impossible
+    /// unless submits and receives were interleaved).
+    pub fn call(
+        &mut self,
+        model: &str,
+        input: &Tensor,
+        options: SubmitOptions,
+    ) -> io::Result<Result<CdlOutput, ErrorReply>> {
+        let id = self.submit(model, input, options)?;
+        let (answered, result) = self.recv()?;
+        if answered != id {
+            return Err(malformed(format!(
+                "response for request {answered} while awaiting {id}"
+            )));
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn output_fixture() -> CdlOutput {
+        CdlOutput {
+            label: 7,
+            exit_stage: 1,
+            confidence: 0.625,
+            ops: OpCount {
+                macs: 1,
+                adds: 2,
+                compares: 3,
+                activations: 4,
+                mem_reads: 5,
+                mem_writes: 6,
+            },
+            stages_activated: 2,
+            exited_early: true,
+        }
+    }
+
+    fn one_frame(buf: &[u8]) -> &[u8] {
+        let mut cursor = buf;
+        let len = cursor.get_u32() as usize;
+        assert_eq!(cursor.remaining(), len, "exactly one frame");
+        cursor
+    }
+
+    #[test]
+    fn request_round_trips_bit_exactly() {
+        // a payload with the nastiest f32s: NaN payload, -0.0, subnormal
+        let input = Tensor::from_vec(
+            vec![
+                f32::from_bits(0x7FC0_0001),
+                -0.0,
+                f32::MIN_POSITIVE / 2.0,
+                1.5,
+            ],
+            &[2, 2],
+        )
+        .unwrap();
+        let options = SubmitOptions {
+            delta: Some(0.75),
+            max_stage: Some(1),
+        };
+        let mut frame = Vec::new();
+        encode_request(&mut frame, 42, "MNIST_2C", options, &input).unwrap();
+        let decoded = decode_request(one_frame(&frame)).unwrap();
+        assert_eq!(decoded.id, 42);
+        assert_eq!(decoded.model, "MNIST_2C");
+        assert_eq!(decoded.options, options);
+        assert_eq!(decoded.input.dims(), input.dims());
+        let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&decoded.input), bits(&input));
+    }
+
+    #[test]
+    fn default_options_take_no_wire_space() {
+        let input = Tensor::from_vec(vec![0.5], &[1]).unwrap();
+        let mut with_default = Vec::new();
+        encode_request(&mut with_default, 0, "m", SubmitOptions::default(), &input).unwrap();
+        let mut with_both = Vec::new();
+        let options = SubmitOptions {
+            delta: Some(0.5),
+            max_stage: Some(0),
+        };
+        encode_request(&mut with_both, 0, "m", options, &input).unwrap();
+        assert_eq!(with_both.len(), with_default.len() + 8);
+        let decoded = decode_request(one_frame(&with_default)).unwrap();
+        assert_eq!(decoded.options, SubmitOptions::default());
+    }
+
+    #[test]
+    fn response_round_trips_both_arms() {
+        let mut frame = Vec::new();
+        encode_response(&mut frame, 9, &Ok(output_fixture())).unwrap();
+        let (id, result) = decode_response(one_frame(&frame)).unwrap();
+        assert_eq!(id, 9);
+        assert_eq!(result.unwrap(), output_fixture());
+
+        let reply = ErrorReply {
+            code: ErrorCode::Full,
+            message: "submission queue full".into(),
+        };
+        let mut frame = Vec::new();
+        encode_response(&mut frame, 10, &Err(reply.clone())).unwrap();
+        let (id, result) = decode_response(one_frame(&frame)).unwrap();
+        assert_eq!(id, 10);
+        assert_eq!(result.unwrap_err(), reply);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_bodies() {
+        let input = Tensor::from_vec(vec![0.5, 1.0], &[2]).unwrap();
+        let mut frame = Vec::new();
+        encode_request(&mut frame, 3, "m", SubmitOptions::default(), &input).unwrap();
+        let body = one_frame(&frame);
+        // truncations at every boundary fail, never panic
+        for cut in 0..body.len() {
+            assert!(decode_request(&body[..cut]).is_err(), "cut at {cut}");
+        }
+        // trailing garbage is rejected too
+        let mut long = body.to_vec();
+        long.push(0);
+        assert!(decode_request(&long).is_err());
+        // unknown option flags are rejected (forward-compat is explicit)
+        let mut bad_flags = body.to_vec();
+        let flags_at = 8 + 2 + 1; // id + name len + name "m"
+        bad_flags[flags_at] = 0x80;
+        assert!(decode_request(&bad_flags).is_err());
+        // a dim product that overflows the frame cap is rejected before
+        // any allocation
+        let mut huge = Vec::new();
+        huge.put_u64(1);
+        huge.put_u16(1);
+        huge.put_slice(b"m");
+        huge.put_u8(0);
+        huge.put_u8(2);
+        huge.put_u32(u32::MAX);
+        huge.put_u32(u32::MAX);
+        assert!(decode_request(&huge).is_err());
+        // response side: unknown status byte
+        let mut bad_status = Vec::new();
+        bad_status.put_u64(1);
+        bad_status.put_u8(99);
+        bad_status.put_u16(0);
+        assert!(decode_response(&bad_status).is_err());
+    }
+
+    #[test]
+    fn error_codes_map_from_serve_errors_and_back() {
+        let cases: Vec<(ServeError, ErrorCode)> = vec![
+            (ServeError::Full, ErrorCode::Full),
+            (ServeError::ShuttingDown, ErrorCode::ShuttingDown),
+            (ServeError::Disconnected, ErrorCode::Disconnected),
+            (ServeError::BadOptions("x".into()), ErrorCode::BadOptions),
+            (
+                ServeError::UnknownModel(crate::router::ModelId::from_index(0)),
+                ErrorCode::UnknownModel,
+            ),
+        ];
+        for (err, code) in cases {
+            assert_eq!(ErrorCode::from(&err), code);
+            assert_eq!(ErrorCode::from_status(code as u8), Some(code));
+        }
+        assert_eq!(ErrorCode::from_status(0), None);
+        assert_eq!(ErrorCode::from_status(200), None);
+    }
+}

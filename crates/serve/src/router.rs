@@ -1,19 +1,24 @@
 //! Sharded multi-network serving: one front-end fanning requests out to
-//! per-model shards.
+//! per-model **replica sets** of shards.
 //!
-//! A [`Router`] owns one shard per registered model; each shard is the
-//! full single-model pipeline of [`Server`] — bounded admission gate,
+//! A [`Router`] owns one replica set per registered model; every replica is
+//! the full single-model pipeline of [`Server`] — bounded admission gate,
 //! dynamic batcher, worker pool of persistent
-//! [`cdl_core::batch::BatchEvaluator`]s. Requests carry a [`ModelId`] and
-//! are routed synchronously to their shard's admission queue, so
-//! **backpressure is per shard**: a saturated model blocks (or bounces)
-//! only its own submitters, never traffic for the other models.
+//! [`cdl_core::batch::BatchEvaluator`]s. Requests carry a [`ModelId`]; at
+//! admission the model's [`PlacementPolicy`] picks the replica (round-robin,
+//! least-loaded, or power-of-two-choices over the replicas' **live queue
+//! depths**), and the request is routed synchronously into that replica's
+//! admission queue. **Backpressure stays per replica**: a saturated replica
+//! blocks (or bounces) only the submitters placed on it, never traffic for
+//! its siblings or for other models.
 //!
-//! Per-request [`SubmitOptions`] compose with routing: one stream can mix
-//! models *and* δ/depth service levels, and every response stays
-//! bit-identical to
+//! Per-request [`SubmitOptions`] compose with routing and placement: one
+//! stream can mix models *and* δ/depth service levels, and every response
+//! stays bit-identical to
 //! [`cdl_core::network::CdlNetwork::classify_with_override`] on the routed
-//! model (pinned by `tests/router_equivalence.rs`).
+//! model **whichever replica served it** (all replicas of a model evaluate
+//! the same network — pinned by `tests/router_equivalence.rs` and
+//! `tests/replica_equivalence.rs`).
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -22,18 +27,20 @@ use std::sync::Arc;
 use cdl_core::network::CdlNetwork;
 use cdl_tensor::Tensor;
 
-use crate::config::{ServerConfig, SubmitOptions};
+use crate::config::{PlacementPolicy, ReplicaSpec, ServerConfig, SubmitOptions};
 use crate::error::{ServeError, ServeResult};
-use crate::metrics::{RouterMetrics, ServerMetrics, ShardMetrics};
+use crate::metrics::{ReplicaMetrics, RouterMetrics, ShardMetrics};
 use crate::pending::Pending;
 use crate::server::Server;
 
-/// Identifies one model (shard) registered with a [`Router`].
+/// Identifies one model (replica set) registered with a [`Router`].
 ///
 /// Ids are dense indices in registration order: the `i`-th
 /// [`ShardSpec`] passed to [`Router::start`] gets id `i`. Look one up by
 /// name with [`Router::model_id`], or construct it directly from a known
-/// registration index with [`ModelId::from_index`].
+/// registration index with [`ModelId::from_index`]. Replicas are an
+/// implementation detail behind the id — callers never address one
+/// directly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ModelId(usize);
 
@@ -56,58 +63,130 @@ impl fmt::Display for ModelId {
     }
 }
 
-/// One model's slice of a [`Router`]: the network it serves plus the
-/// serving configuration of its shard.
+/// One model's slice of a [`Router`]: the network it serves, the serving
+/// configuration of each replica, and how it is replicated.
 #[derive(Debug, Clone)]
 pub struct ShardSpec {
     /// Model name, unique within the router (e.g. `"MNIST_2C"`).
     pub name: String,
-    /// The network this shard evaluates.
+    /// The network every replica of this model evaluates.
     pub net: Arc<CdlNetwork>,
-    /// The shard's pipeline configuration (batch policy, queue capacity,
-    /// worker count, energy model) — shards are configured independently.
+    /// The pipeline configuration (batch policy, queue capacity, worker
+    /// count, energy model) **each replica** gets — replica sets are
+    /// configured independently of each other.
     pub config: ServerConfig,
+    /// Replica count + placement policy ([`ReplicaSpec::single`] by
+    /// default — the unreplicated PR-3 behaviour).
+    pub replicas: ReplicaSpec,
 }
 
 impl ShardSpec {
-    /// A shard spec serving `net` under `name` with `config`.
+    /// A single-replica spec serving `net` under `name` with `config`.
     pub fn new(name: impl Into<String>, net: Arc<CdlNetwork>, config: ServerConfig) -> Self {
         ShardSpec {
             name: name.into(),
             net,
             config,
+            replicas: ReplicaSpec::single(),
+        }
+    }
+
+    /// The same spec replicated per `replicas` (builder style):
+    /// `ShardSpec::new(...).replicated(ReplicaSpec::new(3,
+    /// PlacementPolicy::LeastLoaded))`.
+    pub fn replicated(mut self, replicas: ReplicaSpec) -> Self {
+        self.replicas = replicas;
+        self
+    }
+}
+
+/// One running replica: a [`Server`] plus the router-level placement
+/// counter.
+#[derive(Debug)]
+struct Replica {
+    server: Server,
+    /// Requests the router placed on this replica — counted at the router
+    /// **before** the replica admits (rolled back if admission fails), so
+    /// a concurrent snapshot can observe `routed > submitted` (a placement
+    /// in flight) but never the reverse; settled snapshots agree exactly.
+    /// Counted independently of the replica's own `submitted` counter so
+    /// metrics consistency is a checkable invariant, not a tautology.
+    routed: AtomicU64,
+}
+
+/// One running replica set.
+#[derive(Debug)]
+struct Shard {
+    name: String,
+    placement: PlacementPolicy,
+    /// Monotonic placement cursor: the round-robin position, and the
+    /// deterministic seed stream for power-of-two-choices sampling.
+    cursor: AtomicU64,
+    replicas: Vec<Replica>,
+}
+
+/// SplitMix64 — the cheap stateless mixer turning the placement cursor
+/// into the pseudo-random probe pair for power-of-two-choices.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Shard {
+    /// Picks the replica index the next admission goes to, per the set's
+    /// placement policy over live queue depths.
+    fn place(&self) -> usize {
+        let n = self.replicas.len();
+        if n == 1 {
+            return 0;
+        }
+        let depth = |i: usize| self.replicas[i].server.queue_depth();
+        match self.placement {
+            PlacementPolicy::RoundRobin => {
+                (self.cursor.fetch_add(1, Ordering::Relaxed) % n as u64) as usize
+            }
+            PlacementPolicy::LeastLoaded => (0..n)
+                .min_by_key(|&i| depth(i))
+                .expect("replica set is non-empty"),
+            PlacementPolicy::PowerOfTwoChoices => {
+                let h = splitmix64(self.cursor.fetch_add(1, Ordering::Relaxed));
+                let a = (h % n as u64) as usize;
+                // pick b from the n-1 non-a indices so the pair is distinct
+                let mut b = ((h >> 32) % (n as u64 - 1)) as usize;
+                if b >= a {
+                    b += 1;
+                }
+                if depth(b) < depth(a) {
+                    b
+                } else {
+                    a
+                }
+            }
         }
     }
 }
 
-/// One running shard: a [`Server`] plus the router-level routing counter.
-#[derive(Debug)]
-struct Shard {
-    name: String,
-    server: Server,
-    /// Requests the router admitted to this shard — counted at the router,
-    /// independently of the shard's own `submitted` counter, so metrics
-    /// consistency is a checkable invariant rather than a tautology.
-    routed: AtomicU64,
-}
-
-/// The sharded multi-network serving front-end.
+/// The sharded, replicated multi-network serving front-end.
 ///
 /// See the [module docs](self) for the architecture and guarantees.
-/// `shutdown` (or `Drop`) drains every shard: all outstanding
-/// [`Pending`] handles across all models resolve before the threads exit.
+/// `shutdown` (or `Drop`) drains every replica of every model: all
+/// outstanding [`Pending`] handles resolve before the threads exit.
 #[derive(Debug)]
 pub struct Router {
     shards: Vec<Shard>,
 }
 
 impl Router {
-    /// Starts one shard per spec and begins accepting routed requests.
+    /// Starts every replica of every spec and begins accepting routed
+    /// requests.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::BadConfig`] when no shard is given, a model
-    /// name repeats, or any shard's [`ServerConfig`] is invalid.
+    /// name repeats, a replica count is zero, or any [`ServerConfig`] is
+    /// invalid.
     pub fn start(specs: Vec<ShardSpec>) -> ServeResult<Router> {
         if specs.is_empty() {
             return Err(ServeError::BadConfig(
@@ -121,21 +200,31 @@ impl Router {
                     spec.name
                 )));
             }
+            spec.replicas.validate()?;
         }
         let shards = specs
             .into_iter()
             .map(|spec| {
+                let replicas = (0..spec.replicas.replicas)
+                    .map(|_| {
+                        Ok(Replica {
+                            server: Server::start(Arc::clone(&spec.net), spec.config.clone())?,
+                            routed: AtomicU64::new(0),
+                        })
+                    })
+                    .collect::<ServeResult<Vec<Replica>>>()?;
                 Ok(Shard {
-                    server: Server::start(spec.net, spec.config)?,
                     name: spec.name,
-                    routed: AtomicU64::new(0),
+                    placement: spec.replicas.placement,
+                    cursor: AtomicU64::new(0),
+                    replicas,
                 })
             })
             .collect::<ServeResult<Vec<Shard>>>()?;
         Ok(Router { shards })
     }
 
-    /// Number of registered models.
+    /// Number of registered models (replica sets, not replicas).
     pub fn model_count(&self) -> usize {
         self.shards.len()
     }
@@ -162,13 +251,22 @@ impl Router {
         Ok(self.shard(model)?.name.as_str())
     }
 
-    /// The network `model`'s shard evaluates.
+    /// How many replicas serve `model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] for an unregistered id.
+    pub fn replica_count(&self, model: ModelId) -> ServeResult<usize> {
+        Ok(self.shard(model)?.replicas.len())
+    }
+
+    /// The network every replica of `model` evaluates.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::UnknownModel`] for an unregistered id.
     pub fn network(&self, model: ModelId) -> ServeResult<&CdlNetwork> {
-        Ok(self.shard(model)?.server.network())
+        Ok(self.shard(model)?.replicas[0].server.network())
     }
 
     fn shard(&self, model: ModelId) -> ServeResult<&Shard> {
@@ -177,14 +275,16 @@ impl Router {
             .ok_or(ServeError::UnknownModel(model))
     }
 
-    /// Routes a request to `model`'s shard, **blocking** while that shard's
-    /// in-flight queue is at capacity. Other shards are unaffected — their
-    /// submitters neither block nor queue behind this one.
+    /// Routes a request to a replica of `model` (picked by the set's
+    /// [`PlacementPolicy`]), **blocking** while that replica's in-flight
+    /// queue is at capacity. Sibling replicas and other models are
+    /// unaffected — their submitters neither block nor queue behind this
+    /// one.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::UnknownModel`] for an unregistered id,
-    /// [`ServeError::ShuttingDown`] if the shard's pipeline is gone.
+    /// [`ServeError::ShuttingDown`] if the replica's pipeline is gone.
     pub fn submit(&self, model: ModelId, input: Tensor) -> ServeResult<Pending> {
         self.submit_with(model, input, SubmitOptions::default())
     }
@@ -196,7 +296,7 @@ impl Router {
     ///
     /// Returns [`ServeError::UnknownModel`] for an unregistered id,
     /// [`ServeError::BadOptions`] for an out-of-range δ override,
-    /// [`ServeError::ShuttingDown`] if the shard's pipeline is gone.
+    /// [`ServeError::ShuttingDown`] if the replica's pipeline is gone.
     pub fn submit_with(
         &self,
         model: ModelId,
@@ -204,19 +304,32 @@ impl Router {
         options: SubmitOptions,
     ) -> ServeResult<Pending> {
         let shard = self.shard(model)?;
-        let pending = shard.server.submit_with(input, options)?;
-        shard.routed.fetch_add(1, Ordering::Relaxed);
-        Ok(pending)
+        let replica = &shard.replicas[shard.place()];
+        // count the placement BEFORE the replica admits and roll back on
+        // failure (mirroring the admitted/unadmitted pattern inside the
+        // gate): a concurrent metrics() snapshot must never observe
+        // `submitted > routed` — that would break the documented
+        // cross-check invariant on `ReplicaMetrics::routed`
+        replica.routed.fetch_add(1, Ordering::Relaxed);
+        match replica.server.submit_with(input, options) {
+            Ok(pending) => Ok(pending),
+            Err(e) => {
+                replica.routed.fetch_sub(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
     }
 
-    /// Routes a request to `model`'s shard without blocking.
+    /// Routes a request to a replica of `model` (picked by the set's
+    /// [`PlacementPolicy`]) without blocking.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::UnknownModel`] for an unregistered id,
-    /// [`ServeError::Full`] when that shard's queue is at capacity (the
-    /// request is not admitted; other shards keep accepting),
-    /// [`ServeError::ShuttingDown`] if the shard's pipeline is gone.
+    /// [`ServeError::Full`] when the placed replica's queue is at capacity
+    /// (the request is not admitted; sibling replicas and other models
+    /// keep accepting), [`ServeError::ShuttingDown`] if the replica's
+    /// pipeline is gone.
     pub fn try_submit(&self, model: ModelId, input: Tensor) -> ServeResult<Pending> {
         self.try_submit_with(model, input, SubmitOptions::default())
     }
@@ -234,55 +347,79 @@ impl Router {
         options: SubmitOptions,
     ) -> ServeResult<Pending> {
         let shard = self.shard(model)?;
-        let pending = shard.server.try_submit_with(input, options)?;
-        shard.routed.fetch_add(1, Ordering::Relaxed);
-        Ok(pending)
+        let replica = &shard.replicas[shard.place()];
+        // same count-then-roll-back discipline as submit_with
+        replica.routed.fetch_add(1, Ordering::Relaxed);
+        match replica.server.try_submit_with(input, options) {
+            Ok(pending) => Ok(pending),
+            Err(e) => {
+                replica.routed.fetch_sub(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
     }
 
-    /// A point-in-time snapshot of one shard's [`ServerMetrics`].
+    /// A point-in-time snapshot of one model's replica set: per-replica
+    /// [`crate::ServerMetrics`] plus the placement histogram.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::UnknownModel`] for an unregistered id.
-    pub fn shard_metrics(&self, model: ModelId) -> ServeResult<ServerMetrics> {
-        Ok(self.shard(model)?.server.metrics())
+    pub fn shard_metrics(&self, model: ModelId) -> ServeResult<ShardMetrics> {
+        Ok(snapshot_shard(self.shard(model)?))
     }
 
-    /// A point-in-time snapshot across all shards: per-model breakdowns
-    /// (routing counts, exits, energy) plus aggregate accessors.
+    /// A point-in-time snapshot across all models and replicas: per-model
+    /// breakdowns (routing + placement histograms, exits, energy) plus
+    /// aggregate accessors.
     pub fn metrics(&self) -> RouterMetrics {
         RouterMetrics {
-            shards: self
-                .shards
-                .iter()
-                .map(|s| ShardMetrics {
-                    model: s.name.clone(),
-                    routed: s.routed.load(Ordering::Relaxed),
-                    metrics: s.server.metrics(),
-                })
-                .collect(),
+            shards: self.shards.iter().map(snapshot_shard).collect(),
         }
     }
 
-    /// Graceful drain-then-stop across **all** shards: every shard stops
-    /// admissions, flushes its queued and partially formed batches, and
-    /// resolves every outstanding [`Pending`] before its threads join.
-    /// Returns the final metrics snapshot.
+    /// Graceful drain-then-stop across **all** replicas of all models:
+    /// every replica stops admissions, flushes its queued and partially
+    /// formed batches, and resolves every outstanding [`Pending`] before
+    /// its threads join. Returns the final metrics snapshot.
     pub fn shutdown(self) -> RouterMetrics {
         RouterMetrics {
             shards: self
                 .shards
                 .into_iter()
-                .map(|s| {
-                    let routed = s.routed.load(Ordering::Relaxed);
-                    ShardMetrics {
-                        model: s.name,
-                        routed,
-                        metrics: s.server.shutdown(),
-                    }
+                .map(|shard| ShardMetrics {
+                    model: shard.name,
+                    placement: shard.placement,
+                    replicas: shard
+                        .replicas
+                        .into_iter()
+                        .map(|replica| {
+                            let routed = replica.routed.load(Ordering::Relaxed);
+                            ReplicaMetrics {
+                                routed,
+                                metrics: replica.server.shutdown(),
+                            }
+                        })
+                        .collect(),
                 })
                 .collect(),
         }
+    }
+}
+
+/// Builds one replica set's live [`ShardMetrics`] snapshot.
+fn snapshot_shard(shard: &Shard) -> ShardMetrics {
+    ShardMetrics {
+        model: shard.name.clone(),
+        placement: shard.placement,
+        replicas: shard
+            .replicas
+            .iter()
+            .map(|replica| ReplicaMetrics {
+                routed: replica.routed.load(Ordering::Relaxed),
+                metrics: replica.server.metrics(),
+            })
+            .collect(),
     }
 }
 
@@ -348,6 +485,7 @@ mod tests {
         let m2c = router.model_id("MNIST_2C").unwrap();
         let m3c = router.model_id("MNIST_3C").unwrap();
         assert_eq!(router.model_name(m2c).unwrap(), "MNIST_2C");
+        assert_eq!(router.replica_count(m2c).unwrap(), 1);
         assert_eq!(
             router
                 .models()
@@ -377,7 +515,10 @@ mod tests {
         assert_eq!(metrics.completed(), 12);
         assert_eq!(metrics.failed(), 0);
         for shard in &metrics.shards {
-            assert_eq!(shard.routed, shard.metrics.submitted);
+            assert_eq!(shard.routed(), shard.submitted());
+            for replica in &shard.replicas {
+                assert_eq!(replica.routed, replica.metrics.submitted);
+            }
         }
     }
 
@@ -399,6 +540,7 @@ mod tests {
             Err(ServeError::UnknownModel(_))
         ));
         assert!(router.model_name(ghost).is_err());
+        assert!(router.replica_count(ghost).is_err());
         // nothing was admitted anywhere
         let metrics = router.shutdown();
         assert_eq!(metrics.submitted(), 0);
@@ -467,10 +609,17 @@ mod tests {
         // …but 3C still accepts (and blocks nothing)
         let other = router.try_submit(m3c, inputs[0].clone()).unwrap();
         let live = router.metrics();
-        assert_eq!(live.shards[m2c.index()].metrics.rejected, 1);
-        assert_eq!(live.shards[m3c.index()].metrics.rejected, 0);
+        assert_eq!(live.shards[m2c.index()].rejected(), 1);
+        assert_eq!(live.shards[m3c.index()].rejected(), 0);
         assert_eq!(live.rejected(), 1);
         assert_eq!(live.queue_depth(), 3);
+        // the bounced request was rolled back out of the routed count, so
+        // even this *unsettled* snapshot cross-checks per replica
+        for shard in &live.shards {
+            for replica in &shard.replicas {
+                assert_eq!(replica.routed, replica.metrics.submitted);
+            }
+        }
         // drain-then-stop resolves handles across ALL shards
         let metrics = router.shutdown();
         assert_eq!(metrics.completed(), 3);
@@ -479,6 +628,138 @@ mod tests {
             pending.wait().unwrap();
         }
         other.wait().unwrap();
+    }
+
+    #[test]
+    fn round_robin_places_evenly() {
+        let net = build_untrained(arch::mnist_2c(), 5);
+        let config = ServerConfig {
+            policy: BatchPolicy::by_deadline(Duration::from_millis(1)),
+            queue_capacity: 64,
+            workers: 1,
+            ..ServerConfig::default()
+        };
+        let router = Router::start(vec![ShardSpec::new("m", Arc::clone(&net), config)
+            .replicated(ReplicaSpec::new(3, PlacementPolicy::RoundRobin))])
+        .unwrap();
+        let model = router.model_id("m").unwrap();
+        assert_eq!(router.replica_count(model).unwrap(), 3);
+        let inputs = images(9);
+        let pendings: Vec<Pending> = inputs
+            .iter()
+            .map(|x| router.submit(model, x.clone()).unwrap())
+            .collect();
+        // bit-identical wherever each request was placed
+        for (x, pending) in inputs.iter().zip(pendings) {
+            assert_eq!(pending.wait().unwrap(), net.classify(x).unwrap());
+        }
+        let metrics = router.shutdown();
+        assert_eq!(metrics.shards[0].placement_histogram(), vec![3, 3, 3]);
+        assert_eq!(metrics.routing_histogram(), vec![9]);
+        assert_eq!(metrics.completed(), 9);
+        for replica in &metrics.shards[0].replicas {
+            assert_eq!(replica.routed, replica.metrics.submitted);
+        }
+    }
+
+    #[test]
+    fn load_aware_policies_balance_a_stalled_set() {
+        // never-dispatching batches freeze queue depths, so placement over
+        // depth is fully deterministic: both LeastLoaded and (with 2
+        // replicas, where both probes always see the whole set) P2C must
+        // alternate and split the stream exactly evenly
+        for placement in [
+            PlacementPolicy::LeastLoaded,
+            PlacementPolicy::PowerOfTwoChoices,
+        ] {
+            let net = build_untrained(arch::mnist_2c(), 5);
+            let config = ServerConfig {
+                policy: BatchPolicy::by_size(1 << 20),
+                queue_capacity: 64,
+                workers: 1,
+                ..ServerConfig::default()
+            };
+            let router = Router::start(vec![ShardSpec::new("m", Arc::clone(&net), config)
+                .replicated(ReplicaSpec::new(2, placement))])
+            .unwrap();
+            let model = router.model_id("m").unwrap();
+            let inputs = images(6);
+            let _pendings: Vec<Pending> = inputs
+                .iter()
+                .map(|x| router.try_submit(model, x.clone()).unwrap())
+                .collect();
+            let live = router.metrics();
+            assert_eq!(
+                live.shards[0].placement_histogram(),
+                vec![3, 3],
+                "{placement} must balance a stalled replica set"
+            );
+            let metrics = router.shutdown();
+            assert_eq!(metrics.completed(), 6);
+        }
+    }
+
+    #[test]
+    fn concurrent_snapshots_never_observe_submitted_over_routed() {
+        // regression for the routed-after-admission race: hammer submits
+        // from several threads while a sampler takes live snapshots — no
+        // snapshot may ever catch a replica with submitted > routed
+        use std::sync::atomic::AtomicBool;
+        let net = build_untrained(arch::mnist_2c(), 5);
+        let config = ServerConfig {
+            policy: BatchPolicy::by_deadline(Duration::from_millis(1)),
+            queue_capacity: 4096,
+            workers: 1,
+            ..ServerConfig::default()
+        };
+        let router = Router::start(vec![ShardSpec::new("m", Arc::clone(&net), config)
+            .replicated(ReplicaSpec::new(2, PlacementPolicy::RoundRobin))])
+        .unwrap();
+        let model = router.model_id("m").unwrap();
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let router = &router;
+            let done = &done;
+            let submitters: Vec<_> = (0..3)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let x = Tensor::full(&[1, 28, 28], 0.1 + 0.01 * t as f32);
+                        let pendings: Vec<Pending> = (0..80)
+                            .map(|_| router.submit(model, x.clone()).unwrap())
+                            .collect();
+                        for pending in pendings {
+                            pending.wait().unwrap();
+                        }
+                    })
+                })
+                .collect();
+            let sampler = scope.spawn(move || {
+                let mut samples = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let snapshot = router.metrics();
+                    for replica in &snapshot.shards[0].replicas {
+                        assert!(
+                            replica.metrics.submitted <= replica.routed,
+                            "snapshot observed submitted {} > routed {}",
+                            replica.metrics.submitted,
+                            replica.routed
+                        );
+                    }
+                    samples += 1;
+                }
+                samples
+            });
+            for handle in submitters {
+                handle.join().unwrap();
+            }
+            done.store(true, Ordering::Relaxed);
+            assert!(sampler.join().unwrap() > 0, "sampler never ran");
+        });
+        let metrics = router.shutdown();
+        assert_eq!(metrics.completed(), 240);
+        for replica in &metrics.shards[0].replicas {
+            assert_eq!(replica.routed, replica.metrics.submitted);
+        }
     }
 
     #[test]
@@ -560,5 +841,11 @@ mod tests {
         let mut specs = two_model_specs(BatchPolicy::default(), 8);
         specs[0].config.workers = 0;
         assert!(Router::start(specs).is_err());
+        let mut specs = two_model_specs(BatchPolicy::default(), 8);
+        specs[0].replicas = ReplicaSpec::new(0, PlacementPolicy::RoundRobin);
+        assert!(matches!(
+            Router::start(specs),
+            Err(ServeError::BadConfig(_))
+        ));
     }
 }

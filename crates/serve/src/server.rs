@@ -256,6 +256,19 @@ impl Server {
         self.recorder.snapshot(self.gate.depth())
     }
 
+    /// The current number of in-flight requests: admitted but not yet
+    /// completed, cancelled or failed (the live occupancy of the admission
+    /// gate, bounded by [`crate::ServerConfig::queue_capacity`]).
+    ///
+    /// Much cheaper than a full [`Server::metrics`] snapshot — this is the
+    /// load signal the [`crate::Router`]'s placement policies
+    /// ([`crate::PlacementPolicy::LeastLoaded`] /
+    /// [`crate::PlacementPolicy::PowerOfTwoChoices`]) sample on every
+    /// admission.
+    pub fn queue_depth(&self) -> usize {
+        self.gate.depth()
+    }
+
     /// Graceful drain-then-stop: stops admissions, lets the batcher flush
     /// everything queued (including a partially formed batch), waits for
     /// the workers to evaluate it all, and returns the final metrics.
@@ -283,8 +296,8 @@ impl Drop for Server {
 }
 
 /// Batch-formation loop: collect until `max_batch_size` requests **or**
-/// `max_wait` past the batch's first arrival, whichever first; flush the
-/// tail on disconnect (shutdown).
+/// `max_wait` past the batch's first **submission**, whichever first; flush
+/// the tail on disconnect (shutdown).
 fn run_batcher(
     rx: Receiver<Request>,
     work_tx: Sender<Vec<Request>>,
@@ -296,7 +309,11 @@ fn run_batcher(
         let Ok(first) = rx.recv() else {
             return; // drained and disconnected: workers stop when work_tx drops
         };
-        let deadline = policy.max_wait.map(|w| Instant::now() + w);
+        // anchor the deadline at the opener's *submission*, not its dequeue:
+        // time a request spent queued behind earlier batches already counts
+        // against its max_wait budget, so a busy batcher dispatches late
+        // openers immediately instead of silently extending their wait
+        let deadline = policy.max_wait.map(|w| first.submitted_at + w);
         let mut batch = vec![first];
         let mut cause = BatchCause::Full;
         while batch.len() < policy.max_batch_size {
@@ -503,6 +520,61 @@ mod tests {
         for (x, pending) in inputs.iter().zip(pendings) {
             assert_eq!(pending.wait().unwrap(), net.classify(x).unwrap());
         }
+    }
+
+    #[test]
+    fn batcher_deadline_anchors_at_submission_not_dequeue() {
+        // drive run_batcher directly with a request whose submission is
+        // backdated past max_wait — the shape a busy batcher produces when
+        // an opener sat in the submit channel behind earlier batches. It
+        // must dispatch (nearly) immediately; a dequeue-anchored deadline
+        // would silently grant it a second full max_wait.
+        let gate = Arc::new(Gate::new(8));
+        let recorder = Arc::new(Recorder::new(cdl_hw::EnergyModel::cmos_45nm()));
+        let (tx, rx) = channel::<Request>();
+        let (work_tx, work_rx) = channel::<Vec<Request>>();
+        let policy = BatchPolicy::new(8, Duration::from_millis(100));
+        let make = |submitted_at| {
+            let (pending, fulfiller) = pending_pair();
+            gate.acquire();
+            let request = Request {
+                input: Tensor::full(&[1, 1, 1], 0.0),
+                overrides: ExitOverride {
+                    delta: None,
+                    max_stage: None,
+                },
+                fulfiller,
+                ticket: Ticket(Arc::clone(&gate)),
+                submitted_at,
+            };
+            (pending, request)
+        };
+        let backdated = Instant::now() - Duration::from_millis(250);
+        let (_p1, r1) = make(backdated);
+        tx.send(r1).unwrap();
+        let batcher = {
+            let recorder = Arc::clone(&recorder);
+            std::thread::spawn(move || run_batcher(rx, work_tx, policy, &recorder))
+        };
+        // budget already spent at dequeue → singleton batch, right away
+        let batch = work_rx
+            .recv_timeout(Duration::from_millis(50))
+            .expect("expired opener must dispatch immediately");
+        assert_eq!(batch.len(), 1);
+        // a fresh opener still gets its full max_wait, measured from submit
+        let (_p2, r2) = make(Instant::now());
+        let sent = Instant::now();
+        tx.send(r2).unwrap();
+        let batch = work_rx
+            .recv_timeout(Duration::from_millis(2000))
+            .expect("fresh opener dispatches at its deadline");
+        assert_eq!(batch.len(), 1);
+        assert!(
+            sent.elapsed() >= Duration::from_millis(90),
+            "fresh opener dispatched before its max_wait elapsed"
+        );
+        drop(tx);
+        batcher.join().unwrap();
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //!   batched serving path [`core::batch::BatchEvaluator`],
 //! * [`serve`] — streaming inference: bounded submission queue → dynamic
 //!   batcher → pool of persistent batched evaluators, per-request δ/depth
-//!   overrides, and a sharded multi-model [`serve::Router`] front-end.
+//!   overrides, a sharded multi-model [`serve::Router`] front-end with
+//!   per-model replica sets ([`serve::ReplicaSpec`] + placement policies),
+//!   and a length-prefixed TCP edge ([`serve::TcpServer`] /
+//!   [`serve::TcpClient`]).
 //!
 //! ## Workspace layout & building
 //!
@@ -154,6 +157,70 @@
 //! let output = pending.wait()?; // bit-identical to classify_with_override
 //! assert!(output.label < 10);
 //! println!("{}", router.shutdown()); // per-shard + aggregate report
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Replica sets & the TCP edge
+//!
+//! Each model behind a [`serve::Router`] may be served by a **replica
+//! set** ([`serve::ReplicaSpec`]): N identical pipeline instances behind
+//! one [`serve::ModelId`], with an admission-time
+//! [`serve::PlacementPolicy`] — round-robin, least-loaded, or
+//! power-of-two-choices over the replicas' live queue depths — picking
+//! where each request lands. Backpressure stays per replica, the final
+//! [`serve::RouterMetrics`] reports a per-shard placement histogram next
+//! to the routing histogram, and answers stay bit-identical whichever
+//! replica serves them (`tests/replica_equivalence.rs`, per placement
+//! policy). In front of the router, [`serve::TcpServer`] /
+//! [`serve::TcpClient`] speak a length-prefixed binary protocol over
+//! plain `std::net` sockets: pipelined request ids per connection,
+//! per-connection writer threads draining completions, typed error
+//! replies ([`serve::ErrorCode`]), and f32s travelling as IEEE-754 bit
+//! patterns so even the network edge is bit-exact
+//! (`tests/net_loopback.rs`).
+//!
+//! ```
+//! use cdl::serve::{
+//!     PlacementPolicy, ReplicaSpec, Router, ServerConfig, ShardSpec, SubmitOptions,
+//!     TcpClient, TcpServer,
+//! };
+//! use std::sync::Arc;
+//!
+//! # fn build(arch: cdl::core::arch::CdlArchitecture, seed: u64)
+//! #     -> Result<cdl::core::network::CdlNetwork, Box<dyn std::error::Error>> {
+//! #     let base = cdl::nn::network::Network::from_spec(&arch.spec, seed)?;
+//! #     let feats = arch.tap_features()?;
+//! #     let stages = arch.taps.iter().zip(&feats).map(|(t, &f)| {
+//! #         Ok((t.spec_layer, t.name.clone(),
+//! #             cdl::core::head::LinearClassifier::new(f, 10, 1)?))
+//! #     }).collect::<Result<Vec<_>, cdl::core::CdlError>>()?;
+//! #     Ok(cdl::core::network::CdlNetwork::assemble(
+//! #         base, stages,
+//! #         cdl::core::confidence::ConfidencePolicy::sigmoid_prob(0.5))?)
+//! # }
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = Arc::new(build(cdl::core::arch::mnist_2c(), 1)?);
+//! // one model × two replicas, balanced round-robin at admission
+//! let router = Arc::new(Router::start(vec![ShardSpec::new(
+//!     "MNIST_2C",
+//!     Arc::clone(&net),
+//!     ServerConfig::default(),
+//! )
+//! .replicated(ReplicaSpec::new(2, PlacementPolicy::RoundRobin))])?);
+//! // the TCP edge shares the router and serves it over loopback
+//! let edge = TcpServer::bind("127.0.0.1:0", Arc::clone(&router))?;
+//! let mut client = TcpClient::connect(edge.local_addr())?;
+//! let image = cdl::tensor::Tensor::full(&[1, 28, 28], 0.4);
+//! let output = client
+//!     .call("MNIST_2C", &image, SubmitOptions::default())?
+//!     .expect("typed server-side errors surface here");
+//! // bit-exact across the wire, whichever replica answered
+//! assert_eq!(output, net.classify(&image)?);
+//! drop(client);
+//! edge.shutdown(); // stop the edge first…
+//! let metrics = Arc::try_unwrap(router).unwrap().shutdown(); // …then drain
+//! assert_eq!(metrics.shards[0].placement_histogram().iter().sum::<u64>(), 1);
 //! # Ok(())
 //! # }
 //! ```

@@ -258,12 +258,15 @@ proptest! {
         let mut macs = 0;
         let mut energy = 0.0;
         for shard in &metrics.shards {
-            prop_assert_eq!(shard.routed, shard.metrics.submitted, "{}", &shard.model);
-            submitted += shard.metrics.submitted;
-            completed += shard.metrics.completed;
-            batches += shard.metrics.batches;
-            macs += shard.metrics.total_ops.macs;
-            energy += shard.metrics.energy_pj;
+            prop_assert_eq!(shard.routed(), shard.submitted(), "{}", &shard.model);
+            for replica in &shard.replicas {
+                prop_assert_eq!(replica.routed, replica.metrics.submitted, "{}", &shard.model);
+            }
+            submitted += shard.submitted();
+            completed += shard.completed();
+            batches += shard.batches();
+            macs += shard.total_ops().macs;
+            energy += shard.energy_pj();
         }
         prop_assert_eq!(metrics.submitted(), submitted);
         prop_assert_eq!(metrics.completed(), completed);

@@ -1,12 +1,14 @@
-//! Equivalence of sharded (router) and per-image inference.
+//! Equivalence of replicated (replica-set) and per-image inference.
 //!
-//! The sharded serving layer must be a pure scheduling transformation in
-//! two extra dimensions beyond `serve_equivalence`: whatever **model** a
-//! request is routed to and whatever **per-request δ/depth override** it
-//! carries, its `CdlOutput` must be **bit-identical** to
-//! `CdlNetwork::classify_with_override` with those options on that model —
-//! for any interleaving of concurrent clients, any batch policy, and any
-//! mix of overrides sharing a batch.
+//! Replication must be invisible in every answer: whatever replica a
+//! [`PlacementPolicy`] places a request on, the response must stay
+//! **bit-identical** to `CdlNetwork::classify_with_override` on the
+//! routed model with the carried override — for every placement policy,
+//! any interleaving of concurrent clients, and any override mix. What
+//! replication *is* allowed to change is where work lands, so this suite
+//! also pins the bookkeeping: per-replica `routed == submitted` in every
+//! settled snapshot, placement histograms that sum to the shard's routed
+//! count, and an exact round-robin split.
 
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
@@ -18,7 +20,10 @@ use cdl::core::network::CdlNetwork;
 use cdl::dataset::SyntheticMnist;
 use cdl::nn::network::Network;
 use cdl::nn::trainer::{train, LabelledSet, TrainConfig};
-use cdl::serve::{BatchPolicy, ModelId, Pending, Router, ServerConfig, ShardSpec, SubmitOptions};
+use cdl::serve::{
+    BatchPolicy, Pending, PlacementPolicy, ReplicaSpec, Router, RouterMetrics, ServerConfig,
+    ShardSpec, SubmitOptions,
+};
 
 /// Trains MNIST_2C and MNIST_3C once, shares across tests (training
 /// dominates runtime).
@@ -60,9 +65,8 @@ fn trained_pair() -> &'static (Arc<CdlNetwork>, Arc<CdlNetwork>, LabelledSet) {
     })
 }
 
-/// The override mix a stream exercises: the default service level plus lax
-/// and strict δ and hard depth caps, so batches routinely hold several
-/// effective policies at once.
+/// Default service level plus lax/strict δ and hard depth caps, so
+/// replicas routinely batch several effective policies at once.
 fn override_mix(i: usize) -> SubmitOptions {
     match i % 6 {
         0 | 1 => SubmitOptions::default(),
@@ -76,27 +80,31 @@ fn override_mix(i: usize) -> SubmitOptions {
     }
 }
 
-/// Streams every test image through a two-shard router from `clients`
-/// concurrent client threads — request `i` routed to shard `i % 2` with
-/// override `override_mix(i)` — and pins each response bit-identical to the
-/// per-image path on the routed model.
-fn assert_router_equivalent(policy: BatchPolicy, clients: usize, workers: usize) {
+/// Streams every test image through a replicated two-model router from
+/// `clients` concurrent threads — request `i` on model `i % 2` with
+/// override `override_mix(i)` — pins bit-identity against the per-image
+/// path, and returns the final metrics for placement-shape assertions.
+fn assert_replicas_equivalent(placement: PlacementPolicy, clients: usize) -> RouterMetrics {
     let (m2c, m3c, test_set) = trained_pair();
     let config = ServerConfig {
-        policy,
+        policy: BatchPolicy::new(8, Duration::from_millis(1)),
         queue_capacity: 256,
-        workers,
+        workers: 1,
         ..ServerConfig::default()
     };
     let router = Router::start(vec![
-        ShardSpec::new("MNIST_2C", Arc::clone(m2c), config.clone()),
-        ShardSpec::new("MNIST_3C", Arc::clone(m3c), config),
+        ShardSpec::new("MNIST_2C", Arc::clone(m2c), config.clone())
+            .replicated(ReplicaSpec::new(3, placement)),
+        ShardSpec::new("MNIST_3C", Arc::clone(m3c), config)
+            .replicated(ReplicaSpec::new(2, placement)),
     ])
     .expect("router start");
     let models = [
         router.model_id("MNIST_2C").unwrap(),
         router.model_id("MNIST_3C").unwrap(),
     ];
+    assert_eq!(router.replica_count(models[0]).unwrap(), 3);
+    assert_eq!(router.replica_count(models[1]).unwrap(), 2);
 
     let outputs: Vec<(usize, cdl::core::network::CdlOutput)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
@@ -143,11 +151,9 @@ fn assert_router_equivalent(policy: BatchPolicy, clients: usize, workers: usize)
                 },
             )
             .expect("per-image pass");
-        // CdlOutput derives PartialEq: label, exit_stage, confidence (f32
-        // equality, i.e. bit-identical scores), ops, stages_activated and
-        // exited_early must all agree — on the *routed* model with the
-        // *carried* override
-        assert_eq!(*out, expected, "request {i} under {policy:?} ({opts:?})");
+        // bit-identical WHICHEVER replica served it: label, exit_stage,
+        // confidence, ops, stages_activated, exited_early all agree
+        assert_eq!(*out, expected, "request {i} under {placement} placement");
         early_exits += usize::from(out.exited_early);
     }
     // the comparison is only meaningful if the cascade actually branches
@@ -156,83 +162,78 @@ fn assert_router_equivalent(policy: BatchPolicy, clients: usize, workers: usize)
         "cascade degenerated: {early_exits}/{} early exits",
         outputs.len()
     );
-    // depth-capped requests really were capped
-    for (i, out) in &outputs {
-        if override_mix(*i).max_stage == Some(0) {
-            assert_eq!(out.exit_stage, 0, "request {i} escaped its depth cap");
-        }
-    }
 
     let metrics = router.shutdown();
+    let half = (test_set.len() / 2) as u64;
     assert_eq!(metrics.completed() as usize, test_set.len());
     assert_eq!(metrics.failed(), 0);
-    assert_eq!(metrics.queue_depth(), 0);
-    // routing histogram: even/odd split, and the router-side count agrees
-    // with each shard's own admission count (nothing mis-routed or dropped)
-    let half = (test_set.len() / 2) as u64;
+    assert_eq!(metrics.cancelled(), 0);
     assert_eq!(metrics.routing_histogram(), vec![half, half]);
-    for (shard, model) in metrics.shards.iter().zip(models) {
-        assert_eq!(shard.routed(), shard.submitted(), "{model}");
-        assert_eq!(shard.completed(), half);
-        for replica in &shard.replicas {
-            assert_eq!(replica.routed, replica.metrics.submitted, "{model}");
+    for shard in &metrics.shards {
+        assert_eq!(shard.placement, placement);
+        // the placement histogram partitions the shard's routed count…
+        assert_eq!(
+            shard.placement_histogram().iter().sum::<u64>(),
+            shard.routed(),
+            "{placement} histogram does not partition {}",
+            shard.model
+        );
+        // …and in a settled snapshot every replica's router-side count
+        // agrees exactly with its own admission count
+        for (r, replica) in shard.replicas.iter().enumerate() {
+            assert_eq!(
+                replica.routed, replica.metrics.submitted,
+                "{} replica {r} under {placement}",
+                shard.model
+            );
+            assert_eq!(replica.metrics.cancelled, 0);
+            assert_eq!(replica.metrics.queue_depth, 0);
         }
     }
-    // op accounting flows through per shard: each shard's cumulative count
-    // equals the sum of its (bit-identical) per-request counts
-    for (s, shard) in metrics.shards.iter().enumerate() {
-        let expected_ops: u64 = outputs
-            .iter()
-            .filter(|(i, _)| i % 2 == s)
-            .map(|(_, o)| o.ops.compute_ops())
-            .sum();
-        assert_eq!(shard.total_ops().compute_ops(), expected_ops);
-        assert!(shard.energy_pj() > 0.0);
+    metrics
+}
+
+#[test]
+fn round_robin_replicas_are_bit_identical_and_split_exactly() {
+    let metrics = assert_replicas_equivalent(PlacementPolicy::RoundRobin, 4);
+    // round-robin is deterministic about the split regardless of client
+    // interleaving: each replica gets shard_routed / n ± 1
+    for shard in &metrics.shards {
+        let histogram = shard.placement_histogram();
+        let n = histogram.len() as u64;
+        let per = shard.routed() / n;
+        for (r, &count) in histogram.iter().enumerate() {
+            assert!(
+                count == per || count == per + 1,
+                "{} replica {r}: {count} routed, expected {per} or {}",
+                shard.model,
+                per + 1
+            );
+        }
     }
-    assert_eq!(
-        metrics.total_ops().compute_ops(),
-        outputs
-            .iter()
-            .map(|(_, o)| o.ops.compute_ops())
-            .sum::<u64>()
-    );
 }
 
 #[test]
-fn size_bound_policy_is_bit_identical_across_shards() {
-    // batches dispatch only when full — each shard receives exactly half
-    // the stream, which must tile into 8-request batches exactly or the
-    // clients' wait() calls would hang before shutdown could flush
-    let (_, _, test_set) = trained_pair();
-    assert_eq!((test_set.len() / 2) % 8, 0);
-    assert_router_equivalent(BatchPolicy::by_size(8), 3, 2);
+fn least_loaded_replicas_are_bit_identical_and_all_exercised() {
+    let metrics = assert_replicas_equivalent(PlacementPolicy::LeastLoaded, 4);
+    // depth-driven placement makes no split promise at all — when queues
+    // drain fast, ties legitimately pile onto replica 0 — but the
+    // tie-break means replica 0 is always placed first
+    for shard in &metrics.shards {
+        assert!(
+            shard.placement_histogram()[0] > 0,
+            "{} replica 0 never placed",
+            shard.model
+        );
+    }
 }
 
 #[test]
-fn deadline_bound_policy_is_bit_identical_across_shards() {
-    assert_router_equivalent(BatchPolicy::by_deadline(Duration::from_millis(1)), 3, 2);
-}
-
-#[test]
-fn mixed_policy_is_bit_identical_across_shards() {
-    assert_router_equivalent(BatchPolicy::new(8, Duration::from_millis(2)), 4, 2);
-}
-
-#[test]
-fn unknown_model_rejected_without_side_effects() {
-    let (m2c, _, test_set) = trained_pair();
-    let router = Router::start(vec![ShardSpec::new(
-        "MNIST_2C",
-        Arc::clone(m2c),
-        ServerConfig::default(),
-    )])
-    .unwrap();
-    let ghost = ModelId::from_index(1);
-    assert!(matches!(
-        router.submit(ghost, test_set.images[0].clone()),
-        Err(cdl::serve::ServeError::UnknownModel(id)) if id == ghost
-    ));
-    let metrics = router.shutdown();
-    assert_eq!(metrics.submitted(), 0);
-    assert_eq!(metrics.routing_histogram(), vec![0]);
+fn power_of_two_replicas_are_bit_identical_and_all_exercised() {
+    let metrics = assert_replicas_equivalent(PlacementPolicy::PowerOfTwoChoices, 4);
+    for shard in &metrics.shards {
+        for (r, &count) in shard.placement_histogram().iter().enumerate() {
+            assert!(count > 0, "{} replica {r} never placed", shard.model);
+        }
+    }
 }

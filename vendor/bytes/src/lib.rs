@@ -1,9 +1,11 @@
-//! Offline vendored stand-in for the `bytes` crate: the tiny [`Buf`]/
-//! [`BufMut`] subset that `cdl-dataset`'s IDX reader/writer uses.
+//! Offline vendored stand-in for the `bytes` crate: the [`Buf`]/[`BufMut`]
+//! subset that `cdl-dataset`'s IDX reader/writer and `cdl-serve`'s
+//! length-prefixed TCP protocol use.
 //!
-//! Matches upstream semantics: multi-byte integers are big-endian (the IDX
-//! wire format), reads advance the cursor, and out-of-bounds reads panic (the
-//! callers check [`Buf::remaining`] first).
+//! Matches upstream semantics: multi-byte integers are big-endian (network
+//! byte order, also the IDX wire format), floats travel as their IEEE-754
+//! bit patterns (bit-exact round trip), reads advance the cursor, and
+//! out-of-bounds reads panic (the callers check [`Buf::remaining`] first).
 
 #![deny(missing_docs)]
 
@@ -19,12 +21,43 @@ pub trait Buf {
     /// Panics when the buffer is exhausted.
     fn get_u8(&mut self) -> u8;
 
+    /// Reads a big-endian `u16` and advances.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than 2 bytes remain.
+    fn get_u16(&mut self) -> u16;
+
     /// Reads a big-endian `u32` and advances.
     ///
     /// # Panics
     ///
     /// Panics when fewer than 4 bytes remain.
     fn get_u32(&mut self) -> u32;
+
+    /// Reads a big-endian `u64` and advances.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than 8 bytes remain.
+    fn get_u64(&mut self) -> u64;
+
+    /// Reads a big-endian IEEE-754 `f32` (the bit pattern of
+    /// [`BufMut::put_f32`], so the round trip is bit-exact, NaNs included).
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than 4 bytes remain.
+    fn get_f32(&mut self) -> f32 {
+        f32::from_bits(self.get_u32())
+    }
+
+    /// Copies `dst.len()` bytes into `dst` and advances.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
 }
 
 impl Buf for &[u8] {
@@ -39,12 +72,37 @@ impl Buf for &[u8] {
         v
     }
 
+    fn get_u16(&mut self) -> u16 {
+        assert!(self.len() >= 2, "buffer exhausted");
+        let (head, rest) = self.split_at(2);
+        let v = u16::from_be_bytes([head[0], head[1]]);
+        *self = rest;
+        v
+    }
+
     fn get_u32(&mut self) -> u32 {
         assert!(self.len() >= 4, "buffer exhausted");
         let (head, rest) = self.split_at(4);
         let v = u32::from_be_bytes([head[0], head[1], head[2], head[3]]);
         *self = rest;
         v
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        assert!(self.len() >= 8, "buffer exhausted");
+        let (head, rest) = self.split_at(8);
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(head);
+        let v = u64::from_be_bytes(raw);
+        *self = rest;
+        v
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "buffer exhausted");
+        let (head, rest) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = rest;
     }
 }
 
@@ -53,8 +111,23 @@ pub trait BufMut {
     /// Appends one byte.
     fn put_u8(&mut self, v: u8);
 
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+
     /// Appends a big-endian `u32`.
     fn put_u32(&mut self, v: u32);
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+
+    /// Appends a big-endian IEEE-754 `f32` bit pattern (bit-exact with
+    /// [`Buf::get_f32`], NaNs included).
+    fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
 }
 
 impl BufMut for Vec<u8> {
@@ -62,8 +135,20 @@ impl BufMut for Vec<u8> {
         self.push(v);
     }
 
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
     fn put_u32(&mut self, v: u32) {
         self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
     }
 }
 
@@ -82,5 +167,56 @@ mod tests {
         assert_eq!(cursor.get_u32(), 0x0000_0803);
         assert_eq!(cursor.get_u8(), 0x2A);
         assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn round_trip_wide_integers() {
+        let mut out = Vec::new();
+        out.put_u16(0xBEEF);
+        out.put_u64(0x0123_4567_89AB_CDEF);
+        assert_eq!(
+            out,
+            [0xBE, 0xEF, 0x01, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF]
+        );
+        let mut cursor: &[u8] = &out;
+        assert_eq!(cursor.get_u16(), 0xBEEF);
+        assert_eq!(cursor.get_u64(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn f32_round_trip_is_bit_exact() {
+        // normal values, signed zero, subnormal, infinities and a NaN with
+        // a nonstandard payload: the bit pattern must survive untouched
+        let specials = [
+            0.0f32,
+            -0.0,
+            1.5,
+            -3.25e-7,
+            f32::MIN_POSITIVE / 2.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::from_bits(0x7FC0_1234),
+        ];
+        let mut out = Vec::new();
+        for &v in &specials {
+            out.put_f32(v);
+        }
+        let mut cursor: &[u8] = &out;
+        for &v in &specials {
+            assert_eq!(cursor.get_f32().to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let mut out = Vec::new();
+        out.put_slice(b"cdl");
+        out.put_u8(0x00);
+        let mut cursor: &[u8] = &out;
+        let mut name = [0u8; 3];
+        cursor.copy_to_slice(&mut name);
+        assert_eq!(&name, b"cdl");
+        assert_eq!(cursor.get_u8(), 0);
     }
 }
