@@ -106,7 +106,7 @@ impl<'a> BatchEvaluator<'a> {
         inputs: &[Tensor],
         policy: ConfidencePolicy,
     ) -> Result<Vec<CdlOutput>> {
-        self.classify_batch_capped(inputs, policy, None)
+        self.classify_batch_capped(inputs, policy, None, &mut |_, _| {})
     }
 
     /// Classifies a batch with per-request [`ExitOverride`]s (δ replacement
@@ -126,9 +126,30 @@ impl<'a> BatchEvaluator<'a> {
         inputs: &[Tensor],
         ovr: ExitOverride,
     ) -> Result<Vec<CdlOutput>> {
+        self.classify_batch_with_override_observed(inputs, ovr, &mut |_, _| {})
+    }
+
+    /// [`BatchEvaluator::classify_batch_with_override`] with a per-stage
+    /// **observer**: after each cascade segment is evaluated (and before
+    /// the exit gate compacts the batch), `observer(stage, active)` is
+    /// called with the input indices still active at that stage; the final
+    /// baseline segment reports as stage [`CdlNetwork::stage_count`]. The
+    /// observer only watches — the arithmetic, and therefore every output,
+    /// is bit-identical to the unobserved call. This is the hook the
+    /// serving layer's request-lifecycle tracing builds per-stage spans on.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BatchEvaluator::classify_batch_with_override`].
+    pub fn classify_batch_with_override_observed(
+        &mut self,
+        inputs: &[Tensor],
+        ovr: ExitOverride,
+        observer: &mut dyn FnMut(usize, &[usize]),
+    ) -> Result<Vec<CdlOutput>> {
         let policy = ovr.effective_policy(self.net.policy());
         policy.validate()?;
-        self.classify_batch_capped(inputs, policy, ovr.max_stage)
+        self.classify_batch_capped(inputs, policy, ovr.max_stage, observer)
     }
 
     fn classify_batch_capped(
@@ -136,6 +157,7 @@ impl<'a> BatchEvaluator<'a> {
         inputs: &[Tensor],
         policy: ConfidencePolicy,
         force_exit_at: Option<usize>,
+        observer: &mut dyn FnMut(usize, &[usize]),
     ) -> Result<Vec<CdlOutput>> {
         let n = inputs.len();
         let mut outputs: Vec<Option<CdlOutput>> = (0..n).map(|_| None).collect();
@@ -168,6 +190,7 @@ impl<'a> BatchEvaluator<'a> {
             stage
                 .head
                 .scores_batch_into(&active, &mut self.head_scores, self.scratch.kernel)?;
+            observer(stage_idx, &active_idx);
             let classes = stage.head.classes();
 
             let mut keep: Vec<Tensor> = Vec::with_capacity(active.len());
@@ -207,6 +230,7 @@ impl<'a> BatchEvaluator<'a> {
                 .forward_batch_segment(src, prev_tap, last, &mut self.scratch)?;
         cum_ops += self.net.final_ops();
         let stage_count = self.net.stage_count();
+        observer(stage_count, &active_idx);
         for (k, out) in finals.iter().enumerate() {
             let label = out
                 .argmax()
@@ -252,9 +276,38 @@ impl<'a> BatchEvaluator<'a> {
         inputs: &[Tensor],
         ovr: ExitOverride,
     ) -> Result<Vec<CdlOutput>> {
+        self.classify_stream_with_override_observed(inputs, ovr, &mut |_, _| {})
+    }
+
+    /// [`BatchEvaluator::classify_stream_with_override`] with the
+    /// per-stage observer of
+    /// [`BatchEvaluator::classify_batch_with_override_observed`]. Observed
+    /// indices are positions in the full `inputs` stream (each chunk's
+    /// local indices are shifted by the chunk base before the callback),
+    /// so one observer serves the whole stream.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BatchEvaluator::classify_stream_with_override`].
+    pub fn classify_stream_with_override_observed(
+        &mut self,
+        inputs: &[Tensor],
+        ovr: ExitOverride,
+        observer: &mut dyn FnMut(usize, &[usize]),
+    ) -> Result<Vec<CdlOutput>> {
         let mut outputs = Vec::with_capacity(inputs.len());
-        for chunk in inputs.chunks(Self::STREAM_CHUNK) {
-            outputs.extend(self.classify_batch_with_override(chunk, ovr)?);
+        let mut shifted: Vec<usize> = Vec::new();
+        for (chunk_no, chunk) in inputs.chunks(Self::STREAM_CHUNK).enumerate() {
+            let base = chunk_no * Self::STREAM_CHUNK;
+            outputs.extend(self.classify_batch_with_override_observed(
+                chunk,
+                ovr,
+                &mut |stage, active| {
+                    shifted.clear();
+                    shifted.extend(active.iter().map(|&k| base + k));
+                    observer(stage, &shifted);
+                },
+            )?);
         }
         Ok(outputs)
     }
@@ -448,6 +501,43 @@ mod tests {
         assert!(eval
             .classify_batch_with_override(&inputs, ExitOverride::with_delta(-1.0))
             .is_err());
+    }
+
+    #[test]
+    fn observed_classification_is_bit_identical_and_reports_every_stage() {
+        let cdl = build_untrained();
+        // spans two stream chunks so the index-shifting path is exercised
+        let inputs = batch(BatchEvaluator::STREAM_CHUNK + 31);
+        let mut eval = BatchEvaluator::new(&cdl);
+        let plain = eval
+            .classify_stream_with_override(&inputs, ExitOverride::NONE)
+            .unwrap();
+        // per input: the set of stages the observer saw it active at
+        let mut seen: Vec<Vec<usize>> = vec![Vec::new(); inputs.len()];
+        let observed = eval
+            .classify_stream_with_override_observed(
+                &inputs,
+                ExitOverride::NONE,
+                &mut |stage, active| {
+                    for &i in active {
+                        seen[i].push(stage);
+                    }
+                },
+            )
+            .unwrap();
+        assert_eq!(observed, plain, "observer must not perturb results");
+        let stage_count = cdl.stage_count();
+        for (i, out) in observed.iter().enumerate() {
+            // an image that exited at stage s was active at exactly
+            // stages 0..=s (the final baseline segment reports as
+            // stage_count)
+            let expect: Vec<usize> = if out.exited_early {
+                (0..=out.exit_stage).collect()
+            } else {
+                (0..=stage_count).collect()
+            };
+            assert_eq!(seen[i], expect, "input {i}: {out:?}");
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use cdl_core::confidence::{ConfidencePolicy, ExitOverride};
 use cdl_hw::EnergyModel;
+use cdl_telemetry::TelemetryConfig;
 use cdl_tensor::gemm::GemmKernel;
 
 use crate::error::{ServeError, ServeResult};
@@ -327,6 +328,11 @@ pub struct ServerConfig {
     /// and [`GemmKernel::Reference`] is the pinned baseline for A/B
     /// comparison. Shards of a [`crate::Router`] may mix kernels freely.
     pub gemm_kernel: GemmKernel,
+    /// Runtime tracing switchboard: whether per-request lifecycle spans
+    /// are recorded ([`crate::Server::telemetry`] drains them) and at what
+    /// sample rate. Off by default — recording calls then cost one branch,
+    /// so the instrumentation stays compiled into production paths.
+    pub telemetry: TelemetryConfig,
 }
 
 impl ServerConfig {
@@ -335,7 +341,8 @@ impl ServerConfig {
     /// # Errors
     ///
     /// Returns [`ServeError::BadConfig`] for an invalid policy, a zero
-    /// queue capacity or an empty worker pool.
+    /// queue capacity, an empty worker pool or an out-of-range telemetry
+    /// sample rate.
     pub fn validate(&self) -> ServeResult<()> {
         self.policy.validate()?;
         if self.queue_capacity == 0 {
@@ -344,6 +351,7 @@ impl ServerConfig {
         if self.workers == 0 {
             return Err(ServeError::BadConfig("workers must be >= 1".into()));
         }
+        self.telemetry.validate().map_err(ServeError::BadConfig)?;
         Ok(())
     }
 }
@@ -359,6 +367,7 @@ impl Default for ServerConfig {
             workers,
             energy_model: EnergyModel::cmos_45nm(),
             gemm_kernel: GemmKernel::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -474,5 +483,25 @@ mod tests {
             ..ServerConfig::default()
         };
         assert!(bad.validate().is_err());
+        let bad = ServerConfig {
+            telemetry: TelemetryConfig {
+                spans: true,
+                sample_rate: 2.0,
+            },
+            ..ServerConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn telemetry_defaults_off_with_full_sampling() {
+        let config = ServerConfig::default();
+        assert!(!config.telemetry.spans);
+        assert_eq!(config.telemetry.sample_rate, 1.0);
+        let traced = ServerConfig {
+            telemetry: TelemetryConfig::enabled(),
+            ..ServerConfig::default()
+        };
+        assert!(traced.validate().is_ok());
     }
 }

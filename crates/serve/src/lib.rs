@@ -49,7 +49,7 @@
 //!   and partially formed batches are flushed, every outstanding handle
 //!   resolves, threads join, and the final [`ServerMetrics`] snapshot is
 //!   returned (throughput, queue depth, batch-size histogram, latency
-//!   min/mean/p50/p99, cumulative ops + energy).
+//!   min/mean/p50/p99/p99.9, cumulative ops + energy).
 //! * **Per-request overrides** ([`Server::submit_with`] +
 //!   [`SubmitOptions`]): each request may replace the model's confidence
 //!   threshold δ and/or cap its cascade depth — the Fig. 10
@@ -74,6 +74,18 @@
 //!   request ids per connection, per-connection writer threads draining
 //!   completions, typed error replies, and bit-exact f32 transport
 //!   (IEEE-754 bit patterns on the wire).
+//! * **Telemetry** ([`cdl_telemetry`], re-exported here): every latency
+//!   metric is backed by a mergeable log-bucketed [`LogHistogram`] (O(1)
+//!   record, ≤ 1/64 relative quantile error, exact min/mean/max —
+//!   [`ShardMetrics::latency`] and [`RouterMetrics::latency`] merge the
+//!   per-replica histograms into true cross-replica tails), and
+//!   [`ServerConfig::telemetry`] can switch on per-request lifecycle
+//!   **spans** (admit → enqueue → batch-seal → dispatch → per-stage →
+//!   exit → reply, recorded into lock-free per-thread rings, sampled
+//!   deterministically by trace id). [`Server::telemetry_snapshot`] /
+//!   [`Router::telemetry_snapshot`] export both as Prometheus text or a
+//!   Chrome trace; [`TcpClient::submit_with_trace`] carries the
+//!   [`TraceId`] across the wire so one trace covers the hop.
 //!
 //! ## Example
 //!
@@ -120,6 +132,10 @@ pub mod pending;
 pub mod router;
 pub mod server;
 
+pub use cdl_telemetry::{
+    EventKind, LogHistogram, PhaseBreakdown, SpanEvent, Telemetry, TelemetryConfig,
+    TelemetrySnapshot, TraceId,
+};
 pub use cdl_tensor::gemm::GemmKernel;
 pub use config::{BatchPolicy, PlacementPolicy, ReplicaSpec, ServerConfig, SubmitOptions};
 pub use error::{ServeError, ServeResult};

@@ -1,5 +1,14 @@
 //! Server observability: counters, batch-size/exit histograms, latency
 //! percentiles and cumulative op/energy accounting.
+//!
+//! Latency distributions are backed by [`LogHistogram`] (see
+//! `cdl_telemetry`): O(1) per-completion recording, O(buckets) snapshots
+//! (no more sorting a 65k-sample window per snapshot), exact lifetime
+//! `min`/`mean`/`max`, quantiles within a documented 1/64 relative-error
+//! bound — and, because histograms merge losslessly,
+//! [`ShardMetrics::latency`]/[`RouterMetrics::latency`] report *true*
+//! cross-replica tail percentiles instead of unaggregatable per-server
+//! numbers.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -7,33 +16,55 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use cdl_hw::{EnergyModel, OpCount};
+use cdl_telemetry::{LogHistogram, TelemetrySnapshot};
 
 use crate::config::PlacementPolicy;
 
-/// Completed-request latencies retained for percentile estimation:
-/// **exactly the most recent 65 536 completions** (a fixed-size ring
-/// buffer), so a long-running server stays at O(1) memory and snapshot
-/// cost. Once the ring is full, every new completion **evicts the oldest
-/// retained sample**, so [`LatencyStats::p50`]/[`LatencyStats::p99`]
-/// describe only the trailing window; `min`/`mean`/`max`/`count` are exact
-/// lifetime accumulators regardless of the window.
-pub const LATENCY_WINDOW: usize = 65_536;
-
 /// Latency distribution over completed requests (submit → result).
+///
+/// Extracted from a [`LogHistogram`]: `count`/`min`/`mean`/`max` are exact
+/// lifetime values; the percentiles are nearest-rank estimates within
+/// [`cdl_telemetry::MAX_RELATIVE_ERROR`] (1/64) of the exact order
+/// statistic.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyStats {
     /// Completed requests over the server's lifetime.
     pub count: u64,
-    /// Fastest request (lifetime).
+    /// Fastest request (lifetime, exact).
     pub min: Duration,
-    /// Arithmetic mean (lifetime).
+    /// Arithmetic mean (lifetime, exact).
     pub mean: Duration,
-    /// Median over the most recent [`LATENCY_WINDOW`] completions.
+    /// Median (lifetime, bounded relative error).
     pub p50: Duration,
-    /// 99th percentile over the most recent [`LATENCY_WINDOW`] completions.
+    /// 99th percentile (lifetime, bounded relative error).
     pub p99: Duration,
-    /// Slowest request (lifetime).
+    /// 99.9th percentile (lifetime, bounded relative error).
+    pub p999: Duration,
+    /// 99.99th percentile (lifetime, bounded relative error).
+    pub p9999: Duration,
+    /// Slowest request (lifetime, exact).
     pub max: Duration,
+}
+
+impl LatencyStats {
+    /// Extract the stats from a latency histogram (`None` when empty).
+    /// O(buckets), independent of how many samples were recorded.
+    pub fn from_histogram(histogram: &LogHistogram) -> Option<LatencyStats> {
+        if histogram.is_empty() {
+            return None;
+        }
+        let q = |q: f64| histogram.quantile_duration(q).unwrap_or(Duration::ZERO);
+        Some(LatencyStats {
+            count: histogram.count(),
+            min: Duration::from_nanos(histogram.min_value().unwrap_or(0)),
+            mean: Duration::from_nanos(histogram.mean().unwrap_or(0)),
+            p50: q(0.5),
+            p99: q(0.99),
+            p999: q(0.999),
+            p9999: q(0.9999),
+            max: Duration::from_nanos(histogram.max_value().unwrap_or(0)),
+        })
+    }
 }
 
 /// Why the batcher dispatched a batch.
@@ -98,6 +129,10 @@ pub struct ServerMetrics {
     /// Submit→result latency distribution (`None` until something
     /// completed).
     pub latency: Option<LatencyStats>,
+    /// The full latency histogram behind [`ServerMetrics::latency`] —
+    /// mergeable across replicas ([`LogHistogram::merge`] is lossless), so
+    /// shard- and router-level rollups report true union percentiles.
+    pub latency_histogram: LogHistogram,
     /// `exit_histogram[i]` = completed requests that exited at stage `i`
     /// (last slot = final output layer).
     pub exit_histogram: Vec<u64>,
@@ -145,8 +180,8 @@ impl fmt::Display for ServerMetrics {
         if let Some(lat) = &self.latency {
             writeln!(
                 f,
-                "latency: min {:?} / mean {:?} / p50 {:?} / p99 {:?} / max {:?}",
-                lat.min, lat.mean, lat.p50, lat.p99, lat.max,
+                "latency: min {:?} / mean {:?} / p50 {:?} / p99 {:?} / p99.9 {:?} / max {:?}",
+                lat.min, lat.mean, lat.p50, lat.p99, lat.p999, lat.max,
             )?;
         }
         let exits: Vec<String> = self
@@ -168,6 +203,27 @@ impl fmt::Display for ServerMetrics {
                 0.0
             },
         )
+    }
+}
+
+impl ServerMetrics {
+    /// Append this snapshot's counters and latency histogram to a
+    /// [`TelemetrySnapshot`] under the given labels — the building block
+    /// behind [`crate::Server::telemetry_snapshot`] and
+    /// [`crate::Router::telemetry_snapshot`].
+    pub fn fill_telemetry(&self, snapshot: &mut TelemetrySnapshot, labels: &[(&str, &str)]) {
+        snapshot.push_counter("cdl_requests_submitted_total", labels, self.submitted);
+        snapshot.push_counter("cdl_requests_completed_total", labels, self.completed);
+        snapshot.push_counter("cdl_requests_rejected_total", labels, self.rejected);
+        snapshot.push_counter("cdl_requests_cancelled_total", labels, self.cancelled);
+        snapshot.push_counter("cdl_requests_failed_total", labels, self.failed);
+        snapshot.push_counter("cdl_batches_total", labels, self.batches);
+        snapshot.push_counter("cdl_queue_depth", labels, self.queue_depth as u64);
+        snapshot.push_histogram(
+            "cdl_request_latency_ns",
+            labels,
+            self.latency_histogram.clone(),
+        );
     }
 }
 
@@ -250,6 +306,24 @@ impl ShardMetrics {
     /// Element-wise sum of the replicas' exit histograms.
     pub fn exit_histogram(&self) -> Vec<u64> {
         sum_exit_histograms(self.replicas.iter().map(|r| &r.metrics.exit_histogram))
+    }
+
+    /// The replicas' latency histograms merged into one. The merge is
+    /// lossless, so quantiles of the result are true order statistics of
+    /// the union of every replica's completions.
+    pub fn latency_histogram(&self) -> LogHistogram {
+        let mut merged = LogHistogram::new();
+        for r in &self.replicas {
+            merged.merge(&r.metrics.latency_histogram);
+        }
+        merged
+    }
+
+    /// Cross-replica latency distribution (`None` until any replica
+    /// completed a request) — including p99.9/p99.99 tails that per-server
+    /// percentiles could never be combined into.
+    pub fn latency(&self) -> Option<LatencyStats> {
+        LatencyStats::from_histogram(&self.latency_histogram())
     }
 
     /// Cumulative operations of every completed request across replicas.
@@ -358,6 +432,22 @@ impl RouterMetrics {
         sum_exit_histograms(per_shard.iter())
     }
 
+    /// Every replica's latency histogram across every shard merged into
+    /// one (losslessly — see [`ShardMetrics::latency_histogram`]).
+    pub fn latency_histogram(&self) -> LogHistogram {
+        let mut merged = LogHistogram::new();
+        for s in &self.shards {
+            merged.merge(&s.latency_histogram());
+        }
+        merged
+    }
+
+    /// Router-wide latency distribution over every completion on every
+    /// replica of every model (`None` until anything completed).
+    pub fn latency(&self) -> Option<LatencyStats> {
+        LatencyStats::from_histogram(&self.latency_histogram())
+    }
+
     /// Cumulative operations of every completed request across all models
     /// and replicas.
     pub fn total_ops(&self) -> OpCount {
@@ -396,6 +486,13 @@ impl fmt::Display for RouterMetrics {
             self.rejected(),
             self.energy_pj() / 1e6,
         )?;
+        if let Some(lat) = self.latency() {
+            writeln!(
+                f,
+                "router latency (merged): p50 {:?} / p99 {:?} / p99.9 {:?} / max {:?}",
+                lat.p50, lat.p99, lat.p999, lat.max,
+            )?;
+        }
         for (i, shard) in self.shards.iter().enumerate() {
             let placement: Vec<String> = shard
                 .placement_histogram()
@@ -411,6 +508,13 @@ impl fmt::Display for RouterMetrics {
                 shard.placement,
                 placement.join(" "),
             )?;
+            if let Some(lat) = shard.latency() {
+                writeln!(
+                    f,
+                    "shard latency (merged): p50 {:?} / p99 {:?} / p99.9 {:?} / max {:?}",
+                    lat.p50, lat.p99, lat.p999, lat.max,
+                )?;
+            }
             for (r, replica) in shard.replicas.iter().enumerate() {
                 writeln!(f, "· replica {} — routed {}", r, replica.routed)?;
                 let last = i + 1 == self.shards.len() && r + 1 == shard.replicas.len();
@@ -436,12 +540,7 @@ struct Counters {
     batches_deadline: u64,
     batches_flushed: u64,
     batch_sizes: Vec<u64>,
-    latency_ring: Vec<u64>,
-    latency_next: usize,
-    latency_count: u64,
-    latency_sum_ns: u64,
-    latency_min_ns: u64,
-    latency_max_ns: u64,
+    latency: LogHistogram,
     exit_histogram: Vec<u64>,
     total_ops: OpCount,
     stages_activated: u64,
@@ -450,40 +549,6 @@ struct Counters {
     first_completion: Option<Instant>,
     /// When the most recent request completed — the end of the active span.
     last_completion: Option<Instant>,
-}
-
-impl Counters {
-    fn record_latency(&mut self, ns: u64) {
-        self.latency_count += 1;
-        self.latency_sum_ns += ns;
-        self.latency_max_ns = self.latency_max_ns.max(ns);
-        self.latency_min_ns = if self.latency_count == 1 {
-            ns
-        } else {
-            self.latency_min_ns.min(ns)
-        };
-        if self.latency_ring.len() < LATENCY_WINDOW {
-            self.latency_ring.push(ns);
-        } else {
-            self.latency_ring[self.latency_next] = ns;
-            self.latency_next = (self.latency_next + 1) % LATENCY_WINDOW;
-        }
-    }
-
-    fn latency_stats(&self) -> Option<LatencyStats> {
-        if self.latency_count == 0 {
-            return None;
-        }
-        let (p50, p99) = window_percentiles(&self.latency_ring);
-        Some(LatencyStats {
-            count: self.latency_count,
-            min: Duration::from_nanos(self.latency_min_ns),
-            mean: Duration::from_nanos(self.latency_sum_ns / self.latency_count),
-            p50,
-            p99,
-            max: Duration::from_nanos(self.latency_max_ns),
-        })
-    }
 }
 
 /// Shared metrics sink for the submit path, the batcher and the workers.
@@ -552,7 +617,7 @@ impl Recorder {
         for (latency, out) in outputs {
             size += 1;
             c.completed += 1;
-            c.record_latency(latency.as_nanos() as u64);
+            c.latency.record_duration(latency);
             if c.exit_histogram.len() <= out.exit_stage {
                 c.exit_histogram.resize(out.exit_stage + 1, 0);
             }
@@ -583,7 +648,7 @@ impl Recorder {
             .enumerate()
             .map(|(size, &n)| size as u64 * n)
             .sum();
-        let latency = c.latency_stats();
+        let latency = LatencyStats::from_histogram(&c.latency);
         ServerMetrics {
             elapsed,
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -622,25 +687,13 @@ impl Recorder {
                 }
             },
             latency,
+            latency_histogram: c.latency.clone(),
             exit_histogram: c.exit_histogram.clone(),
             total_ops: c.total_ops,
             stages_activated: c.stages_activated,
             energy_pj: self.energy_model.total_pj(&c.total_ops, c.stages_activated),
         }
     }
-}
-
-/// p50/p99 of a (non-empty) latency window; sorts a copy, which is bounded
-/// by [`LATENCY_WINDOW`] entries.
-fn window_percentiles(window: &[u64]) -> (Duration, Duration) {
-    let mut sorted = window.to_vec();
-    sorted.sort_unstable();
-    let n = sorted.len();
-    let pct = |q: f64| {
-        let idx = ((n - 1) as f64 * q).round() as usize;
-        Duration::from_nanos(sorted[idx])
-    };
-    (pct(0.5), pct(0.99))
 }
 
 #[cfg(test)]
@@ -662,65 +715,75 @@ mod tests {
         }
     }
 
+    /// Asserts `actual` is within the histogram's documented relative
+    /// error (1/64) of the exact order statistic `exact_ns`.
+    fn assert_within_bound(what: &str, actual: Duration, exact_ns: u64) {
+        let err = (actual.as_nanos() as i128 - exact_ns as i128).unsigned_abs();
+        assert!(
+            err * 64 <= exact_ns as u128,
+            "{what}: {actual:?} is more than 1/64 away from exact {exact_ns}ns"
+        );
+    }
+
     #[test]
     fn latency_percentiles() {
-        let mut c = Counters::default();
-        assert!(c.latency_stats().is_none());
+        let mut h = LogHistogram::new();
+        assert!(LatencyStats::from_histogram(&h).is_none());
         for i in 1..=100u64 {
-            c.record_latency(i * 1000);
+            h.record(i * 1000);
         }
-        let stats = c.latency_stats().unwrap();
+        let stats = LatencyStats::from_histogram(&h).unwrap();
         assert_eq!(stats.count, 100);
+        // min/mean/max are exact lifetime accumulators
         assert_eq!(stats.min, Duration::from_nanos(1000));
         assert_eq!(stats.max, Duration::from_nanos(100_000));
         assert_eq!(stats.mean, Duration::from_nanos(50_500));
-        assert_eq!(stats.p50, Duration::from_nanos(51_000));
-        assert_eq!(stats.p99, Duration::from_nanos(99_000));
+        // percentiles carry the documented 1/64 bound vs the exact
+        // nearest-rank order statistics (rank ceil(q*n))
+        assert_within_bound("p50", stats.p50, 50_000);
+        assert_within_bound("p99", stats.p99, 99_000);
+        assert_within_bound("p99.9", stats.p999, 100_000);
+        assert_within_bound("p99.99", stats.p9999, 100_000);
     }
 
     #[test]
-    fn latency_window_slides_but_lifetime_stats_persist() {
-        let mut c = Counters::default();
-        let extra = 10u64;
-        // one early outlier, then a window-and-a-bit of larger values
-        c.record_latency(5);
-        for i in 0..(LATENCY_WINDOW as u64 + extra) {
-            c.record_latency(1_000_000 + i);
+    fn latency_stats_cover_the_whole_lifetime_not_a_window() {
+        // the old 65k ring evicted early samples from the percentile
+        // window; the histogram keeps every sample at fixed memory
+        let mut h = LogHistogram::new();
+        let n = 200_000u64;
+        h.record(5); // early outlier
+        for i in 0..n {
+            h.record(1_000_000 + i);
         }
-        let stats = c.latency_stats().unwrap();
-        assert_eq!(stats.count, LATENCY_WINDOW as u64 + extra + 1);
-        // lifetime min survives even though the outlier left the window
+        let stats = LatencyStats::from_histogram(&h).unwrap();
+        assert_eq!(stats.count, n + 1);
         assert_eq!(stats.min, Duration::from_nanos(5));
-        assert_eq!(
-            stats.max,
-            Duration::from_nanos(1_000_000 + LATENCY_WINDOW as u64 + extra - 1)
-        );
-        // percentiles see only the most recent LATENCY_WINDOW entries
-        assert!(stats.p50 >= Duration::from_nanos(1_000_000));
-        // memory stays bounded
-        assert_eq!(c.latency_ring.len(), LATENCY_WINDOW);
+        assert_eq!(stats.max, Duration::from_nanos(1_000_000 + n - 1));
+        // exact p50 over the lifetime is ~1_100_000; the early outlier is
+        // still in the distribution but cannot drag the median
+        assert_within_bound("p50", stats.p50, 1_000_000 + n / 2 - 1);
+        assert_within_bound("p99.9", stats.p999, 1_000_000 + n * 999 / 1000 - 1);
     }
 
     #[test]
-    fn latency_window_evicts_oldest_samples() {
-        let mut c = Counters::default();
-        // fill the ring with old samples…
-        for _ in 0..LATENCY_WINDOW {
-            c.record_latency(1_000);
+    fn bimodal_distribution_keeps_both_modes() {
+        let mut h = LogHistogram::new();
+        let half = 65_536u64;
+        for _ in 0..half {
+            h.record(1_000);
         }
-        // …then exactly LATENCY_WINDOW newer ones: every old sample must
-        // have been evicted, so the ring holds only the new value
-        for _ in 0..LATENCY_WINDOW {
-            c.record_latency(5_000);
+        for _ in 0..half {
+            h.record(5_000);
         }
-        assert_eq!(c.latency_ring.len(), LATENCY_WINDOW);
-        assert!(c.latency_ring.iter().all(|&ns| ns == 5_000));
-        let stats = c.latency_stats().unwrap();
-        assert_eq!(stats.p50, Duration::from_nanos(5_000));
-        assert_eq!(stats.p99, Duration::from_nanos(5_000));
-        // lifetime accumulators still remember the evicted era
+        let stats = LatencyStats::from_histogram(&h).unwrap();
+        assert_eq!(stats.count, 2 * half);
         assert_eq!(stats.min, Duration::from_nanos(1_000));
-        assert_eq!(stats.count, 2 * LATENCY_WINDOW as u64);
+        assert_eq!(stats.max, Duration::from_nanos(5_000));
+        // exact nearest-rank p50 (rank = n) lands on the last 1_000 sample
+        assert_within_bound("p50", stats.p50, 1_000);
+        assert_within_bound("p99", stats.p99, 5_000);
+        assert_within_bound("p99.9", stats.p999, 5_000);
     }
 
     fn shard_snapshot(n_requests: u64, exits: Vec<u64>) -> ServerMetrics {
@@ -780,12 +843,39 @@ mod tests {
         assert_eq!(metrics.exit_histogram(), vec![3, 1, 3]);
         assert_eq!(metrics.total_ops().macs, 7 * 50);
         assert!(metrics.energy_pj() > 0.0);
+        // latency rollups: the shard/router histograms are the lossless
+        // merge of the replicas' (every completion was recorded at 1ms)
+        let shard_lat = metrics.shards[1].latency().unwrap();
+        assert_eq!(shard_lat.count, 4);
+        let router_lat = metrics.latency().unwrap();
+        assert_eq!(router_lat.count, 7);
+        assert_eq!(metrics.latency_histogram().count(), 7);
+        let ms = Duration::from_millis(1).as_nanos() as u64;
+        assert_within_bound("merged p50", router_lat.p50, ms);
+        assert_within_bound("merged p99.9", router_lat.p999, ms);
+        assert_eq!(router_lat.min, Duration::from_millis(1));
+        assert_eq!(router_lat.max, Duration::from_millis(1));
         let text = metrics.to_string();
         assert!(text.contains("router: 2 models"));
+        assert!(text.contains("router latency (merged): p50"));
+        assert!(text.contains("shard latency (merged): p50"));
+        assert!(text.contains("p99.9"));
         assert!(text.contains("shard 0 · A"));
         assert!(text.contains("shard 1 · B"));
         assert!(text.contains("least_loaded"));
         assert!(text.contains("replica 1"));
+    }
+
+    #[test]
+    fn server_metrics_fill_a_telemetry_snapshot() {
+        let snap = shard_snapshot(3, vec![2, 1]);
+        let mut telemetry = TelemetrySnapshot::new();
+        snap.fill_telemetry(&mut telemetry, &[("model", "A"), ("replica", "0")]);
+        let text = telemetry.render_prometheus();
+        assert!(text.contains("# TYPE cdl_requests_completed_total counter"));
+        assert!(text.contains("cdl_requests_completed_total{model=\"A\",replica=\"0\"} 3"));
+        assert!(text.contains("# TYPE cdl_request_latency_ns histogram"));
+        assert!(text.contains("cdl_request_latency_ns_count{model=\"A\",replica=\"0\"} 3"));
     }
 
     #[test]

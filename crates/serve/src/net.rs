@@ -22,11 +22,21 @@
 //! ```text
 //! u64 request id        (client-chosen; echoed verbatim in the response)
 //! u16 model-name length, then that many UTF-8 bytes
-//! u8  option flags      (bit0: δ override follows, bit1: stage cap follows)
+//! u8  option flags      (bit0: δ override follows, bit1: stage cap follows,
+//!                        bit2: telemetry trace id follows)
 //! f32 δ override        (iff bit0)
 //! u32 max stage         (iff bit1)
+//! u64 trace id          (iff bit2; non-zero — zero is reserved for "no
+//!                        trace" and rejected as malformed)
 //! u8  rank, then u32 × rank dims, then f32 × volume payload
 //! ```
+//!
+//! The trace-id flag bit is backward compatible in both directions: old
+//! frames (bit2 clear) decode unchanged, and an untraced request costs no
+//! wire space. A traced request continues the client's
+//! [`cdl_telemetry::TraceId`] on the server side — the serving replica
+//! re-derives the sampling decision from the id itself, so one trace
+//! covers the wire hop without any coordination.
 //!
 //! Response body:
 //!
@@ -68,6 +78,7 @@ use std::time::Duration;
 use bytes::{Buf, BufMut};
 use cdl_core::network::CdlOutput;
 use cdl_hw::OpCount;
+use cdl_telemetry::TraceId;
 use cdl_tensor::Tensor;
 
 use crate::config::SubmitOptions;
@@ -85,6 +96,7 @@ const POLL: Duration = Duration::from_millis(50);
 
 const FLAG_DELTA: u8 = 1 << 0;
 const FLAG_MAX_STAGE: u8 = 1 << 1;
+const FLAG_TRACE: u8 = 1 << 2;
 
 /// Request id used on error replies for frames too corrupt to carry one.
 const NO_ID: u64 = u64::MAX;
@@ -197,6 +209,7 @@ fn encode_request(
     id: u64,
     model: &str,
     options: SubmitOptions,
+    trace: Option<TraceId>,
     input: &Tensor,
 ) -> io::Result<()> {
     if model.len() > u16::MAX as usize {
@@ -216,12 +229,18 @@ fn encode_request(
     if options.max_stage.is_some() {
         flags |= FLAG_MAX_STAGE;
     }
+    if trace.is_some() {
+        flags |= FLAG_TRACE;
+    }
     body.put_u8(flags);
     if let Some(delta) = options.delta {
         body.put_f32(delta);
     }
     if let Some(max_stage) = options.max_stage {
         body.put_u32(u32::try_from(max_stage).map_err(|_| malformed("max_stage exceeds u32"))?);
+    }
+    if let Some(trace) = trace {
+        body.put_u64(trace.raw());
     }
     body.put_u8(input.dims().len() as u8);
     for &d in input.dims() {
@@ -237,6 +256,7 @@ struct RequestFrame {
     id: u64,
     model: String,
     options: SubmitOptions,
+    trace: Option<TraceId>,
     input: Tensor,
 }
 
@@ -260,7 +280,7 @@ fn decode_request(body: &[u8]) -> io::Result<RequestFrame> {
     let model = String::from_utf8(name).map_err(|_| malformed("model name is not valid UTF-8"))?;
     need(&cursor, 1, "option flags")?;
     let flags = cursor.get_u8();
-    if flags & !(FLAG_DELTA | FLAG_MAX_STAGE) != 0 {
+    if flags & !(FLAG_DELTA | FLAG_MAX_STAGE | FLAG_TRACE) != 0 {
         return Err(malformed(format!("unknown option flags {flags:#04x}")));
     }
     let mut options = SubmitOptions::default();
@@ -272,6 +292,15 @@ fn decode_request(body: &[u8]) -> io::Result<RequestFrame> {
         need(&cursor, 4, "max-stage cap")?;
         options.max_stage = Some(cursor.get_u32() as usize);
     }
+    let trace =
+        if flags & FLAG_TRACE != 0 {
+            need(&cursor, 8, "trace id")?;
+            Some(TraceId::from_raw(cursor.get_u64()).ok_or_else(|| {
+                malformed("zero trace id (the trace flag promises a non-zero id)")
+            })?)
+        } else {
+            None
+        };
     need(&cursor, 1, "tensor rank")?;
     let rank = cursor.get_u8() as usize;
     need(&cursor, 4 * rank, "tensor dims")?;
@@ -297,6 +326,7 @@ fn decode_request(body: &[u8]) -> io::Result<RequestFrame> {
         id,
         model,
         options,
+        trace,
         input,
     })
 }
@@ -569,10 +599,19 @@ fn run_reader(
             ),
             // blocking admission: a saturated replica back-pressures this
             // connection's pipeline without touching other connections
-            Some(model) => match router.submit_with(model, request.input, request.options) {
-                Ok(pending) => Reply::Routed(request.id, pending),
-                Err(e) => Reply::Error(request.id, to_reply(&e)),
-            },
+            Some(model) => {
+                let routed = match request.trace {
+                    // continue the client's trace across the wire hop
+                    Some(trace) => {
+                        router.submit_with_trace(model, request.input, request.options, trace)
+                    }
+                    None => router.submit_with(model, request.input, request.options),
+                };
+                match routed {
+                    Ok(pending) => Reply::Routed(request.id, pending),
+                    Err(e) => Reply::Error(request.id, to_reply(&e)),
+                }
+            }
         };
         if tx.send(reply).is_err() {
             return; // writer is gone (write error already marked dead)
@@ -749,10 +788,39 @@ impl TcpClient {
         input: &Tensor,
         options: SubmitOptions,
     ) -> io::Result<u64> {
+        self.submit_inner(model, input, options, None)
+    }
+
+    /// [`TcpClient::submit`] carrying a telemetry [`TraceId`], so the
+    /// server-side lifecycle (admission through reply) is recorded under
+    /// an id the client chose — allocate one with [`TraceId::next`] and
+    /// correlate client-observed latency with the server's span drain.
+    /// Costs 8 bytes on the wire; untraced submits cost nothing.
+    ///
+    /// # Errors
+    ///
+    /// As [`TcpClient::submit`].
+    pub fn submit_with_trace(
+        &mut self,
+        model: &str,
+        input: &Tensor,
+        options: SubmitOptions,
+        trace: TraceId,
+    ) -> io::Result<u64> {
+        self.submit_inner(model, input, options, Some(trace))
+    }
+
+    fn submit_inner(
+        &mut self,
+        model: &str,
+        input: &Tensor,
+        options: SubmitOptions,
+        trace: Option<TraceId>,
+    ) -> io::Result<u64> {
         let id = self.next_id;
         self.next_id += 1;
         let mut frame = Vec::new();
-        encode_request(&mut frame, id, model, options, input)?;
+        encode_request(&mut frame, id, model, options, trace, input)?;
         self.writer.write_all(&frame)?;
         self.writer.flush()?;
         Ok(id)
@@ -850,11 +918,13 @@ mod tests {
             max_stage: Some(1),
         };
         let mut frame = Vec::new();
-        encode_request(&mut frame, 42, "MNIST_2C", options, &input).unwrap();
+        let trace = TraceId::from_raw(0xDEAD_BEEF).unwrap();
+        encode_request(&mut frame, 42, "MNIST_2C", options, Some(trace), &input).unwrap();
         let decoded = decode_request(one_frame(&frame)).unwrap();
         assert_eq!(decoded.id, 42);
         assert_eq!(decoded.model, "MNIST_2C");
         assert_eq!(decoded.options, options);
+        assert_eq!(decoded.trace, Some(trace));
         assert_eq!(decoded.input.dims(), input.dims());
         let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&decoded.input), bits(&input));
@@ -864,16 +934,44 @@ mod tests {
     fn default_options_take_no_wire_space() {
         let input = Tensor::from_vec(vec![0.5], &[1]).unwrap();
         let mut with_default = Vec::new();
-        encode_request(&mut with_default, 0, "m", SubmitOptions::default(), &input).unwrap();
+        encode_request(
+            &mut with_default,
+            0,
+            "m",
+            SubmitOptions::default(),
+            None,
+            &input,
+        )
+        .unwrap();
         let mut with_both = Vec::new();
         let options = SubmitOptions {
             delta: Some(0.5),
             max_stage: Some(0),
         };
-        encode_request(&mut with_both, 0, "m", options, &input).unwrap();
+        encode_request(&mut with_both, 0, "m", options, None, &input).unwrap();
         assert_eq!(with_both.len(), with_default.len() + 8);
         let decoded = decode_request(one_frame(&with_default)).unwrap();
         assert_eq!(decoded.options, SubmitOptions::default());
+        assert_eq!(decoded.trace, None);
+        // the trace id is exactly 8 more bytes, only when present
+        let mut with_trace = Vec::new();
+        encode_request(
+            &mut with_trace,
+            0,
+            "m",
+            SubmitOptions::default(),
+            TraceId::from_raw(1),
+            &input,
+        )
+        .unwrap();
+        assert_eq!(with_trace.len(), with_default.len() + 8);
+        // a zero trace id never encodes; hand-patching one in must be
+        // rejected at decode (zero is the wire's "no trace" reserve)
+        let mut zero_trace = with_trace.clone();
+        let flags_at = 4 + 8 + 2 + 1; // frame len + id + name len + name "m"
+        assert_eq!(zero_trace[flags_at], FLAG_TRACE);
+        zero_trace[flags_at + 1..flags_at + 9].fill(0);
+        assert!(decode_request(one_frame(&zero_trace)).is_err());
     }
 
     #[test]
@@ -899,7 +997,7 @@ mod tests {
     fn decode_rejects_malformed_bodies() {
         let input = Tensor::from_vec(vec![0.5, 1.0], &[2]).unwrap();
         let mut frame = Vec::new();
-        encode_request(&mut frame, 3, "m", SubmitOptions::default(), &input).unwrap();
+        encode_request(&mut frame, 3, "m", SubmitOptions::default(), None, &input).unwrap();
         let body = one_frame(&frame);
         // truncations at every boundary fail, never panic
         for cut in 0..body.len() {

@@ -5,6 +5,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use cdl_core::network::CdlOutput;
+use cdl_telemetry::TraceId;
 
 use crate::error::{ServeError, ServeResult};
 
@@ -31,7 +32,10 @@ struct Slot {
 
 /// Creates a connected response pair: the caller keeps the [`Pending`], the
 /// server pipeline carries the [`Fulfiller`] alongside the input tensor.
-pub(crate) fn pending_pair() -> (Pending, Fulfiller) {
+/// `trace` is the request's sampled telemetry trace id, if any — surfaced
+/// on [`Pending::trace`] so callers can correlate their handle with the
+/// drained span events.
+pub(crate) fn pending_pair(trace: Option<TraceId>) -> (Pending, Fulfiller) {
     let slot = Arc::new(Slot {
         state: Mutex::new(SlotState::Waiting),
         ready: Condvar::new(),
@@ -39,6 +43,7 @@ pub(crate) fn pending_pair() -> (Pending, Fulfiller) {
     (
         Pending {
             slot: Arc::clone(&slot),
+            trace,
         },
         Fulfiller {
             slot,
@@ -56,6 +61,7 @@ pub(crate) fn pending_pair() -> (Pending, Fulfiller) {
 #[derive(Debug)]
 pub struct Pending {
     slot: Arc<Slot>,
+    trace: Option<TraceId>,
 }
 
 impl Pending {
@@ -63,6 +69,15 @@ impl Pending {
     /// block).
     pub fn is_ready(&self) -> bool {
         matches!(*self.slot.state.lock().unwrap(), SlotState::Done(_))
+    }
+
+    /// The telemetry trace id this request is being recorded under —
+    /// `Some` only when the server's [`cdl_telemetry::TelemetryConfig`]
+    /// has spans on and this request fell inside the sample. Use it to
+    /// pick this request's events out of a [`cdl_telemetry::Telemetry`]
+    /// drain.
+    pub fn trace(&self) -> Option<TraceId> {
+        self.trace
     }
 
     /// Blocks until the server produced this request's result.
@@ -180,7 +195,7 @@ mod tests {
 
     #[test]
     fn settle_then_wait() {
-        let (pending, fulfiller) = pending_pair();
+        let (pending, fulfiller) = pending_pair(None);
         assert!(!pending.is_ready());
         fulfiller.settle(Ok(output(3)));
         assert!(pending.is_ready());
@@ -189,7 +204,7 @@ mod tests {
 
     #[test]
     fn wait_blocks_until_settled_from_another_thread() {
-        let (pending, fulfiller) = pending_pair();
+        let (pending, fulfiller) = pending_pair(None);
         let handle = std::thread::spawn(move || pending.wait());
         std::thread::sleep(Duration::from_millis(10));
         fulfiller.settle(Ok(output(7)));
@@ -198,7 +213,7 @@ mod tests {
 
     #[test]
     fn wait_timeout_returns_handle_then_result() {
-        let (pending, fulfiller) = pending_pair();
+        let (pending, fulfiller) = pending_pair(None);
         let pending = pending
             .wait_timeout(Duration::from_millis(5))
             .expect_err("not settled yet");
@@ -211,7 +226,7 @@ mod tests {
 
     #[test]
     fn dropping_pending_cancels() {
-        let (pending, fulfiller) = pending_pair();
+        let (pending, fulfiller) = pending_pair(None);
         assert!(!fulfiller.is_cancelled());
         drop(pending);
         assert!(fulfiller.is_cancelled());
@@ -221,7 +236,7 @@ mod tests {
 
     #[test]
     fn dropping_fulfiller_disconnects_waiter() {
-        let (pending, fulfiller) = pending_pair();
+        let (pending, fulfiller) = pending_pair(None);
         drop(fulfiller);
         assert_eq!(pending.wait(), Err(ServeError::Disconnected));
     }

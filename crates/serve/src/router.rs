@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cdl_core::network::CdlNetwork;
+use cdl_telemetry::{SpanEvent, TelemetrySnapshot, TraceId};
 use cdl_tensor::Tensor;
 
 use crate::config::{PlacementPolicy, ReplicaSpec, ServerConfig, SubmitOptions};
@@ -320,6 +321,35 @@ impl Router {
         }
     }
 
+    /// [`Router::submit_with`] continuing a caller-supplied telemetry
+    /// trace id — the entry point the TCP edge uses so one trace covers
+    /// the wire hop, routing, and the serving replica. The id is recorded
+    /// only if the placed replica's [`crate::ServerConfig::telemetry`] has
+    /// spans on and the id falls inside its sample.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Router::submit_with`].
+    pub fn submit_with_trace(
+        &self,
+        model: ModelId,
+        input: Tensor,
+        options: SubmitOptions,
+        trace: TraceId,
+    ) -> ServeResult<Pending> {
+        let shard = self.shard(model)?;
+        let replica = &shard.replicas[shard.place()];
+        // same count-then-roll-back discipline as submit_with
+        replica.routed.fetch_add(1, Ordering::Relaxed);
+        match replica.server.submit_with_trace(input, options, trace) {
+            Ok(pending) => Ok(pending),
+            Err(e) => {
+                replica.routed.fetch_sub(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
     /// Routes a request to a replica of `model` (picked by the set's
     /// [`PlacementPolicy`]) without blocking.
     ///
@@ -376,6 +406,46 @@ impl Router {
         RouterMetrics {
             shards: self.shards.iter().map(snapshot_shard).collect(),
         }
+    }
+
+    /// A full exportable snapshot across all models and replicas: every
+    /// replica's counters and latency histogram labeled with
+    /// `model`/`replica`, plus all span events drained from every
+    /// replica's telemetry domain. Render it with
+    /// [`TelemetrySnapshot::render_prometheus`] or
+    /// [`TelemetrySnapshot::render_chrome_trace`].
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut snapshot = TelemetrySnapshot::new();
+        for shard in &self.shards {
+            for (i, replica) in shard.replicas.iter().enumerate() {
+                let index = i.to_string();
+                let labels = [("model", shard.name.as_str()), ("replica", index.as_str())];
+                replica
+                    .server
+                    .metrics()
+                    .fill_telemetry(&mut snapshot, &labels);
+            }
+        }
+        snapshot.spans = self.drain_spans();
+        snapshot
+    }
+
+    /// Drains the lifecycle span events of **every** replica of every
+    /// model, merged and sorted by timestamp. Each event's `at_ns` is
+    /// measured from its own replica's epoch; replicas start together in
+    /// [`Router::start`], so the merged ordering is only approximate
+    /// *across* traces, while intervals *within* one trace are exact (a
+    /// request's whole lifecycle is recorded by the one replica that
+    /// served it).
+    pub fn drain_spans(&self) -> Vec<SpanEvent> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for replica in &shard.replicas {
+                out.extend(replica.server.telemetry().drain());
+            }
+        }
+        out.sort_by_key(|e| e.at_ns);
+        out
     }
 
     /// Graceful drain-then-stop across **all** replicas of all models:
@@ -824,6 +894,71 @@ mod tests {
         assert_eq!(metrics.routing_histogram(), vec![10, 10]);
         assert_eq!(metrics.completed(), 20);
         assert_eq!(metrics.failed(), 0);
+    }
+
+    #[test]
+    fn adopted_traces_flow_through_routing() {
+        let net = build_untrained(arch::mnist_2c(), 5);
+        let config = ServerConfig {
+            policy: BatchPolicy::by_deadline(Duration::from_millis(1)),
+            queue_capacity: 64,
+            workers: 1,
+            telemetry: cdl_telemetry::TelemetryConfig::enabled(),
+            ..ServerConfig::default()
+        };
+        let router = Router::start(vec![ShardSpec::new("m", Arc::clone(&net), config)
+            .replicated(ReplicaSpec::new(2, PlacementPolicy::RoundRobin))])
+        .unwrap();
+        let model = router.model_id("m").unwrap();
+        let trace = TraceId::next();
+        let x = images(1).remove(0);
+        let pending = router
+            .submit_with_trace(model, x, SubmitOptions::default(), trace)
+            .unwrap();
+        assert_eq!(pending.trace(), Some(trace), "replica adopted the id");
+        pending.wait().unwrap();
+        // Exit is recorded before the result settles, so after wait() the
+        // admission-to-exit lifecycle is guaranteed drained (only Reply
+        // may still race; tests/telemetry.rs covers it post-shutdown)
+        let events = router.drain_spans();
+        let mine: Vec<_> = events.iter().filter(|e| e.trace == trace).collect();
+        assert!(
+            mine.iter()
+                .any(|e| e.kind == cdl_telemetry::EventKind::Admit),
+            "missing Admit: {mine:?}"
+        );
+        assert!(
+            mine.iter()
+                .any(|e| matches!(e.kind, cdl_telemetry::EventKind::Exit(_))),
+            "missing Exit: {mine:?}"
+        );
+        router.shutdown();
+    }
+
+    #[test]
+    fn telemetry_snapshot_labels_every_replica() {
+        let router = Router::start(two_model_specs(
+            BatchPolicy::by_deadline(Duration::from_millis(1)),
+            64,
+        ))
+        .unwrap();
+        let m2c = router.model_id("MNIST_2C").unwrap();
+        let inputs = images(4);
+        let pendings: Vec<Pending> = inputs
+            .iter()
+            .map(|x| router.submit(m2c, x.clone()).unwrap())
+            .collect();
+        for pending in pendings {
+            pending.wait().unwrap();
+        }
+        let snapshot = router.telemetry_snapshot();
+        let text = snapshot.render_prometheus();
+        assert!(text.contains(r#"model="MNIST_2C""#), "{text}");
+        assert!(text.contains(r#"model="MNIST_3C""#), "{text}");
+        assert!(text.contains(r#"replica="0""#), "{text}");
+        assert!(text.contains("cdl_requests_completed_total"), "{text}");
+        assert!(text.contains("cdl_request_latency_ns_bucket"), "{text}");
+        router.shutdown();
     }
 
     #[test]

@@ -9,6 +9,7 @@ use std::time::Instant;
 use cdl_core::batch::BatchEvaluator;
 use cdl_core::confidence::ExitOverride;
 use cdl_core::network::CdlNetwork;
+use cdl_telemetry::{EventKind, Telemetry, TelemetrySnapshot, TraceId};
 use cdl_tensor::gemm::GemmKernel;
 use cdl_tensor::Tensor;
 
@@ -86,6 +87,9 @@ struct Request {
     fulfiller: Fulfiller,
     ticket: Ticket,
     submitted_at: Instant,
+    /// Sampled telemetry trace, if lifecycle spans are being recorded for
+    /// this request.
+    trace: Option<TraceId>,
 }
 
 /// A streaming inference server over one [`CdlNetwork`].
@@ -106,6 +110,7 @@ pub struct Server {
     submit_tx: Option<Sender<Request>>,
     gate: Arc<Gate>,
     recorder: Arc<Recorder>,
+    telemetry: Telemetry,
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -120,16 +125,18 @@ impl Server {
         config.validate()?;
         let gate = Arc::new(Gate::new(config.queue_capacity));
         let recorder = Arc::new(Recorder::new(config.energy_model));
+        let telemetry = Telemetry::new(config.telemetry);
         let (submit_tx, submit_rx) = channel::<Request>();
         let (work_tx, work_rx) = channel::<Vec<Request>>();
         let work_rx = Arc::new(Mutex::new(work_rx));
 
         let batcher = {
             let recorder = Arc::clone(&recorder);
+            let telemetry = telemetry.clone();
             let policy = config.policy;
             std::thread::Builder::new()
                 .name("cdl-serve-batcher".into())
-                .spawn(move || run_batcher(submit_rx, work_tx, policy, &recorder))
+                .spawn(move || run_batcher(submit_rx, work_tx, policy, &recorder, &telemetry))
                 .expect("spawn batcher thread")
         };
         let workers = (0..config.workers)
@@ -137,10 +144,11 @@ impl Server {
                 let net = Arc::clone(&net);
                 let work_rx = Arc::clone(&work_rx);
                 let recorder = Arc::clone(&recorder);
+                let telemetry = telemetry.clone();
                 let kernel = config.gemm_kernel;
                 std::thread::Builder::new()
                     .name(format!("cdl-serve-worker-{i}"))
-                    .spawn(move || run_worker(&net, kernel, &work_rx, &recorder))
+                    .spawn(move || run_worker(&net, kernel, &work_rx, &recorder, &telemetry))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -151,6 +159,7 @@ impl Server {
             submit_tx: Some(submit_tx),
             gate,
             recorder,
+            telemetry,
             batcher: Some(batcher),
             workers,
         })
@@ -196,8 +205,31 @@ impl Server {
     /// pipeline is gone.
     pub fn submit_with(&self, input: Tensor, options: SubmitOptions) -> ServeResult<Pending> {
         options.validate_for(self.net.policy())?;
+        let trace = self.telemetry.begin_trace();
         self.gate.acquire();
-        self.admit(input, options.exit_override())
+        self.admit(input, options.exit_override(), trace)
+    }
+
+    /// [`Server::submit_with`] continuing a caller-supplied trace id
+    /// instead of allocating a fresh one — the shape the TCP edge uses so
+    /// one trace spans both sides of the wire. The id is recorded only if
+    /// this server's own [`cdl_telemetry::TelemetryConfig`] has spans on
+    /// and the id falls inside its sample (the sampling decision is a
+    /// deterministic function of the id, so client and server agree).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Server::submit_with`].
+    pub fn submit_with_trace(
+        &self,
+        input: Tensor,
+        options: SubmitOptions,
+        trace: TraceId,
+    ) -> ServeResult<Pending> {
+        options.validate_for(self.net.policy())?;
+        let trace = self.telemetry.adopt(trace);
+        self.gate.acquire();
+        self.admit(input, options.exit_override(), trace)
     }
 
     /// Submits a request without blocking.
@@ -221,27 +253,40 @@ impl Server {
     /// pipeline is gone.
     pub fn try_submit_with(&self, input: Tensor, options: SubmitOptions) -> ServeResult<Pending> {
         options.validate_for(self.net.policy())?;
+        let trace = self.telemetry.begin_trace();
         if !self.gate.try_acquire() {
             self.recorder.rejected();
             return Err(ServeError::Full);
         }
-        self.admit(input, options.exit_override())
+        self.admit(input, options.exit_override(), trace)
     }
 
-    fn admit(&self, input: Tensor, overrides: ExitOverride) -> ServeResult<Pending> {
-        let (pending, fulfiller) = pending_pair();
+    fn admit(
+        &self,
+        input: Tensor,
+        overrides: ExitOverride,
+        trace: Option<TraceId>,
+    ) -> ServeResult<Pending> {
+        if let Some(t) = trace {
+            self.telemetry.record(t, EventKind::Admit);
+        }
+        let (pending, fulfiller) = pending_pair(trace);
         let request = Request {
             input,
             overrides,
             fulfiller,
             ticket: Ticket(Arc::clone(&self.gate)),
             submitted_at: Instant::now(),
+            trace,
         };
         let tx = self.submit_tx.as_ref().expect("sender lives until drop");
         // count before sending: a fast worker may complete the request
         // before this thread resumes, and `completed > submitted` must
         // never be observable in a snapshot
         self.recorder.admitted();
+        if let Some(t) = trace {
+            self.telemetry.record(t, EventKind::Enqueue);
+        }
         if tx.send(request).is_err() {
             // batcher died; the dropped request settles the pending with
             // Disconnected and frees its ticket
@@ -254,6 +299,25 @@ impl Server {
     /// A point-in-time metrics snapshot.
     pub fn metrics(&self) -> ServerMetrics {
         self.recorder.snapshot(self.gate.depth())
+    }
+
+    /// The server's telemetry domain: drain lifecycle spans from it, or
+    /// check its configuration. Spans are recorded only when
+    /// [`crate::ServerConfig::telemetry`] enabled them.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// A full exportable snapshot: every counter and the latency histogram
+    /// from [`Server::metrics`], plus all span events drained since the
+    /// last drain. Render it with
+    /// [`TelemetrySnapshot::render_prometheus`] or
+    /// [`TelemetrySnapshot::render_chrome_trace`].
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut snapshot = TelemetrySnapshot::new();
+        self.metrics().fill_telemetry(&mut snapshot, &[]);
+        snapshot.spans = self.telemetry.drain();
+        snapshot
     }
 
     /// The current number of in-flight requests: admitted but not yet
@@ -303,6 +367,7 @@ fn run_batcher(
     work_tx: Sender<Vec<Request>>,
     policy: BatchPolicy,
     recorder: &Recorder,
+    telemetry: &Telemetry,
 ) {
     loop {
         // block for the request that opens the next batch
@@ -338,6 +403,11 @@ fn run_batcher(
         }
         let disconnected = cause == BatchCause::Flush;
         recorder.dispatched(cause);
+        for request in &batch {
+            if let Some(t) = request.trace {
+                telemetry.record(t, EventKind::BatchSeal);
+            }
+        }
         if work_tx.send(batch).is_err() {
             return; // all workers died; dropped requests settle as Disconnected
         }
@@ -355,6 +425,7 @@ fn run_worker(
     kernel: GemmKernel,
     work_rx: &Mutex<Receiver<Vec<Request>>>,
     recorder: &Recorder,
+    telemetry: &Telemetry,
 ) {
     let mut eval = BatchEvaluator::with_kernel(net, kernel);
     loop {
@@ -365,11 +436,16 @@ fn run_worker(
         let Ok(batch) = message else {
             return;
         };
-        process_batch(&mut eval, batch, recorder);
+        process_batch(&mut eval, batch, recorder, telemetry);
     }
 }
 
-fn process_batch(eval: &mut BatchEvaluator<'_>, batch: Vec<Request>, recorder: &Recorder) {
+fn process_batch(
+    eval: &mut BatchEvaluator<'_>,
+    batch: Vec<Request>,
+    recorder: &Recorder,
+    telemetry: &Telemetry,
+) {
     // partition the dispatched batch into groups of identical effective
     // override: each group is evaluated as one (sub-)batch, so the policy
     // applied to every image is exactly its request's policy while scratch
@@ -390,31 +466,59 @@ fn process_batch(eval: &mut BatchEvaluator<'_>, batch: Vec<Request>, recorder: &
     recorder.cancelled(cancelled);
     for (overrides, members) in groups {
         let mut inputs: Vec<Tensor> = Vec::with_capacity(members.len());
-        let mut live: Vec<(Fulfiller, Ticket, Instant)> = Vec::with_capacity(members.len());
+        let mut live: Vec<(Fulfiller, Ticket, Instant, Option<TraceId>)> =
+            Vec::with_capacity(members.len());
         for r in members {
             inputs.push(r.input);
-            live.push((r.fulfiller, r.ticket, r.submitted_at));
+            live.push((r.fulfiller, r.ticket, r.submitted_at, r.trace));
+        }
+        let traced = live.iter().any(|(_, _, _, t)| t.is_some());
+        for (_, _, _, trace) in &live {
+            if let Some(t) = trace {
+                telemetry.record(*t, EventKind::Dispatch);
+            }
         }
         // classify_stream, not classify_batch: a deadline-bound policy or a
         // shutdown flush can hand over a batch as large as the whole queue,
         // and the evaluator's scratch must stay bounded by its streaming
-        // chunk
-        match eval.classify_stream_with_override(&inputs, overrides) {
+        // chunk. The observed variant runs the *same* arithmetic (results
+        // stay bit-identical); the observer only reports, per cascade
+        // stage, which members were still active.
+        let result = if traced {
+            eval.classify_stream_with_override_observed(&inputs, overrides, &mut |stage, active| {
+                for &k in active {
+                    if let Some(t) = live[k].3 {
+                        telemetry.record(t, EventKind::Stage(stage as u32));
+                    }
+                }
+            })
+        } else {
+            eval.classify_stream_with_override(&inputs, overrides)
+        };
+        match result {
             Ok(outputs) => {
                 let now = Instant::now();
+                for ((_, _, _, trace), out) in live.iter().zip(&outputs) {
+                    if let Some(t) = trace {
+                        telemetry.record(*t, EventKind::Exit(out.exit_stage as u32));
+                    }
+                }
                 recorder.batch_completed(
                     live.iter()
                         .zip(&outputs)
-                        .map(|((_, _, submitted_at), out)| (now - *submitted_at, out.clone())),
+                        .map(|((_, _, submitted_at, _), out)| (now - *submitted_at, out.clone())),
                 );
-                for ((fulfiller, ticket, _), out) in live.into_iter().zip(outputs) {
+                for ((fulfiller, ticket, _, trace), out) in live.into_iter().zip(outputs) {
                     fulfiller.settle(Ok(out));
+                    if let Some(t) = trace {
+                        telemetry.record(t, EventKind::Reply);
+                    }
                     drop(ticket);
                 }
             }
             Err(e) => {
                 recorder.batch_failed(live.len() as u64);
-                for (fulfiller, ticket, _) in live {
+                for (fulfiller, ticket, _, _) in live {
                     fulfiller.settle(Err(ServeError::Eval(e.clone())));
                     drop(ticket);
                 }
@@ -490,6 +594,74 @@ mod tests {
     }
 
     #[test]
+    fn lifecycle_spans_cover_admit_to_reply_and_stay_bit_identical() {
+        let net = build_untrained();
+        let mut cfg = config(BatchPolicy::by_deadline(Duration::from_millis(2)), 64, 2);
+        cfg.telemetry = cdl_telemetry::TelemetryConfig::enabled();
+        let server = Server::start(Arc::clone(&net), cfg).unwrap();
+        let telemetry = server.telemetry().clone();
+        let inputs = images(8);
+        let pendings: Vec<Pending> = inputs
+            .iter()
+            .map(|x| server.submit(x.clone()).unwrap())
+            .collect();
+        let traces: Vec<TraceId> = pendings
+            .iter()
+            .map(|p| p.trace().expect("sampling at 1.0 records every request"))
+            .collect();
+        // tracing must not perturb results
+        for (x, pending) in inputs.iter().zip(pendings) {
+            assert_eq!(pending.wait().unwrap(), net.classify(x).unwrap());
+        }
+        server.shutdown();
+        let events = telemetry.drain();
+        for trace in traces {
+            let mine: Vec<&cdl_telemetry::SpanEvent> =
+                events.iter().filter(|e| e.trace == trace).collect();
+            for kind in [
+                EventKind::Admit,
+                EventKind::Enqueue,
+                EventKind::BatchSeal,
+                EventKind::Dispatch,
+                EventKind::Stage(0),
+                EventKind::Reply,
+            ] {
+                assert!(
+                    mine.iter().any(|e| e.kind == kind),
+                    "{trace} missing {kind:?}"
+                );
+            }
+            assert!(
+                mine.iter().any(|e| matches!(e.kind, EventKind::Exit(_))),
+                "{trace} missing Exit"
+            );
+            // drain() sorts by timestamp; the lifecycle must come back in
+            // causal order
+            let order: Vec<&EventKind> = mine.iter().map(|e| &e.kind).collect();
+            let pos = |k: &EventKind| order.iter().position(|x| *x == k).unwrap();
+            assert!(pos(&EventKind::Admit) < pos(&EventKind::BatchSeal));
+            assert!(pos(&EventKind::BatchSeal) < pos(&EventKind::Dispatch));
+            assert!(pos(&EventKind::Dispatch) < pos(&EventKind::Reply));
+        }
+        assert_eq!(telemetry.dropped(), 0);
+    }
+
+    #[test]
+    fn spans_off_means_no_trace_and_no_events() {
+        let net = build_untrained();
+        let server = Server::start(
+            Arc::clone(&net),
+            config(BatchPolicy::by_deadline(Duration::from_millis(2)), 64, 1),
+        )
+        .unwrap();
+        let pending = server.submit(images(1).pop().unwrap()).unwrap();
+        assert!(pending.trace().is_none(), "spans default off");
+        pending.wait().unwrap();
+        assert!(server.telemetry().drain().is_empty());
+        server.shutdown();
+    }
+
+    #[test]
     fn backpressure_rejects_when_full() {
         let net = build_untrained();
         // a size-bound batch that never fills: nothing completes, so the
@@ -535,7 +707,7 @@ mod tests {
         let (work_tx, work_rx) = channel::<Vec<Request>>();
         let policy = BatchPolicy::new(8, Duration::from_millis(100));
         let make = |submitted_at| {
-            let (pending, fulfiller) = pending_pair();
+            let (pending, fulfiller) = pending_pair(None);
             gate.acquire();
             let request = Request {
                 input: Tensor::full(&[1, 1, 1], 0.0),
@@ -546,6 +718,7 @@ mod tests {
                 fulfiller,
                 ticket: Ticket(Arc::clone(&gate)),
                 submitted_at,
+                trace: None,
             };
             (pending, request)
         };
@@ -554,7 +727,9 @@ mod tests {
         tx.send(r1).unwrap();
         let batcher = {
             let recorder = Arc::clone(&recorder);
-            std::thread::spawn(move || run_batcher(rx, work_tx, policy, &recorder))
+            std::thread::spawn(move || {
+                run_batcher(rx, work_tx, policy, &recorder, &Telemetry::disabled())
+            })
         };
         // budget already spent at dequeue → singleton batch, right away
         let batch = work_rx

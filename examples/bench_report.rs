@@ -1,8 +1,9 @@
 //! Machine-readable per-kernel benchmark summary: runs the 1k-image
 //! batched-inference workload and the routed-serving workload once per
-//! [`GemmKernel`] arm and writes `BENCH_5.json` (throughput + speedup vs
-//! the pinned `Reference` loops per kernel), so the perf trajectory is
-//! tracked across PRs as a committed artifact rather than scrollback.
+//! [`GemmKernel`] arm and writes `BENCH_7.json` (throughput + speedup vs
+//! the pinned `Reference` loops per kernel, plus p50/p99/p99.9 latency per
+//! leg from a [`LogHistogram`]), so the perf trajectory is tracked across
+//! PRs as a committed artifact rather than scrollback.
 //!
 //! The two workloads mirror the criterion benches (`batch` and `serve` in
 //! `crates/bench/benches/`) but take minutes → seconds: best-of-N timed
@@ -27,6 +28,7 @@ use cdl::core::network::CdlNetwork;
 use cdl::dataset::SyntheticMnist;
 use cdl::nn::trainer::LabelledSet;
 use cdl::serve::{BatchPolicy, GemmKernel, Pending, Router, ServerConfig, ShardSpec};
+use cdl::telemetry::LogHistogram;
 use cdl::tensor::Tensor;
 use serde::Serialize;
 
@@ -61,6 +63,28 @@ struct KernelResult {
     seconds: f64,
     throughput: f64,
     speedup_vs_reference: f64,
+    latency_ms: LatencyMs,
+}
+
+/// Latency quantiles in milliseconds, extracted from the leg's
+/// [`LogHistogram`] (per evaluated chunk for the batch legs, per request
+/// for the serve leg).
+#[derive(Serialize)]
+struct LatencyMs {
+    p50: f64,
+    p99: f64,
+    p999: f64,
+    max: f64,
+}
+
+fn latency_ms(h: &LogHistogram) -> LatencyMs {
+    let ms = |q: f64| h.quantile(q).unwrap_or(0) as f64 / 1e6;
+    LatencyMs {
+        p50: ms(0.5),
+        p99: ms(0.99),
+        p999: ms(0.999),
+        max: h.max_value().unwrap_or(0) as f64 / 1e6,
+    }
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -97,19 +121,20 @@ fn best_of<F: FnMut() -> usize>(passes: usize, mut f: F) -> (f64, usize) {
     (best, check)
 }
 
-fn into_results(per_kernel: Vec<(GemmKernel, f64)>, n: usize) -> Vec<KernelResult> {
+fn into_results(per_kernel: Vec<(GemmKernel, f64, LatencyMs)>, n: usize) -> Vec<KernelResult> {
     let ref_seconds = per_kernel
         .iter()
-        .find(|(k, _)| *k == GemmKernel::Reference)
+        .find(|(k, _, _)| *k == GemmKernel::Reference)
         .expect("reference always measured")
         .1;
     per_kernel
         .into_iter()
-        .map(|(kernel, seconds)| KernelResult {
+        .map(|(kernel, seconds, latency_ms)| KernelResult {
             kernel: kernel.to_string(),
             seconds,
             throughput: n as f64 / seconds,
             speedup_vs_reference: ref_seconds / seconds,
+            latency_ms,
         })
         .collect()
 }
@@ -129,18 +154,28 @@ fn batch_workload(
     let mut checks = Vec::new();
     for kernel in GemmKernel::ALL {
         let mut eval = BatchEvaluator::with_kernel(cdl, kernel);
+        // chunking matches classify_stream's shape, so results stay
+        // bit-identical to the one-big-batch pass while every chunk
+        // contributes one latency sample
+        let mut hist = LogHistogram::new();
         let (seconds, check) = best_of(passes, || {
-            eval.classify_batch(images)
-                .expect("batch evaluation failed")
-                .iter()
-                .map(|o| o.exit_stage)
-                .sum()
+            let mut sum = 0usize;
+            for chunk in images.chunks(BatchEvaluator::STREAM_CHUNK) {
+                let started = Instant::now();
+                let outs = eval.classify_batch(chunk).expect("batch evaluation failed");
+                hist.record_duration(started.elapsed());
+                sum += outs.iter().map(|o| o.exit_stage).sum::<usize>();
+            }
+            sum
         });
+        let latency = latency_ms(&hist);
         println!(
-            "{name} {kernel:>9}: {:.1} images/s ({seconds:.4}s)",
-            images.len() as f64 / seconds
+            "{name} {kernel:>9}: {:.1} images/s ({seconds:.4}s, chunk p50 {:.2}ms p99.9 {:.2}ms)",
+            images.len() as f64 / seconds,
+            latency.p50,
+            latency.p999,
         );
-        per_kernel.push((kernel, seconds));
+        per_kernel.push((kernel, seconds, latency));
         checks.push(check);
     }
     assert!(
@@ -198,12 +233,17 @@ fn serve_workload(
                 .map(|p| p.wait().expect("request failed").exit_stage)
                 .sum()
         });
-        router.shutdown();
+        let metrics = router.shutdown();
+        // per-request latency over every pass (warmup included), merged
+        // across both shards' replica histograms
+        let latency = latency_ms(&metrics.latency_histogram());
         println!(
-            "routed_serve {kernel:>9}: {:.1} req/s ({seconds:.4}s)",
-            requests as f64 / seconds
+            "routed_serve {kernel:>9}: {:.1} req/s ({seconds:.4}s, p50 {:.2}ms p99.9 {:.2}ms)",
+            requests as f64 / seconds,
+            latency.p50,
+            latency.p999,
         );
-        per_kernel.push((kernel, seconds));
+        per_kernel.push((kernel, seconds, latency));
         checks.push(check);
     }
     assert!(
@@ -223,7 +263,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let passes = env_usize("CDL_BENCH_PASSES", 3);
     let serve_requests = env_usize("CDL_BENCH_SERVE_REQUESTS", 2000);
     let report_path =
-        std::env::var("CDL_BENCH_REPORT_PATH").unwrap_or_else(|_| "BENCH_5.json".into());
+        std::env::var("CDL_BENCH_REPORT_PATH").unwrap_or_else(|_| "BENCH_7.json".into());
     let workers = env_usize(
         "CDL_SERVE_WORKERS",
         std::thread::available_parallelism()
@@ -243,7 +283,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let report = Report {
-        pr: 5,
+        pr: 7,
         generated_by: "cargo run --release --example bench_report".into(),
         host: Host {
             avx2: GemmKernel::simd_available(),
@@ -270,8 +310,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for w in &report.workloads {
         for r in &w.results {
             println!(
-                "  {} {:>9}: {:>8.1} {} ({:.2}x vs reference)",
-                w.name, r.kernel, r.throughput, w.unit, r.speedup_vs_reference
+                "  {} {:>9}: {:>8.1} {} ({:.2}x vs reference, p50 {:.2}ms / p99 {:.2}ms / p99.9 {:.2}ms)",
+                w.name,
+                r.kernel,
+                r.throughput,
+                w.unit,
+                r.speedup_vs_reference,
+                r.latency_ms.p50,
+                r.latency_ms.p99,
+                r.latency_ms.p999,
             );
         }
     }

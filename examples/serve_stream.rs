@@ -35,8 +35,8 @@ use cdl::core::network::CdlNetwork;
 use cdl::dataset::SyntheticMnist;
 use cdl::nn::trainer::LabelledSet;
 use cdl::serve::{
-    BatchPolicy, GemmKernel, Pending, PlacementPolicy, ReplicaSpec, Router, ServerConfig,
-    ShardSpec, SubmitOptions,
+    BatchPolicy, GemmKernel, Pending, PhaseBreakdown, PlacementPolicy, ReplicaSpec, Router,
+    ServerConfig, ShardSpec, SubmitOptions, TelemetryConfig,
 };
 use cdl::tensor::Tensor;
 
@@ -359,5 +359,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              throughput assert skipped"
         );
     }
+
+    // 8. Lifecycle tracing: the same workload once more with spans on
+    //    (every request traced), then the mean per-stage breakdown of the
+    //    request lifecycle — where a request's wall time actually goes:
+    //    batcher queue vs work queue vs cascade evaluation vs reply.
+    println!("\n=== request-lifecycle tracing (spans on, sample rate 1.0) ===");
+    let traced_config = ServerConfig {
+        telemetry: TelemetryConfig::enabled(),
+        ..config.clone()
+    };
+    let router = Router::start(vec![
+        ShardSpec::new("MNIST_2C", Arc::clone(&m2c), traced_config.clone()),
+        ShardSpec::new("MNIST_3C", Arc::clone(&m3c), traced_config),
+    ])?;
+    let models = [
+        router.model_id("MNIST_2C").expect("registered"),
+        router.model_id("MNIST_3C").expect("registered"),
+    ];
+    let (traced_elapsed, outputs) = run_workload(&router, &models);
+    assert_eq!(outputs.len(), requests);
+    // tracing must be invisible in the answers
+    for (i, out) in &outputs {
+        if i % 97 == 0 {
+            let expected = nets[i % 2]
+                .classify_with_override(&stream[*i], service_level(*i).exit_override())?;
+            assert_eq!(*out, expected, "request {i} with tracing enabled");
+        }
+    }
+    // every handle has resolved, so every trace is complete through its
+    // cascade-exit event; the handful of reply events still in flight at
+    // drain time only shrink `traces`, never skew the means
+    let spans = router.drain_spans();
+    let breakdown = PhaseBreakdown::from_events(&spans);
+    assert!(
+        breakdown.traces > 0,
+        "expected completed traces in {spans:?}"
+    );
+    println!(
+        "traced pass: {} requests in {:.3}s ({:.0} req/s), {} span events drained",
+        requests,
+        traced_elapsed.as_secs_f64(),
+        requests as f64 / traced_elapsed.as_secs_f64(),
+        spans.len(),
+    );
+    println!("{breakdown}");
+    router.shutdown();
     Ok(())
 }

@@ -18,7 +18,11 @@
 //!   overrides, a sharded multi-model [`serve::Router`] front-end with
 //!   per-model replica sets ([`serve::ReplicaSpec`] + placement policies),
 //!   and a length-prefixed TCP edge ([`serve::TcpServer`] /
-//!   [`serve::TcpClient`]).
+//!   [`serve::TcpClient`]),
+//! * [`telemetry`] — mergeable log-bucketed latency histograms
+//!   ([`telemetry::LogHistogram`]) behind every serving metric, optional
+//!   per-request lifecycle spans, and Prometheus / Chrome-trace export
+//!   ([`telemetry::TelemetrySnapshot`]).
 //!
 //! ## Workspace layout & building
 //!
@@ -31,6 +35,7 @@
 //! crates/hw        cdl-hw       energy model
 //! crates/core      cdl-core     the CDL mechanism (Algorithms 1 & 2)
 //! crates/serve     cdl-serve    streaming server w/ dynamic batching
+//! crates/telemetry cdl-telemetry mergeable histograms + lifecycle spans
 //! crates/bench     cdl-bench    experiment harness (fig*/table* binaries)
 //! vendor/*                      offline stand-ins for rand, serde(+derive),
 //!                               serde_json, proptest, criterion, rayon, bytes
@@ -88,7 +93,9 @@
 //! ([`serve::ServerConfig`]'s `gemm_kernel`); `cargo bench -p cdl-bench
 //! --bench batch` A/Bs the kernels on a 1k-image stream, and
 //! `cargo run --release --example bench_report` writes the machine-
-//! readable per-kernel throughput summary `BENCH_5.json`.
+//! readable per-kernel throughput summary `BENCH_7.json` (now with
+//! p50/p99/p99.9 latency per leg, from the same [`telemetry::LogHistogram`]
+//! the server metrics use).
 //!
 //! ## Streaming serving
 //!
@@ -224,10 +231,62 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Telemetry: tail latencies & request-lifecycle tracing
+//!
+//! Every latency figure in the serving stack is backed by
+//! [`telemetry::LogHistogram`] — a mergeable log-bucketed (HDR-style)
+//! histogram with O(1) recording, exact min/mean/max, and quantiles
+//! within a documented 1/64 relative error over the whole lifetime of the
+//! server (no sliding window, no unbounded sample buffer). Because merge
+//! is associative, [`serve::ShardMetrics::latency`] and
+//! [`serve::RouterMetrics::latency`] fold the per-replica histograms into
+//! **true cross-replica tails** (p99/p99.9/p99.99 of the merged
+//! distribution, not an average of per-replica percentiles).
+//!
+//! Switching [`serve::ServerConfig`]'s `telemetry` to
+//! [`telemetry::TelemetryConfig::enabled`] additionally records a
+//! per-request lifecycle span — admit, enqueue, batch-seal, dispatch,
+//! each cascade stage, exit, reply — into lock-free per-thread rings,
+//! deterministically sampled by [`telemetry::TraceId`] (a client id
+//! carried across the TCP edge is resampled to the *same* decision
+//! server-side). [`serve::Server::telemetry_snapshot`] /
+//! [`serve::Router::telemetry_snapshot`] bundle counters, histograms and
+//! drained spans for [`telemetry::TelemetrySnapshot::render_prometheus`]
+//! or [`telemetry::TelemetrySnapshot::render_chrome_trace`]
+//! (`chrome://tracing`-loadable JSON), and
+//! [`telemetry::PhaseBreakdown`] condenses drained spans into mean
+//! queue-wait / batch-wait / eval / reply times (`tests/telemetry.rs`
+//! pins the error bound, the merge law, and trace propagation across the
+//! TCP loopback).
+//!
+//! ```
+//! use cdl::telemetry::{EventKind, LogHistogram, Telemetry, TelemetryConfig};
+//!
+//! // mergeable tails: two replicas' histograms fold into one
+//! let mut a = LogHistogram::new();
+//! let mut b = LogHistogram::new();
+//! for v in 0..1000u64 {
+//!     a.record(v);
+//!     b.record(10 * v);
+//! }
+//! let mut merged = a.clone();
+//! merged.merge(&b);
+//! assert_eq!(merged.count(), 2000);
+//! assert_eq!(merged.max_value(), b.max_value());
+//!
+//! // lifecycle spans: record on any thread, drain centrally
+//! let telemetry = Telemetry::new(TelemetryConfig::enabled());
+//! let trace = telemetry.begin_trace().expect("sample_rate 1.0");
+//! telemetry.record(trace, EventKind::Admit);
+//! telemetry.record(trace, EventKind::Reply);
+//! assert_eq!(telemetry.drain().len(), 2);
+//! ```
 
 pub use cdl_core as core;
 pub use cdl_dataset as dataset;
 pub use cdl_hw as hw;
 pub use cdl_nn as nn;
 pub use cdl_serve as serve;
+pub use cdl_telemetry as telemetry;
 pub use cdl_tensor as tensor;
