@@ -155,6 +155,76 @@ impl FromStr for ReplicaSpec {
     }
 }
 
+/// Priority class of a submission, used by the admission gate to decide
+/// which requests to shed first under load.
+///
+/// The gate admits each class only up to a fraction of
+/// [`ServerConfig::queue_capacity`]: [`Priority::High`] may fill the whole
+/// gate, [`Priority::Normal`] roughly the lower two thirds, and
+/// [`Priority::Low`] roughly the lower third. As queue depth rises the low
+/// classes are refused first (a typed [`ServeError::Shed`]), reserving the
+/// remaining headroom for higher classes — strict priority admission
+/// without reordering the FIFO queue.
+///
+/// The default is [`Priority::High`]: a request that never states a
+/// priority behaves exactly as before priorities existed (admitted until
+/// the gate is completely full). Lower classes are strictly opt-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Admitted until the gate is completely full (the pre-priority
+    /// behavior, and the default).
+    #[default]
+    High,
+    /// Shed once the gate passes roughly two thirds of capacity.
+    Normal,
+    /// Shed first: admitted only while the gate is under roughly one third
+    /// of capacity.
+    Low,
+}
+
+impl Priority {
+    /// Number of priority classes (array-index bound for per-class
+    /// counters).
+    pub const COUNT: usize = 3;
+
+    /// Every priority class, highest first.
+    pub const ALL: [Priority; Priority::COUNT] = [Priority::High, Priority::Normal, Priority::Low];
+
+    /// Class index: 0 = [`Priority::High`] … 2 = [`Priority::Low`].
+    pub fn class(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`Priority::class`] (and of the u8 wire encoding).
+    pub fn from_class(class: u8) -> Option<Priority> {
+        match class {
+            0 => Some(Priority::High),
+            1 => Some(Priority::Normal),
+            2 => Some(Priority::Low),
+            _ => None,
+        }
+    }
+
+    /// Gate occupancy below which this class is still admitted, for a gate
+    /// of `capacity` slots: `High` ⇒ the full capacity, lower classes ⇒
+    /// proportionally smaller ceilings (always ≥ 1 so a lone low-priority
+    /// request on an idle server is never refused).
+    pub fn admission_limit(self, capacity: usize) -> usize {
+        let keep = Priority::COUNT - self.class();
+        (capacity * keep).div_ceil(Priority::COUNT).max(1)
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        })
+    }
+}
+
 /// Per-request overrides carried on a submission — the runtime-adjustable
 /// accuracy/energy trade-off of the paper's Fig. 10, exposed per request so
 /// one stream can mix service levels.
@@ -170,6 +240,18 @@ impl FromStr for ReplicaSpec {
 /// evaluation, so responses stay **bit-identical** to
 /// [`cdl_core::network::CdlNetwork::classify_with_override`] regardless of
 /// which batch (and which mix of overrides) a request lands in.
+///
+/// Beyond the accuracy/energy knobs, a submission can carry service-level
+/// metadata for overload control:
+///
+/// * `deadline` — a per-request latency budget, measured from admission. A
+///   request still queued when its budget runs out is settled with
+///   [`ServeError::Expired`] at batch formation or dispatch time, spending
+///   zero evaluator ops (the queue-level analogue of early exit).
+/// * `priority` — the admission class; lower classes are shed first as the
+///   gate fills (see [`Priority`]).
+/// * `tenant` — an opaque tenant id for per-tenant admission quotas
+///   ([`ServerConfig::tenant_quota`]) and per-tenant shed/expired counters.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SubmitOptions {
     /// Replacement δ for this request (`None` = the model's configured
@@ -178,6 +260,16 @@ pub struct SubmitOptions {
     /// Deepest conditional stage this request may cascade to (`None` = no
     /// cap).
     pub max_stage: Option<usize>,
+    /// Latency budget measured from admission; once it elapses the request
+    /// is shed unevaluated with [`ServeError::Expired`] (`None` = never
+    /// expires).
+    pub deadline: Option<Duration>,
+    /// Admission priority class (default [`Priority::High`] — the
+    /// pre-priority behavior).
+    pub priority: Priority,
+    /// Tenant id for quota accounting (`None` = untenanted: exempt from
+    /// quotas, counted only in the aggregate counters).
+    pub tenant: Option<u32>,
 }
 
 impl SubmitOptions {
@@ -185,16 +277,42 @@ impl SubmitOptions {
     pub fn with_delta(delta: f32) -> Self {
         SubmitOptions {
             delta: Some(delta),
-            max_stage: None,
+            ..SubmitOptions::default()
         }
     }
 
     /// Caps only the cascade depth.
     pub fn with_max_stage(max_stage: usize) -> Self {
         SubmitOptions {
-            delta: None,
             max_stage: Some(max_stage),
+            ..SubmitOptions::default()
         }
+    }
+
+    /// Sets only a per-request deadline.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        SubmitOptions {
+            deadline: Some(deadline),
+            ..SubmitOptions::default()
+        }
+    }
+
+    /// Returns these options with `deadline` set (builder-style).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Returns these options with `priority` set (builder-style).
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Returns these options with `tenant` set (builder-style).
+    pub fn tenant(mut self, tenant: u32) -> Self {
+        self.tenant = Some(tenant);
+        self
     }
 
     /// The [`ExitOverride`] these options apply to the evaluator.
@@ -333,6 +451,13 @@ pub struct ServerConfig {
     /// sample rate. Off by default — recording calls then cost one branch,
     /// so the instrumentation stays compiled into production paths.
     pub telemetry: TelemetryConfig,
+    /// Per-tenant cap on in-flight requests: a submission carrying
+    /// [`SubmitOptions::tenant`] is refused with
+    /// [`ServeError::QuotaExceeded`] while that tenant already has this
+    /// many requests admitted on the replica, no matter how empty the gate
+    /// is — one noisy tenant cannot crowd out the rest. `None` (default)
+    /// disables quotas; untenanted submissions are always exempt.
+    pub tenant_quota: Option<usize>,
 }
 
 impl ServerConfig {
@@ -351,6 +476,11 @@ impl ServerConfig {
         if self.workers == 0 {
             return Err(ServeError::BadConfig("workers must be >= 1".into()));
         }
+        if self.tenant_quota == Some(0) {
+            return Err(ServeError::BadConfig(
+                "tenant_quota must be >= 1 when set (use None to disable quotas)".into(),
+            ));
+        }
         self.telemetry.validate().map_err(ServeError::BadConfig)?;
         Ok(())
     }
@@ -368,6 +498,7 @@ impl Default for ServerConfig {
             energy_model: EnergyModel::cmos_45nm(),
             gemm_kernel: GemmKernel::default(),
             telemetry: TelemetryConfig::default(),
+            tenant_quota: None,
         }
     }
 }
@@ -491,6 +622,57 @@ mod tests {
             ..ServerConfig::default()
         };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn priority_defaults_high_and_limits_are_monotone() {
+        // the default class keeps the pre-priority behavior: full capacity
+        assert_eq!(Priority::default(), Priority::High);
+        assert_eq!(SubmitOptions::default().priority, Priority::High);
+        for capacity in [1, 2, 3, 4, 7, 64, 1000] {
+            assert_eq!(Priority::High.admission_limit(capacity), capacity);
+            let mut prev = capacity + 1;
+            for p in Priority::ALL {
+                let limit = p.admission_limit(capacity);
+                assert!(limit >= 1, "class {p} starved at capacity {capacity}");
+                assert!(limit <= prev, "limits must not grow as class drops");
+                prev = limit;
+            }
+        }
+        for p in Priority::ALL {
+            assert_eq!(Priority::from_class(p.class() as u8), Some(p));
+        }
+        assert_eq!(Priority::from_class(3), None);
+    }
+
+    #[test]
+    fn submit_options_builders_compose() {
+        let opts = SubmitOptions::with_delta(0.8)
+            .deadline(Duration::from_millis(5))
+            .priority(Priority::Low)
+            .tenant(7);
+        assert_eq!(opts.delta, Some(0.8));
+        assert_eq!(opts.deadline, Some(Duration::from_millis(5)));
+        assert_eq!(opts.priority, Priority::Low);
+        assert_eq!(opts.tenant, Some(7));
+        let opts = SubmitOptions::with_deadline(Duration::from_secs(1));
+        assert_eq!(opts.deadline, Some(Duration::from_secs(1)));
+        assert_eq!(opts.delta, None);
+        assert_eq!(opts.priority, Priority::High);
+    }
+
+    #[test]
+    fn zero_tenant_quota_rejected() {
+        let bad = ServerConfig {
+            tenant_quota: Some(0),
+            ..ServerConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let ok = ServerConfig {
+            tenant_quota: Some(1),
+            ..ServerConfig::default()
+        };
+        assert!(ok.validate().is_ok());
     }
 
     #[test]

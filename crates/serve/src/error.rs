@@ -3,6 +3,7 @@
 use cdl_core::CdlError;
 use std::fmt;
 
+use crate::config::Priority;
 use crate::router::ModelId;
 
 /// Result alias used throughout `cdl-serve`.
@@ -32,6 +33,22 @@ pub enum ServeError {
     /// The [`crate::ModelId`] on a routed request matches no shard of the
     /// [`crate::Router`]. The request was **not** admitted.
     UnknownModel(ModelId),
+    /// The request's deadline passed before it reached the evaluator. The
+    /// serving pipeline settled it at batch formation or dispatch time
+    /// without spending any evaluator ops — the queue-level analogue of
+    /// early exit.
+    Expired,
+    /// The admission gate shed the request because its priority class is
+    /// not admitted at the current queue depth (lower classes are shed
+    /// first as the gate fills). The request was **not** admitted.
+    Shed(Priority),
+    /// The tenant already has its full quota of requests in flight on this
+    /// replica. The request was **not** admitted.
+    QuotaExceeded(u32),
+    /// The input tensor's shape does not match the model's expected input
+    /// shape. Caught at admission so one wrong-shaped tensor can never
+    /// poison co-batched neighbors. The request was **not** admitted.
+    BadInput(String),
 }
 
 impl fmt::Display for ServeError {
@@ -44,6 +61,10 @@ impl fmt::Display for ServeError {
             ServeError::BadConfig(msg) => write!(f, "bad server configuration: {msg}"),
             ServeError::BadOptions(msg) => write!(f, "bad submit options: {msg}"),
             ServeError::UnknownModel(id) => write!(f, "no shard serves model {id}"),
+            ServeError::Expired => write!(f, "deadline expired before evaluation"),
+            ServeError::Shed(p) => write!(f, "shed at admission (priority class {p})"),
+            ServeError::QuotaExceeded(t) => write!(f, "tenant {t} is at its in-flight quota"),
+            ServeError::BadInput(msg) => write!(f, "bad input tensor: {msg}"),
         }
     }
 }

@@ -69,6 +69,21 @@
 //!   Backpressure stays per replica, the routed/submitted cross-check
 //!   holds per replica ([`metrics::ReplicaMetrics`]), and responses are
 //!   bit-identical whichever replica serves them.
+//! * **Overload control** ([`SubmitOptions::deadline`] / [`Priority`] /
+//!   [`ServerConfig::tenant_quota`]): each request may carry a latency
+//!   budget, an admission class, and a tenant id. A request still queued
+//!   when its deadline passes is settled with [`ServeError::Expired`] at
+//!   batch-formation or dispatch time, spending **zero** evaluator ops —
+//!   the queue-level analogue of early exit. As the gate fills, lower
+//!   priority classes are refused first (typed [`ServeError::Shed`]), and
+//!   tenants over their in-flight quota get [`ServeError::QuotaExceeded`]
+//!   without disturbing anyone else. Shed/expired counts are broken out
+//!   per class and per tenant in [`ServerMetrics`].
+//! * **Input validation**: submissions are shape-checked against the
+//!   model's declared input spec at admission ([`ServeError::BadInput`]),
+//!   so one malformed tensor can no longer poison the co-batched requests
+//!   around it; if a batch still fails as a group, workers re-evaluate
+//!   its members individually so only the offending request fails.
 //! * **Network edge** ([`net`]): a length-prefixed binary TCP protocol
 //!   ([`TcpServer`] / [`TcpClient`]) in front of the router — pipelined
 //!   request ids per connection, per-connection writer threads draining
@@ -137,7 +152,9 @@ pub use cdl_telemetry::{
     TelemetrySnapshot, TraceId,
 };
 pub use cdl_tensor::gemm::GemmKernel;
-pub use config::{BatchPolicy, PlacementPolicy, ReplicaSpec, ServerConfig, SubmitOptions};
+pub use config::{
+    BatchPolicy, PlacementPolicy, Priority, ReplicaSpec, ServerConfig, SubmitOptions,
+};
 pub use error::{ServeError, ServeResult};
 pub use metrics::{LatencyStats, ReplicaMetrics, RouterMetrics, ServerMetrics, ShardMetrics};
 pub use net::{ErrorCode, ErrorReply, TcpClient, TcpServer};

@@ -10,6 +10,7 @@
 //! cross-replica tail percentiles instead of unaggregatable per-server
 //! numbers.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -18,7 +19,7 @@ use std::time::{Duration, Instant};
 use cdl_hw::{EnergyModel, OpCount};
 use cdl_telemetry::{LogHistogram, TelemetrySnapshot};
 
-use crate::config::PlacementPolicy;
+use crate::config::{PlacementPolicy, Priority};
 
 /// Latency distribution over completed requests (submit → result).
 ///
@@ -97,6 +98,28 @@ pub struct ServerMetrics {
     pub cancelled: u64,
     /// Requests that failed (evaluator error / pipeline teardown).
     pub failed: u64,
+    /// Admitted requests whose deadline passed before evaluation — settled
+    /// with [`crate::ServeError::Expired`] at batch formation or dispatch
+    /// time, spending zero evaluator ops. Never recorded in the latency
+    /// histogram (only served requests are).
+    pub expired: u64,
+    /// Submissions refused at the admission gate by overload control: a
+    /// priority class above its admission limit
+    /// ([`crate::ServeError::Shed`]) or a tenant over its quota
+    /// ([`crate::ServeError::QuotaExceeded`]). Disjoint from `rejected`,
+    /// which counts only capacity bounces of the default class.
+    pub shed: u64,
+    /// `expired_by_class[c]` = expired requests of priority class `c`
+    /// ([`Priority::class`] index order, high → low).
+    pub expired_by_class: [u64; Priority::COUNT],
+    /// `shed_by_class[c]` = shed submissions of priority class `c`.
+    pub shed_by_class: [u64; Priority::COUNT],
+    /// Expired requests per tenant id, sorted by tenant (untenanted
+    /// requests appear only in the aggregate `expired`).
+    pub expired_by_tenant: Vec<(u32, u64)>,
+    /// Shed submissions per tenant id, sorted by tenant (quota refusals
+    /// always carry a tenant and land here).
+    pub shed_by_tenant: Vec<(u32, u64)>,
     /// Admitted requests not yet completed/cancelled/failed.
     pub queue_depth: usize,
     /// Batches evaluated (batches whose live requests were all cancelled
@@ -160,6 +183,25 @@ impl fmt::Display for ServerMetrics {
             self.rejected,
             self.queue_depth,
         )?;
+        if self.expired > 0 || self.shed > 0 {
+            let by_class: Vec<String> = Priority::ALL
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{p}:{}e/{}s",
+                        self.expired_by_class[p.class()],
+                        self.shed_by_class[p.class()]
+                    )
+                })
+                .collect();
+            writeln!(
+                f,
+                "overload: {} expired, {} shed ({})",
+                self.expired,
+                self.shed,
+                by_class.join(" "),
+            )?;
+        }
         writeln!(
             f,
             "batches: {} evaluated (mean size {:.1}; dispatched {} full / {} deadline / {} flush)",
@@ -217,6 +259,23 @@ impl ServerMetrics {
         snapshot.push_counter("cdl_requests_rejected_total", labels, self.rejected);
         snapshot.push_counter("cdl_requests_cancelled_total", labels, self.cancelled);
         snapshot.push_counter("cdl_requests_failed_total", labels, self.failed);
+        snapshot.push_counter("cdl_requests_expired_total", labels, self.expired);
+        snapshot.push_counter("cdl_requests_shed_total", labels, self.shed);
+        for p in Priority::ALL {
+            let class = p.to_string();
+            let mut class_labels: Vec<(&str, &str)> = labels.to_vec();
+            class_labels.push(("class", class.as_str()));
+            snapshot.push_counter(
+                "cdl_requests_expired_by_class_total",
+                &class_labels,
+                self.expired_by_class[p.class()],
+            );
+            snapshot.push_counter(
+                "cdl_requests_shed_by_class_total",
+                &class_labels,
+                self.shed_by_class[p.class()],
+            );
+        }
         snapshot.push_counter("cdl_batches_total", labels, self.batches);
         snapshot.push_counter("cdl_queue_depth", labels, self.queue_depth as u64);
         snapshot.push_histogram(
@@ -290,6 +349,17 @@ impl ShardMetrics {
     /// Total requests failed across this model's replicas.
     pub fn failed(&self) -> u64 {
         self.replicas.iter().map(|r| r.metrics.failed).sum()
+    }
+
+    /// Total requests expired unevaluated across this model's replicas.
+    pub fn expired(&self) -> u64 {
+        self.replicas.iter().map(|r| r.metrics.expired).sum()
+    }
+
+    /// Total submissions shed by overload control across this model's
+    /// replicas.
+    pub fn shed(&self) -> u64 {
+        self.replicas.iter().map(|r| r.metrics.shed).sum()
     }
 
     /// Total in-flight requests across this model's replicas — the live
@@ -414,6 +484,17 @@ impl RouterMetrics {
         self.shards.iter().map(|s| s.failed()).sum()
     }
 
+    /// Total requests expired unevaluated across all models and replicas.
+    pub fn expired(&self) -> u64 {
+        self.shards.iter().map(|s| s.expired()).sum()
+    }
+
+    /// Total submissions shed by overload control across all models and
+    /// replicas.
+    pub fn shed(&self) -> u64 {
+        self.shards.iter().map(|s| s.shed()).sum()
+    }
+
     /// Total in-flight requests across all models and replicas.
     pub fn queue_depth(&self) -> usize {
         self.shards.iter().map(|s| s.queue_depth()).sum()
@@ -536,6 +617,12 @@ struct Counters {
     completed: u64,
     cancelled: u64,
     failed: u64,
+    expired: u64,
+    shed: u64,
+    expired_by_class: [u64; Priority::COUNT],
+    shed_by_class: [u64; Priority::COUNT],
+    expired_by_tenant: BTreeMap<u32, u64>,
+    shed_by_tenant: BTreeMap<u32, u64>,
     batches_full: u64,
     batches_deadline: u64,
     batches_flushed: u64,
@@ -606,6 +693,28 @@ impl Recorder {
         self.counters.lock().unwrap().failed += n;
     }
 
+    /// Records an admitted request settled [`crate::ServeError::Expired`]
+    /// at a shed point (batch formation or dispatch), unevaluated.
+    pub(crate) fn expired(&self, priority: Priority, tenant: Option<u32>) {
+        let mut c = self.counters.lock().unwrap();
+        c.expired += 1;
+        c.expired_by_class[priority.class()] += 1;
+        if let Some(t) = tenant {
+            *c.expired_by_tenant.entry(t).or_insert(0) += 1;
+        }
+    }
+
+    /// Records a submission refused at the admission gate by overload
+    /// control (priority class over its limit, or tenant over quota).
+    pub(crate) fn shed(&self, priority: Priority, tenant: Option<u32>) {
+        let mut c = self.counters.lock().unwrap();
+        c.shed += 1;
+        c.shed_by_class[priority.class()] += 1;
+        if let Some(t) = tenant {
+            *c.shed_by_tenant.entry(t).or_insert(0) += 1;
+        }
+    }
+
     /// Records one evaluated batch: per-request latencies, exits and op
     /// accounting.
     pub(crate) fn batch_completed(
@@ -656,6 +765,12 @@ impl Recorder {
             completed: c.completed,
             cancelled: c.cancelled,
             failed: c.failed,
+            expired: c.expired,
+            shed: c.shed,
+            expired_by_class: c.expired_by_class,
+            shed_by_class: c.shed_by_class,
+            expired_by_tenant: c.expired_by_tenant.iter().map(|(&t, &n)| (t, n)).collect(),
+            shed_by_tenant: c.shed_by_tenant.iter().map(|(&t, &n)| (t, n)).collect(),
             queue_depth,
             batches,
             batches_full: c.batches_full,
@@ -924,6 +1039,33 @@ mod tests {
         assert!(snap.throughput_rps > 0.0);
         let uptime_rate = snap.completed as f64 / snap.elapsed.as_secs_f64();
         assert!((snap.throughput_rps - uptime_rate).abs() <= uptime_rate * 0.5);
+    }
+
+    #[test]
+    fn recorder_tracks_shed_and_expired_per_class_and_tenant() {
+        let rec = Recorder::new(EnergyModel::cmos_45nm());
+        rec.shed(Priority::Low, Some(1));
+        rec.shed(Priority::Low, Some(1));
+        rec.shed(Priority::Normal, None);
+        rec.expired(Priority::High, Some(2));
+        rec.expired(Priority::Low, None);
+        let snap = rec.snapshot(0);
+        assert_eq!(snap.shed, 3);
+        assert_eq!(snap.expired, 2);
+        assert_eq!(snap.shed_by_class, [0, 1, 2]);
+        assert_eq!(snap.expired_by_class, [1, 0, 1]);
+        assert_eq!(snap.shed_by_tenant, vec![(1, 2)]);
+        assert_eq!(snap.expired_by_tenant, vec![(2, 1)]);
+        // shed/expired never pollute the served-latency histogram
+        assert!(snap.latency.is_none());
+        let text = snap.to_string();
+        assert!(text.contains("overload: 2 expired, 3 shed"));
+        let mut telemetry = TelemetrySnapshot::new();
+        snap.fill_telemetry(&mut telemetry, &[("model", "A")]);
+        let text = telemetry.render_prometheus();
+        assert!(text.contains("cdl_requests_expired_total{model=\"A\"} 2"));
+        assert!(text.contains("cdl_requests_shed_total{model=\"A\"} 3"));
+        assert!(text.contains("cdl_requests_shed_by_class_total{model=\"A\",class=\"low\"} 2"));
     }
 
     #[test]

@@ -23,20 +23,42 @@
 //! u64 request id        (client-chosen; echoed verbatim in the response)
 //! u16 model-name length, then that many UTF-8 bytes
 //! u8  option flags      (bit0: δ override follows, bit1: stage cap follows,
-//!                        bit2: telemetry trace id follows)
+//!                        bit2: telemetry trace id follows, bit3: deadline
+//!                        follows, bit4: priority class follows, bit5:
+//!                        tenant id follows)
 //! f32 δ override        (iff bit0)
 //! u32 max stage         (iff bit1)
 //! u64 trace id          (iff bit2; non-zero — zero is reserved for "no
 //!                        trace" and rejected as malformed)
+//! u64 deadline          (iff bit3; relative nanoseconds from admission —
+//!                        the server sheds the request with an `Expired`
+//!                        reply if it cannot dispatch in time)
+//! u8  priority class    (iff bit4; 0 = high, 1 = normal, 2 = low —
+//!                        anything else is rejected as malformed)
+//! u32 tenant id         (iff bit5; counted against the server's
+//!                        per-tenant in-flight quota, if one is set)
 //! u8  rank, then u32 × rank dims, then f32 × volume payload
 //! ```
 //!
-//! The trace-id flag bit is backward compatible in both directions: old
-//! frames (bit2 clear) decode unchanged, and an untraced request costs no
-//! wire space. A traced request continues the client's
-//! [`cdl_telemetry::TraceId`] on the server side — the serving replica
-//! re-derives the sampling decision from the id itself, so one trace
-//! covers the wire hop without any coordination.
+//! Every flag bit is backward compatible in both directions: old frames
+//! (bits 2–5 clear) decode unchanged, and a request carrying only default
+//! options costs no wire space beyond the flags byte. A traced request
+//! continues the client's [`cdl_telemetry::TraceId`] on the server side —
+//! the serving replica re-derives the sampling decision from the id
+//! itself, so one trace covers the wire hop without any coordination.
+//!
+//! # Overload control at the edge
+//!
+//! Deadline, priority, and tenant travel with the request and are enforced
+//! by the admission gate and batcher behind the edge, exactly as for
+//! in-process submits. Refusals come back as typed error replies:
+//! [`ErrorCode::Expired`] (deadline passed before dispatch — zero
+//! evaluator ops were spent), [`ErrorCode::Shed`] (admission shed a
+//! lower-priority request under load), and [`ErrorCode::Quota`] (the
+//! tenant is at its in-flight cap). A request with no deadline is never
+//! shed once admitted: the reader back-pressures its own connection's
+//! pipeline instead, re-checking the stop and dead flags every [`POLL`]
+//! so a saturated gate can never wedge the edge.
 //!
 //! Response body:
 //!
@@ -81,7 +103,7 @@ use cdl_hw::OpCount;
 use cdl_telemetry::TraceId;
 use cdl_tensor::Tensor;
 
-use crate::config::SubmitOptions;
+use crate::config::{Priority, SubmitOptions};
 use crate::error::ServeError;
 use crate::pending::Pending;
 use crate::router::Router;
@@ -97,6 +119,12 @@ const POLL: Duration = Duration::from_millis(50);
 const FLAG_DELTA: u8 = 1 << 0;
 const FLAG_MAX_STAGE: u8 = 1 << 1;
 const FLAG_TRACE: u8 = 1 << 2;
+const FLAG_DEADLINE: u8 = 1 << 3;
+const FLAG_PRIORITY: u8 = 1 << 4;
+const FLAG_TENANT: u8 = 1 << 5;
+
+const KNOWN_FLAGS: u8 =
+    FLAG_DELTA | FLAG_MAX_STAGE | FLAG_TRACE | FLAG_DEADLINE | FLAG_PRIORITY | FLAG_TENANT;
 
 /// Request id used on error replies for frames too corrupt to carry one.
 const NO_ID: u64 = u64::MAX;
@@ -119,6 +147,14 @@ pub enum ErrorCode {
     Eval = 6,
     /// The request frame could not be decoded.
     Malformed = 7,
+    /// The request's deadline passed before dispatch; no evaluator ops
+    /// were spent on it.
+    Expired = 8,
+    /// Admission shed the request under load (lower priority classes are
+    /// shed first).
+    Shed = 9,
+    /// The request's tenant is at its in-flight quota.
+    Quota = 10,
 }
 
 impl ErrorCode {
@@ -131,6 +167,9 @@ impl ErrorCode {
             5 => Some(ErrorCode::Disconnected),
             6 => Some(ErrorCode::Eval),
             7 => Some(ErrorCode::Malformed),
+            8 => Some(ErrorCode::Expired),
+            9 => Some(ErrorCode::Shed),
+            10 => Some(ErrorCode::Quota),
             _ => None,
         }
     }
@@ -145,6 +184,12 @@ impl From<&ServeError> for ErrorCode {
             ServeError::Eval(_) => ErrorCode::Eval,
             ServeError::BadOptions(_) | ServeError::BadConfig(_) => ErrorCode::BadOptions,
             ServeError::UnknownModel(_) => ErrorCode::UnknownModel,
+            ServeError::Expired => ErrorCode::Expired,
+            ServeError::Shed(_) => ErrorCode::Shed,
+            ServeError::QuotaExceeded(_) => ErrorCode::Quota,
+            // a bad tensor is a malformed request as far as the wire is
+            // concerned: the frame decoded but the payload can't be served
+            ServeError::BadInput(_) => ErrorCode::Malformed,
         }
     }
 }
@@ -159,6 +204,9 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::Disconnected => "disconnected",
             ErrorCode::Eval => "evaluation failed",
             ErrorCode::Malformed => "malformed frame",
+            ErrorCode::Expired => "deadline expired",
+            ErrorCode::Shed => "shed under load",
+            ErrorCode::Quota => "tenant quota exceeded",
         };
         f.write_str(name)
     }
@@ -232,6 +280,19 @@ fn encode_request(
     if trace.is_some() {
         flags |= FLAG_TRACE;
     }
+    let deadline_nanos = options
+        .deadline
+        .map(|d| u64::try_from(d.as_nanos()).map_err(|_| malformed("deadline exceeds u64 nanos")))
+        .transpose()?;
+    if deadline_nanos.is_some() {
+        flags |= FLAG_DEADLINE;
+    }
+    if options.priority != Priority::default() {
+        flags |= FLAG_PRIORITY;
+    }
+    if options.tenant.is_some() {
+        flags |= FLAG_TENANT;
+    }
     body.put_u8(flags);
     if let Some(delta) = options.delta {
         body.put_f32(delta);
@@ -241,6 +302,15 @@ fn encode_request(
     }
     if let Some(trace) = trace {
         body.put_u64(trace.raw());
+    }
+    if let Some(nanos) = deadline_nanos {
+        body.put_u64(nanos);
+    }
+    if flags & FLAG_PRIORITY != 0 {
+        body.put_u8(options.priority.class() as u8);
+    }
+    if let Some(tenant) = options.tenant {
+        body.put_u32(tenant);
     }
     body.put_u8(input.dims().len() as u8);
     for &d in input.dims() {
@@ -280,7 +350,7 @@ fn decode_request(body: &[u8]) -> io::Result<RequestFrame> {
     let model = String::from_utf8(name).map_err(|_| malformed("model name is not valid UTF-8"))?;
     need(&cursor, 1, "option flags")?;
     let flags = cursor.get_u8();
-    if flags & !(FLAG_DELTA | FLAG_MAX_STAGE | FLAG_TRACE) != 0 {
+    if flags & !KNOWN_FLAGS != 0 {
         return Err(malformed(format!("unknown option flags {flags:#04x}")));
     }
     let mut options = SubmitOptions::default();
@@ -301,6 +371,20 @@ fn decode_request(body: &[u8]) -> io::Result<RequestFrame> {
         } else {
             None
         };
+    if flags & FLAG_DEADLINE != 0 {
+        need(&cursor, 8, "deadline")?;
+        options.deadline = Some(Duration::from_nanos(cursor.get_u64()));
+    }
+    if flags & FLAG_PRIORITY != 0 {
+        need(&cursor, 1, "priority class")?;
+        let class = cursor.get_u8();
+        options.priority = Priority::from_class(class)
+            .ok_or_else(|| malformed(format!("unknown priority class {class}")))?;
+    }
+    if flags & FLAG_TENANT != 0 {
+        need(&cursor, 4, "tenant id")?;
+        options.tenant = Some(cursor.get_u32());
+    }
     need(&cursor, 1, "tensor rank")?;
     let rank = cursor.get_u8() as usize;
     need(&cursor, 4 * rank, "tensor dims")?;
@@ -550,7 +634,10 @@ fn run_reader(
         let len = u32::from_be_bytes(header);
         if len == 0 || len > MAX_FRAME {
             // the stream can't be trusted past a bogus length: report and
-            // hang up rather than misparse whatever follows
+            // hang up rather than misparse whatever follows. Mark the
+            // connection dead *before* returning so the writer cancels any
+            // pipelined requests still pending instead of waiting them out
+            // against a peer we're about to abandon.
             let _ = tx.send(Reply::Error(
                 NO_ID,
                 ErrorReply {
@@ -558,6 +645,7 @@ fn run_reader(
                     message: format!("frame length {len} outside 1..={MAX_FRAME}"),
                 },
             ));
+            dead.store(true, Ordering::Relaxed);
             return;
         }
         body.resize(len as usize, 0);
@@ -597,21 +685,38 @@ fn run_reader(
                     message: format!("no replica set serves {:?}", request.model),
                 },
             ),
-            // blocking admission: a saturated replica back-pressures this
-            // connection's pipeline without touching other connections
-            Some(model) => {
+            // stop-aware admission: a saturated replica back-pressures this
+            // connection's pipeline without touching other connections, but
+            // the retry loop re-checks stop/dead every POLL so a full gate
+            // can never wedge the edge against shutdown or a gone peer
+            // (the old blocking submit parked in the gate unconditionally)
+            Some(model) => loop {
                 let routed = match request.trace {
                     // continue the client's trace across the wire hop
-                    Some(trace) => {
-                        router.submit_with_trace(model, request.input, request.options, trace)
-                    }
-                    None => router.submit_with(model, request.input, request.options),
+                    Some(trace) => router.try_submit_with_trace(
+                        model,
+                        request.input.clone(),
+                        request.options,
+                        trace,
+                    ),
+                    None => router.try_submit_with(model, request.input.clone(), request.options),
                 };
                 match routed {
-                    Ok(pending) => Reply::Routed(request.id, pending),
-                    Err(e) => Reply::Error(request.id, to_reply(&e)),
+                    Ok(pending) => break Reply::Routed(request.id, pending),
+                    // Full without a typed refusal means "wait your turn":
+                    // sleep a POLL slice and retry unless the connection or
+                    // server is going away
+                    Err(ServeError::Full) => {
+                        if stop.load(Ordering::Relaxed) || dead.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::sleep(POLL);
+                    }
+                    // typed refusals (Shed, QuotaExceeded, BadInput, …) are
+                    // answers, not congestion: reply and move on
+                    Err(e) => break Reply::Error(request.id, to_reply(&e)),
                 }
-            }
+            },
         };
         if tx.send(reply).is_err() {
             return; // writer is gone (write error already marked dead)
@@ -916,6 +1021,7 @@ mod tests {
         let options = SubmitOptions {
             delta: Some(0.75),
             max_stage: Some(1),
+            ..SubmitOptions::default()
         };
         let mut frame = Vec::new();
         let trace = TraceId::from_raw(0xDEAD_BEEF).unwrap();
@@ -947,6 +1053,7 @@ mod tests {
         let options = SubmitOptions {
             delta: Some(0.5),
             max_stage: Some(0),
+            ..SubmitOptions::default()
         };
         encode_request(&mut with_both, 0, "m", options, None, &input).unwrap();
         assert_eq!(with_both.len(), with_default.len() + 8);
@@ -972,6 +1079,98 @@ mod tests {
         assert_eq!(zero_trace[flags_at], FLAG_TRACE);
         zero_trace[flags_at + 1..flags_at + 9].fill(0);
         assert!(decode_request(one_frame(&zero_trace)).is_err());
+    }
+
+    #[test]
+    fn overload_options_round_trip_and_cost_exact_wire_space() {
+        let input = Tensor::from_vec(vec![0.5], &[1]).unwrap();
+        let mut plain = Vec::new();
+        encode_request(&mut plain, 0, "m", SubmitOptions::default(), None, &input).unwrap();
+
+        // each service-level field costs exactly its payload, only when set
+        let cases: [(SubmitOptions, usize); 4] = [
+            (SubmitOptions::with_deadline(Duration::from_millis(250)), 8),
+            (SubmitOptions::default().priority(Priority::Low), 1),
+            (SubmitOptions::default().tenant(17), 4),
+            (
+                SubmitOptions::with_deadline(Duration::from_micros(1500))
+                    .priority(Priority::Normal)
+                    .tenant(u32::MAX),
+                8 + 1 + 4,
+            ),
+        ];
+        for (options, extra) in cases {
+            let mut frame = Vec::new();
+            encode_request(&mut frame, 5, "m", options, None, &input).unwrap();
+            assert_eq!(frame.len(), plain.len() + extra, "{options:?}");
+            let decoded = decode_request(one_frame(&frame)).unwrap();
+            assert_eq!(decoded.options, options);
+        }
+
+        // a default priority rides the flags byte for free
+        let mut high = Vec::new();
+        let explicit_high = SubmitOptions::default().priority(Priority::High);
+        encode_request(&mut high, 0, "m", explicit_high, None, &input).unwrap();
+        assert_eq!(high.len(), plain.len());
+
+        // an out-of-range priority class is rejected at decode
+        let mut frame = Vec::new();
+        encode_request(
+            &mut frame,
+            0,
+            "m",
+            SubmitOptions::default().priority(Priority::Low),
+            None,
+            &input,
+        )
+        .unwrap();
+        let class_at = 4 + 8 + 2 + 1 + 1; // frame len + id + name len + "m" + flags
+        assert_eq!(frame[class_at], 2);
+        frame[class_at] = 3;
+        assert!(decode_request(one_frame(&frame)).is_err());
+    }
+
+    #[test]
+    fn pre_overload_frames_decode_unchanged() {
+        // a frame laid out exactly as the previous protocol revision wrote
+        // it (only flag bits 0–2 existed) must decode to the same options
+        // with the new service-level fields at their defaults
+        let mut body = Vec::new();
+        body.put_u64(77);
+        body.put_u16(8);
+        body.put_slice(b"MNIST_2C");
+        body.put_u8(FLAG_DELTA | FLAG_MAX_STAGE | FLAG_TRACE);
+        body.put_f32(0.85);
+        body.put_u32(1);
+        body.put_u64(0xBEEF);
+        body.put_u8(1);
+        body.put_u32(2);
+        body.put_f32(0.25);
+        body.put_f32(0.75);
+        let decoded = decode_request(&body).unwrap();
+        assert_eq!(decoded.id, 77);
+        assert_eq!(decoded.options.delta, Some(0.85));
+        assert_eq!(decoded.options.max_stage, Some(1));
+        assert_eq!(decoded.trace, TraceId::from_raw(0xBEEF));
+        assert_eq!(decoded.options.deadline, None);
+        assert_eq!(decoded.options.priority, Priority::High);
+        assert_eq!(decoded.options.tenant, None);
+        // and the encoder still writes that exact layout for such options
+        let mut frame = Vec::new();
+        encode_request(
+            &mut frame,
+            77,
+            "MNIST_2C",
+            SubmitOptions {
+                delta: Some(0.85),
+                max_stage: Some(1),
+                ..SubmitOptions::default()
+            },
+            TraceId::from_raw(0xBEEF),
+            &decoded.input,
+        )
+        .unwrap();
+        assert_eq!(one_frame(&frame), &body[..]);
     }
 
     #[test]
@@ -1042,6 +1241,9 @@ mod tests {
                 ServeError::UnknownModel(crate::router::ModelId::from_index(0)),
                 ErrorCode::UnknownModel,
             ),
+            (ServeError::Expired, ErrorCode::Expired),
+            (ServeError::Shed(Priority::Low), ErrorCode::Shed),
+            (ServeError::QuotaExceeded(3), ErrorCode::Quota),
         ];
         for (err, code) in cases {
             assert_eq!(ErrorCode::from(&err), code);
@@ -1049,5 +1251,11 @@ mod tests {
         }
         assert_eq!(ErrorCode::from_status(0), None);
         assert_eq!(ErrorCode::from_status(200), None);
+        // a bad tensor is a malformed request on the wire: the frame
+        // decoded but the payload can't be served
+        assert_eq!(
+            ErrorCode::from(&ServeError::BadInput("rank 1".into())),
+            ErrorCode::Malformed
+        );
     }
 }

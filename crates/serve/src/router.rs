@@ -369,7 +369,10 @@ impl Router {
     /// # Errors
     ///
     /// As [`Router::try_submit`], plus [`ServeError::BadOptions`] for an
-    /// out-of-range δ override.
+    /// out-of-range δ override, [`ServeError::BadInput`] for a
+    /// wrong-shaped input, [`ServeError::Shed`] /
+    /// [`ServeError::QuotaExceeded`] when the placed replica's overload
+    /// control refuses the class or tenant.
     pub fn try_submit_with(
         &self,
         model: ModelId,
@@ -381,6 +384,34 @@ impl Router {
         // same count-then-roll-back discipline as submit_with
         replica.routed.fetch_add(1, Ordering::Relaxed);
         match replica.server.try_submit_with(input, options) {
+            Ok(pending) => Ok(pending),
+            Err(e) => {
+                replica.routed.fetch_sub(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// [`Router::try_submit_with`] continuing a caller-supplied telemetry
+    /// trace id (see [`Router::submit_with_trace`]) — the stop-aware
+    /// admission path the TCP edge retries on, so a wedged replica can
+    /// never park an edge thread in a blocking acquire.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Router::try_submit_with`].
+    pub fn try_submit_with_trace(
+        &self,
+        model: ModelId,
+        input: Tensor,
+        options: SubmitOptions,
+        trace: TraceId,
+    ) -> ServeResult<Pending> {
+        let shard = self.shard(model)?;
+        let replica = &shard.replicas[shard.place()];
+        // same count-then-roll-back discipline as submit_with
+        replica.routed.fetch_add(1, Ordering::Relaxed);
+        match replica.server.try_submit_with_trace(input, options, trace) {
             Ok(pending) => Ok(pending),
             Err(e) => {
                 replica.routed.fetch_sub(1, Ordering::Relaxed);
@@ -632,6 +663,7 @@ mod tests {
         let opts = SubmitOptions {
             delta: Some(0.999),
             max_stage: Some(0),
+            ..SubmitOptions::default()
         };
         let out = router
             .submit_with(m3c, x.clone(), opts)

@@ -1,6 +1,7 @@
 //! The streaming inference server: bounded admission, dynamic batch
 //! formation, and a pool of persistent batched evaluators.
 
+use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -13,68 +14,136 @@ use cdl_telemetry::{EventKind, Telemetry, TelemetrySnapshot, TraceId};
 use cdl_tensor::gemm::GemmKernel;
 use cdl_tensor::Tensor;
 
-use crate::config::{BatchPolicy, ServerConfig, SubmitOptions};
+use crate::config::{BatchPolicy, Priority, ServerConfig, SubmitOptions};
 use crate::error::{ServeError, ServeResult};
 use crate::metrics::{BatchCause, Recorder, ServerMetrics};
 use crate::pending::{pending_pair, Fulfiller, Pending};
 
+/// Occupancy of the admission gate: total in-flight requests plus the
+/// per-tenant split quotas are enforced over.
+#[derive(Debug, Default)]
+struct GateState {
+    total: usize,
+    per_tenant: HashMap<u32, usize>,
+}
+
+/// Why the gate refused a submission (the non-blocking path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Refusal {
+    /// At capacity for the highest class — plain backpressure.
+    Full,
+    /// A lower priority class above its admission limit — overload
+    /// control shedding it in favour of higher classes.
+    Shed,
+    /// The tenant is at its in-flight quota.
+    Quota,
+}
+
 /// Counting semaphore bounding the number of in-flight requests — the
-/// server's backpressure. A slot is held from admission until the request
-/// reaches a terminal state (completed, cancelled-and-skipped, or failed).
+/// server's backpressure, extended with overload control: each
+/// [`Priority`] class is admitted only up to its
+/// [`Priority::admission_limit`], and a tenant never holds more than
+/// `tenant_quota` slots at once. A slot is held from admission until the
+/// request reaches a terminal state (completed, cancelled-and-skipped,
+/// expired, or failed).
 #[derive(Debug)]
 struct Gate {
     capacity: usize,
-    in_flight: Mutex<usize>,
+    tenant_quota: Option<usize>,
+    state: Mutex<GateState>,
     freed: Condvar,
 }
 
 impl Gate {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, tenant_quota: Option<usize>) -> Self {
         Gate {
             capacity,
-            in_flight: Mutex::new(0),
+            tenant_quota,
+            state: Mutex::new(GateState::default()),
             freed: Condvar::new(),
         }
     }
 
-    /// Non-blocking: `false` when the queue is at capacity.
-    fn try_acquire(&self) -> bool {
-        let mut n = self.in_flight.lock().unwrap();
-        if *n >= self.capacity {
-            return false;
+    /// Would a submission of this class/tenant be admitted right now?
+    fn admittable(
+        &self,
+        state: &GateState,
+        priority: Priority,
+        tenant: Option<u32>,
+    ) -> Result<(), Refusal> {
+        if let (Some(quota), Some(t)) = (self.tenant_quota, tenant) {
+            if state.per_tenant.get(&t).copied().unwrap_or(0) >= quota {
+                return Err(Refusal::Quota);
+            }
         }
-        *n += 1;
-        true
+        if state.total >= priority.admission_limit(self.capacity) {
+            return Err(if priority == Priority::High {
+                Refusal::Full
+            } else {
+                Refusal::Shed
+            });
+        }
+        Ok(())
     }
 
-    /// Blocks until a slot frees up.
-    fn acquire(&self) {
-        let mut n = self.in_flight.lock().unwrap();
-        while *n >= self.capacity {
-            n = self.freed.wait(n).unwrap();
+    fn book(state: &mut GateState, tenant: Option<u32>) {
+        state.total += 1;
+        if let Some(t) = tenant {
+            *state.per_tenant.entry(t).or_insert(0) += 1;
         }
-        *n += 1;
     }
 
-    fn release(&self) {
-        let mut n = self.in_flight.lock().unwrap();
-        *n = n.saturating_sub(1);
-        self.freed.notify_one();
+    /// Non-blocking: the reason for refusal when the class or tenant is
+    /// not admissible right now.
+    fn try_acquire(&self, priority: Priority, tenant: Option<u32>) -> Result<(), Refusal> {
+        let mut state = self.state.lock().unwrap();
+        self.admittable(&state, priority, tenant)?;
+        Gate::book(&mut state, tenant);
+        Ok(())
+    }
+
+    /// Blocks until this class (and tenant) may be admitted.
+    fn acquire(&self, priority: Priority, tenant: Option<u32>) {
+        let mut state = self.state.lock().unwrap();
+        while self.admittable(&state, priority, tenant).is_err() {
+            state = self.freed.wait(state).unwrap();
+        }
+        Gate::book(&mut state, tenant);
+    }
+
+    fn release(&self, tenant: Option<u32>) {
+        let mut state = self.state.lock().unwrap();
+        state.total = state.total.saturating_sub(1);
+        if let Some(t) = tenant {
+            if let Some(n) = state.per_tenant.get_mut(&t) {
+                *n = n.saturating_sub(1);
+                if *n == 0 {
+                    state.per_tenant.remove(&t);
+                }
+            }
+        }
+        // waiters are heterogeneous (classes, tenants): wake them all so a
+        // newly-admissible one is never starved behind a still-blocked one
+        self.freed.notify_all();
     }
 
     fn depth(&self) -> usize {
-        *self.in_flight.lock().unwrap()
+        self.state.lock().unwrap().total
     }
 }
 
 /// RAII in-flight slot: released when the request leaves the pipeline, on
-/// every path (delivered, cancelled, failed, or dropped by teardown).
+/// every path (delivered, cancelled, expired, failed, or dropped by
+/// teardown). Remembers the tenant so the quota count is decremented too.
 #[derive(Debug)]
-struct Ticket(Arc<Gate>);
+struct Ticket {
+    gate: Arc<Gate>,
+    tenant: Option<u32>,
+}
 
 impl Drop for Ticket {
     fn drop(&mut self) {
-        self.0.release();
+        self.gate.release(self.tenant);
     }
 }
 
@@ -87,9 +156,33 @@ struct Request {
     fulfiller: Fulfiller,
     ticket: Ticket,
     submitted_at: Instant,
+    /// When the request's latency budget runs out (admission +
+    /// [`SubmitOptions::deadline`]); past this instant the shed points
+    /// settle it [`ServeError::Expired`] instead of evaluating it.
+    expires_at: Option<Instant>,
+    /// Admission class, kept for the per-class expired counters.
+    priority: Priority,
+    /// Tenant id, kept for the per-tenant expired counters.
+    tenant: Option<u32>,
     /// Sampled telemetry trace, if lifecycle spans are being recorded for
     /// this request.
     trace: Option<TraceId>,
+}
+
+impl Request {
+    /// Shed-eligible: the deadline passed and the client is still waiting
+    /// (a cancelled request is accounted `cancelled`, never `expired`).
+    fn is_expired(&self, now: Instant) -> bool {
+        !self.fulfiller.is_cancelled() && self.expires_at.is_some_and(|at| now >= at)
+    }
+}
+
+/// Settles an expired request with the typed error, unevaluated — zero
+/// evaluator ops, the queue-level analogue of early exit. Dropping the
+/// request frees its gate slot.
+fn settle_expired(request: Request, recorder: &Recorder) {
+    recorder.expired(request.priority, request.tenant);
+    request.fulfiller.settle(Err(ServeError::Expired));
 }
 
 /// A streaming inference server over one [`CdlNetwork`].
@@ -123,7 +216,7 @@ impl Server {
     /// Returns [`ServeError::BadConfig`] for an invalid configuration.
     pub fn start(net: Arc<CdlNetwork>, config: ServerConfig) -> ServeResult<Server> {
         config.validate()?;
-        let gate = Arc::new(Gate::new(config.queue_capacity));
+        let gate = Arc::new(Gate::new(config.queue_capacity, config.tenant_quota));
         let recorder = Arc::new(Recorder::new(config.energy_model));
         let telemetry = Telemetry::new(config.telemetry);
         let (submit_tx, submit_rx) = channel::<Request>();
@@ -177,7 +270,11 @@ impl Server {
     }
 
     /// Submits a request, **blocking** while the in-flight queue is at
-    /// capacity (backpressure propagates to the producer).
+    /// capacity (backpressure propagates to the producer). A submission
+    /// carrying a non-default [`Priority`] likewise blocks while its class
+    /// is over its admission limit, and a tenanted one while the tenant is
+    /// at quota — blocking submitters wait out overload instead of being
+    /// shed (typed shed errors are the `try_submit` contract).
     ///
     /// With a pure size-bound [`BatchPolicy`] whose `max_batch_size`
     /// exceeds the queue capacity, the forming batch can never fill and
@@ -187,7 +284,9 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::ShuttingDown`] if the pipeline is gone.
+    /// Returns [`ServeError::BadInput`] for a wrong-shaped input tensor
+    /// (checked before admission), [`ServeError::ShuttingDown`] if the
+    /// pipeline is gone.
     pub fn submit(&self, input: Tensor) -> ServeResult<Pending> {
         self.submit_with(input, SubmitOptions::default())
     }
@@ -200,14 +299,16 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::BadOptions`] for an out-of-range δ override
-    /// (checked before admission), [`ServeError::ShuttingDown`] if the
+    /// Returns [`ServeError::BadOptions`] for an out-of-range δ override,
+    /// [`ServeError::BadInput`] for a wrong-shaped input tensor (both
+    /// checked before admission), [`ServeError::ShuttingDown`] if the
     /// pipeline is gone.
     pub fn submit_with(&self, input: Tensor, options: SubmitOptions) -> ServeResult<Pending> {
         options.validate_for(self.net.policy())?;
+        self.validate_input(&input)?;
         let trace = self.telemetry.begin_trace();
-        self.gate.acquire();
-        self.admit(input, options.exit_override(), trace)
+        self.gate.acquire(options.priority, options.tenant);
+        self.admit(input, options, trace)
     }
 
     /// [`Server::submit_with`] continuing a caller-supplied trace id
@@ -227,9 +328,10 @@ impl Server {
         trace: TraceId,
     ) -> ServeResult<Pending> {
         options.validate_for(self.net.policy())?;
+        self.validate_input(&input)?;
         let trace = self.telemetry.adopt(trace);
-        self.gate.acquire();
-        self.admit(input, options.exit_override(), trace)
+        self.gate.acquire(options.priority, options.tenant);
+        self.admit(input, options, trace)
     }
 
     /// Submits a request without blocking.
@@ -237,7 +339,8 @@ impl Server {
     /// # Errors
     ///
     /// Returns [`ServeError::Full`] when the in-flight queue is at capacity
-    /// (the request is not admitted), [`ServeError::ShuttingDown`] if the
+    /// (the request is not admitted), [`ServeError::BadInput`] for a
+    /// wrong-shaped input tensor, [`ServeError::ShuttingDown`] if the
     /// pipeline is gone.
     pub fn try_submit(&self, input: Tensor) -> ServeResult<Pending> {
         self.try_submit_with(input, SubmitOptions::default())
@@ -248,35 +351,106 @@ impl Server {
     /// # Errors
     ///
     /// Returns [`ServeError::BadOptions`] for an out-of-range δ override,
-    /// [`ServeError::Full`] when the in-flight queue is at capacity (the
-    /// request is not admitted), [`ServeError::ShuttingDown`] if the
-    /// pipeline is gone.
+    /// [`ServeError::BadInput`] for a wrong-shaped input tensor,
+    /// [`ServeError::Full`] when the in-flight queue is at capacity,
+    /// [`ServeError::Shed`] when the request's [`Priority`] class is over
+    /// its admission limit, [`ServeError::QuotaExceeded`] when the tenant
+    /// is at its in-flight quota (in every refusal case the request is
+    /// **not** admitted), [`ServeError::ShuttingDown`] if the pipeline is
+    /// gone.
     pub fn try_submit_with(&self, input: Tensor, options: SubmitOptions) -> ServeResult<Pending> {
         options.validate_for(self.net.policy())?;
+        self.validate_input(&input)?;
         let trace = self.telemetry.begin_trace();
-        if !self.gate.try_acquire() {
-            self.recorder.rejected();
-            return Err(ServeError::Full);
+        if let Err(refusal) = self.gate.try_acquire(options.priority, options.tenant) {
+            return Err(self.refuse(refusal, options));
         }
-        self.admit(input, options.exit_override(), trace)
+        self.admit(input, options, trace)
+    }
+
+    /// [`Server::try_submit_with`] continuing a caller-supplied trace id
+    /// (see [`Server::submit_with_trace`]) — the stop-aware TCP edge
+    /// admission path.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Server::try_submit_with`].
+    pub fn try_submit_with_trace(
+        &self,
+        input: Tensor,
+        options: SubmitOptions,
+        trace: TraceId,
+    ) -> ServeResult<Pending> {
+        options.validate_for(self.net.policy())?;
+        self.validate_input(&input)?;
+        let trace = self.telemetry.adopt(trace);
+        if let Err(refusal) = self.gate.try_acquire(options.priority, options.tenant) {
+            return Err(self.refuse(refusal, options));
+        }
+        self.admit(input, options, trace)
+    }
+
+    /// Rejects a wrong-shaped input before it can reach a batch: one bad
+    /// tensor co-batched with innocent neighbours would otherwise fail the
+    /// whole group evaluation (see the per-request fallback in
+    /// `process_batch` for the defence-in-depth second layer).
+    fn validate_input(&self, input: &Tensor) -> ServeResult<()> {
+        let expected = &self.net.base().spec().input_shape;
+        if input.dims() != expected.as_slice() {
+            return Err(ServeError::BadInput(format!(
+                "input shape {:?} does not match the model's expected input shape {:?}",
+                input.dims(),
+                expected
+            )));
+        }
+        Ok(())
+    }
+
+    /// Records the refusal and maps it to its typed error.
+    fn refuse(&self, refusal: Refusal, options: SubmitOptions) -> ServeError {
+        match refusal {
+            Refusal::Full => {
+                self.recorder.rejected();
+                ServeError::Full
+            }
+            Refusal::Shed => {
+                self.recorder.shed(options.priority, options.tenant);
+                ServeError::Shed(options.priority)
+            }
+            Refusal::Quota => {
+                self.recorder.shed(options.priority, options.tenant);
+                ServeError::QuotaExceeded(
+                    options
+                        .tenant
+                        .expect("quota refusals always carry a tenant"),
+                )
+            }
+        }
     }
 
     fn admit(
         &self,
         input: Tensor,
-        overrides: ExitOverride,
+        options: SubmitOptions,
         trace: Option<TraceId>,
     ) -> ServeResult<Pending> {
         if let Some(t) = trace {
             self.telemetry.record(t, EventKind::Admit);
         }
         let (pending, fulfiller) = pending_pair(trace);
+        let submitted_at = Instant::now();
         let request = Request {
             input,
-            overrides,
+            overrides: options.exit_override(),
             fulfiller,
-            ticket: Ticket(Arc::clone(&self.gate)),
-            submitted_at: Instant::now(),
+            ticket: Ticket {
+                gate: Arc::clone(&self.gate),
+                tenant: options.tenant,
+            },
+            submitted_at,
+            expires_at: options.deadline.map(|d| submitted_at + d),
+            priority: options.priority,
+            tenant: options.tenant,
             trace,
         };
         let tx = self.submit_tx.as_ref().expect("sender lives until drop");
@@ -403,13 +577,24 @@ fn run_batcher(
         }
         let disconnected = cause == BatchCause::Flush;
         recorder.dispatched(cause);
-        for request in &batch {
-            if let Some(t) = request.trace {
-                telemetry.record(t, EventKind::BatchSeal);
-            }
+        // batch-formation shed point: a request whose deadline has already
+        // passed while the batch was forming is settled Expired here,
+        // spending zero evaluator ops and freeing its gate slot early
+        let now = Instant::now();
+        let (batch, expired): (Vec<Request>, Vec<Request>) =
+            batch.into_iter().partition(|r| !r.is_expired(now));
+        for request in expired {
+            settle_expired(request, recorder);
         }
-        if work_tx.send(batch).is_err() {
-            return; // all workers died; dropped requests settle as Disconnected
+        if !batch.is_empty() {
+            for request in &batch {
+                if let Some(t) = request.trace {
+                    telemetry.record(t, EventKind::BatchSeal);
+                }
+            }
+            if work_tx.send(batch).is_err() {
+                return; // all workers died; dropped requests settle as Disconnected
+            }
         }
         if disconnected {
             return;
@@ -453,9 +638,14 @@ fn process_batch(
     // depend on which overrides its batch neighbours carried
     let mut groups: Vec<(ExitOverride, Vec<Request>)> = Vec::new();
     let mut cancelled = 0u64;
+    let now = Instant::now();
     for request in batch {
         if request.fulfiller.is_cancelled() {
             cancelled += 1; // dropping the request frees its ticket
+        } else if request.is_expired(now) {
+            // dispatch-time shed point: the deadline ran out while the
+            // batch sat in the work queue — settle unevaluated
+            settle_expired(request, recorder);
         } else {
             match groups.iter_mut().find(|(ovr, _)| *ovr == request.overrides) {
                 Some((_, members)) => members.push(request),
@@ -516,10 +706,41 @@ fn process_batch(
                     drop(ticket);
                 }
             }
-            Err(e) => {
-                recorder.batch_failed(live.len() as u64);
-                for (fulfiller, ticket, _, _) in live {
-                    fulfiller.settle(Err(ServeError::Eval(e.clone())));
+            Err(group_err) if live.len() == 1 => {
+                recorder.batch_failed(1);
+                let (fulfiller, ticket, _, _) = live.into_iter().next().expect("one live entry");
+                fulfiller.settle(Err(ServeError::Eval(group_err)));
+                drop(ticket);
+            }
+            Err(_) => {
+                // co-batch poisoning defence: one bad input must not fail
+                // its innocent neighbours. Re-evaluate each request alone so
+                // only the offending one settles with the evaluator error —
+                // results of the survivors stay bit-identical (singleton
+                // evaluation is the equivalence baseline).
+                for ((fulfiller, ticket, submitted_at, trace), input) in
+                    live.into_iter().zip(&inputs)
+                {
+                    match eval.classify_stream_with_override(std::slice::from_ref(input), overrides)
+                    {
+                        Ok(mut outputs) => {
+                            let out = outputs.pop().expect("one output per input");
+                            if let Some(t) = trace {
+                                telemetry.record(t, EventKind::Exit(out.exit_stage as u32));
+                            }
+                            recorder.batch_completed(
+                                [(Instant::now() - submitted_at, out.clone())].into_iter(),
+                            );
+                            fulfiller.settle(Ok(out));
+                            if let Some(t) = trace {
+                                telemetry.record(t, EventKind::Reply);
+                            }
+                        }
+                        Err(e) => {
+                            recorder.batch_failed(1);
+                            fulfiller.settle(Err(ServeError::Eval(e)));
+                        }
+                    }
                     drop(ticket);
                 }
             }
@@ -701,14 +922,14 @@ mod tests {
         // an opener sat in the submit channel behind earlier batches. It
         // must dispatch (nearly) immediately; a dequeue-anchored deadline
         // would silently grant it a second full max_wait.
-        let gate = Arc::new(Gate::new(8));
+        let gate = Arc::new(Gate::new(8, None));
         let recorder = Arc::new(Recorder::new(cdl_hw::EnergyModel::cmos_45nm()));
         let (tx, rx) = channel::<Request>();
         let (work_tx, work_rx) = channel::<Vec<Request>>();
         let policy = BatchPolicy::new(8, Duration::from_millis(100));
         let make = |submitted_at| {
             let (pending, fulfiller) = pending_pair(None);
-            gate.acquire();
+            gate.acquire(Priority::High, None);
             let request = Request {
                 input: Tensor::full(&[1, 1, 1], 0.0),
                 overrides: ExitOverride {
@@ -716,8 +937,14 @@ mod tests {
                     max_stage: None,
                 },
                 fulfiller,
-                ticket: Ticket(Arc::clone(&gate)),
+                ticket: Ticket {
+                    gate: Arc::clone(&gate),
+                    tenant: None,
+                },
                 submitted_at,
+                expires_at: None,
+                priority: Priority::High,
+                tenant: None,
                 trace: None,
             };
             (pending, request)
@@ -899,6 +1126,256 @@ mod tests {
         }
         let metrics = server.shutdown();
         assert_eq!(metrics.completed, 60);
+    }
+
+    /// Builds a Request directly (bypassing admission), for driving the
+    /// pipeline stages in isolation.
+    fn raw_request(
+        gate: &Arc<Gate>,
+        input: Tensor,
+        expires_at: Option<Instant>,
+    ) -> (Pending, Request) {
+        let (pending, fulfiller) = pending_pair(None);
+        gate.acquire(Priority::High, None);
+        let request = Request {
+            input,
+            overrides: ExitOverride {
+                delta: None,
+                max_stage: None,
+            },
+            fulfiller,
+            ticket: Ticket {
+                gate: Arc::clone(gate),
+                tenant: None,
+            },
+            submitted_at: Instant::now(),
+            expires_at,
+            priority: Priority::High,
+            tenant: None,
+            trace: None,
+        };
+        (pending, request)
+    }
+
+    #[test]
+    fn expired_requests_settle_without_evaluation() {
+        let net = build_untrained();
+        // stalled batcher: requests sit in the forming batch until the
+        // shutdown flush reaches the batch-formation shed point
+        let server = Server::start(
+            Arc::clone(&net),
+            config(BatchPolicy::by_size(1 << 20), 8, 1),
+        )
+        .unwrap();
+        let pendings: Vec<Pending> = images(3)
+            .into_iter()
+            .map(|x| {
+                server
+                    .submit_with(x, SubmitOptions::with_deadline(Duration::ZERO))
+                    .unwrap()
+            })
+            .collect();
+        let metrics = server.shutdown();
+        for pending in pendings {
+            assert_eq!(pending.wait().unwrap_err(), ServeError::Expired);
+        }
+        assert_eq!(metrics.expired, 3);
+        assert_eq!(metrics.expired_by_class, [3, 0, 0]);
+        assert_eq!(metrics.completed, 0);
+        assert_eq!(metrics.failed, 0);
+        assert_eq!(metrics.cancelled, 0);
+        // the whole point: shedding spends zero evaluator ops
+        assert_eq!(metrics.batches, 0, "nothing must be evaluated");
+        assert_eq!(metrics.total_ops.compute_ops(), 0);
+        assert_eq!(metrics.stages_activated, 0);
+        assert!(metrics.latency.is_none(), "expired never enter latency");
+        assert_eq!(metrics.queue_depth, 0, "tickets released on expiry");
+    }
+
+    #[test]
+    fn dispatch_time_expiry_sheds_before_evaluation() {
+        // drive process_batch directly: one request expired while the batch
+        // sat in the work queue, one still live — only the live one may
+        // reach the evaluator, and its result stays bit-identical
+        let net = build_untrained();
+        let gate = Arc::new(Gate::new(8, None));
+        let recorder = Recorder::new(cdl_hw::EnergyModel::cmos_45nm());
+        let mut eval = BatchEvaluator::with_kernel(&net, GemmKernel::detect());
+        let img = images(2);
+        let (p_expired, r_expired) = raw_request(
+            &gate,
+            img[0].clone(),
+            Some(Instant::now() - Duration::from_millis(1)),
+        );
+        let (p_live, r_live) = raw_request(&gate, img[1].clone(), None);
+        process_batch(
+            &mut eval,
+            vec![r_expired, r_live],
+            &recorder,
+            &Telemetry::disabled(),
+        );
+        assert_eq!(p_expired.wait().unwrap_err(), ServeError::Expired);
+        let out = p_live.wait().unwrap();
+        assert_eq!(out, net.classify(&img[1]).unwrap());
+        let snap = recorder.snapshot(gate.depth());
+        assert_eq!(snap.expired, 1);
+        assert_eq!(snap.completed, 1);
+        // exactly one request's ops were spent
+        assert_eq!(snap.total_ops, out.ops);
+        assert_eq!(snap.queue_depth, 0);
+    }
+
+    #[test]
+    fn quota_isolates_tenants() {
+        let net = build_untrained();
+        let mut cfg = config(BatchPolicy::by_size(1 << 20), 8, 1);
+        cfg.tenant_quota = Some(2);
+        let server = Server::start(Arc::clone(&net), cfg).unwrap();
+        let img = images(1).pop().unwrap();
+        let opts = |t: u32| SubmitOptions::default().tenant(t);
+        // tenant 1 fills its quota; the third submission is refused even
+        // though the gate has plenty of room
+        let _a = server.try_submit_with(img.clone(), opts(1)).unwrap();
+        let _b = server.try_submit_with(img.clone(), opts(1)).unwrap();
+        assert_eq!(
+            server.try_submit_with(img.clone(), opts(1)).unwrap_err(),
+            ServeError::QuotaExceeded(1)
+        );
+        // tenant 2 and untenanted traffic are unaffected
+        let _c = server.try_submit_with(img.clone(), opts(2)).unwrap();
+        let _d = server.try_submit_with(img.clone(), opts(2)).unwrap();
+        let _e = server.try_submit(img.clone()).unwrap();
+        let live = server.metrics();
+        assert_eq!(live.submitted, 5);
+        assert_eq!(live.shed, 1);
+        assert_eq!(live.shed_by_tenant, vec![(1, 1)]);
+        assert_eq!(live.rejected, 0);
+        let metrics = server.shutdown();
+        assert_eq!(metrics.completed, 5);
+        // completions released the quota slots
+        assert_eq!(metrics.queue_depth, 0);
+    }
+
+    #[test]
+    fn lower_classes_shed_first_under_a_filling_gate() {
+        let net = build_untrained();
+        // stalled: nothing completes, so occupancy only ever grows.
+        // capacity 6 → admission limits: high 6, normal 4, low 2.
+        let server = Server::start(
+            Arc::clone(&net),
+            config(BatchPolicy::by_size(1 << 20), 6, 1),
+        )
+        .unwrap();
+        let img = images(1).pop().unwrap();
+        let opts = |p: Priority| SubmitOptions::default().priority(p);
+        let mut held = Vec::new();
+        held.push(
+            server
+                .try_submit_with(img.clone(), opts(Priority::Low))
+                .unwrap(),
+        );
+        held.push(
+            server
+                .try_submit_with(img.clone(), opts(Priority::Low))
+                .unwrap(),
+        );
+        assert_eq!(
+            server
+                .try_submit_with(img.clone(), opts(Priority::Low))
+                .unwrap_err(),
+            ServeError::Shed(Priority::Low)
+        );
+        held.push(
+            server
+                .try_submit_with(img.clone(), opts(Priority::Normal))
+                .unwrap(),
+        );
+        held.push(
+            server
+                .try_submit_with(img.clone(), opts(Priority::Normal))
+                .unwrap(),
+        );
+        assert_eq!(
+            server
+                .try_submit_with(img.clone(), opts(Priority::Normal))
+                .unwrap_err(),
+            ServeError::Shed(Priority::Normal)
+        );
+        held.push(
+            server
+                .try_submit_with(img.clone(), opts(Priority::High))
+                .unwrap(),
+        );
+        held.push(
+            server
+                .try_submit_with(img.clone(), opts(Priority::High))
+                .unwrap(),
+        );
+        // the highest class sees plain capacity backpressure, never Shed
+        assert_eq!(
+            server
+                .try_submit_with(img.clone(), opts(Priority::High))
+                .unwrap_err(),
+            ServeError::Full
+        );
+        let live = server.metrics();
+        assert_eq!(live.queue_depth, 6);
+        assert_eq!(live.shed, 2);
+        assert_eq!(live.shed_by_class, [0, 1, 1]);
+        assert_eq!(live.rejected, 1);
+        let metrics = server.shutdown();
+        assert_eq!(metrics.completed, 6);
+    }
+
+    #[test]
+    fn bad_shape_inputs_rejected_at_admission() {
+        let net = build_untrained();
+        let server = Server::start(
+            Arc::clone(&net),
+            config(BatchPolicy::by_deadline(Duration::from_millis(2)), 8, 1),
+        )
+        .unwrap();
+        let bad = Tensor::full(&[2, 2], 0.5);
+        assert!(matches!(
+            server.submit(bad.clone()).unwrap_err(),
+            ServeError::BadInput(_)
+        ));
+        assert!(matches!(
+            server.try_submit(bad).unwrap_err(),
+            ServeError::BadInput(_)
+        ));
+        let metrics = server.shutdown();
+        assert_eq!(metrics.submitted, 0, "never admitted");
+        assert_eq!(metrics.queue_depth, 0, "no gate slot leaked");
+    }
+
+    #[test]
+    fn group_eval_error_fails_only_the_offending_request() {
+        // defence in depth behind admission validation: force a poisoned
+        // group (one wrong-shaped input bypassing admission) through
+        // process_batch — the per-request fallback must fail only the bad
+        // request and deliver bit-identical results to its neighbours
+        let net = build_untrained();
+        let gate = Arc::new(Gate::new(8, None));
+        let recorder = Recorder::new(cdl_hw::EnergyModel::cmos_45nm());
+        let mut eval = BatchEvaluator::with_kernel(&net, GemmKernel::detect());
+        let good = images(2);
+        let (p_good1, r_good1) = raw_request(&gate, good[0].clone(), None);
+        let (p_bad, r_bad) = raw_request(&gate, Tensor::full(&[2, 2], 0.5), None);
+        let (p_good2, r_good2) = raw_request(&gate, good[1].clone(), None);
+        process_batch(
+            &mut eval,
+            vec![r_good1, r_bad, r_good2],
+            &recorder,
+            &Telemetry::disabled(),
+        );
+        assert_eq!(p_good1.wait().unwrap(), net.classify(&good[0]).unwrap());
+        assert_eq!(p_good2.wait().unwrap(), net.classify(&good[1]).unwrap());
+        assert!(matches!(p_bad.wait().unwrap_err(), ServeError::Eval(_)));
+        let snap = recorder.snapshot(gate.depth());
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.queue_depth, 0);
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Machine-readable overload experiment: replays one seeded open-loop
+//! burst schedule (ON/OFF arrivals at ~3× the measured sustainable rate)
+//! against a single-worker router twice — once with no deadlines (the
+//! baseline: every request waits out the queue) and once with a
+//! per-request deadline that lets the batcher shed expired requests at
+//! zero evaluator cost — and writes `BENCH_8.json` with both runs'
+//! served/expired counts and served-latency tails, so the effect of
+//! SLO-driven shedding is tracked across PRs as a committed artifact.
+//!
+//! ```text
+//! cargo run --release --example overload_bench
+//! CDL_BENCH_OVERLOAD_REQUESTS=2000 cargo run --release --example overload_bench
+//! CDL_BENCH_REPORT_PATH=/tmp/overload.json cargo run --release --example overload_bench
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cdl::core::arch;
+use cdl::core::confidence::ConfidencePolicy;
+use cdl::core::head::LinearClassifier;
+use cdl::core::network::CdlNetwork;
+use cdl::load::{run_open_loop, Arrival, ArrivalProcess, LoadSpec, TenantProfile};
+use cdl::nn::network::Network;
+use cdl::serve::{BatchPolicy, GemmKernel, Pending, Router, ServeError, ServerConfig, ShardSpec};
+use cdl::tensor::Tensor;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Report {
+    pr: u32,
+    generated_by: String,
+    host: Host,
+    experiment: Experiment,
+    runs: Vec<Run>,
+}
+
+#[derive(Serialize)]
+struct Host {
+    avx2: bool,
+    detected_kernel: String,
+    serve_workers: usize,
+}
+
+#[derive(Serialize)]
+struct Experiment {
+    arrival: String,
+    requests: usize,
+    seed: u64,
+    service_time_us: f64,
+    offered_rate_rps: f64,
+    burst_rate_rps: f64,
+    deadline_ms: f64,
+}
+
+#[derive(Serialize)]
+struct Run {
+    name: String,
+    served: u64,
+    expired: u64,
+    drain_seconds: f64,
+    total_compute_ops: u64,
+    served_latency_ms: LatencyMs,
+}
+
+#[derive(Serialize)]
+struct LatencyMs {
+    p50: f64,
+    p99: f64,
+    p999: f64,
+    max: f64,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn build_untrained(seed: u64) -> Arc<CdlNetwork> {
+    let arch = arch::mnist_2c();
+    let base = Network::from_spec(&arch.spec, seed).expect("paper architecture");
+    let feats = arch.tap_features().expect("tap features");
+    let stages = arch
+        .taps
+        .iter()
+        .zip(&feats)
+        .map(|(t, &f)| {
+            (
+                t.spec_layer,
+                t.name.clone(),
+                LinearClassifier::new(f, 10, 1).expect("head"),
+            )
+        })
+        .collect();
+    Arc::new(CdlNetwork::assemble(base, stages, ConfidencePolicy::max_prob(0.6)).expect("assemble"))
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        policy: BatchPolicy::new(16, Duration::from_millis(1)),
+        queue_capacity: 16384,
+        workers: 1,
+        ..ServerConfig::default()
+    }
+}
+
+/// Closed-loop saturated calibration through the server itself: mean
+/// per-request service time, overheads included.
+fn calibrate(net: &Arc<CdlNetwork>, image: &Tensor) -> Duration {
+    let router =
+        Router::start(vec![ShardSpec::new("m", Arc::clone(net), server_config())]).expect("router");
+    let model = router.model_id("m").expect("registered");
+    let warm: Vec<Pending> = (0..64)
+        .map(|_| router.submit(model, image.clone()).expect("admission"))
+        .collect();
+    for pending in warm {
+        pending.wait().expect("warmup response");
+    }
+    const N: u32 = 256;
+    let started = Instant::now();
+    let timed: Vec<Pending> = (0..N)
+        .map(|_| router.submit(model, image.clone()).expect("admission"))
+        .collect();
+    for pending in timed {
+        pending.wait().expect("calibration response");
+    }
+    let per_request = started.elapsed() / N;
+    router.shutdown();
+    per_request.max(Duration::from_micros(20))
+}
+
+fn run(name: &str, net: &Arc<CdlNetwork>, image: &Tensor, schedule: &[Arrival]) -> Run {
+    let router =
+        Router::start(vec![ShardSpec::new("m", Arc::clone(net), server_config())]).expect("router");
+    let model = router.model_id("m").expect("registered");
+    let mut pendings = Vec::with_capacity(schedule.len());
+    run_open_loop(schedule, |arrival| {
+        pendings.push(
+            router
+                .submit_with(model, image.clone(), arrival.options)
+                .expect("admission (capacity is sized beyond any backlog)"),
+        );
+    });
+    let draining = Instant::now();
+    let mut served = 0u64;
+    let mut expired = 0u64;
+    for pending in pendings {
+        match pending.wait() {
+            Ok(_) => served += 1,
+            Err(ServeError::Expired) => expired += 1,
+            Err(e) => panic!("unexpected settle: {e}"),
+        }
+    }
+    let drain_seconds = draining.elapsed().as_secs_f64();
+    let metrics = router.shutdown();
+    let hist = metrics.latency_histogram();
+    let ms = |q: f64| hist.quantile(q).unwrap_or(0) as f64 / 1e6;
+    let latency = LatencyMs {
+        p50: ms(0.5),
+        p99: ms(0.99),
+        p999: ms(0.999),
+        max: hist.max_value().unwrap_or(0) as f64 / 1e6,
+    };
+    println!(
+        "{name:>9}: served {served}, expired {expired}, served p99 {:.2}ms (drained {drain_seconds:.2}s)",
+        latency.p99
+    );
+    Run {
+        name: name.into(),
+        served,
+        expired,
+        drain_seconds,
+        total_compute_ops: metrics.total_ops().compute_ops(),
+        served_latency_ms: latency,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = build_untrained(5);
+    let image = Tensor::full(&[1, 28, 28], 0.4);
+    let service_time = calibrate(&net, &image);
+    let t = service_time.as_secs_f64();
+    println!("calibrated service time: {:.1}µs/request", t * 1e6);
+
+    let requests = env_usize(
+        "CDL_BENCH_OVERLOAD_REQUESTS",
+        ((2.0 / t) as usize).clamp(400, 4000),
+    );
+    let seed = 0xC0FFEE;
+    let spec = LoadSpec {
+        arrival: ArrivalProcess::OnOff {
+            on_rate_rps: 6.0 / t,
+            off_rate_rps: 0.0,
+            mean_on: Duration::from_secs_f64(40.0 * t),
+            mean_off: Duration::from_secs_f64(40.0 * t),
+        },
+        tenants: vec![TenantProfile::new()],
+        requests,
+        seed,
+    };
+    let deadline = service_time * 10;
+    let shed_spec = LoadSpec {
+        tenants: vec![TenantProfile::new().deadline(deadline)],
+        ..spec.clone()
+    };
+
+    let baseline = run("baseline", &net, &image, &spec.schedule()?);
+    let shed = run("deadline", &net, &image, &shed_spec.schedule()?);
+
+    let report = Report {
+        pr: 8,
+        generated_by: "cargo run --release --example overload_bench".into(),
+        host: Host {
+            avx2: GemmKernel::simd_available(),
+            detected_kernel: GemmKernel::detect().to_string(),
+            serve_workers: 1,
+        },
+        experiment: Experiment {
+            arrival: "on/off burst (exponential phases), 2:1 peak-to-mean".into(),
+            requests,
+            seed,
+            service_time_us: t * 1e6,
+            offered_rate_rps: 3.0 / t,
+            burst_rate_rps: 6.0 / t,
+            deadline_ms: deadline.as_secs_f64() * 1e3,
+        },
+        runs: vec![baseline, shed],
+    };
+    let path = std::env::var("CDL_BENCH_REPORT_PATH").unwrap_or_else(|_| "BENCH_8.json".into());
+    std::fs::write(&path, serde_json::to_string_pretty(&report)? + "\n")?;
+    println!("wrote {path}");
+    Ok(())
+}

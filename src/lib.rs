@@ -18,7 +18,13 @@
 //!   overrides, a sharded multi-model [`serve::Router`] front-end with
 //!   per-model replica sets ([`serve::ReplicaSpec`] + placement policies),
 //!   and a length-prefixed TCP edge ([`serve::TcpServer`] /
-//!   [`serve::TcpClient`]),
+//!   [`serve::TcpClient`]), with deadline / priority / tenant-quota
+//!   overload control ([`serve::Priority`]),
+//! * [`load`] — open-loop workload generation: seeded Poisson and bursty
+//!   ON/OFF arrival schedules with per-tenant request mixes
+//!   ([`load::LoadSpec`]), replayed on the wall clock by
+//!   [`load::run_open_loop`] so offered load is independent of
+//!   completions,
 //! * [`telemetry`] — mergeable log-bucketed latency histograms
 //!   ([`telemetry::LogHistogram`]) behind every serving metric, optional
 //!   per-request lifecycle spans, and Prometheus / Chrome-trace export
@@ -35,6 +41,7 @@
 //! crates/hw        cdl-hw       energy model
 //! crates/core      cdl-core     the CDL mechanism (Algorithms 1 & 2)
 //! crates/serve     cdl-serve    streaming server w/ dynamic batching
+//! crates/load      cdl-load     open-loop workload generator
 //! crates/telemetry cdl-telemetry mergeable histograms + lifecycle spans
 //! crates/bench     cdl-bench    experiment harness (fig*/table* binaries)
 //! vendor/*                      offline stand-ins for rand, serde(+derive),
@@ -232,6 +239,71 @@
 //! # }
 //! ```
 //!
+//! ## Overload control & open-loop load generation
+//!
+//! Under sustained overload, serving *something* late is worse than
+//! serving *the right things* on time. Each request may therefore carry a
+//! **deadline** (a latency budget measured from admission — requests
+//! still queued when it runs out are settled with
+//! [`serve::ServeError::Expired`] at batch-formation or dispatch time,
+//! spending zero evaluator ops: the queue-level analogue of early exit),
+//! a **priority class** ([`serve::Priority`] — lower classes are refused
+//! first as the admission gate fills, with a typed
+//! [`serve::ServeError::Shed`]), and a **tenant id** (bounded per-tenant
+//! in-flight quotas via `ServerConfig::tenant_quota`, refusals typed as
+//! [`serve::ServeError::QuotaExceeded`]). Shed and expired counts are
+//! broken out per class and per tenant in [`serve::ServerMetrics`], and
+//! all three fields travel across the TCP edge on backward-compatible
+//! flag bits.
+//!
+//! Overloading a server honestly requires **open-loop** load — arrivals
+//! drawn from a fixed schedule, not paced by completions. [`load`]
+//! generates exactly that: seeded Poisson or bursty ON/OFF arrival
+//! schedules with weighted per-tenant option mixes, replayed on the wall
+//! clock by [`load::run_open_loop`]. The same seed reproduces the same
+//! schedule, so "with shedding" and "without shedding" runs compare the
+//! identical workload (`tests/overload.rs` pins shed-vs-baseline p99
+//! under a 2× burst; `examples/overload_bench.rs` records it in
+//! `BENCH_8.json`).
+//!
+//! ```
+//! use cdl::load::{ArrivalProcess, LoadSpec, TenantProfile};
+//! use cdl::serve::Priority;
+//! use std::time::Duration;
+//!
+//! // a bursty two-tenant mix: latency-sensitive foreground traffic with
+//! // a 5ms budget, plus low-priority best-effort background scans
+//! let spec = LoadSpec {
+//!     arrival: ArrivalProcess::OnOff {
+//!         on_rate_rps: 2000.0,
+//!         off_rate_rps: 0.0,
+//!         mean_on: Duration::from_millis(50),
+//!         mean_off: Duration::from_millis(150),
+//!     },
+//!     tenants: vec![
+//!         TenantProfile::new()
+//!             .tenant(1)
+//!             .weight(3.0)
+//!             .deadline(Duration::from_millis(5)),
+//!         TenantProfile::new()
+//!             .tenant(2)
+//!             .weight(1.0)
+//!             .priority(Priority::Low),
+//!     ],
+//!     requests: 200,
+//!     seed: 42,
+//! };
+//! let schedule = spec.schedule().expect("valid spec");
+//! assert_eq!(schedule.len(), 200);
+//! // same seed ⇒ bit-identical schedule: runs are exactly comparable
+//! assert_eq!(schedule, spec.schedule().unwrap());
+//! // replay it open-loop against any submit closure (Router, TcpClient…)
+//! let stats = cdl::load::run_open_loop(&schedule[..10], |arrival| {
+//!     assert!(arrival.tenant.is_some());
+//! });
+//! assert_eq!(stats.dispatched, 10);
+//! ```
+//!
 //! ## Telemetry: tail latencies & request-lifecycle tracing
 //!
 //! Every latency figure in the serving stack is backed by
@@ -286,6 +358,7 @@
 pub use cdl_core as core;
 pub use cdl_dataset as dataset;
 pub use cdl_hw as hw;
+pub use cdl_load as load;
 pub use cdl_nn as nn;
 pub use cdl_serve as serve;
 pub use cdl_telemetry as telemetry;

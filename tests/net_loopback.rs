@@ -56,6 +56,7 @@ fn override_mix(i: usize) -> SubmitOptions {
         _ => SubmitOptions {
             delta: Some(0.9),
             max_stage: Some(1),
+            ..SubmitOptions::default()
         },
     }
 }
@@ -281,6 +282,70 @@ fn malformed_frames_get_typed_errors() {
     let metrics = Arc::try_unwrap(router).unwrap().shutdown();
     assert_eq!(metrics.completed(), 1);
     assert_eq!(metrics.failed(), 0);
+}
+
+/// A desynchronised stream with requests still in flight hangs up
+/// promptly: the bogus length prefix marks the connection dead, so the
+/// writer CANCELS the pipelined pendings instead of waiting them out
+/// against a peer the server is about to abandon. (Regression: the
+/// reader used to return without marking the connection dead, so the
+/// writer sat on the stalled pendings and the "hang up" never happened.)
+#[test]
+fn desync_with_pipelined_pendings_cancels_them_and_hangs_up() {
+    let net = build_untrained(arch::mnist_2c(), 5);
+    let router = Arc::new(
+        Router::start(vec![ShardSpec::new(
+            "stall",
+            Arc::clone(&net),
+            ServerConfig {
+                // a size-bound batch that never fills: admitted requests
+                // pin their Pendings in the batcher indefinitely
+                policy: BatchPolicy::by_size(1 << 20),
+                queue_capacity: 16,
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )])
+        .unwrap(),
+    );
+    let edge = TcpServer::bind("127.0.0.1:0", Arc::clone(&router)).unwrap();
+
+    let mut stream = TcpStream::connect(edge.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let x = image(0);
+    for id in 0..3u64 {
+        stream.write_all(&raw_request(id, "stall", &x)).unwrap();
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while router.metrics().shards[0].submitted() < 3 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "submissions never landed"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // desync the stream while all three requests are still pending
+    stream.write_all(&0u32.to_be_bytes()).unwrap();
+    // the server hangs up without serving them: EOF, promptly (the 30s
+    // read timeout would fire if the writer were still waiting the
+    // pendings out)
+    let mut rest = Vec::new();
+    assert_eq!(
+        stream.read_to_end(&mut rest).unwrap(),
+        0,
+        "server must hang up on desync, not wait out pipelined pendings"
+    );
+
+    edge.shutdown();
+    let metrics = Arc::try_unwrap(router).unwrap().shutdown();
+    let stall = &metrics.shards[0];
+    assert_eq!(stall.submitted(), 3);
+    assert_eq!(stall.cancelled(), 3, "pipelined pendings were cancelled");
+    assert_eq!(stall.completed(), 0, "nothing was served past the desync");
+    assert_eq!(metrics.queue_depth(), 0);
 }
 
 /// A client that disconnects with requests still in flight cancels its

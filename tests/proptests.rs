@@ -59,7 +59,11 @@ fn decode_route(model: usize, delta_code: usize, stage_code: usize) -> (ModelId,
     };
     (
         ModelId::from_index(model),
-        SubmitOptions { delta, max_stage },
+        SubmitOptions {
+            delta,
+            max_stage,
+            ..SubmitOptions::default()
+        },
     )
 }
 

@@ -72,6 +72,7 @@ fn override_mix(i: usize) -> SubmitOptions {
         _ => SubmitOptions {
             delta: Some(0.9),
             max_stage: Some(1),
+            ..SubmitOptions::default()
         },
     }
 }

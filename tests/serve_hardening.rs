@@ -1,0 +1,229 @@
+//! Serve-path hardening regressions: co-batch poisoning and TCP-edge
+//! liveness.
+//!
+//! Two bugs this suite pins down:
+//!
+//! 1. **Co-batch poisoning** — a single wrong-shaped tensor used to ride
+//!    into a batch and fail *the whole override group* when the evaluator
+//!    rejected it: innocent co-batched requests were settled with `Eval`
+//!    errors. Inputs are now shape-checked at admission (typed
+//!    [`ServeError::BadInput`] in-process, a `Malformed`-class reply on
+//!    the wire), and if a batch still fails as a group, workers fall back
+//!    to per-request evaluation so only the offending request fails.
+//! 2. **Reader wedge** — the TCP reader used to call the *blocking*
+//!    router submit, which parks in the admission gate with no stop
+//!    check: a connection pipelining past a full gate could never be shut
+//!    down. Edge admission is now stop-aware (non-blocking submit plus a
+//!    polled retry), so `TcpServer::shutdown` completes within a bound
+//!    even with a wedged-pipeline connection.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cdl::core::arch::{self, CdlArchitecture};
+use cdl::core::confidence::ConfidencePolicy;
+use cdl::core::head::LinearClassifier;
+use cdl::core::network::CdlNetwork;
+use cdl::nn::network::Network;
+use cdl::serve::{
+    BatchPolicy, ErrorCode, Router, ServeError, ServerConfig, ShardSpec, SubmitOptions, TcpClient,
+    TcpServer,
+};
+use cdl::tensor::Tensor;
+
+fn build_untrained(arch: CdlArchitecture, seed: u64) -> Arc<CdlNetwork> {
+    let base = Network::from_spec(&arch.spec, seed).unwrap();
+    let feats = arch.tap_features().unwrap();
+    let stages = arch
+        .taps
+        .iter()
+        .zip(&feats)
+        .map(|(t, &f)| {
+            (
+                t.spec_layer,
+                t.name.clone(),
+                LinearClassifier::new(f, 10, 1).unwrap(),
+            )
+        })
+        .collect();
+    Arc::new(CdlNetwork::assemble(base, stages, ConfidencePolicy::max_prob(0.6)).unwrap())
+}
+
+fn image(i: usize) -> Tensor {
+    Tensor::full(&[1, 28, 28], 0.1 + 0.07 * (i as f32 % 11.0))
+}
+
+/// In-process half of the poisoning regression: a wrong-shaped tensor is
+/// refused at admission with a typed `BadInput`, before it can share a
+/// batch with anyone — and the good requests around it stay bit-identical
+/// to the per-image path.
+#[test]
+fn bad_input_cannot_poison_cobatched_requests_in_process() {
+    let net = build_untrained(arch::mnist_2c(), 5);
+    let router = Arc::new(
+        Router::start(vec![ShardSpec::new(
+            "m",
+            Arc::clone(&net),
+            ServerConfig {
+                // a wide size-bound batch, so the goods WOULD have been
+                // co-batched with the poison pre-fix
+                policy: BatchPolicy::new(8, Duration::from_millis(5)),
+                queue_capacity: 64,
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )])
+        .unwrap(),
+    );
+    let model = router.model_id("m").unwrap();
+
+    // good, poison, good — submitted back to back so they'd seal into
+    // one batch
+    let a = router
+        .submit_with(model, image(0), SubmitOptions::default())
+        .unwrap();
+    let poison = Tensor::full(&[2, 2], 0.5);
+    let refused = router.submit_with(model, poison, SubmitOptions::default());
+    assert!(
+        matches!(refused, Err(ServeError::BadInput(_))),
+        "wrong-shaped tensor must be refused at admission, got {refused:?}"
+    );
+    let b = router
+        .submit_with(model, image(1), SubmitOptions::default())
+        .unwrap();
+
+    // the innocent requests are served bit-identically
+    assert_eq!(a.wait().unwrap(), net.classify(&image(0)).unwrap());
+    assert_eq!(b.wait().unwrap(), net.classify(&image(1)).unwrap());
+
+    let metrics = Arc::try_unwrap(router).unwrap().shutdown();
+    assert_eq!(metrics.submitted(), 2, "the poison was never admitted");
+    assert_eq!(metrics.completed(), 2);
+    assert_eq!(metrics.failed(), 0, "no co-batched request failed");
+}
+
+/// Wire half of the poisoning regression: over TCP the wrong-shaped
+/// tensor comes back as a `Malformed`-class typed error under its own
+/// request id, while pipelined good requests on the same connection are
+/// served bit-exactly.
+#[test]
+fn bad_input_cannot_poison_cobatched_requests_over_tcp() {
+    let net = build_untrained(arch::mnist_2c(), 5);
+    let router = Arc::new(
+        Router::start(vec![ShardSpec::new(
+            "m",
+            Arc::clone(&net),
+            ServerConfig {
+                policy: BatchPolicy::new(8, Duration::from_millis(5)),
+                queue_capacity: 64,
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )])
+        .unwrap(),
+    );
+    let edge = TcpServer::bind("127.0.0.1:0", Arc::clone(&router)).unwrap();
+
+    let mut client = TcpClient::connect(edge.local_addr()).unwrap();
+    let good_a = client
+        .submit("m", &image(0), SubmitOptions::default())
+        .unwrap();
+    let poison = Tensor::full(&[2, 2], 0.5);
+    let poison_id = client
+        .submit("m", &poison, SubmitOptions::default())
+        .unwrap();
+    let good_b = client
+        .submit("m", &image(1), SubmitOptions::default())
+        .unwrap();
+
+    let mut outputs = std::collections::HashMap::new();
+    for _ in 0..3 {
+        let (id, result) = client.recv().unwrap();
+        outputs.insert(id, result);
+    }
+    let err = outputs.remove(&poison_id).unwrap().unwrap_err();
+    assert_eq!(err.code, ErrorCode::Malformed, "{err}");
+    assert_eq!(
+        outputs.remove(&good_a).unwrap().unwrap(),
+        net.classify(&image(0)).unwrap()
+    );
+    assert_eq!(
+        outputs.remove(&good_b).unwrap().unwrap(),
+        net.classify(&image(1)).unwrap()
+    );
+
+    drop(client);
+    edge.shutdown();
+    let metrics = Arc::try_unwrap(router).unwrap().shutdown();
+    assert_eq!(metrics.completed(), 2);
+    assert_eq!(metrics.failed(), 0);
+}
+
+/// Reader-wedge regression: fill a tiny admission gate through TCP, keep
+/// pipelining past capacity, drop the client, and require that
+/// `TcpServer::shutdown` still completes within a bound. Pre-fix the
+/// reader thread was parked in the gate's blocking acquire with no stop
+/// check, and shutdown joined it forever.
+#[test]
+fn shutdown_completes_while_a_connection_is_wedged_on_a_full_gate() {
+    let net = build_untrained(arch::mnist_2c(), 5);
+    let router = Arc::new(
+        Router::start(vec![ShardSpec::new(
+            "stall",
+            Arc::clone(&net),
+            ServerConfig {
+                // a size-bound batch that never fills: admitted requests
+                // hold their gate slots indefinitely
+                policy: BatchPolicy::by_size(1 << 20),
+                queue_capacity: 2,
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )])
+        .unwrap(),
+    );
+    let edge = TcpServer::bind("127.0.0.1:0", Arc::clone(&router)).unwrap();
+
+    // pipeline well past the gate: requests 1–2 occupy it, request 3
+    // wedges the reader in admission, 4–6 sit unread in the socket
+    let mut client = TcpClient::connect(edge.local_addr()).unwrap();
+    let x = image(0);
+    for _ in 0..6 {
+        client
+            .submit("stall", &x, SubmitOptions::default())
+            .unwrap();
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while router.metrics().shards[0].submitted() < 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "the gate never filled"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    drop(client);
+
+    // shutdown must come back even though the reader is parked on a gate
+    // that will never drain; run it on a scratch thread so a regression
+    // fails the test instead of hanging it
+    let (done_tx, done_rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        edge.shutdown();
+        let _ = done_tx.send(());
+    });
+    done_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("TcpServer::shutdown wedged behind a full admission gate");
+
+    let metrics = Arc::try_unwrap(router).unwrap().shutdown();
+    let stall = &metrics.shards[0];
+    assert_eq!(
+        stall.submitted(),
+        2,
+        "only the gate's capacity was admitted"
+    );
+    assert_eq!(stall.completed(), 0);
+    assert_eq!(stall.cancelled(), 2, "orphaned admissions were cancelled");
+    assert_eq!(metrics.queue_depth(), 0);
+}
