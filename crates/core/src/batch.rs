@@ -37,6 +37,42 @@ use crate::error::CdlError;
 use crate::network::{CdlNetwork, CdlOutput};
 use crate::Result;
 
+/// The work a request had already consumed when it was shed mid-batch.
+///
+/// Produced by the sheddable entry points
+/// ([`BatchEvaluator::classify_batch_with_override_sheddable`]) for inputs
+/// the caller's shed hook evicted at a stage boundary: `stages_activated`
+/// cascade stages had run (and been paid for) by then, costing `ops`
+/// operations — the exact cumulative cost every image reaching that
+/// boundary incurs, so energy accounting built on these numbers is honest
+/// rather than zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartialEval {
+    /// Cascade stages evaluated before the shed (0 is impossible: the
+    /// first shed opportunity is the boundary *after* stage 0).
+    pub stages_activated: u64,
+    /// Operations consumed by those stages, including their heads.
+    pub ops: OpCount,
+}
+
+/// Per-input result of a sheddable batch pass: either a finished
+/// classification or the partial work consumed before a mid-batch shed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SheddableOutcome {
+    /// The input ran to an exit (early or baseline) — bit-identical to the
+    /// non-sheddable pass.
+    Done(CdlOutput),
+    /// The shed hook evicted the input at a stage boundary; the work done
+    /// up to that boundary is recorded.
+    Shed(PartialEval),
+}
+
+/// Shed hook that never sheds — the non-sheddable entry points route
+/// through the sheddable core with this.
+fn never_shed(_next_stage: usize, _input_idx: usize) -> bool {
+    false
+}
+
 /// A persistent batched evaluator over one conditional network.
 ///
 /// Create once, feed batches forever: all intermediate buffers (im2col
@@ -106,7 +142,9 @@ impl<'a> BatchEvaluator<'a> {
         inputs: &[Tensor],
         policy: ConfidencePolicy,
     ) -> Result<Vec<CdlOutput>> {
-        self.classify_batch_capped(inputs, policy, None, &mut |_, _| {})
+        let outcomes =
+            self.classify_batch_capped(inputs, policy, None, &mut |_, _| {}, &mut never_shed)?;
+        Ok(into_done(outcomes))
     }
 
     /// Classifies a batch with per-request [`ExitOverride`]s (δ replacement
@@ -149,7 +187,46 @@ impl<'a> BatchEvaluator<'a> {
     ) -> Result<Vec<CdlOutput>> {
         let policy = ovr.effective_policy(self.net.policy());
         policy.validate()?;
-        self.classify_batch_capped(inputs, policy, ovr.max_stage, observer)
+        let outcomes =
+            self.classify_batch_capped(inputs, policy, ovr.max_stage, observer, &mut never_shed)?;
+        Ok(into_done(outcomes))
+    }
+
+    /// [`BatchEvaluator::classify_batch_with_override_observed`] with a
+    /// per-input **shed hook**: at every stage boundary — before cascade
+    /// stage `s ≥ 1` runs, and before the final baseline segment (reported
+    /// as stage [`CdlNetwork::stage_count`]) — `shed(next_stage, input_idx)`
+    /// is asked whether the still-active input at original index
+    /// `input_idx` should be evicted instead of paying for `next_stage`.
+    /// Evicted inputs settle as [`SheddableOutcome::Shed`] carrying the
+    /// exact work already consumed; survivors are **bit-identical** to the
+    /// non-sheddable pass (shedding only removes rows from the batched
+    /// GEMMs, which never changes per-row arithmetic). A hook that always
+    /// returns `false` reproduces
+    /// [`BatchEvaluator::classify_batch_with_override_observed`] exactly.
+    ///
+    /// The hook is *not* consulted before stage 0: admission-time expiry
+    /// is the dispatcher's job, and an input that was live at dispatch has
+    /// already been committed to its first segment.
+    ///
+    /// This is the mechanism the serving layer's mid-batch deadline
+    /// shedding builds on: a request whose deadline passes while its batch
+    /// is in flight stops consuming cascade stages at the next boundary.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as
+    /// [`BatchEvaluator::classify_batch_with_override_observed`].
+    pub fn classify_batch_with_override_sheddable(
+        &mut self,
+        inputs: &[Tensor],
+        ovr: ExitOverride,
+        observer: &mut dyn FnMut(usize, &[usize]),
+        shed: &mut dyn FnMut(usize, usize) -> bool,
+    ) -> Result<Vec<SheddableOutcome>> {
+        let policy = ovr.effective_policy(self.net.policy());
+        policy.validate()?;
+        self.classify_batch_capped(inputs, policy, ovr.max_stage, observer, shed)
     }
 
     fn classify_batch_capped(
@@ -158,9 +235,10 @@ impl<'a> BatchEvaluator<'a> {
         policy: ConfidencePolicy,
         force_exit_at: Option<usize>,
         observer: &mut dyn FnMut(usize, &[usize]),
-    ) -> Result<Vec<CdlOutput>> {
+        shed: &mut dyn FnMut(usize, usize) -> bool,
+    ) -> Result<Vec<SheddableOutcome>> {
         let n = inputs.len();
-        let mut outputs: Vec<Option<CdlOutput>> = (0..n).map(|_| None).collect();
+        let mut outputs: Vec<Option<SheddableOutcome>> = (0..n).map(|_| None).collect();
         if n == 0 {
             return Ok(Vec::new());
         }
@@ -177,6 +255,22 @@ impl<'a> BatchEvaluator<'a> {
         let mut cum_ops = OpCount::ZERO;
 
         for (stage_idx, stage) in self.net.stages().iter().enumerate() {
+            // stage boundary: before paying for stage `stage_idx`, offer
+            // every still-active input to the shed hook (never before
+            // stage 0 — dispatch-time checks own that boundary)
+            if started {
+                shed_boundary(
+                    stage_idx,
+                    cum_ops,
+                    &mut active,
+                    &mut active_idx,
+                    &mut outputs,
+                    shed,
+                );
+                if active.is_empty() {
+                    return collect(outputs);
+                }
+            }
             let src: &[Tensor] = if started { &active } else { inputs };
             active = self.net.base().forward_batch_segment(
                 src,
@@ -200,14 +294,14 @@ impl<'a> BatchEvaluator<'a> {
                 let scores = Tensor::from_slice(row);
                 let decision = policy.decide(&scores)?;
                 if decision.exit || force_exit_at.is_some_and(|cap| stage_idx >= cap) {
-                    outputs[active_idx[k]] = Some(CdlOutput {
+                    outputs[active_idx[k]] = Some(SheddableOutcome::Done(CdlOutput {
                         label: decision.label,
                         exit_stage: stage_idx,
                         confidence: decision.confidence,
                         ops: cum_ops,
                         stages_activated: stage_idx as u64 + 1,
                         exited_early: true,
-                    });
+                    }));
                 } else {
                     keep.push(features);
                     keep_idx.push(active_idx[k]);
@@ -222,6 +316,21 @@ impl<'a> BatchEvaluator<'a> {
         }
 
         // survivors run the remaining baseline layers to the final output
+        let stage_count = self.net.stage_count();
+        if started {
+            // last boundary: shed before committing to the baseline tail
+            shed_boundary(
+                stage_count,
+                cum_ops,
+                &mut active,
+                &mut active_idx,
+                &mut outputs,
+                shed,
+            );
+            if active.is_empty() {
+                return collect(outputs);
+            }
+        }
         let last = self.net.base().layer_count() - 1;
         let src: &[Tensor] = if started { &active } else { inputs };
         let finals =
@@ -229,21 +338,20 @@ impl<'a> BatchEvaluator<'a> {
                 .base()
                 .forward_batch_segment(src, prev_tap, last, &mut self.scratch)?;
         cum_ops += self.net.final_ops();
-        let stage_count = self.net.stage_count();
         observer(stage_count, &active_idx);
         for (k, out) in finals.iter().enumerate() {
             let label = out
                 .argmax()
                 .ok_or_else(|| CdlError::BadStage("baseline produced empty output".into()))?;
             let probs = cdl_tensor::ops::softmax(out);
-            outputs[active_idx[k]] = Some(CdlOutput {
+            outputs[active_idx[k]] = Some(SheddableOutcome::Done(CdlOutput {
                 label,
                 exit_stage: stage_count,
                 confidence: probs.data()[label],
                 ops: cum_ops,
                 stages_activated: stage_count as u64 + 1,
                 exited_early: false,
-            });
+            }));
         }
         collect(outputs)
     }
@@ -312,6 +420,43 @@ impl<'a> BatchEvaluator<'a> {
         Ok(outputs)
     }
 
+    /// Sheddable twin of
+    /// [`BatchEvaluator::classify_stream_with_override_observed`]: pushes
+    /// [`BatchEvaluator::STREAM_CHUNK`]-image chunks through
+    /// [`BatchEvaluator::classify_batch_with_override_sheddable`]. Both
+    /// the observer and the shed hook see indices into the full `inputs`
+    /// stream (chunk-local indices are shifted by the chunk base), so one
+    /// pair of hooks serves the whole stream.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as
+    /// [`BatchEvaluator::classify_batch_with_override_sheddable`].
+    pub fn classify_stream_with_override_sheddable(
+        &mut self,
+        inputs: &[Tensor],
+        ovr: ExitOverride,
+        observer: &mut dyn FnMut(usize, &[usize]),
+        shed: &mut dyn FnMut(usize, usize) -> bool,
+    ) -> Result<Vec<SheddableOutcome>> {
+        let mut outputs = Vec::with_capacity(inputs.len());
+        let mut shifted: Vec<usize> = Vec::new();
+        for (chunk_no, chunk) in inputs.chunks(Self::STREAM_CHUNK).enumerate() {
+            let base = chunk_no * Self::STREAM_CHUNK;
+            outputs.extend(self.classify_batch_with_override_sheddable(
+                chunk,
+                ovr,
+                &mut |stage, active| {
+                    shifted.clear();
+                    shifted.extend(active.iter().map(|&k| base + k));
+                    observer(stage, &shifted);
+                },
+                &mut |next_stage, idx| shed(next_stage, base + idx),
+            )?);
+        }
+        Ok(outputs)
+    }
+
     /// Batched [`CdlNetwork::classify_baseline`]: runs the *baseline*
     /// network alone (no heads, no gates) over the whole batch against this
     /// evaluator's scratch, returning each image's `(label, baseline_ops)`.
@@ -344,11 +489,54 @@ impl<'a> BatchEvaluator<'a> {
     }
 }
 
-fn collect(outputs: Vec<Option<CdlOutput>>) -> Result<Vec<CdlOutput>> {
+/// Offers every still-active input to the shed hook at the boundary
+/// before `next_stage`; evicted inputs settle as `Shed` carrying the
+/// cumulative cost `cum_ops` (the cost of the `next_stage` stages they
+/// already ran).
+fn shed_boundary(
+    next_stage: usize,
+    cum_ops: OpCount,
+    active: &mut Vec<Tensor>,
+    active_idx: &mut Vec<usize>,
+    outputs: &mut [Option<SheddableOutcome>],
+    shed: &mut dyn FnMut(usize, usize) -> bool,
+) {
+    let mut keep: Vec<Tensor> = Vec::with_capacity(active.len());
+    let mut keep_idx: Vec<usize> = Vec::with_capacity(active_idx.len());
+    for (k, features) in active.drain(..).enumerate() {
+        let idx = active_idx[k];
+        if shed(next_stage, idx) {
+            outputs[idx] = Some(SheddableOutcome::Shed(PartialEval {
+                stages_activated: next_stage as u64,
+                ops: cum_ops,
+            }));
+        } else {
+            keep.push(features);
+            keep_idx.push(idx);
+        }
+    }
+    *active = keep;
+    *active_idx = keep_idx;
+}
+
+fn collect(outputs: Vec<Option<SheddableOutcome>>) -> Result<Vec<SheddableOutcome>> {
     outputs
         .into_iter()
         .map(|o| {
             o.ok_or_else(|| CdlError::BadStage("image left unclassified by batch pass".into()))
+        })
+        .collect()
+}
+
+/// Unwraps a never-shed pass back to plain outputs (the non-sheddable
+/// entry points route through the sheddable core with [`never_shed`], so
+/// a `Shed` arm here is impossible).
+fn into_done(outcomes: Vec<SheddableOutcome>) -> Vec<CdlOutput> {
+    outcomes
+        .into_iter()
+        .map(|o| match o {
+            SheddableOutcome::Done(out) => out,
+            SheddableOutcome::Shed(_) => unreachable!("never_shed hook cannot shed"),
         })
         .collect()
 }
@@ -537,6 +725,77 @@ mod tests {
                 (0..=stage_count).collect()
             };
             assert_eq!(seen[i], expect, "input {i}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn never_shedding_hook_is_bit_identical() {
+        let cdl = build_untrained();
+        let inputs = batch(BatchEvaluator::STREAM_CHUNK + 9);
+        let mut eval = BatchEvaluator::new(&cdl);
+        let ovr = ExitOverride::with_delta(0.999); // keep most images deep
+        let plain = eval.classify_stream_with_override(&inputs, ovr).unwrap();
+        let sheddable = eval
+            .classify_stream_with_override_sheddable(&inputs, ovr, &mut |_, _| {}, &mut |_, _| {
+                false
+            })
+            .unwrap();
+        assert_eq!(sheddable.len(), plain.len());
+        for (got, want) in sheddable.iter().zip(&plain) {
+            assert_eq!(*got, SheddableOutcome::Done(want.clone()));
+        }
+    }
+
+    #[test]
+    fn shed_hook_evicts_with_honest_partial_accounting_and_exact_survivors() {
+        let cdl = build_untrained();
+        let inputs = batch(12);
+        let mut eval = BatchEvaluator::new(&cdl);
+        // δ high enough that images survive past stage 0, so boundaries
+        // after stage 0 actually see active inputs
+        let ovr = ExitOverride::with_delta(0.999);
+        let plain = eval.classify_batch_with_override(&inputs, ovr).unwrap();
+
+        // shed inputs 3 and 7 at the first boundary they are offered
+        let mut offered: Vec<Vec<usize>> = vec![Vec::new(); inputs.len()];
+        let outcomes = eval
+            .classify_batch_with_override_sheddable(
+                &inputs,
+                ovr,
+                &mut |_, _| {},
+                &mut |next_stage, idx| {
+                    offered[idx].push(next_stage);
+                    idx == 3 || idx == 7
+                },
+            )
+            .unwrap();
+
+        // the first offer is at the boundary *after* stage 0, never before
+        for offers in offered.iter().filter(|o| !o.is_empty()) {
+            assert!(offers[0] >= 1, "offers: {offers:?}");
+        }
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if (i == 3 || i == 7) && plain[i].stages_activated > 1 {
+                // evicted at the boundary after stage 0: exactly one stage
+                // of work done, at the cost every stage-0 image pays
+                let SheddableOutcome::Shed(partial) = outcome else {
+                    panic!("input {i} should have been shed: {outcome:?}");
+                };
+                assert_eq!(partial.stages_activated, 1);
+                assert!(partial.ops.compute_ops() > 0, "shed work must be non-zero");
+                assert!(
+                    partial.ops.compute_ops() < plain[i].ops.compute_ops(),
+                    "partial cost must undercut the full run"
+                );
+            } else {
+                // survivors (and images that exited at stage 0 before any
+                // boundary) are bit-identical to the unshredded pass
+                assert_eq!(
+                    *outcome,
+                    SheddableOutcome::Done(plain[i].clone()),
+                    "input {i}"
+                );
+            }
         }
     }
 

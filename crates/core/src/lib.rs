@@ -69,7 +69,7 @@ pub mod stats;
 pub mod sweep;
 
 pub use arch::CdlArchitecture;
-pub use batch::BatchEvaluator;
+pub use batch::{BatchEvaluator, PartialEval, SheddableOutcome};
 pub use builder::{BuilderConfig, CdlBuilder, TrainedCdl};
 pub use confidence::{ConfidencePolicy, Decision, ExitOverride};
 pub use error::CdlError;

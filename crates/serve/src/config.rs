@@ -503,6 +503,70 @@ impl Default for ServerConfig {
     }
 }
 
+/// Configuration of the event-loop TCP edge ([`crate::TcpServer`]).
+///
+/// The edge multiplexes every accepted connection onto a fixed pool of
+/// `pollers` reactor threads — connection count never changes the thread
+/// count — and its accept loop backs off exponentially between
+/// `accept_backoff_initial` and `accept_backoff_max` while `accept()` keeps
+/// failing (e.g. under fd exhaustion), instead of busy-spinning a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeConfig {
+    /// Poller (reactor) threads multiplexing the connections. Each owns an
+    /// epoll/poll instance and the full read/decode/submit/encode/write
+    /// state machines of the connections assigned to it (round-robin at
+    /// accept). Total edge threads = `pollers` + 1 accept thread,
+    /// independent of connection count.
+    pub pollers: usize,
+    /// First backoff after a failed `accept()`; doubles on every
+    /// consecutive failure.
+    pub accept_backoff_initial: Duration,
+    /// Backoff ceiling for repeated `accept()` failures. A successful
+    /// accept resets the backoff to `accept_backoff_initial`.
+    pub accept_backoff_max: Duration,
+}
+
+impl EdgeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for a zero poller count, a zero
+    /// initial backoff, or a ceiling below the initial backoff.
+    pub fn validate(&self) -> ServeResult<()> {
+        if self.pollers == 0 {
+            return Err(ServeError::BadConfig("pollers must be >= 1".into()));
+        }
+        if self.accept_backoff_initial.is_zero() {
+            return Err(ServeError::BadConfig(
+                "accept_backoff_initial must be > 0".into(),
+            ));
+        }
+        if self.accept_backoff_max < self.accept_backoff_initial {
+            return Err(ServeError::BadConfig(
+                "accept_backoff_max must be >= accept_backoff_initial".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for EdgeConfig {
+    /// One poller per core up to 4 (the same shape as
+    /// [`ServerConfig::default`]'s worker pool), 1 ms initial accept
+    /// backoff doubling to a 250 ms ceiling.
+    fn default() -> Self {
+        let pollers = std::thread::available_parallelism()
+            .map(|n| n.get().min(4))
+            .unwrap_or(2);
+        EdgeConfig {
+            pollers,
+            accept_backoff_initial: Duration::from_millis(1),
+            accept_backoff_max: Duration::from_millis(250),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -659,6 +723,27 @@ mod tests {
         assert_eq!(opts.deadline, Some(Duration::from_secs(1)));
         assert_eq!(opts.delta, None);
         assert_eq!(opts.priority, Priority::High);
+    }
+
+    #[test]
+    fn edge_config_defaults_and_validation() {
+        let edge = EdgeConfig::default();
+        assert!(edge.pollers >= 1);
+        assert!(edge.validate().is_ok());
+        assert!(EdgeConfig { pollers: 0, ..edge }.validate().is_err());
+        assert!(EdgeConfig {
+            accept_backoff_initial: Duration::ZERO,
+            ..edge
+        }
+        .validate()
+        .is_err());
+        assert!(EdgeConfig {
+            accept_backoff_initial: Duration::from_millis(10),
+            accept_backoff_max: Duration::from_millis(5),
+            ..edge
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -74,7 +74,13 @@
 //!   budget, an admission class, and a tenant id. A request still queued
 //!   when its deadline passes is settled with [`ServeError::Expired`] at
 //!   batch-formation or dispatch time, spending **zero** evaluator ops —
-//!   the queue-level analogue of early exit. As the gate fills, lower
+//!   the queue-level analogue of early exit. A deadline that expires
+//!   *mid-batch* sheds the request at the next stage boundary instead of
+//!   riding the cascade to the end: survivors stay bit-identical, and the
+//!   partial work already spent is charged honestly to the energy ledger
+//!   ([`ServerMetrics`] counts it expired, with its stages and ops in
+//!   `total_ops`/`stages_activated` but no completion or latency sample).
+//!   As the gate fills, lower
 //!   priority classes are refused first (typed [`ServeError::Shed`]), and
 //!   tenants over their in-flight quota get [`ServeError::QuotaExceeded`]
 //!   without disturbing anyone else. Shed/expired counts are broken out
@@ -86,9 +92,14 @@
 //!   its members individually so only the offending request fails.
 //! * **Network edge** ([`net`]): a length-prefixed binary TCP protocol
 //!   ([`TcpServer`] / [`TcpClient`]) in front of the router — pipelined
-//!   request ids per connection, per-connection writer threads draining
-//!   completions, typed error replies, and bit-exact f32 transport
-//!   (IEEE-754 bit patterns on the wire).
+//!   request ids per connection, typed error replies, and bit-exact f32
+//!   transport (IEEE-754 bit patterns on the wire). The server side is a
+//!   fixed-size event loop ([`EdgeConfig`]): an accept thread with
+//!   exponential backoff feeds [`EdgeConfig::pollers`] reactor threads
+//!   that own every connection's read/decode/submit/encode/write state
+//!   machine over edge-triggered readiness, so idle connections cost
+//!   buffers rather than threads and completions wake the edge through
+//!   an eventfd instead of 50 ms poll slices.
 //! * **Telemetry** ([`cdl_telemetry`], re-exported here): every latency
 //!   metric is backed by a mergeable log-bucketed [`LogHistogram`] (O(1)
 //!   record, ≤ 1/64 relative quantile error, exact min/mean/max —
@@ -153,7 +164,7 @@ pub use cdl_telemetry::{
 };
 pub use cdl_tensor::gemm::GemmKernel;
 pub use config::{
-    BatchPolicy, PlacementPolicy, Priority, ReplicaSpec, ServerConfig, SubmitOptions,
+    BatchPolicy, EdgeConfig, PlacementPolicy, Priority, ReplicaSpec, ServerConfig, SubmitOptions,
 };
 pub use error::{ServeError, ServeResult};
 pub use metrics::{LatencyStats, ReplicaMetrics, RouterMetrics, ServerMetrics, ShardMetrics};

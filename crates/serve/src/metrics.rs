@@ -98,10 +98,13 @@ pub struct ServerMetrics {
     pub cancelled: u64,
     /// Requests that failed (evaluator error / pipeline teardown).
     pub failed: u64,
-    /// Admitted requests whose deadline passed before evaluation — settled
-    /// with [`crate::ServeError::Expired`] at batch formation or dispatch
-    /// time, spending zero evaluator ops. Never recorded in the latency
-    /// histogram (only served requests are).
+    /// Admitted requests whose deadline passed before they finished —
+    /// settled with [`crate::ServeError::Expired`] at batch formation,
+    /// at dispatch time (both spending zero evaluator ops), or shed
+    /// mid-batch at a cascade stage boundary (the ops already consumed by
+    /// then are charged to `total_ops`/`stages_activated`, so the energy
+    /// ledger stays honest). Never recorded in the latency histogram
+    /// (only served requests are).
     pub expired: u64,
     /// Submissions refused at the admission gate by overload control: a
     /// priority class above its admission limit
@@ -159,8 +162,17 @@ pub struct ServerMetrics {
     /// `exit_histogram[i]` = completed requests that exited at stage `i`
     /// (last slot = final output layer).
     pub exit_histogram: Vec<u64>,
-    /// Cumulative operations of every completed request.
+    /// Cumulative operations of every completed request, plus the partial
+    /// work of requests shed mid-batch (broken out in
+    /// `expired_partial_ops`).
     pub total_ops: OpCount,
+    /// The slice of `total_ops` burned by requests shed **mid-batch**: a
+    /// deadline that passed while its batch was in flight evicts the
+    /// request at the next cascade stage boundary, and the stages already
+    /// evaluated cost real ops even though no result was delivered.
+    /// `total_ops − expired_partial_ops` is exactly the work of completed
+    /// requests; requests expired before dispatch contribute to neither.
+    pub expired_partial_ops: OpCount,
     /// Cumulative hardware stages activated by completed requests.
     pub stages_activated: u64,
     /// Cumulative energy of completed requests under the server's
@@ -401,6 +413,16 @@ impl ShardMetrics {
         self.replicas.iter().map(|r| r.metrics.total_ops).sum()
     }
 
+    /// The slice of [`ShardMetrics::total_ops`] burned by mid-batch
+    /// shedding across replicas (see
+    /// [`ServerMetrics::expired_partial_ops`]).
+    pub fn expired_partial_ops(&self) -> OpCount {
+        self.replicas
+            .iter()
+            .map(|r| r.metrics.expired_partial_ops)
+            .sum()
+    }
+
     /// Cumulative hardware stages activated across replicas.
     pub fn stages_activated(&self) -> u64 {
         self.replicas
@@ -535,6 +557,13 @@ impl RouterMetrics {
         self.shards.iter().map(|s| s.total_ops()).sum()
     }
 
+    /// The slice of [`RouterMetrics::total_ops`] burned by mid-batch
+    /// shedding across all models and replicas (see
+    /// [`ServerMetrics::expired_partial_ops`]).
+    pub fn expired_partial_ops(&self) -> OpCount {
+        self.shards.iter().map(|s| s.expired_partial_ops()).sum()
+    }
+
     /// Cumulative hardware stages activated across all models and replicas.
     pub fn stages_activated(&self) -> u64 {
         self.shards.iter().map(|s| s.stages_activated()).sum()
@@ -630,6 +659,7 @@ struct Counters {
     latency: LogHistogram,
     exit_histogram: Vec<u64>,
     total_ops: OpCount,
+    expired_partial_ops: OpCount,
     stages_activated: u64,
     /// When the first request completed — the start of the active span
     /// `throughput_rps` is computed over.
@@ -702,6 +732,30 @@ impl Recorder {
         if let Some(t) = tenant {
             *c.expired_by_tenant.entry(t).or_insert(0) += 1;
         }
+    }
+
+    /// Records an admitted request shed **mid-batch**: its deadline passed
+    /// while its batch was in flight, and the evaluator evicted it at a
+    /// cascade stage boundary after `stages` stages costing `ops`. Counts
+    /// toward `expired` like the zero-ops shed points, but the work
+    /// already burned is charged to the op/energy ledger — partial
+    /// evaluations consume real energy even though no result is delivered.
+    pub(crate) fn expired_mid_batch(
+        &self,
+        priority: Priority,
+        tenant: Option<u32>,
+        ops: OpCount,
+        stages: u64,
+    ) {
+        let mut c = self.counters.lock().unwrap();
+        c.expired += 1;
+        c.expired_by_class[priority.class()] += 1;
+        if let Some(t) = tenant {
+            *c.expired_by_tenant.entry(t).or_insert(0) += 1;
+        }
+        c.total_ops += ops;
+        c.expired_partial_ops += ops;
+        c.stages_activated += stages;
     }
 
     /// Records a submission refused at the admission gate by overload
@@ -805,6 +859,7 @@ impl Recorder {
             latency_histogram: c.latency.clone(),
             exit_histogram: c.exit_histogram.clone(),
             total_ops: c.total_ops,
+            expired_partial_ops: c.expired_partial_ops,
             stages_activated: c.stages_activated,
             energy_pj: self.energy_model.total_pj(&c.total_ops, c.stages_activated),
         }
@@ -1066,6 +1121,27 @@ mod tests {
         assert!(text.contains("cdl_requests_expired_total{model=\"A\"} 2"));
         assert!(text.contains("cdl_requests_shed_total{model=\"A\"} 3"));
         assert!(text.contains("cdl_requests_shed_by_class_total{model=\"A\",class=\"low\"} 2"));
+    }
+
+    #[test]
+    fn mid_batch_expiry_charges_partial_work_to_the_energy_ledger() {
+        let rec = Recorder::new(EnergyModel::cmos_45nm());
+        let zero_work = rec.snapshot(0).energy_pj;
+        rec.expired_mid_batch(Priority::Normal, Some(7), OpCount::from_macs(1234), 2);
+        let snap = rec.snapshot(0);
+        assert_eq!(snap.expired, 1);
+        assert_eq!(snap.expired_by_class, [0, 1, 0]);
+        assert_eq!(snap.expired_by_tenant, vec![(7, 1)]);
+        // unlike the zero-ops shed points, the burned work is on the ledger,
+        // and the partial slice is broken out so `total_ops -
+        // expired_partial_ops` stays exactly the completed requests' work
+        assert_eq!(snap.total_ops.macs, 1234);
+        assert_eq!(snap.expired_partial_ops.macs, 1234);
+        assert_eq!(snap.stages_activated, 2);
+        assert!(snap.energy_pj > zero_work);
+        // but nothing was delivered: no completion, no latency sample
+        assert_eq!(snap.completed, 0);
+        assert!(snap.latency.is_none());
     }
 
     #[test]

@@ -56,9 +56,14 @@
 //! evaluator ops were spent), [`ErrorCode::Shed`] (admission shed a
 //! lower-priority request under load), and [`ErrorCode::Quota`] (the
 //! tenant is at its in-flight cap). A request with no deadline is never
-//! shed once admitted: the reader back-pressures its own connection's
-//! pipeline instead, re-checking the stop and dead flags every [`POLL`]
-//! so a saturated gate can never wedge the edge.
+//! shed once admitted: a full gate **parks** the decoded request on its
+//! connection (the tensor moves into the parked slot — reclaimed from
+//! [`Router::try_submit_reclaim`], never cloned) and the owning poller
+//! stops parsing that connection's stream until admission succeeds.
+//! Backpressure is per connection and propagates to the peer as ordinary
+//! TCP flow control while every other connection keeps flowing; a
+//! saturated gate can never wedge the edge against shutdown because the
+//! poller keeps servicing its event loop between retries.
 //!
 //! Response body:
 //!
@@ -73,27 +78,43 @@
 //!
 //! # Connection model
 //!
-//! Per connection the server runs a **reader** thread (decodes frames,
-//! resolves the model by name, submits through the router's placement
-//! policy) and a **writer** thread fed over a channel (drains each routed
-//! request's [`Pending`] and streams responses back). Because submission
-//! and completion are decoupled, a client may pipeline arbitrarily many
-//! requests before reading a single response; responses can complete
-//! out of submission order (different replicas, different batches) and
-//! carry the request id so the client can match them up. Backpressure is
-//! per connection and per replica: a blocking-admission stall on one
-//! connection's reader never delays other connections.
+//! The edge is a fixed-size **event loop**, not thread-per-connection: an
+//! accept thread hands each socket (round-robin) to one of
+//! [`EdgeConfig::pollers`] poller threads, and every poller multiplexes
+//! its share of the connections over an edge-triggered readiness selector
+//! (the vendored [`reactor`] crate — epoll on Linux, poll(2) elsewhere).
+//! Total edge threads = pollers + 1, independent of connection count: 256
+//! idle connections cost buffers, not threads (pinned by
+//! `tests/net_soak.rs`).
+//!
+//! Each connection is a small state machine owned by exactly one poller:
+//! a read buffer reassembles length-prefixed frames incrementally from
+//! whatever the socket yields, decoded requests are submitted through the
+//! router's placement policy, and completed responses are serialised into
+//! a write buffer drained as fast as the socket accepts them. Completion
+//! crosses threads without parking anyone: when a worker settles a
+//! routed request's [`Pending`], a registered waker enqueues the
+//! (connection, sequence) pair and tickles the owning poller's
+//! [`reactor::Waker`] (an eventfd on Linux), so responses stream back
+//! with readiness latency instead of the old 50 ms poll slices. Because
+//! submission and completion are decoupled, a client may pipeline
+//! arbitrarily many requests before reading a single response; responses
+//! can complete out of submission order (different replicas, different
+//! batches) and carry the request id so the client can match them up.
 //!
 //! A client that disconnects mid-request only cancels **its own** pending
-//! work: the reader marks the connection dead, the writer drops the
-//! orphaned [`Pending`] handles (recorded as `cancelled` in the replica's
-//! metrics), and the shard itself keeps serving everyone else.
+//! work: the poller sees the hangup, drops the connection's state, and
+//! the orphaned [`Pending`] handles cancel in the pipeline (recorded as
+//! `cancelled` in the replica's metrics) while the shard keeps serving
+//! everyone else.
 
+use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, Sender, TryRecvError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -102,19 +123,21 @@ use cdl_core::network::CdlOutput;
 use cdl_hw::OpCount;
 use cdl_telemetry::TraceId;
 use cdl_tensor::Tensor;
+use reactor::{Events, Interest, Poll, Token, Waker};
 
-use crate::config::{Priority, SubmitOptions};
+use crate::config::{EdgeConfig, Priority, SubmitOptions};
 use crate::error::ServeError;
 use crate::pending::Pending;
-use crate::router::Router;
+use crate::router::{ModelId, Router};
 
 /// Hard cap on a frame body, request or response: 16 MiB — comfortably
 /// above any 28×28 batch-of-one payload, far below anything that could
 /// be a desynchronised stream misread as a length.
 pub const MAX_FRAME: u32 = 16 << 20;
 
-/// How often blocked reads/waits re-check the stop and dead flags.
-const POLL: Duration = Duration::from_millis(50);
+/// Poll timeout while a poller has a parked (gate-full) request: bounded
+/// admission-retry cadence when no readiness edge will arrive to ride on.
+const PARKED_RETRY: Duration = Duration::from_millis(1);
 
 const FLAG_DELTA: u8 = 1 << 0;
 const FLAG_MAX_STAGE: u8 = 1 << 1;
@@ -495,109 +518,45 @@ fn decode_response(body: &[u8]) -> io::Result<(u64, Result<CdlOutput, ErrorReply
 }
 
 // ---------------------------------------------------------------------------
-// server
+// server: accept thread + poller event loops
 // ---------------------------------------------------------------------------
 
-enum Reply {
-    /// A routed request: the writer drains the handle and streams the
-    /// output back.
-    Routed(u64, Pending),
-    /// An admission-time failure: the writer streams the typed error back.
-    Error(u64, ErrorReply),
+/// Token reserved for each poller's [`Waker`]; connection tokens start
+/// at 1 and are never reused within a poller.
+const WAKER_TOKEN: Token = Token(0);
+
+/// Exponential backoff for a failing `accept()` loop: a persistent
+/// accept error (fd exhaustion, a torn-down listener) must never
+/// busy-spin a core. Consecutive failures double the delay from
+/// `initial` up to `max`; any successful accept resets the streak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AcceptBackoff {
+    initial: Duration,
+    max: Duration,
+    /// Delay for the next failure; `None` while accepts are succeeding.
+    next: Option<Duration>,
 }
 
-enum ReadOutcome {
-    Full,
-    /// Clean EOF at a frame boundary (no bytes of the next frame read).
-    Eof,
-    /// The server is stopping; abandon the connection.
-    Stopped,
-}
-
-/// `read_exact` that re-checks `stop` every [`POLL`] (the stream has a
-/// read timeout of [`POLL`]). `at_boundary` distinguishes a clean EOF
-/// between frames from a truncated frame.
-fn read_full(
-    stream: &mut TcpStream,
-    buf: &mut [u8],
-    stop: &AtomicBool,
-    at_boundary: bool,
-) -> io::Result<ReadOutcome> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        if stop.load(Ordering::Relaxed) {
-            return Ok(ReadOutcome::Stopped);
-        }
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return if filled == 0 && at_boundary {
-                    Ok(ReadOutcome::Eof)
-                } else {
-                    Err(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "peer closed mid-frame",
-                    ))
-                };
-            }
-            Ok(n) => filled += n,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
+impl AcceptBackoff {
+    fn new(initial: Duration, max: Duration) -> AcceptBackoff {
+        AcceptBackoff {
+            initial,
+            max,
+            next: None,
         }
     }
-    Ok(ReadOutcome::Full)
-}
 
-/// The per-connection writer: drains [`Reply`]s in arrival order, waiting
-/// out each [`Pending`] in [`POLL`] slices so a dead connection (or a
-/// stopping server) cancels outstanding work instead of blocking forever.
-fn run_writer(
-    stream: TcpStream,
-    rx: Receiver<Reply>,
-    stop: Arc<AtomicBool>,
-    dead: Arc<AtomicBool>,
-) {
-    let mut writer = BufWriter::new(stream);
-    let mut frame = Vec::new();
-    'conn: while let Ok(mut reply) = rx.recv() {
-        loop {
-            let (id, result) = match reply {
-                Reply::Error(id, e) => (id, Err(e)),
-                Reply::Routed(id, mut pending) => loop {
-                    if dead.load(Ordering::Relaxed) || stop.load(Ordering::Relaxed) {
-                        // dropping the handle cancels the request; the
-                        // replica records it and keeps serving others
-                        break 'conn;
-                    }
-                    match pending.wait_timeout(POLL) {
-                        Ok(result) => break (id, result.map_err(|e| to_reply(&e))),
-                        Err(unresolved) => pending = unresolved,
-                    }
-                },
-            };
-            frame.clear();
-            if encode_response(&mut frame, id, &result).is_err()
-                || writer.write_all(&frame).is_err()
-            {
-                dead.store(true, Ordering::Relaxed);
-                break 'conn;
-            }
-            // keep streaming while more completions are queued, then flush
-            match rx.try_recv() {
-                Ok(next) => reply = next,
-                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
-            }
-        }
-        if writer.flush().is_err() {
-            dead.store(true, Ordering::Relaxed);
-            break;
-        }
+    /// A successful accept ends the error streak.
+    fn on_success(&mut self) {
+        self.next = None;
     }
-    // unread replies drop here; their Pendings cancel in the pipeline
+
+    /// How long to sleep before retrying a failed accept.
+    fn on_error(&mut self) -> Duration {
+        let delay = self.next.unwrap_or(self.initial).min(self.max);
+        self.next = Some((delay * 2).min(self.max));
+        delay
+    }
 }
 
 fn to_reply(e: &ServeError) -> ErrorReply {
@@ -607,124 +566,409 @@ fn to_reply(e: &ServeError) -> ErrorReply {
     }
 }
 
-/// The per-connection reader: decodes frames, routes them, and feeds the
-/// writer. Returns when the peer disconnects, the stream desyncs, or the
-/// server stops.
-fn run_reader(
-    mut stream: TcpStream,
-    router: &Router,
-    tx: &Sender<Reply>,
-    stop: &AtomicBool,
-    dead: &AtomicBool,
-) {
-    let mut body = Vec::new();
-    loop {
-        let mut header = [0u8; 4];
-        match read_full(&mut stream, &mut header, stop, true) {
-            Ok(ReadOutcome::Full) => {}
-            Ok(ReadOutcome::Stopped) => return,
-            Ok(ReadOutcome::Eof) | Err(_) => {
-                // the peer is gone (even a clean close means nobody will
-                // read further responses): mark the connection dead so the
-                // writer cancels this connection's outstanding work
-                dead.store(true, Ordering::Relaxed);
-                return;
-            }
-        }
-        let len = u32::from_be_bytes(header);
-        if len == 0 || len > MAX_FRAME {
-            // the stream can't be trusted past a bogus length: report and
-            // hang up rather than misparse whatever follows. Mark the
-            // connection dead *before* returning so the writer cancels any
-            // pipelined requests still pending instead of waiting them out
-            // against a peer we're about to abandon.
-            let _ = tx.send(Reply::Error(
-                NO_ID,
-                ErrorReply {
-                    code: ErrorCode::Malformed,
-                    message: format!("frame length {len} outside 1..={MAX_FRAME}"),
-                },
-            ));
-            dead.store(true, Ordering::Relaxed);
-            return;
-        }
-        body.resize(len as usize, 0);
-        match read_full(&mut stream, &mut body, stop, false) {
-            Ok(ReadOutcome::Full) => {}
-            Ok(ReadOutcome::Stopped) => return,
-            Ok(ReadOutcome::Eof) | Err(_) => {
-                dead.store(true, Ordering::Relaxed);
-                return;
-            }
-        }
-        let request = match decode_request(&body) {
-            Ok(request) => request,
-            Err(e) => {
-                // the frame boundary itself was sound, so the connection
-                // survives a malformed body: reply and keep reading
-                let id = if body.len() >= 8 {
-                    u64::from_be_bytes(body[..8].try_into().unwrap())
-                } else {
-                    NO_ID
-                };
-                let reply = ErrorReply {
-                    code: ErrorCode::Malformed,
-                    message: e.to_string(),
-                };
-                if tx.send(Reply::Error(id, reply)).is_err() {
-                    return;
-                }
-                continue;
-            }
-        };
-        let reply = match router.model_id(&request.model) {
-            None => Reply::Error(
-                request.id,
-                ErrorReply {
-                    code: ErrorCode::UnknownModel,
-                    message: format!("no replica set serves {:?}", request.model),
-                },
-            ),
-            // stop-aware admission: a saturated replica back-pressures this
-            // connection's pipeline without touching other connections, but
-            // the retry loop re-checks stop/dead every POLL so a full gate
-            // can never wedge the edge against shutdown or a gone peer
-            // (the old blocking submit parked in the gate unconditionally)
-            Some(model) => loop {
-                let routed = match request.trace {
-                    // continue the client's trace across the wire hop
-                    Some(trace) => router.try_submit_with_trace(
-                        model,
-                        request.input.clone(),
-                        request.options,
-                        trace,
-                    ),
-                    None => router.try_submit_with(model, request.input.clone(), request.options),
-                };
-                match routed {
-                    Ok(pending) => break Reply::Routed(request.id, pending),
-                    // Full without a typed refusal means "wait your turn":
-                    // sleep a POLL slice and retry unless the connection or
-                    // server is going away
-                    Err(ServeError::Full) => {
-                        if stop.load(Ordering::Relaxed) || dead.load(Ordering::Relaxed) {
-                            return;
-                        }
-                        std::thread::sleep(POLL);
-                    }
-                    // typed refusals (Shed, QuotaExceeded, BadInput, …) are
-                    // answers, not congestion: reply and move on
-                    Err(e) => break Reply::Error(request.id, to_reply(&e)),
-                }
-            },
-        };
-        if tx.send(reply).is_err() {
-            return; // writer is gone (write error already marked dead)
+/// A decoded request that admission refused with [`ServeError::Full`]:
+/// the tensor came back out of [`Router::try_submit_reclaim`] by move
+/// and waits here until the gate has room. While a request is parked its
+/// connection's stream is not parsed further — that is the edge's
+/// per-connection backpressure.
+struct Parked {
+    wire_id: u64,
+    model: ModelId,
+    options: SubmitOptions,
+    trace: Option<TraceId>,
+    input: Tensor,
+}
+
+/// Per-connection state machine, owned by exactly one poller thread.
+struct Conn {
+    stream: TcpStream,
+    /// Frame-reassembly buffer: bytes read off the socket but not yet
+    /// parsed into complete frames.
+    read_buf: Vec<u8>,
+    /// Edge-triggered read readiness: set by readable/hangup events (and
+    /// on registration), cleared only when a read drains to `WouldBlock`.
+    readable: bool,
+    /// The read side saw EOF or an error; drop the connection after the
+    /// current service pass (its inflight handles cancel).
+    peer_gone: bool,
+    /// Responses serialised but not yet accepted by the socket.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// The last write hit `WouldBlock`; wait for the writable edge.
+    write_blocked: bool,
+    /// A bogus frame length desynced the stream: flush what's queued,
+    /// then hang up.
+    closing: bool,
+    /// Routed requests awaiting completion: poller-local sequence →
+    /// (wire id, handle). Dropping an entry cancels that request.
+    inflight: HashMap<u64, (u64, Pending)>,
+    next_seq: u64,
+    parked: Option<Parked>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            // service the socket once on registration: bytes may have
+            // arrived before the fd joined the selector
+            readable: true,
+            peer_gone: false,
+            write_buf: Vec::new(),
+            write_pos: 0,
+            write_blocked: false,
+            closing: false,
+            inflight: HashMap::new(),
+            next_seq: 0,
+            parked: None,
         }
     }
 }
 
-/// Blocking TCP front door over an [`Router`]: accepts connections and
+fn push_error(conn: &mut Conn, wire_id: u64, code: ErrorCode, message: String) {
+    push_reply(conn, wire_id, ErrorReply { code, message });
+}
+
+fn push_reply(conn: &mut Conn, wire_id: u64, reply: ErrorReply) {
+    // encoding can only fail on a >MAX_FRAME body, impossible for an
+    // error reply (messages are clamped to u16::MAX bytes)
+    let _ = encode_response(&mut conn.write_buf, wire_id, &Err(reply));
+}
+
+/// Drains the write buffer into the socket until empty or `WouldBlock`.
+/// Returns `false` on a write error (the connection is unusable).
+fn flush(conn: &mut Conn) -> bool {
+    if conn.write_blocked {
+        return true; // nothing to do until the writable edge arrives
+    }
+    while conn.write_pos < conn.write_buf.len() {
+        match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+            Ok(0) => return false,
+            Ok(n) => conn.write_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                conn.write_blocked = true;
+                break;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    if conn.write_pos == conn.write_buf.len() {
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+    }
+    true
+}
+
+/// Moves a settled request's response into the connection's write
+/// buffer. A notice for an unsettled handle (impossible today, but cheap
+/// to tolerate) re-inserts it rather than dropping — dropping would
+/// cancel a live request.
+fn complete(conn: &mut Conn, seq: u64) {
+    let Some((wire_id, pending)) = conn.inflight.remove(&seq) else {
+        return;
+    };
+    match pending.try_claim() {
+        Some(result) => {
+            let result = result.map_err(|e| to_reply(&e));
+            let _ = encode_response(&mut conn.write_buf, wire_id, &result);
+        }
+        None => {
+            conn.inflight.insert(seq, (wire_id, pending));
+        }
+    }
+}
+
+/// Tries to route one decoded request. On success the [`Pending`] is
+/// registered with a waker that notifies the owning poller and parked in
+/// `inflight`; a typed refusal (Shed, Quota, BadInput, …) is an answer,
+/// not congestion, and becomes an error reply; [`ServeError::Full`]
+/// hands the request back (tensor reclaimed by move, never cloned) for
+/// parking.
+fn admit(
+    conn: &mut Conn,
+    key: usize,
+    router: &Router,
+    done_tx: &Sender<(usize, u64)>,
+    waker: &Arc<Waker>,
+    parked: Parked,
+) -> Option<Parked> {
+    let Parked {
+        wire_id,
+        model,
+        options,
+        trace,
+        input,
+    } = parked;
+    match router.try_submit_reclaim(model, input, options, trace) {
+        Ok(pending) => {
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            let tx = done_tx.clone();
+            let wake = Arc::clone(waker);
+            pending.set_waker(move || {
+                // both halves are best-effort: at shutdown the poller (and
+                // its channel) may already be gone
+                let _ = tx.send((key, seq));
+                let _ = wake.wake();
+            });
+            conn.inflight.insert(seq, (wire_id, pending));
+            None
+        }
+        Err((ServeError::Full, Some(input))) => Some(Parked {
+            wire_id,
+            model,
+            options,
+            trace,
+            input,
+        }),
+        Err((e, _)) => {
+            push_reply(conn, wire_id, to_reply(&e));
+            None
+        }
+    }
+}
+
+/// Parses every complete frame in the read buffer, stopping early when
+/// the stream desyncs (bogus length → goodbye, then hang up) or
+/// admission parks a request (backpressure: the rest of the buffer
+/// waits).
+fn parse_frames(
+    conn: &mut Conn,
+    key: usize,
+    router: &Router,
+    done_tx: &Sender<(usize, u64)>,
+    waker: &Arc<Waker>,
+) {
+    let mut consumed = 0;
+    while !conn.closing && conn.parked.is_none() {
+        let rest = &conn.read_buf[consumed..];
+        if rest.len() < 4 {
+            break;
+        }
+        let len = u32::from_be_bytes(rest[..4].try_into().unwrap());
+        if len == 0 || len > MAX_FRAME {
+            // the stream can't be trusted past a bogus length: report and
+            // hang up rather than misparse whatever follows. Pipelined
+            // requests still pending are cancelled *now* — the goodbye is
+            // only sent on an otherwise-quiet connection; with work still
+            // in flight the peer just sees the close (it desynced the
+            // stream, it cannot be trusted to parse a frame either)
+            if conn.inflight.is_empty() {
+                push_error(
+                    conn,
+                    NO_ID,
+                    ErrorCode::Malformed,
+                    format!("frame length {len} outside 1..={MAX_FRAME}"),
+                );
+            }
+            conn.inflight.clear();
+            conn.closing = true;
+            break;
+        }
+        let len = len as usize;
+        if rest.len() - 4 < len {
+            break; // partial body: wait for more bytes
+        }
+        // the frame boundary itself was sound, so the connection survives
+        // a malformed body: reply under the id the frame claimed (its
+        // first 8 bytes) and keep parsing
+        let body = &conn.read_buf[consumed + 4..consumed + 4 + len];
+        let claimed_id = if body.len() >= 8 {
+            u64::from_be_bytes(body[..8].try_into().unwrap())
+        } else {
+            NO_ID
+        };
+        let decoded = decode_request(body);
+        consumed += 4 + len;
+        match decoded {
+            Err(e) => push_error(conn, claimed_id, ErrorCode::Malformed, e.to_string()),
+            Ok(frame) => match router.model_id(&frame.model) {
+                None => push_error(
+                    conn,
+                    frame.id,
+                    ErrorCode::UnknownModel,
+                    format!("no replica set serves {:?}", frame.model),
+                ),
+                Some(model) => {
+                    let request = Parked {
+                        wire_id: frame.id,
+                        model,
+                        options: frame.options,
+                        trace: frame.trace,
+                        input: frame.input,
+                    };
+                    conn.parked = admit(conn, key, router, done_tx, waker, request);
+                }
+            },
+        }
+    }
+    if consumed > 0 {
+        conn.read_buf.drain(..consumed);
+    }
+}
+
+/// One service pass over a connection: retry a parked admission, parse
+/// and submit complete frames, read more while the socket is ready,
+/// flush the write buffer. Returns `false` when the connection should be
+/// dropped (peer gone, write failure, or a desync goodbye fully
+/// flushed); dropping the [`Conn`] cancels its inflight handles.
+fn service(
+    conn: &mut Conn,
+    key: usize,
+    router: &Router,
+    done_tx: &Sender<(usize, u64)>,
+    waker: &Arc<Waker>,
+    scratch: &mut [u8],
+) -> bool {
+    if let Some(parked) = conn.parked.take() {
+        conn.parked = admit(conn, key, router, done_tx, waker, parked);
+    }
+    while !conn.closing && conn.parked.is_none() && !conn.peer_gone {
+        parse_frames(conn, key, router, done_tx, waker);
+        if conn.closing || conn.parked.is_some() || !conn.readable {
+            break;
+        }
+        match conn.stream.read(scratch) {
+            // even a clean close means nobody will read further
+            // responses: the connection is done
+            Ok(0) => conn.peer_gone = true,
+            Ok(n) => conn.read_buf.extend_from_slice(&scratch[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => conn.readable = false,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => conn.peer_gone = true,
+        }
+    }
+    if conn.peer_gone {
+        return false;
+    }
+    if !flush(conn) {
+        return false;
+    }
+    // a desynced connection hangs up once its goodbye is on the wire
+    !(conn.closing && conn.write_pos == conn.write_buf.len())
+}
+
+/// One poller thread: owns a [`Poll`] instance and the full state of the
+/// connections the accept thread assigned to it.
+struct Poller {
+    poll: Poll,
+    waker: Arc<Waker>,
+    router: Arc<Router>,
+    stop: Arc<AtomicBool>,
+    /// New sockets handed over by the accept thread.
+    reg_rx: Receiver<TcpStream>,
+    /// Completion notices from request wakers: (connection token, seq).
+    done_tx: Sender<(usize, u64)>,
+    done_rx: Receiver<(usize, u64)>,
+}
+
+impl Poller {
+    fn run(self) {
+        let mut conns: HashMap<usize, Conn> = HashMap::new();
+        let mut next_token = WAKER_TOKEN.0 + 1;
+        let mut events = Events::with_capacity(256);
+        let mut scratch = vec![0u8; 64 * 1024];
+        let mut touched: Vec<usize> = Vec::new();
+        loop {
+            // with a parked request no readiness edge will announce that
+            // the gate has room; poll on a short timeout instead of
+            // blocking forever
+            let timeout = conns
+                .values()
+                .any(|c| c.parked.is_some())
+                .then_some(PARKED_RETRY);
+            if self.poll.wait(&mut events, timeout).is_err() {
+                break; // fatal selector failure: drop every connection
+            }
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            touched.clear();
+            for event in events.iter() {
+                if event.token() == WAKER_TOKEN {
+                    self.waker.reset();
+                    continue;
+                }
+                let key = event.token().0;
+                if let Some(conn) = conns.get_mut(&key) {
+                    if event.is_readable() || event.is_hangup() || event.is_error() {
+                        conn.readable = true;
+                    }
+                    if event.is_writable() {
+                        conn.write_blocked = false;
+                    }
+                    touched.push(key);
+                }
+            }
+            while let Ok(stream) = self.reg_rx.try_recv() {
+                if stream.set_nonblocking(true).is_err() {
+                    continue; // never registered; the socket just closes
+                }
+                let key = next_token;
+                if self
+                    .poll
+                    .register(
+                        stream.as_raw_fd(),
+                        Token(key),
+                        Interest::READABLE | Interest::WRITABLE,
+                    )
+                    .is_err()
+                {
+                    continue;
+                }
+                next_token += 1;
+                conns.insert(key, Conn::new(stream));
+                touched.push(key);
+            }
+            while let Ok((key, seq)) = self.done_rx.try_recv() {
+                if let Some(conn) = conns.get_mut(&key) {
+                    complete(conn, seq);
+                    touched.push(key);
+                }
+            }
+            // parked admissions retry on every pass; the PARKED_RETRY
+            // timeout guarantees a pass happens soon even with no events
+            for (key, conn) in &conns {
+                if conn.parked.is_some() {
+                    touched.push(*key);
+                }
+            }
+            touched.sort_unstable();
+            touched.dedup();
+            for &key in &touched {
+                let Some(conn) = conns.get_mut(&key) else {
+                    continue;
+                };
+                let alive = service(
+                    conn,
+                    key,
+                    &self.router,
+                    &self.done_tx,
+                    &self.waker,
+                    &mut scratch,
+                );
+                if !alive {
+                    if let Some(conn) = conns.remove(&key) {
+                        let _ = self.poll.deregister(conn.stream.as_raw_fd());
+                        // dropping `conn` drops its inflight Pendings,
+                        // cancelling this connection's outstanding work
+                    }
+                }
+            }
+        }
+        // shutdown (or selector failure): flush responses that already
+        // completed, then drop every connection — inflight handles cancel
+        // in the pipeline, parked requests go unanswered (the peer sees
+        // the close)
+        for (_, mut conn) in conns.drain() {
+            let _ = flush(&mut conn);
+        }
+    }
+}
+
+/// Event-loop TCP front door over a [`Router`]: accepts connections and
 /// serves the [module-level wire protocol](self) until dropped or
 /// [`TcpServer::shutdown`].
 ///
@@ -745,48 +989,118 @@ pub struct TcpServer {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    pollers: Vec<PollerHandle>,
+}
+
+#[derive(Debug)]
+struct PollerHandle {
+    reg_tx: Sender<TcpStream>,
+    waker: Arc<Waker>,
+    thread: Option<JoinHandle<()>>,
 }
 
 impl TcpServer {
-    /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// accepting connections immediately.
+    /// Binds `addr` (use port 0 for an ephemeral port) with the default
+    /// [`EdgeConfig`] and starts accepting connections immediately.
     ///
     /// # Errors
     ///
     /// Propagates the bind failure.
     pub fn bind(addr: impl ToSocketAddrs, router: Arc<Router>) -> io::Result<TcpServer> {
+        TcpServer::bind_with(addr, router, EdgeConfig::default())
+    }
+
+    /// [`TcpServer::bind`] with an explicit [`EdgeConfig`] — poller-pool
+    /// size and accept-backoff policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure; an invalid config surfaces as
+    /// [`io::ErrorKind::InvalidInput`].
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        router: Arc<Router>,
+        config: EdgeConfig,
+    ) -> io::Result<TcpServer> {
+        config
+            .validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut pollers = Vec::with_capacity(config.pollers);
+        for _ in 0..config.pollers {
+            let poll = Poll::new()?;
+            let waker = Arc::new(Waker::new(&poll, WAKER_TOKEN)?);
+            let (reg_tx, reg_rx) = mpsc::channel();
+            let (done_tx, done_rx) = mpsc::channel();
+            let poller = Poller {
+                poll,
+                waker: Arc::clone(&waker),
+                router: Arc::clone(&router),
+                stop: Arc::clone(&stop),
+                reg_rx,
+                done_tx,
+                done_rx,
+            };
+            let thread = std::thread::spawn(move || poller.run());
+            pollers.push(PollerHandle {
+                reg_tx,
+                waker,
+                thread: Some(thread),
+            });
+        }
         let accept = {
             let stop = Arc::clone(&stop);
-            let connections = Arc::clone(&connections);
-            std::thread::spawn(move || loop {
-                let (stream, _) = match listener.accept() {
-                    Ok(conn) => conn,
-                    Err(_) => {
-                        if stop.load(Ordering::Relaxed) {
-                            return;
+            let handoff: Vec<(Sender<TcpStream>, Arc<Waker>)> = pollers
+                .iter()
+                .map(|p| (p.reg_tx.clone(), Arc::clone(&p.waker)))
+                .collect();
+            let mut backoff =
+                AcceptBackoff::new(config.accept_backoff_initial, config.accept_backoff_max);
+            std::thread::spawn(move || {
+                let mut next = 0usize;
+                loop {
+                    let (stream, _) = match listener.accept() {
+                        Ok(conn) => conn,
+                        Err(_) => {
+                            if stop.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            // a persistent accept failure (fd exhaustion,
+                            // EMFILE) must not busy-spin a core: back off
+                            // exponentially, re-checking stop in short
+                            // slices so shutdown stays prompt
+                            let mut left = backoff.on_error();
+                            while !left.is_zero() {
+                                if stop.load(Ordering::Relaxed) {
+                                    return;
+                                }
+                                let slice = left.min(Duration::from_millis(25));
+                                std::thread::sleep(slice);
+                                left -= slice;
+                            }
+                            continue;
                         }
-                        continue;
+                    };
+                    if stop.load(Ordering::Relaxed) {
+                        return; // the shutdown self-connect, or a late client
                     }
-                };
-                if stop.load(Ordering::Relaxed) {
-                    return; // the shutdown self-connect, or a late client
+                    backoff.on_success();
+                    // round-robin handoff to a poller's event loop
+                    let (reg_tx, waker) = &handoff[next % handoff.len()];
+                    next = next.wrapping_add(1);
+                    if reg_tx.send(stream).is_ok() {
+                        let _ = waker.wake();
+                    }
                 }
-                let router = Arc::clone(&router);
-                let stop = Arc::clone(&stop);
-                let handle = std::thread::spawn(move || serve_connection(stream, router, stop));
-                connections.lock().unwrap().push(handle);
             })
         };
         Ok(TcpServer {
             local_addr,
             stop,
             accept: Some(accept),
-            connections,
+            pollers,
         })
     }
 
@@ -796,10 +1110,10 @@ impl TcpServer {
         self.local_addr
     }
 
-    /// Stops accepting, disconnects every connection, and joins all edge
-    /// threads. Responses already completed are flushed; requests still
-    /// in flight are cancelled (their submitters see the connection
-    /// close). The shared router keeps running.
+    /// Stops accepting, disconnects every connection, and joins the
+    /// accept and poller threads. Responses already completed are
+    /// flushed; requests still in flight are cancelled (their submitters
+    /// see the connection close). The shared router keeps running.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
@@ -811,9 +1125,11 @@ impl TcpServer {
             let _ = TcpStream::connect(self.local_addr);
             let _ = accept.join();
         }
-        let handles = std::mem::take(&mut *self.connections.lock().unwrap());
-        for handle in handles {
-            let _ = handle.join();
+        for poller in &mut self.pollers {
+            let _ = poller.waker.wake();
+            if let Some(thread) = poller.thread.take() {
+                let _ = thread.join();
+            }
         }
     }
 }
@@ -822,27 +1138,6 @@ impl Drop for TcpServer {
     fn drop(&mut self) {
         self.stop_and_join();
     }
-}
-
-fn serve_connection(stream: TcpStream, router: Arc<Router>, stop: Arc<AtomicBool>) {
-    // frames are read in POLL slices so a stop is never missed for long
-    if stream.set_read_timeout(Some(POLL)).is_err() {
-        return;
-    }
-    let write_half = match stream.try_clone() {
-        Ok(half) => half,
-        Err(_) => return,
-    };
-    let dead = Arc::new(AtomicBool::new(false));
-    let (tx, rx) = mpsc::channel();
-    let writer = {
-        let stop = Arc::clone(&stop);
-        let dead = Arc::clone(&dead);
-        std::thread::spawn(move || run_writer(write_half, rx, stop, dead))
-    };
-    run_reader(stream, &router, &tx, &stop, &dead);
-    drop(tx); // writer drains what's queued, then exits
-    let _ = writer.join();
 }
 
 // ---------------------------------------------------------------------------
@@ -979,6 +1274,32 @@ impl TcpClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The accept loop's retry policy: consecutive failures double the
+    /// delay from the initial value to the ceiling (never beyond), and a
+    /// single successful accept resets the streak. (Regression: the old
+    /// accept loop retried a failing `accept()` with a bare `continue`,
+    /// busy-spinning a core for as long as the error persisted.)
+    #[test]
+    fn accept_backoff_doubles_to_the_cap_and_resets_on_success() {
+        let mut backoff = AcceptBackoff::new(Duration::from_millis(1), Duration::from_millis(8));
+        assert_eq!(backoff.on_error(), Duration::from_millis(1));
+        assert_eq!(backoff.on_error(), Duration::from_millis(2));
+        assert_eq!(backoff.on_error(), Duration::from_millis(4));
+        assert_eq!(backoff.on_error(), Duration::from_millis(8));
+        assert_eq!(backoff.on_error(), Duration::from_millis(8), "capped");
+        backoff.on_success();
+        assert_eq!(
+            backoff.on_error(),
+            Duration::from_millis(1),
+            "a successful accept resets the streak"
+        );
+        // a ceiling below the initial delay clamps immediately rather
+        // than sleeping longer than configured
+        let mut tight = AcceptBackoff::new(Duration::from_millis(10), Duration::from_millis(4));
+        assert_eq!(tight.on_error(), Duration::from_millis(4));
+        assert_eq!(tight.on_error(), Duration::from_millis(4));
+    }
 
     fn output_fixture() -> CdlOutput {
         CdlOutput {

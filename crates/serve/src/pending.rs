@@ -23,10 +23,31 @@ enum SlotState {
     Claimed,
 }
 
+/// One-shot settle notification: registered by a readiness-driven waiter
+/// (the TCP edge's pollers), invoked by whichever thread settles the slot.
+type WakeFn = Box<dyn FnOnce() + Send>;
+
+/// State guarded by the slot's mutex: the lifecycle plus the optional
+/// waker, kept under one lock so a waker registration can never race a
+/// settle into a missed wake.
+struct SlotInner {
+    state: SlotState,
+    waker: Option<WakeFn>,
+}
+
+impl std::fmt::Debug for SlotInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlotInner")
+            .field("state", &self.state)
+            .field("waker", &self.waker.is_some())
+            .finish()
+    }
+}
+
 /// The shared slot between one [`Pending`] and one [`Fulfiller`].
 #[derive(Debug)]
 struct Slot {
-    state: Mutex<SlotState>,
+    inner: Mutex<SlotInner>,
     ready: Condvar,
 }
 
@@ -37,7 +58,10 @@ struct Slot {
 /// drained span events.
 pub(crate) fn pending_pair(trace: Option<TraceId>) -> (Pending, Fulfiller) {
     let slot = Arc::new(Slot {
-        state: Mutex::new(SlotState::Waiting),
+        inner: Mutex::new(SlotInner {
+            state: SlotState::Waiting,
+            waker: None,
+        }),
         ready: Condvar::new(),
     });
     (
@@ -68,7 +92,7 @@ impl Pending {
     /// `true` once the result is available ([`Pending::wait`] will not
     /// block).
     pub fn is_ready(&self) -> bool {
-        matches!(*self.slot.state.lock().unwrap(), SlotState::Done(_))
+        matches!(self.slot.inner.lock().unwrap().state, SlotState::Done(_))
     }
 
     /// The telemetry trace id this request is being recorded under —
@@ -80,6 +104,45 @@ impl Pending {
         self.trace
     }
 
+    /// Registers a one-shot callback fired when the slot settles (result
+    /// delivered or the pipeline dropped the request). Fired **at most
+    /// once**, from whichever thread settles, outside the slot's lock; if
+    /// the slot is already settled it fires immediately on this thread.
+    /// A later registration replaces an unfired earlier one.
+    ///
+    /// This is the readiness hook the event-loop edge uses: the callback
+    /// enqueues a completion and wakes the owning poller, replacing the
+    /// old model of a writer thread parked in [`Pending::wait_timeout`].
+    pub(crate) fn set_waker(&self, wake: impl FnOnce() + Send + 'static) {
+        let mut inner = self.slot.inner.lock().unwrap();
+        match inner.state {
+            SlotState::Waiting => inner.waker = Some(Box::new(wake)),
+            SlotState::Done(_) => {
+                inner.waker = None;
+                drop(inner);
+                wake();
+            }
+            // cancelled or claimed: no result will arrive / it was already
+            // taken — nothing to wake for
+            SlotState::Cancelled | SlotState::Claimed => {}
+        }
+    }
+
+    /// Non-blocking claim: takes the result if the slot has settled,
+    /// `None` if it is still pending. After a `Some`, the handle is spent
+    /// (drop it; [`Pending::wait`] may no longer be called).
+    pub(crate) fn try_claim(&self) -> Option<ServeResult<CdlOutput>> {
+        let mut inner = self.slot.inner.lock().unwrap();
+        if matches!(inner.state, SlotState::Done(_)) {
+            match std::mem::replace(&mut inner.state, SlotState::Claimed) {
+                SlotState::Done(result) => Some(result),
+                _ => unreachable!("state checked Done under the same lock"),
+            }
+        } else {
+            None
+        }
+    }
+
     /// Blocks until the server produced this request's result.
     ///
     /// # Errors
@@ -88,11 +151,11 @@ impl Pending {
     /// containing this request, [`ServeError::Disconnected`] when the
     /// pipeline dropped it without evaluating.
     pub fn wait(self) -> ServeResult<CdlOutput> {
-        let mut state = self.slot.state.lock().unwrap();
-        while matches!(*state, SlotState::Waiting) {
-            state = self.slot.ready.wait(state).unwrap();
+        let mut inner = self.slot.inner.lock().unwrap();
+        while matches!(inner.state, SlotState::Waiting) {
+            inner = self.slot.ready.wait(inner).unwrap();
         }
-        match std::mem::replace(&mut *state, SlotState::Claimed) {
+        match std::mem::replace(&mut inner.state, SlotState::Claimed) {
             SlotState::Done(result) => result,
             other => unreachable!("pending woke in non-terminal state {other:?}"),
         }
@@ -107,21 +170,21 @@ impl Pending {
     /// Returns the handle itself on timeout so the caller can keep waiting.
     pub fn wait_timeout(self, timeout: Duration) -> Result<ServeResult<CdlOutput>, Pending> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut state = self.slot.state.lock().unwrap();
-        while matches!(*state, SlotState::Waiting) {
+        let mut inner = self.slot.inner.lock().unwrap();
+        while matches!(inner.state, SlotState::Waiting) {
             let now = std::time::Instant::now();
             let Some(remaining) = deadline.checked_duration_since(now) else {
-                drop(state);
+                drop(inner);
                 return Err(self);
             };
-            let (guard, timed_out) = self.slot.ready.wait_timeout(state, remaining).unwrap();
-            state = guard;
-            if timed_out.timed_out() && matches!(*state, SlotState::Waiting) {
-                drop(state);
+            let (guard, timed_out) = self.slot.ready.wait_timeout(inner, remaining).unwrap();
+            inner = guard;
+            if timed_out.timed_out() && matches!(inner.state, SlotState::Waiting) {
+                drop(inner);
                 return Err(self);
             }
         }
-        match std::mem::replace(&mut *state, SlotState::Claimed) {
+        match std::mem::replace(&mut inner.state, SlotState::Claimed) {
             SlotState::Done(result) => Ok(result),
             other => unreachable!("pending woke in non-terminal state {other:?}"),
         }
@@ -130,10 +193,15 @@ impl Pending {
 
 impl Drop for Pending {
     fn drop(&mut self) {
-        let mut state = self.slot.state.lock().unwrap();
-        if matches!(*state, SlotState::Waiting) {
-            *state = SlotState::Cancelled;
+        let mut inner = self.slot.inner.lock().unwrap();
+        if matches!(inner.state, SlotState::Waiting) {
+            inner.state = SlotState::Cancelled;
         }
+        // a registered waker can never fire after the handle is gone;
+        // take it under the lock and drop its captures outside
+        let waker = inner.waker.take();
+        drop(inner);
+        drop(waker);
     }
 }
 
@@ -149,7 +217,7 @@ pub(crate) struct Fulfiller {
 impl Fulfiller {
     /// `true` when the caller dropped its handle: skip evaluation.
     pub(crate) fn is_cancelled(&self) -> bool {
-        matches!(*self.slot.state.lock().unwrap(), SlotState::Cancelled)
+        matches!(self.slot.inner.lock().unwrap().state, SlotState::Cancelled)
     }
 
     /// Delivers the result (ignored if the caller cancelled meanwhile) and
@@ -163,10 +231,19 @@ impl Fulfiller {
             return;
         }
         self.settled = true;
-        let mut state = self.slot.state.lock().unwrap();
-        if matches!(*state, SlotState::Waiting) {
-            *state = SlotState::Done(result);
+        let mut inner = self.slot.inner.lock().unwrap();
+        let waker = if matches!(inner.state, SlotState::Waiting) {
+            inner.state = SlotState::Done(result);
             self.slot.ready.notify_all();
+            inner.waker.take()
+        } else {
+            None
+        };
+        drop(inner);
+        // fire outside the lock: the waker may grab poller-side locks of
+        // its own, and must never deadlock against a concurrent wait()
+        if let Some(wake) = waker {
+            wake();
         }
     }
 }
@@ -181,6 +258,7 @@ impl Drop for Fulfiller {
 mod tests {
     use super::*;
     use cdl_hw::OpCount;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn output(label: usize) -> CdlOutput {
         CdlOutput {
@@ -239,5 +317,60 @@ mod tests {
         let (pending, fulfiller) = pending_pair(None);
         drop(fulfiller);
         assert_eq!(pending.wait(), Err(ServeError::Disconnected));
+    }
+
+    #[test]
+    fn waker_fires_once_on_settle_and_result_is_claimable() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let (pending, fulfiller) = pending_pair(None);
+        let f = Arc::clone(&fired);
+        pending.set_waker(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        assert!(pending.try_claim().is_none(), "nothing to claim yet");
+        fulfiller.settle(Ok(output(5)));
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert_eq!(pending.try_claim().unwrap().unwrap().label, 5);
+        assert!(pending.try_claim().is_none(), "one-shot claim");
+    }
+
+    #[test]
+    fn waker_set_after_settle_fires_immediately() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let (pending, fulfiller) = pending_pair(None);
+        fulfiller.settle(Ok(output(2)));
+        let f = Arc::clone(&fired);
+        pending.set_waker(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert_eq!(pending.try_claim().unwrap().unwrap().label, 2);
+    }
+
+    #[test]
+    fn waker_fires_when_fulfiller_is_dropped() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let (pending, fulfiller) = pending_pair(None);
+        let f = Arc::clone(&fired);
+        pending.set_waker(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        drop(fulfiller);
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert_eq!(pending.try_claim().unwrap(), Err(ServeError::Disconnected));
+    }
+
+    #[test]
+    fn cancelling_discards_the_waker_silently() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let (pending, fulfiller) = pending_pair(None);
+        let f = Arc::clone(&fired);
+        pending.set_waker(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        drop(pending); // cancel: discards the waker without firing
+        fulfiller.settle(Ok(output(9)));
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
     }
 }

@@ -420,6 +420,42 @@ impl Router {
         }
     }
 
+    /// [`Router::try_submit_with_trace`] that takes the input **by value**
+    /// and hands it back on refusal (see [`Server::try_submit_reclaim`]):
+    /// the tensor rides along with the typed error instead of forcing the
+    /// retrying TCP edge to clone it per admission attempt. Routing keeps
+    /// the count-then-roll-back discipline, so the `routed ≥ submitted`
+    /// snapshot invariant holds on this path too.
+    ///
+    /// # Errors
+    ///
+    /// The same refusals as [`Router::try_submit_with_trace`], paired with
+    /// `Some(input)` whenever the tensor survives the bounce
+    /// ([`ServeError::UnknownModel`] trivially does; only
+    /// [`ServeError::ShuttingDown`] consumes it).
+    pub fn try_submit_reclaim(
+        &self,
+        model: ModelId,
+        input: Tensor,
+        options: SubmitOptions,
+        trace: Option<TraceId>,
+    ) -> Result<Pending, (ServeError, Option<Tensor>)> {
+        let shard = match self.shard(model) {
+            Ok(shard) => shard,
+            Err(e) => return Err((e, Some(input))),
+        };
+        let replica = &shard.replicas[shard.place()];
+        // same count-then-roll-back discipline as submit_with
+        replica.routed.fetch_add(1, Ordering::Relaxed);
+        match replica.server.try_submit_reclaim(input, options, trace) {
+            Ok(pending) => Ok(pending),
+            Err(bounce) => {
+                replica.routed.fetch_sub(1, Ordering::Relaxed);
+                Err(bounce)
+            }
+        }
+    }
+
     /// A point-in-time snapshot of one model's replica set: per-replica
     /// [`crate::ServerMetrics`] plus the placement histogram.
     ///

@@ -7,7 +7,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use cdl_core::batch::BatchEvaluator;
+use cdl_core::batch::{BatchEvaluator, SheddableOutcome};
 use cdl_core::confidence::ExitOverride;
 use cdl_core::network::CdlNetwork;
 use cdl_telemetry::{EventKind, Telemetry, TelemetrySnapshot, TraceId};
@@ -390,6 +390,44 @@ impl Server {
         self.admit(input, options, trace)
     }
 
+    /// [`Server::try_submit_with_trace`] that takes the input **by value**
+    /// and hands it back on refusal instead of forcing the caller to clone
+    /// per attempt: a refused submission returns `(error, Some(input))`
+    /// with the tensor intact, so a retrying edge (the gate-full admission
+    /// loop) resubmits the same allocation instead of cloning the tensor
+    /// every 50ms as the old reader loop did. Pass `trace: None` to
+    /// allocate a fresh trace id, `Some(id)` to continue a wire-carried
+    /// one (the [`Server::submit_with_trace`] semantics).
+    ///
+    /// # Errors
+    ///
+    /// The same refusals as [`Server::try_submit_with_trace`], paired with
+    /// `Some(input)` so the tensor survives the bounce. Only
+    /// [`ServeError::ShuttingDown`] loses the tensor (`None`): the request
+    /// was consumed by the pipeline before the batcher was found dead, and
+    /// there is nothing left to retry against anyway.
+    pub fn try_submit_reclaim(
+        &self,
+        input: Tensor,
+        options: SubmitOptions,
+        trace: Option<TraceId>,
+    ) -> Result<Pending, (ServeError, Option<Tensor>)> {
+        if let Err(e) = options.validate_for(self.net.policy()) {
+            return Err((e, Some(input)));
+        }
+        if let Err(e) = self.validate_input(&input) {
+            return Err((e, Some(input)));
+        }
+        let trace = match trace {
+            Some(id) => self.telemetry.adopt(id),
+            None => self.telemetry.begin_trace(),
+        };
+        if let Err(refusal) = self.gate.try_acquire(options.priority, options.tenant) {
+            return Err((self.refuse(refusal, options), Some(input)));
+        }
+        self.admit(input, options, trace).map_err(|e| (e, None))
+    }
+
     /// Rejects a wrong-shaped input before it can reach a batch: one bad
     /// tensor co-batched with innocent neighbours would otherwise fail the
     /// whole group evaluation (see the per-request fallback in
@@ -655,94 +693,159 @@ fn process_batch(
     }
     recorder.cancelled(cancelled);
     for (overrides, members) in groups {
-        let mut inputs: Vec<Tensor> = Vec::with_capacity(members.len());
-        let mut live: Vec<(Fulfiller, Ticket, Instant, Option<TraceId>)> =
-            Vec::with_capacity(members.len());
-        for r in members {
-            inputs.push(r.input);
-            live.push((r.fulfiller, r.ticket, r.submitted_at, r.trace));
+        evaluate_group(eval, overrides, members, recorder, telemetry);
+    }
+}
+
+/// One request's serving-side state while its group is in the evaluator
+/// (the input tensor has been moved into the group's batch).
+struct LiveRequest {
+    fulfiller: Fulfiller,
+    ticket: Ticket,
+    submitted_at: Instant,
+    expires_at: Option<Instant>,
+    priority: Priority,
+    tenant: Option<u32>,
+    trace: Option<TraceId>,
+}
+
+/// Evaluates one override-uniform group of a dispatched batch, settling
+/// every member: completions with their bit-exact output, mid-batch
+/// deadline victims with [`ServeError::Expired`], evaluator failures with
+/// [`ServeError::Eval`].
+fn evaluate_group(
+    eval: &mut BatchEvaluator<'_>,
+    overrides: ExitOverride,
+    members: Vec<Request>,
+    recorder: &Recorder,
+    telemetry: &Telemetry,
+) {
+    let mut inputs: Vec<Tensor> = Vec::with_capacity(members.len());
+    let mut live: Vec<LiveRequest> = Vec::with_capacity(members.len());
+    for r in members {
+        inputs.push(r.input);
+        live.push(LiveRequest {
+            fulfiller: r.fulfiller,
+            ticket: r.ticket,
+            submitted_at: r.submitted_at,
+            expires_at: r.expires_at,
+            priority: r.priority,
+            tenant: r.tenant,
+            trace: r.trace,
+        });
+    }
+    let traced = live.iter().any(|l| l.trace.is_some());
+    for l in &live {
+        if let Some(t) = l.trace {
+            telemetry.record(t, EventKind::Dispatch);
         }
-        let traced = live.iter().any(|(_, _, _, t)| t.is_some());
-        for (_, _, _, trace) in &live {
-            if let Some(t) = trace {
-                telemetry.record(*t, EventKind::Dispatch);
-            }
-        }
-        // classify_stream, not classify_batch: a deadline-bound policy or a
-        // shutdown flush can hand over a batch as large as the whole queue,
-        // and the evaluator's scratch must stay bounded by its streaming
-        // chunk. The observed variant runs the *same* arithmetic (results
-        // stay bit-identical); the observer only reports, per cascade
-        // stage, which members were still active.
-        let result = if traced {
-            eval.classify_stream_with_override_observed(&inputs, overrides, &mut |stage, active| {
+    }
+    // classify_stream, not classify_batch: a deadline-bound policy or a
+    // shutdown flush can hand over a batch as large as the whole queue,
+    // and the evaluator's scratch must stay bounded by its streaming
+    // chunk. The observed variant runs the *same* arithmetic (results
+    // stay bit-identical); the observer only reports, per cascade
+    // stage, which members were still active. The shed hook is the
+    // mid-batch deadline check: a member whose deadline passes while the
+    // batch is in flight is evicted at the next cascade stage boundary
+    // instead of riding the whole cascade to a result nobody will read —
+    // survivors stay bit-identical (shedding only removes rows from the
+    // batched GEMMs).
+    let deadlines: Vec<Option<Instant>> = live.iter().map(|l| l.expires_at).collect();
+    let mut shed_hook =
+        |_next_stage: usize, k: usize| deadlines[k].is_some_and(|d| Instant::now() >= d);
+    let result = if traced {
+        eval.classify_stream_with_override_sheddable(
+            &inputs,
+            overrides,
+            &mut |stage, active| {
                 for &k in active {
-                    if let Some(t) = live[k].3 {
+                    if let Some(t) = live[k].trace {
                         telemetry.record(t, EventKind::Stage(stage as u32));
                     }
                 }
-            })
-        } else {
-            eval.classify_stream_with_override(&inputs, overrides)
-        };
-        match result {
-            Ok(outputs) => {
-                let now = Instant::now();
-                for ((_, _, _, trace), out) in live.iter().zip(&outputs) {
-                    if let Some(t) = trace {
-                        telemetry.record(*t, EventKind::Exit(out.exit_stage as u32));
-                    }
-                }
-                recorder.batch_completed(
-                    live.iter()
-                        .zip(&outputs)
-                        .map(|((_, _, submitted_at, _), out)| (now - *submitted_at, out.clone())),
-                );
-                for ((fulfiller, ticket, _, trace), out) in live.into_iter().zip(outputs) {
-                    fulfiller.settle(Ok(out));
-                    if let Some(t) = trace {
-                        telemetry.record(t, EventKind::Reply);
-                    }
-                    drop(ticket);
+            },
+            &mut shed_hook,
+        )
+    } else {
+        eval.classify_stream_with_override_sheddable(
+            &inputs,
+            overrides,
+            &mut |_, _| {},
+            &mut shed_hook,
+        )
+    };
+    match result {
+        Ok(outcomes) => {
+            let now = Instant::now();
+            for (l, outcome) in live.iter().zip(&outcomes) {
+                if let (Some(t), SheddableOutcome::Done(out)) = (l.trace, outcome) {
+                    telemetry.record(t, EventKind::Exit(out.exit_stage as u32));
                 }
             }
-            Err(group_err) if live.len() == 1 => {
-                recorder.batch_failed(1);
-                let (fulfiller, ticket, _, _) = live.into_iter().next().expect("one live entry");
-                fulfiller.settle(Err(ServeError::Eval(group_err)));
-                drop(ticket);
-            }
-            Err(_) => {
-                // co-batch poisoning defence: one bad input must not fail
-                // its innocent neighbours. Re-evaluate each request alone so
-                // only the offending one settles with the evaluator error —
-                // results of the survivors stay bit-identical (singleton
-                // evaluation is the equivalence baseline).
-                for ((fulfiller, ticket, submitted_at, trace), input) in
-                    live.into_iter().zip(&inputs)
-                {
-                    match eval.classify_stream_with_override(std::slice::from_ref(input), overrides)
-                    {
-                        Ok(mut outputs) => {
-                            let out = outputs.pop().expect("one output per input");
-                            if let Some(t) = trace {
-                                telemetry.record(t, EventKind::Exit(out.exit_stage as u32));
-                            }
-                            recorder.batch_completed(
-                                [(Instant::now() - submitted_at, out.clone())].into_iter(),
-                            );
-                            fulfiller.settle(Ok(out));
-                            if let Some(t) = trace {
-                                telemetry.record(t, EventKind::Reply);
-                            }
-                        }
-                        Err(e) => {
-                            recorder.batch_failed(1);
-                            fulfiller.settle(Err(ServeError::Eval(e)));
+            recorder.batch_completed(live.iter().zip(&outcomes).filter_map(|(l, outcome)| {
+                match outcome {
+                    SheddableOutcome::Done(out) => Some((now - l.submitted_at, out.clone())),
+                    SheddableOutcome::Shed(_) => None,
+                }
+            }));
+            for (l, outcome) in live.into_iter().zip(outcomes) {
+                match outcome {
+                    SheddableOutcome::Done(out) => {
+                        l.fulfiller.settle(Ok(out));
+                        if let Some(t) = l.trace {
+                            telemetry.record(t, EventKind::Reply);
                         }
                     }
-                    drop(ticket);
+                    SheddableOutcome::Shed(partial) => {
+                        // honest accounting: the stages this request burned
+                        // before eviction are real work — charge them to
+                        // the op/energy ledger even though nothing ships
+                        recorder.expired_mid_batch(
+                            l.priority,
+                            l.tenant,
+                            partial.ops,
+                            partial.stages_activated,
+                        );
+                        l.fulfiller.settle(Err(ServeError::Expired));
+                    }
                 }
+                drop(l.ticket);
+            }
+        }
+        Err(group_err) if live.len() == 1 => {
+            recorder.batch_failed(1);
+            let l = live.into_iter().next().expect("one live entry");
+            l.fulfiller.settle(Err(ServeError::Eval(group_err)));
+            drop(l.ticket);
+        }
+        Err(_) => {
+            // co-batch poisoning defence: one bad input must not fail
+            // its innocent neighbours. Re-evaluate each request alone so
+            // only the offending one settles with the evaluator error —
+            // results of the survivors stay bit-identical (singleton
+            // evaluation is the equivalence baseline).
+            for (l, input) in live.into_iter().zip(&inputs) {
+                match eval.classify_stream_with_override(std::slice::from_ref(input), overrides) {
+                    Ok(mut outputs) => {
+                        let out = outputs.pop().expect("one output per input");
+                        if let Some(t) = l.trace {
+                            telemetry.record(t, EventKind::Exit(out.exit_stage as u32));
+                        }
+                        recorder.batch_completed(
+                            [(Instant::now() - l.submitted_at, out.clone())].into_iter(),
+                        );
+                        l.fulfiller.settle(Ok(out));
+                        if let Some(t) = l.trace {
+                            telemetry.record(t, EventKind::Reply);
+                        }
+                    }
+                    Err(e) => {
+                        recorder.batch_failed(1);
+                        l.fulfiller.settle(Err(ServeError::Eval(e)));
+                    }
+                }
+                drop(l.ticket);
             }
         }
     }
@@ -1223,6 +1326,95 @@ mod tests {
         // exactly one request's ops were spent
         assert_eq!(snap.total_ops, out.ops);
         assert_eq!(snap.queue_depth, 0);
+    }
+
+    #[test]
+    fn mid_batch_expiry_sheds_at_a_stage_boundary_with_partial_accounting() {
+        // regression (pre-fix this fails): a request inside a *sealed*
+        // batch whose deadline passes mid-flight used to ride the whole
+        // cascade to a result nobody reads. Drive evaluate_group directly
+        // with an already-expired member — bypassing the dispatch-time
+        // check exactly as a deadline that lapses between dispatch and the
+        // first stage boundary would — and require it to settle Expired
+        // with *partial* (non-zero, sub-full) work on the ledger.
+        let net = build_untrained();
+        let gate = Arc::new(Gate::new(8, None));
+        let recorder = Recorder::new(cdl_hw::EnergyModel::cmos_45nm());
+        let mut eval = BatchEvaluator::with_kernel(&net, GemmKernel::detect());
+        let img = images(2);
+        let (p_doomed, r_doomed) = raw_request(
+            &gate,
+            img[0].clone(),
+            Some(Instant::now() - Duration::from_millis(1)),
+        );
+        let (p_live, r_live) = raw_request(&gate, img[1].clone(), None);
+        // δ → 1.0 keeps untrained images active through every stage, so
+        // boundaries after stage 0 actually see the doomed request
+        let overrides = ExitOverride::with_delta(0.999);
+        evaluate_group(
+            &mut eval,
+            overrides,
+            vec![r_doomed, r_live],
+            &recorder,
+            &Telemetry::disabled(),
+        );
+        assert_eq!(p_doomed.wait().unwrap_err(), ServeError::Expired);
+        let out = p_live.wait().unwrap();
+        assert_eq!(out, net.classify_with_override(&img[1], overrides).unwrap());
+        let full_ops = out.ops.compute_ops();
+        let snap = recorder.snapshot(gate.depth());
+        assert_eq!(snap.expired, 1);
+        assert_eq!(snap.completed, 1);
+        // the doomed request was shed at the boundary after stage 0: its
+        // one stage of work is on the ledger (honest energy), but the
+        // remaining cascade was never paid for
+        let partial_ops = snap.total_ops.compute_ops() - full_ops;
+        assert!(partial_ops > 0, "shed work must be charged");
+        assert!(
+            partial_ops < full_ops,
+            "shed must not pay for the full cascade (partial {partial_ops} vs full {full_ops})"
+        );
+        assert!(
+            snap.stages_activated > out.stages_activated,
+            "the doomed request's stages count"
+        );
+        assert!(snap.latency.is_none() || snap.latency.unwrap().count == 1);
+        assert_eq!(snap.queue_depth, 0, "tickets released on mid-batch shed");
+    }
+
+    #[test]
+    fn reclaim_submit_returns_the_tensor_on_refusal() {
+        let net = build_untrained();
+        // capacity 1 + stalled batcher: the second submission must bounce
+        let server = Server::start(
+            Arc::clone(&net),
+            config(BatchPolicy::by_size(1 << 20), 1, 1),
+        )
+        .unwrap();
+        let img = images(1).pop().unwrap();
+        let _held = server.try_submit(img.clone()).unwrap();
+        // a Full refusal hands the exact tensor back — no clone needed to
+        // retry (this is what the TCP edge's admission retry loop leans on)
+        let (err, reclaimed) = server
+            .try_submit_reclaim(img.clone(), SubmitOptions::default(), None)
+            .unwrap_err();
+        assert_eq!(err, ServeError::Full);
+        let reclaimed = reclaimed.expect("refusal must return the tensor");
+        assert_eq!(reclaimed.dims(), img.dims());
+        assert_eq!(reclaimed.data(), img.data());
+        // a bad-input refusal also reclaims
+        let bad = Tensor::zeros(&[2, 2]);
+        let (err, reclaimed) = server
+            .try_submit_reclaim(bad, SubmitOptions::default(), None)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::BadInput(_)));
+        assert_eq!(reclaimed.expect("tensor survives").dims(), &[2, 2]);
+        // metrics: exactly one capacity rejection was recorded
+        let live = server.metrics();
+        assert_eq!(live.rejected, 1);
+        assert_eq!(live.submitted, 1);
+        drop(_held);
+        server.shutdown();
     }
 
     #[test]

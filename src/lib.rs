@@ -188,11 +188,16 @@
 //! replica serves them (`tests/replica_equivalence.rs`, per placement
 //! policy). In front of the router, [`serve::TcpServer`] /
 //! [`serve::TcpClient`] speak a length-prefixed binary protocol over
-//! plain `std::net` sockets: pipelined request ids per connection,
-//! per-connection writer threads draining completions, typed error
-//! replies ([`serve::ErrorCode`]), and f32s travelling as IEEE-754 bit
-//! patterns so even the network edge is bit-exact
-//! (`tests/net_loopback.rs`).
+//! plain `std::net` sockets: pipelined request ids per connection, typed
+//! error replies ([`serve::ErrorCode`]), and f32s travelling as IEEE-754
+//! bit patterns so even the network edge is bit-exact
+//! (`tests/net_loopback.rs`). The server side is a fixed-size **event
+//! loop** ([`serve::EdgeConfig`]): an accept thread with exponential
+//! backoff hands sockets to a small pool of poller threads that
+//! multiplex every connection over edge-triggered readiness (the
+//! vendored `reactor` crate — epoll on Linux), so 256 idle connections
+//! cost buffers rather than threads and completed requests wake the edge
+//! through an eventfd instead of being polled (`tests/net_soak.rs`).
 //!
 //! ```
 //! use cdl::serve::{
@@ -246,7 +251,10 @@
 //! **deadline** (a latency budget measured from admission — requests
 //! still queued when it runs out are settled with
 //! [`serve::ServeError::Expired`] at batch-formation or dispatch time,
-//! spending zero evaluator ops: the queue-level analogue of early exit),
+//! spending zero evaluator ops, and a deadline that expires *mid-batch*
+//! sheds the request at the next stage boundary — survivors stay
+//! bit-identical, and the partial work already spent is charged honestly
+//! to the energy ledger: the queue-level analogue of early exit),
 //! a **priority class** ([`serve::Priority`] — lower classes are refused
 //! first as the admission gate fills, with a typed
 //! [`serve::ServeError::Shed`]), and a **tenant id** (bounded per-tenant

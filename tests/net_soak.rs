@@ -1,0 +1,234 @@
+//! TCP edge soak: the event-loop connection model under connection count,
+//! churn, and shutdown-under-load.
+//!
+//! The edge's scaling claim is structural — threads are O(pollers), not
+//! O(connections) — so these tests pin it with the OS's own ledger
+//! (`/proc/self/status` `Threads:`): 256 idle connections add **zero**
+//! threads beyond the fixed pool, and a connect/serve/disconnect churn
+//! loop leaves the count exactly where it started (regression for the old
+//! edge, which spawned reader+writer threads per connection and parked
+//! their join handles in a vec that only drained at shutdown). Shutdown
+//! with pipelined requests still in flight must return promptly, cancel
+//! the orphaned work, and leave the router's bookkeeping consistent.
+
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use cdl::core::arch::{self, CdlArchitecture};
+use cdl::core::confidence::ConfidencePolicy;
+use cdl::core::head::LinearClassifier;
+use cdl::core::network::CdlNetwork;
+use cdl::nn::network::Network;
+use cdl::serve::{
+    BatchPolicy, EdgeConfig, Router, ServerConfig, ShardSpec, SubmitOptions, TcpClient, TcpServer,
+};
+use cdl::tensor::Tensor;
+
+/// Thread-count assertions can't tolerate another test on this binary
+/// spawning servers concurrently: every test in this file serialises on
+/// one lock and measures its baseline inside it.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(target_os = "linux")]
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .unwrap()
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .expect("/proc/self/status lists Threads:")
+        .trim()
+        .parse()
+        .unwrap()
+}
+
+fn build_untrained(arch: CdlArchitecture, seed: u64) -> Arc<CdlNetwork> {
+    let base = Network::from_spec(&arch.spec, seed).unwrap();
+    let feats = arch.tap_features().unwrap();
+    let stages = arch
+        .taps
+        .iter()
+        .zip(&feats)
+        .map(|(t, &f)| {
+            (
+                t.spec_layer,
+                t.name.clone(),
+                LinearClassifier::new(f, 10, 1).unwrap(),
+            )
+        })
+        .collect();
+    Arc::new(CdlNetwork::assemble(base, stages, ConfidencePolicy::max_prob(0.6)).unwrap())
+}
+
+fn image(i: usize) -> Tensor {
+    Tensor::full(&[1, 28, 28], 0.1 + 0.07 * (i as f32 % 11.0))
+}
+
+/// 256 idle connections on a 2-poller edge cost buffers, not threads:
+/// the process thread count after opening all of them equals the count
+/// right after bind, and sampled connections still serve correctly
+/// (every poller's event loop is live, not just the first).
+#[cfg(target_os = "linux")]
+#[test]
+fn idle_connections_cost_pollers_not_threads() {
+    let _guard = serial();
+    let net = build_untrained(arch::mnist_2c(), 11);
+    let router =
+        Arc::new(Router::start(vec![ShardSpec::new("m", net, ServerConfig::default())]).unwrap());
+    let edge = TcpServer::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&router),
+        EdgeConfig {
+            pollers: 2,
+            ..EdgeConfig::default()
+        },
+    )
+    .unwrap();
+    let with_edge = thread_count();
+
+    let mut clients: Vec<TcpClient> = (0..256)
+        .map(|_| TcpClient::connect(edge.local_addr()).unwrap())
+        .collect();
+    // liveness across the pool: every 32nd connection round-trips one
+    // request (round-robin handoff lands these on both pollers)
+    let mut served = 0;
+    for i in (0..clients.len()).step_by(32) {
+        let result = clients[i]
+            .call("m", &image(i), SubmitOptions::default())
+            .unwrap();
+        assert!(result.is_ok(), "sampled connection {i} failed: {result:?}");
+        served += 1;
+    }
+    assert_eq!(
+        thread_count(),
+        with_edge,
+        "idle connections must not spawn threads (O(pollers) edge)"
+    );
+
+    drop(clients);
+    edge.shutdown();
+    let metrics = Arc::try_unwrap(router).unwrap().shutdown();
+    assert_eq!(metrics.completed(), served);
+    assert_eq!(metrics.queue_depth(), 0);
+}
+
+/// Connect/serve/disconnect churn neither leaks threads nor join-handle
+/// state: the thread count after 60 full client lifetimes equals the
+/// post-bind baseline. (Regression: the old edge pushed two JoinHandles
+/// per connection into `TcpServer.connections` and never drained it
+/// until shutdown — a long-lived server leaked a vec entry and two
+/// parked threads per past connection.)
+#[cfg(target_os = "linux")]
+#[test]
+fn connection_churn_leaves_no_threads_behind() {
+    let _guard = serial();
+    let net = build_untrained(arch::mnist_2c(), 13);
+    let router =
+        Arc::new(Router::start(vec![ShardSpec::new("m", net, ServerConfig::default())]).unwrap());
+    let edge = TcpServer::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&router),
+        EdgeConfig {
+            pollers: 1,
+            ..EdgeConfig::default()
+        },
+    )
+    .unwrap();
+    let baseline = thread_count();
+
+    for i in 0..60 {
+        let mut client = TcpClient::connect(edge.local_addr()).unwrap();
+        let result = client
+            .call("m", &image(i), SubmitOptions::default())
+            .unwrap();
+        assert!(result.is_ok(), "churn iteration {i} failed: {result:?}");
+        drop(client);
+    }
+    assert_eq!(
+        thread_count(),
+        baseline,
+        "connection churn must not leak threads"
+    );
+
+    edge.shutdown();
+    let metrics = Arc::try_unwrap(router).unwrap().shutdown();
+    assert_eq!(metrics.completed(), 60);
+    assert_eq!(metrics.cancelled(), 0, "clean disconnects cancel nothing");
+    assert_eq!(metrics.queue_depth(), 0);
+}
+
+/// Shutting the edge down with pipelined requests still in flight
+/// returns promptly (pollers drop their connections instead of waiting
+/// the stalled work out), cancels exactly the orphaned requests, and —
+/// on Linux — returns the process to its pre-bind thread count.
+#[test]
+fn shutdown_under_load_cancels_inflight_and_joins_the_pool() {
+    let _guard = serial();
+    let net = build_untrained(arch::mnist_2c(), 17);
+    let router = Arc::new(
+        Router::start(vec![ShardSpec::new(
+            "stall",
+            net,
+            ServerConfig {
+                // a size-bound batch that never fills: admitted requests
+                // pin their Pendings in the batcher indefinitely
+                policy: BatchPolicy::by_size(1 << 20),
+                queue_capacity: 16,
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )])
+        .unwrap(),
+    );
+    #[cfg(target_os = "linux")]
+    let before_edge = thread_count();
+    let edge = TcpServer::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&router),
+        EdgeConfig {
+            pollers: 2,
+            ..EdgeConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut clients: Vec<TcpClient> = (0..2)
+        .map(|_| TcpClient::connect(edge.local_addr()).unwrap())
+        .collect();
+    for (c, client) in clients.iter_mut().enumerate() {
+        for i in 0..4 {
+            client
+                .submit("stall", &image(4 * c + i), SubmitOptions::default())
+                .unwrap();
+        }
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while router.metrics().shards[0].submitted() < 8 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "submissions never landed"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // must not hang on the 8 stalled pendings
+    edge.shutdown();
+    #[cfg(target_os = "linux")]
+    assert_eq!(
+        thread_count(),
+        before_edge,
+        "shutdown must join the accept thread and every poller"
+    );
+    drop(clients);
+
+    let metrics = Arc::try_unwrap(router).unwrap().shutdown();
+    let stall = &metrics.shards[0];
+    assert_eq!(stall.submitted(), 8);
+    assert_eq!(stall.cancelled(), 8, "orphaned inflight work cancelled");
+    assert_eq!(stall.completed(), 0);
+    assert_eq!(metrics.queue_depth(), 0);
+}

@@ -172,15 +172,26 @@ fn deadline_shedding_bounds_served_p99_under_a_burst() {
     );
     assert_eq!(shed.metrics.completed(), shed.served);
 
-    // expired requests cost zero evaluator ops: the run's cumulative op
-    // count is exactly (served × per-image ops) — every arrival carries
-    // the same image, so any expired request that slipped into an
-    // evaluation would show up here
+    // the op ledger balances exactly: served requests cost full per-image
+    // ops, requests shed before dispatch cost zero, and requests shed
+    // MID-batch (deadline passed while their batch was in flight) are
+    // charged only the stages they actually evaluated, broken out in
+    // `expired_partial_ops`. Every arrival carries the same image, so an
+    // expired request that ran to completion anyway would break the
+    // identity.
     let per_image_ops = net.classify(&image).unwrap().ops.compute_ops();
+    let partial_ops = shed.metrics.expired_partial_ops().compute_ops();
     assert_eq!(
         shed.metrics.total_ops().compute_ops(),
-        shed.served * per_image_ops,
-        "expired requests must not reach the evaluator"
+        shed.served * per_image_ops + partial_ops,
+        "total ops must be exactly served work plus accounted partial work"
+    );
+    assert!(
+        partial_ops < shed.expired * per_image_ops,
+        "mid-batch shedding must save work: {} expired requests charged \
+         {partial_ops} partial ops, at least one full evaluation's worth \
+         ({per_image_ops}) should have been avoided",
+        shed.expired
     );
 
     // and the point of it all: the served tail stays bounded near the

@@ -1,0 +1,776 @@
+//! Offline vendored mini-reactor: the mio-style readiness-polling subset
+//! that `cdl-serve`'s event-loop TCP edge multiplexes connections with.
+//!
+//! The build environment is offline, so instead of depending on `mio` this
+//! crate implements exactly the surface the edge needs — a [`Poll`]
+//! instance that file descriptors register with under caller-chosen
+//! [`Token`]s, an [`Events`] buffer filled by [`Poll::wait`], and a
+//! cross-thread [`Waker`] that interrupts a blocked wait — over raw
+//! syscalls declared by thin `extern "C"` bindings (no `libc` crate; the
+//! symbols resolve against the C library the Rust standard library already
+//! links).
+//!
+//! Backends:
+//!
+//! * **Linux**: `epoll` in **edge-triggered** mode (`EPOLLET`) with an
+//!   `eventfd` waker. Edge-triggered means a readiness event is delivered
+//!   once per *transition* — consumers must drain a ready resource until it
+//!   returns `WouldBlock` before the next event for it can arrive.
+//! * **Other unix**: `poll(2)` over the registered set with a self-pipe
+//!   waker. `poll(2)` is level-triggered, so readiness may be reported
+//!   repeatedly; a consumer that drains to `WouldBlock` (as edge-triggered
+//!   correctness already requires) behaves identically on both backends.
+//!
+//! Registration is one-shot-free and threadless: `register`/`reregister`/
+//! `deregister` may be called from any thread, [`Poll::wait`] from the one
+//! poller thread that owns the loop, and [`Waker::wake`] from anywhere.
+
+#![deny(missing_docs)]
+
+use std::io;
+use std::time::Duration;
+
+#[cfg(not(unix))]
+compile_error!("the vendored reactor supports unix only (epoll on Linux, poll(2) on other unix)");
+
+/// The raw file-descriptor type registrations are keyed by.
+pub type RawFd = std::os::raw::c_int;
+
+/// Caller-chosen identifier attached to a registration and echoed on every
+/// [`Event`] for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Which readiness directions a registration subscribes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Readiness to read without blocking.
+    pub const READABLE: Interest = Interest(0b01);
+    /// Readiness to write without blocking.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// `true` when the read direction is subscribed.
+    pub fn is_readable(self) -> bool {
+        self.0 & Interest::READABLE.0 != 0
+    }
+
+    /// `true` when the write direction is subscribed.
+    pub fn is_writable(self) -> bool {
+        self.0 & Interest::WRITABLE.0 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        Interest(self.0 | rhs.0)
+    }
+}
+
+/// One readiness notification out of [`Poll::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+    error: bool,
+    hangup: bool,
+}
+
+impl Event {
+    /// The [`Token`] the ready registration was made under.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// The resource can be read (or has hung up — a read will observe EOF).
+    pub fn is_readable(&self) -> bool {
+        self.readable || self.hangup || self.error
+    }
+
+    /// The resource can be written.
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+
+    /// An error condition is pending on the resource (read/write it to
+    /// collect the actual `io::Error`).
+    pub fn is_error(&self) -> bool {
+        self.error
+    }
+
+    /// The peer hung up.
+    pub fn is_hangup(&self) -> bool {
+        self.hangup
+    }
+}
+
+/// Reusable buffer of [`Event`]s filled by [`Poll::wait`].
+#[derive(Debug)]
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// A buffer that can carry up to `capacity` events per wait.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            inner: Vec::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Iterates the events delivered by the last [`Poll::wait`].
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    /// Number of events delivered by the last [`Poll::wait`].
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` when the last wait returned no events (timeout).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+/// A readiness selector: file descriptors register under [`Token`]s, and
+/// [`Poll::wait`] blocks until at least one is ready (or the timeout
+/// passes, or a [`Waker`] fires).
+#[derive(Debug)]
+pub struct Poll {
+    selector: sys::Selector,
+}
+
+impl Poll {
+    /// Creates a new selector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying syscall failure.
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            selector: sys::Selector::new()?,
+        })
+    }
+
+    /// Subscribes `fd` to `interest` under `token`. The fd must already be
+    /// in nonblocking mode — the reactor never reads or writes it, it only
+    /// reports readiness.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying syscall failure (e.g. an fd registered
+    /// twice).
+    pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.selector.register(fd, token, interest)
+    }
+
+    /// Replaces an existing registration's token/interest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying syscall failure.
+    pub fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.selector.reregister(fd, token, interest)
+    }
+
+    /// Removes `fd`'s registration. Dropping (closing) a registered fd
+    /// also removes it on the epoll backend, but deregistering explicitly
+    /// keeps both backends in lockstep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying syscall failure.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.selector.deregister(fd)
+    }
+
+    /// Blocks until readiness, a [`Waker::wake`], or `timeout` (forever
+    /// when `None`). Fills `events` with what became ready; an interrupted
+    /// wait (`EINTR`) returns cleanly with zero events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying syscall failure.
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        self.selector.wait(events, timeout)
+    }
+}
+
+/// Cross-thread wakeup handle: [`Waker::wake`] makes the owning [`Poll`]'s
+/// current (or next) [`Poll::wait`] return with an event carrying the
+/// waker's token. The poller must call [`Waker::reset`] when it sees that
+/// token, so coalesced wakes re-arm.
+#[derive(Debug)]
+pub struct Waker {
+    inner: sys::WakerImpl,
+}
+
+impl Waker {
+    /// Creates a waker registered with `poll` under `token`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying syscall failure.
+    pub fn new(poll: &Poll, token: Token) -> io::Result<Waker> {
+        Ok(Waker {
+            inner: sys::WakerImpl::new(&poll.selector, token)?,
+        })
+    }
+
+    /// Wakes the poll. Callable from any thread; multiple wakes before the
+    /// poller runs coalesce into one event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying syscall failure.
+    pub fn wake(&self) -> io::Result<()> {
+        self.inner.wake()
+    }
+
+    /// Drains the wake signal so the next [`Waker::wake`] triggers a fresh
+    /// event. Call from the poller thread when an event with the waker's
+    /// token arrives.
+    pub fn reset(&self) {
+        self.inner.reset();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shared ffi: read/write/close exist on every unix
+// ---------------------------------------------------------------------------
+
+mod ffi_common {
+    use std::os::raw::{c_int, c_void};
+
+    extern "C" {
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// linux backend: edge-triggered epoll + eventfd waker
+// ---------------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{ffi_common, Event, Events, Interest, RawFd, Token};
+    use std::io;
+    use std::os::raw::{c_int, c_uint, c_void};
+    use std::time::Duration;
+
+    // x86_64 declares struct epoll_event packed; repr(C, packed) matches
+    // the kernel ABI on every architecture glibc supports.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLET: u32 = 1 << 31;
+
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EFD_CLOEXEC: c_int = 0o2000000;
+    const EFD_NONBLOCK: c_int = 0o4000;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    }
+
+    fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = EPOLLET | EPOLLRDHUP;
+        if interest.is_readable() {
+            m |= EPOLLIN;
+        }
+        if interest.is_writable() {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    #[derive(Debug)]
+    pub struct Selector {
+        epfd: RawFd,
+    }
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Selector { epfd })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: mask(interest),
+                data: token.0 as u64,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                // round sub-millisecond timeouts up so a 100µs retry tick
+                // never degenerates into a busy spin
+                Some(d) => d
+                    .as_millis()
+                    .max(u128::from(!d.is_zero()))
+                    .min(c_int::MAX as u128) as c_int,
+            };
+            let mut raw = vec![EpollEvent { events: 0, data: 0 }; events.capacity];
+            events.inner.clear();
+            let n = match cvt(unsafe {
+                epoll_wait(self.epfd, raw.as_mut_ptr(), raw.len() as c_int, timeout_ms)
+            }) {
+                Ok(n) => n as usize,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+                Err(e) => return Err(e),
+            };
+            for ev in &raw[..n] {
+                let bits = ev.events;
+                events.inner.push(Event {
+                    token: Token(ev.data as usize),
+                    readable: bits & (EPOLLIN | EPOLLRDHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    error: bits & EPOLLERR != 0,
+                    hangup: bits & (EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Selector {
+        fn drop(&mut self) {
+            unsafe {
+                ffi_common::close(self.epfd);
+            }
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct WakerImpl {
+        efd: RawFd,
+    }
+
+    impl WakerImpl {
+        pub fn new(selector: &Selector, token: Token) -> io::Result<WakerImpl> {
+            let efd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+            let waker = WakerImpl { efd };
+            selector.register(efd, token, Interest::READABLE)?;
+            Ok(waker)
+        }
+
+        pub fn wake(&self) -> io::Result<()> {
+            let one: u64 = 1;
+            let n =
+                unsafe { ffi_common::write(self.efd, (&one as *const u64).cast::<c_void>(), 8) };
+            // a full counter (EAGAIN) still leaves the eventfd readable, so
+            // the wake is already delivered
+            if n == 8 || io::Error::last_os_error().kind() == io::ErrorKind::WouldBlock {
+                Ok(())
+            } else {
+                Err(io::Error::last_os_error())
+            }
+        }
+
+        pub fn reset(&self) {
+            let mut buf = [0u8; 8];
+            unsafe {
+                ffi_common::read(self.efd, buf.as_mut_ptr().cast::<c_void>(), 8);
+            }
+        }
+    }
+
+    impl Drop for WakerImpl {
+        fn drop(&mut self) {
+            unsafe {
+                ffi_common::close(self.efd);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// portable unix backend: level-triggered poll(2) + self-pipe waker
+// ---------------------------------------------------------------------------
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    use super::{ffi_common, Event, Events, Interest, RawFd, Token};
+    use std::io;
+    use std::os::raw::{c_int, c_short, c_uint, c_void};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+
+    const F_GETFL: c_int = 3;
+    const F_SETFL: c_int = 4;
+    const O_NONBLOCK: c_int = 0x0004;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_uint, timeout: c_int) -> c_int;
+        fn pipe(fds: *mut c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    }
+
+    #[derive(Debug)]
+    pub struct Selector {
+        registry: Mutex<Vec<(RawFd, Token, Interest)>>,
+    }
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            Ok(Selector {
+                registry: Mutex::new(Vec::new()),
+            })
+        }
+
+        pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+            let mut reg = self.registry.lock().unwrap();
+            if reg.iter().any(|&(f, _, _)| f == fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            reg.push((fd, token, interest));
+            Ok(())
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+            let mut reg = self.registry.lock().unwrap();
+            for entry in reg.iter_mut() {
+                if entry.0 == fd {
+                    *entry = (fd, token, interest);
+                    return Ok(());
+                }
+            }
+            Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let mut reg = self.registry.lock().unwrap();
+            let before = reg.len();
+            reg.retain(|&(f, _, _)| f != fd);
+            if reg.len() == before {
+                return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+            }
+            Ok(())
+        }
+
+        pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+            let snapshot: Vec<(RawFd, Token, Interest)> = self.registry.lock().unwrap().clone();
+            let mut fds: Vec<PollFd> = snapshot
+                .iter()
+                .map(|&(fd, _, interest)| PollFd {
+                    fd,
+                    events: {
+                        let mut e = 0;
+                        if interest.is_readable() {
+                            e |= POLLIN;
+                        }
+                        if interest.is_writable() {
+                            e |= POLLOUT;
+                        }
+                        e
+                    },
+                    revents: 0,
+                })
+                .collect();
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                Some(d) => d
+                    .as_millis()
+                    .max(u128::from(!d.is_zero()))
+                    .min(c_int::MAX as u128) as c_int,
+            };
+            events.inner.clear();
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_uint, timeout_ms) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for (pfd, &(_, token, _)) in fds.iter().zip(&snapshot) {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                if events.inner.len() == events.capacity {
+                    break;
+                }
+                events.inner.push(Event {
+                    token,
+                    readable: pfd.revents & POLLIN != 0,
+                    writable: pfd.revents & POLLOUT != 0,
+                    error: pfd.revents & POLLERR != 0,
+                    hangup: pfd.revents & POLLHUP != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct WakerImpl {
+        read_end: RawFd,
+        write_end: RawFd,
+    }
+
+    impl WakerImpl {
+        pub fn new(selector: &Selector, token: Token) -> io::Result<WakerImpl> {
+            let mut fds = [0 as c_int; 2];
+            if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            for fd in fds {
+                let flags = unsafe { fcntl(fd, F_GETFL, 0) };
+                if flags < 0 || unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+            }
+            let waker = WakerImpl {
+                read_end: fds[0],
+                write_end: fds[1],
+            };
+            selector.register(waker.read_end, token, Interest::READABLE)?;
+            Ok(waker)
+        }
+
+        pub fn wake(&self) -> io::Result<()> {
+            let byte = 1u8;
+            let n = unsafe {
+                ffi_common::write(self.write_end, (&byte as *const u8).cast::<c_void>(), 1)
+            };
+            // a full pipe still reads as ready: the wake is delivered
+            if n == 1 || io::Error::last_os_error().kind() == io::ErrorKind::WouldBlock {
+                Ok(())
+            } else {
+                Err(io::Error::last_os_error())
+            }
+        }
+
+        pub fn reset(&self) {
+            let mut buf = [0u8; 64];
+            loop {
+                let n = unsafe {
+                    ffi_common::read(self.read_end, buf.as_mut_ptr().cast::<c_void>(), buf.len())
+                };
+                if n < buf.len() as isize {
+                    break;
+                }
+            }
+        }
+    }
+
+    impl Drop for WakerImpl {
+        fn drop(&mut self) {
+            unsafe {
+                ffi_common::close(self.read_end);
+                ffi_common::close(self.write_end);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Instant;
+
+    const WAKER: Token = Token(0);
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readable_event_fires_on_data() {
+        let poll = Poll::new().unwrap();
+        let (mut a, b) = pair();
+        poll.register(b.as_raw_fd(), Token(7), Interest::READABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "no data yet");
+        a.write_all(b"hi").unwrap();
+        poll.wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().next().expect("readable event");
+        assert_eq!(ev.token(), Token(7));
+        assert!(ev.is_readable());
+        let mut buf = [0u8; 2];
+        let mut b = &b;
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+    }
+
+    #[test]
+    fn writable_and_hangup_reported() {
+        let poll = Poll::new().unwrap();
+        let (a, b) = pair();
+        poll.register(
+            b.as_raw_fd(),
+            Token(3),
+            Interest::READABLE | Interest::WRITABLE,
+        )
+        .unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.token() == Token(3) && e.is_writable()),
+            "a fresh socket is writable"
+        );
+        drop(a);
+        // after the peer closes, readiness must surface as readable (EOF)
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            poll.wait(&mut events, Some(Duration::from_millis(50)))
+                .unwrap();
+            if events
+                .iter()
+                .any(|e| e.token() == Token(3) && e.is_readable())
+            {
+                break;
+            }
+            assert!(Instant::now() < deadline, "hangup never surfaced");
+        }
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_wait_across_threads() {
+        let poll = std::sync::Arc::new(Poll::new().unwrap());
+        let waker = std::sync::Arc::new(Waker::new(&poll, WAKER).unwrap());
+        let w = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            w.wake().unwrap();
+        });
+        let mut events = Events::with_capacity(4);
+        let start = Instant::now();
+        poll.wait(&mut events, Some(Duration::from_secs(30)))
+            .unwrap();
+        assert!(start.elapsed() < Duration::from_secs(10), "wake arrived");
+        assert!(events.iter().any(|e| e.token() == WAKER));
+        waker.reset();
+        handle.join().unwrap();
+        // after reset, a new wake produces a fresh event
+        waker.wake().unwrap();
+        poll.wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token() == WAKER));
+        waker.reset();
+    }
+
+    #[test]
+    fn wakes_coalesce_and_reset_rearms() {
+        let poll = Poll::new().unwrap();
+        let waker = Waker::new(&poll, WAKER).unwrap();
+        for _ in 0..100 {
+            waker.wake().unwrap();
+        }
+        let mut events = Events::with_capacity(4);
+        poll.wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1, "burst coalesces into one event");
+        waker.reset();
+        poll.wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "reset drained the signal");
+    }
+
+    #[test]
+    fn deregister_silences_an_fd() {
+        let poll = Poll::new().unwrap();
+        let (mut a, b) = pair();
+        poll.register(b.as_raw_fd(), Token(1), Interest::READABLE)
+            .unwrap();
+        a.write_all(b"x").unwrap();
+        let mut events = Events::with_capacity(4);
+        poll.wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(!events.is_empty());
+        poll.deregister(b.as_raw_fd()).unwrap();
+        a.write_all(b"y").unwrap();
+        poll.wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(
+            events.iter().all(|e| e.token() != Token(1)),
+            "deregistered fd reports nothing"
+        );
+    }
+}
