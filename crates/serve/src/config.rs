@@ -10,6 +10,7 @@ use cdl_telemetry::TelemetryConfig;
 use cdl_tensor::gemm::GemmKernel;
 
 use crate::error::{ServeError, ServeResult};
+use crate::fault::FaultPlan;
 
 /// How a [`crate::Router`] picks the replica that admits a request, chosen
 /// once per submission over the replica set's **live queue depths** (the
@@ -152,6 +153,263 @@ impl FromStr for ReplicaSpec {
         };
         spec.validate()?;
         Ok(spec)
+    }
+}
+
+/// Health state of one replica in a [`crate::Router`] shard, as driven by
+/// the shard's [`HealthPolicy`] state machine:
+///
+/// ```text
+///  Healthy ──unhealthy window──▶ Degraded ──evict_after bad checks──▶ Evicted
+///     ▲                            │                                    │
+///     │◀──────healthy window───────┘                              next check
+///     │                                                                │
+///     └──healthy probe window── Probing ◀──────(canary admissions)─────┘
+/// ```
+///
+/// `Healthy` and `Degraded` replicas take normal placements (`Degraded` is
+/// the hysteresis band — suspicious but still serving). `Evicted` replicas
+/// take **no** placements at all. `Probing` replicas take only a bounded
+/// number of canary admissions ([`HealthPolicy::probe_budget`]) whose
+/// outcomes decide readmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum ReplicaHealth {
+    /// Serving normally; takes placements.
+    #[default]
+    Healthy = 0,
+    /// One unhealthy check window observed; still takes placements while
+    /// the hysteresis counter decides between recovery and eviction.
+    Degraded = 1,
+    /// Removed from placement entirely; no requests are routed here.
+    Evicted = 2,
+    /// Taking up to [`HealthPolicy::probe_budget`] canary admissions to
+    /// decide readmission.
+    Probing = 3,
+}
+
+impl ReplicaHealth {
+    /// Stable numeric code (also the telemetry export encoding).
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`ReplicaHealth::code`].
+    pub fn from_code(code: u8) -> Option<ReplicaHealth> {
+        match code {
+            0 => Some(ReplicaHealth::Healthy),
+            1 => Some(ReplicaHealth::Degraded),
+            2 => Some(ReplicaHealth::Evicted),
+            3 => Some(ReplicaHealth::Probing),
+            _ => None,
+        }
+    }
+
+    /// Whether the replica takes normal (non-canary) placements.
+    pub fn is_live(self) -> bool {
+        matches!(self, ReplicaHealth::Healthy | ReplicaHealth::Degraded)
+    }
+}
+
+impl fmt::Display for ReplicaHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReplicaHealth::Healthy => "healthy",
+            ReplicaHealth::Degraded => "degraded",
+            ReplicaHealth::Evicted => "evicted",
+            ReplicaHealth::Probing => "probing",
+        })
+    }
+}
+
+/// Hysteresis thresholds for the per-replica health state machine (see
+/// [`ReplicaHealth`]), attached to a shard with
+/// [`crate::ShardSpec::health`].
+///
+/// Checks judge a **window**: the delta of a replica's error counters and
+/// latency histogram since the previous judged check (windowed via
+/// [`cdl_telemetry::LogHistogram::subtracted`]). A window is unhealthy
+/// when its error rate exceeds `error_threshold` **or** its
+/// `latency_quantile` latency exceeds `latency_threshold`. Windows with
+/// fewer than `min_samples` settled outcomes are inconclusive and leave
+/// the state untouched, so an idle replica is never judged on noise.
+///
+/// Checks run opportunistically every `check_every` placements on the
+/// shard, and on demand through [`crate::Router::check_health`] (what
+/// deterministic tests drive).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthPolicy {
+    /// Window error rate (failed + injected-fault outcomes over all
+    /// settled outcomes) above which the window is unhealthy. In `(0, 1]`;
+    /// `1.0` effectively disables the error signal (a rate can equal but
+    /// never exceed it).
+    pub error_threshold: f64,
+    /// Window latency above which the window is unhealthy, compared at
+    /// `latency_quantile`. `None` disables the latency signal.
+    pub latency_threshold: Option<Duration>,
+    /// Which quantile of the window's latency histogram to compare against
+    /// `latency_threshold`. In `(0, 1]`.
+    pub latency_quantile: f64,
+    /// Minimum settled outcomes in a window before it is judged (for a
+    /// `Probing` replica, the effective minimum is
+    /// `min_samples.min(probe_budget)` so a small probe budget can still
+    /// readmit).
+    pub min_samples: u64,
+    /// Consecutive unhealthy checks (the first of which moves
+    /// `Healthy → Degraded`) before the replica is evicted. `1` evicts on
+    /// the first bad window; `2` (the default) requires confirmation.
+    pub evict_after: u32,
+    /// Canary admissions a `Probing` replica may take before its probe
+    /// window is judged for readmission.
+    pub probe_budget: u64,
+    /// Run an automatic health check once per this many placements on the
+    /// shard. `0` disables automatic checks (checks then only run through
+    /// [`crate::Router::check_health`]).
+    pub check_every: u64,
+}
+
+impl HealthPolicy {
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for thresholds or quantiles out
+    /// of range, or zero hysteresis/probe/window parameters.
+    pub fn validate(&self) -> ServeResult<()> {
+        if !self.error_threshold.is_finite() || !(0.0..=1.0).contains(&self.error_threshold) {
+            return Err(ServeError::BadConfig(format!(
+                "health error_threshold must be in [0, 1], got {}",
+                self.error_threshold
+            )));
+        }
+        if !self.latency_quantile.is_finite() || !(0.0..=1.0).contains(&self.latency_quantile) {
+            return Err(ServeError::BadConfig(format!(
+                "health latency_quantile must be in [0, 1], got {}",
+                self.latency_quantile
+            )));
+        }
+        if self.latency_threshold == Some(Duration::ZERO) {
+            return Err(ServeError::BadConfig(
+                "health latency_threshold must be > 0 when set (use None to disable)".into(),
+            ));
+        }
+        if self.min_samples == 0 {
+            return Err(ServeError::BadConfig(
+                "health min_samples must be >= 1".into(),
+            ));
+        }
+        if self.evict_after == 0 {
+            return Err(ServeError::BadConfig(
+                "health evict_after must be >= 1".into(),
+            ));
+        }
+        if self.probe_budget == 0 {
+            return Err(ServeError::BadConfig(
+                "health probe_budget must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for HealthPolicy {
+    /// Evict on half the window failing or a p99 over 250 ms, confirmed by
+    /// a second bad check; readmit through 4 canary probes; auto-check
+    /// every 64 placements.
+    fn default() -> Self {
+        HealthPolicy {
+            error_threshold: 0.5,
+            latency_threshold: Some(Duration::from_millis(250)),
+            latency_quantile: 0.99,
+            min_samples: 8,
+            evict_after: 2,
+            probe_budget: 4,
+            check_every: 64,
+        }
+    }
+}
+
+/// Request-level resilience for one shard, attached with
+/// [`crate::ShardSpec::retry`]: budgeted retries on replica failure, plus
+/// an optional hedged second attempt.
+///
+/// A failed attempt is retried (on a freshly placed replica) when its
+/// error is *retryable* — [`ServeError::Eval`],
+/// [`ServeError::Disconnected`], or [`ServeError::Fault`] — up to
+/// `max_retries` extra attempts. Typed refusals (`Full`, `Shed`, quota,
+/// validation) are **not** retried: they are backpressure, and retrying
+/// them would amplify overload.
+///
+/// With `hedge_quantile` set, a second attempt is also launched if the
+/// first has not settled after the shard's merged latency histogram says
+/// `hedge_quantile` of requests should have (clamped below by
+/// `hedge_floor`, which is also the cold-start delay while the histogram
+/// is empty). First completion wins; the loser is cancelled through its
+/// drop-to-cancel handle at **zero** evaluator ops. Responses stay
+/// bit-identical whichever attempt wins — every replica serves the same
+/// network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first, spent only on retryable errors.
+    pub max_retries: u32,
+    /// Latency quantile deriving the hedge delay from the shard's merged
+    /// histogram; `None` disables hedging.
+    pub hedge_quantile: Option<f64>,
+    /// Lower bound on the hedge delay, and the delay used while the shard
+    /// has no latency samples yet.
+    pub hedge_floor: Duration,
+}
+
+impl RetryPolicy {
+    /// Retry-only policy: `max_retries` extra attempts, no hedging.
+    pub fn retries(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            hedge_quantile: None,
+            hedge_floor: Duration::from_millis(10),
+        }
+    }
+
+    /// Returns this policy with hedging at `quantile` (builder-style).
+    pub fn hedged(mut self, quantile: f64) -> Self {
+        self.hedge_quantile = Some(quantile);
+        self
+    }
+
+    /// Returns this policy with the hedge-delay floor set (builder-style).
+    pub fn hedge_floor(mut self, floor: Duration) -> Self {
+        self.hedge_floor = floor;
+        self
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for an out-of-range hedge
+    /// quantile or a zero-attempt policy (no retries *and* no hedge —
+    /// use no policy at all instead).
+    pub fn validate(&self) -> ServeResult<()> {
+        if let Some(q) = self.hedge_quantile {
+            if !q.is_finite() || !(0.0..=1.0).contains(&q) {
+                return Err(ServeError::BadConfig(format!(
+                    "retry hedge_quantile must be in [0, 1], got {q}"
+                )));
+            }
+        }
+        if self.max_retries == 0 && self.hedge_quantile.is_none() {
+            return Err(ServeError::BadConfig(
+                "retry policy with no retries and no hedge does nothing (omit it instead)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for RetryPolicy {
+    /// One retry, no hedging, 10 ms hedge floor.
+    fn default() -> Self {
+        RetryPolicy::retries(1)
     }
 }
 
@@ -458,6 +716,10 @@ pub struct ServerConfig {
     /// is — one noisy tenant cannot crowd out the rest. `None` (default)
     /// disables quotas; untenanted submissions are always exempt.
     pub tenant_quota: Option<usize>,
+    /// Scripted fault injection for chaos testing
+    /// ([`crate::fault::FaultPlan`]). Unarmed by default: the hooks then
+    /// cost one branch each, the same disabled-path model as telemetry.
+    pub fault: FaultPlan,
 }
 
 impl ServerConfig {
@@ -499,6 +761,7 @@ impl Default for ServerConfig {
             gemm_kernel: GemmKernel::default(),
             telemetry: TelemetryConfig::default(),
             tenant_quota: None,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -758,6 +1021,99 @@ mod tests {
             ..ServerConfig::default()
         };
         assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn health_policy_validates_and_codes_round_trip() {
+        let ok = HealthPolicy::default();
+        assert!(ok.validate().is_ok());
+        assert!(HealthPolicy {
+            error_threshold: 1.5,
+            ..HealthPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HealthPolicy {
+            latency_quantile: f64::NAN,
+            ..HealthPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(HealthPolicy {
+            latency_threshold: Some(Duration::ZERO),
+            ..HealthPolicy::default()
+        }
+        .validate()
+        .is_err());
+        for (field, bad) in [("min_samples", 0u64), ("probe_budget", 0)] {
+            let policy = match field {
+                "min_samples" => HealthPolicy {
+                    min_samples: bad,
+                    ..HealthPolicy::default()
+                },
+                _ => HealthPolicy {
+                    probe_budget: bad,
+                    ..HealthPolicy::default()
+                },
+            };
+            assert!(policy.validate().is_err(), "{field} = 0 must be rejected");
+        }
+        assert!(HealthPolicy {
+            evict_after: 0,
+            ..HealthPolicy::default()
+        }
+        .validate()
+        .is_err());
+        // manual-only checks are a valid configuration
+        assert!(HealthPolicy {
+            check_every: 0,
+            ..HealthPolicy::default()
+        }
+        .validate()
+        .is_ok());
+        for state in [
+            ReplicaHealth::Healthy,
+            ReplicaHealth::Degraded,
+            ReplicaHealth::Evicted,
+            ReplicaHealth::Probing,
+        ] {
+            assert_eq!(ReplicaHealth::from_code(state.code()), Some(state));
+        }
+        assert_eq!(ReplicaHealth::from_code(4), None);
+        assert!(ReplicaHealth::Healthy.is_live());
+        assert!(ReplicaHealth::Degraded.is_live());
+        assert!(!ReplicaHealth::Evicted.is_live());
+        assert!(!ReplicaHealth::Probing.is_live());
+        assert_eq!(ReplicaHealth::default(), ReplicaHealth::Healthy);
+        assert_eq!(ReplicaHealth::Evicted.to_string(), "evicted");
+    }
+
+    #[test]
+    fn retry_policy_validates() {
+        assert!(RetryPolicy::default().validate().is_ok());
+        assert!(RetryPolicy::retries(2).hedged(0.95).validate().is_ok());
+        assert!(RetryPolicy::retries(1)
+            .hedge_floor(Duration::from_millis(5))
+            .validate()
+            .is_ok());
+        assert!(RetryPolicy::retries(2).hedged(1.5).validate().is_err());
+        assert!(RetryPolicy::retries(0).validate().is_err());
+        assert!(RetryPolicy::retries(0).hedged(0.5).validate().is_ok());
+    }
+
+    #[test]
+    fn server_config_defaults_unarmed_fault_plan() {
+        let config = ServerConfig::default();
+        assert!(!config.fault.is_armed());
+        assert!(config.validate().is_ok());
+        let chaotic = ServerConfig {
+            fault: crate::fault::FaultPlan::builder()
+                .at(0, crate::fault::FaultKind::ErrorBurst(1))
+                .build(),
+            ..ServerConfig::default()
+        };
+        assert!(chaotic.fault.is_armed());
+        assert!(chaotic.validate().is_ok());
     }
 
     #[test]

@@ -49,6 +49,12 @@ pub enum ServeError {
     /// shape. Caught at admission so one wrong-shaped tensor can never
     /// poison co-batched neighbors. The request was **not** admitted.
     BadInput(String),
+    /// An injected fault ([`crate::fault::FaultPlan`]) refused or broke the
+    /// request. Only produced when a fault plan is armed — production
+    /// configurations never see it. Treated as retryable by
+    /// [`crate::RetryPolicy`], exactly like a real replica failure would
+    /// be. The request was **not** admitted.
+    Fault(String),
 }
 
 impl fmt::Display for ServeError {
@@ -65,6 +71,7 @@ impl fmt::Display for ServeError {
             ServeError::Shed(p) => write!(f, "shed at admission (priority class {p})"),
             ServeError::QuotaExceeded(t) => write!(f, "tenant {t} is at its in-flight quota"),
             ServeError::BadInput(msg) => write!(f, "bad input tensor: {msg}"),
+            ServeError::Fault(msg) => write!(f, "injected fault: {msg}"),
         }
     }
 }

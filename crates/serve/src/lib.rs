@@ -100,6 +100,10 @@
 //!   machine over edge-triggered readiness, so idle connections cost
 //!   buffers rather than threads and completions wake the edge through
 //!   an eventfd instead of 50 ms poll slices.
+//! * **Fault tolerance** ([`fault`], [`HealthPolicy`], [`RetryPolicy`],
+//!   [`Router::swap_model`]): seeded fault injection, health-based replica
+//!   eviction/readmission, budgeted retries + hedging, and no-drain model
+//!   hot-swap — see *Failure model* below.
 //! * **Telemetry** ([`cdl_telemetry`], re-exported here): every latency
 //!   metric is backed by a mergeable log-bucketed [`LogHistogram`] (O(1)
 //!   record, ≤ 1/64 relative quantile error, exact min/mean/max —
@@ -146,12 +150,98 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Failure model
+//!
+//! Replicated serving is only as useful as its behaviour when a replica
+//! misbehaves. The failure model this crate implements — and pins with
+//! `tests/chaos.rs` — is built on four commitments:
+//!
+//! 1. **Every submitted request settles.** A request accepted by the
+//!    router resolves exactly once: bit-identical output, a retried
+//!    success, or a typed [`ServeError`] — never a hang. Faults injected
+//!    mid-stream ([`fault::FaultPlan`]: stalls, error bursts, slowdowns,
+//!    a scripted worker panic) may slow or fail individual requests, but
+//!    cannot strand a [`Pending`] handle: worker panics drop the batch's
+//!    fulfillers, which settle their callers with
+//!    [`ServeError::Disconnected`].
+//! 2. **Health is judged per replica, from the outside.** A
+//!    [`HealthPolicy`] on a [`ShardSpec`] drives a per-replica state
+//!    machine ([`config::ReplicaHealth`]: `Healthy → Degraded → Evicted →
+//!    Probing → Healthy`) over windowed error-rate and latency-tail
+//!    signals read from the replica's own metrics — no cooperation from
+//!    the (possibly wedged) replica is required. Placement skips
+//!    `Evicted` replicas entirely; readmission happens through a bounded
+//!    canary window (`probe_budget` placements while `Probing`) so one
+//!    recovering replica cannot re-poison the stream. If *every* replica
+//!    is evicted the shard keeps serving on the full set: eviction
+//!    degrades placement, it never strands traffic.
+//! 3. **Redundancy is spent at zero marginal evaluator cost.** A
+//!    [`RetryPolicy`] relaunches a failed attempt on a sibling replica
+//!    against a per-request budget, and optionally *hedges*: after a
+//!    quantile-derived delay, a second attempt races the first and the
+//!    first completion wins. The losing attempt's handle is dropped,
+//!    which cancels it in the batcher — the loser spends **zero**
+//!    evaluator ops, so hedging buys tail latency with queue slots, not
+//!    compute. Responses stay bit-identical to
+//!    [`cdl_core::network::CdlNetwork::classify_with_override`] whichever
+//!    attempt wins, because every replica evaluates the same network.
+//! 4. **Model updates don't drain the world.** [`Router::swap_model`]
+//!    replaces a shard's network replica by replica: each retired
+//!    pipeline finishes every request it admitted (with its *old*
+//!    network — a response is always consistent with the network that was
+//!    current at placement), its final counters fold into later
+//!    snapshots, and traffic keeps flowing to the rest of the set
+//!    throughout.
+//!
+//! ```
+//! use cdl_serve::{
+//!     BatchPolicy, HealthPolicy, PlacementPolicy, ReplicaSpec, RetryPolicy, Router,
+//!     ServerConfig, ShardSpec,
+//! };
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let arch = cdl_core::arch::mnist_2c();
+//! # let base = cdl_nn::network::Network::from_spec(&arch.spec, 3)?;
+//! # let feats = arch.tap_features()?;
+//! # let stages = arch.taps.iter().zip(&feats).map(|(t, &f)| {
+//! #     Ok((t.spec_layer, t.name.clone(),
+//! #         cdl_core::head::LinearClassifier::new(f, 10, 1)?))
+//! # }).collect::<Result<Vec<_>, cdl_core::CdlError>>()?;
+//! # let cdln = cdl_core::network::CdlNetwork::assemble(
+//! #     base, stages, cdl_core::confidence::ConfidencePolicy::max_prob(0.6))?;
+//! // three replicas, health-evicted on errors or a slow p99, with one
+//! // budgeted retry per request and a hedged attempt at the shard's p95
+//! let router = Router::start(vec![ShardSpec::new(
+//!     "mnist",
+//!     Arc::new(cdln),
+//!     ServerConfig {
+//!         policy: BatchPolicy::new(8, Duration::from_millis(2)),
+//!         workers: 1,
+//!         ..ServerConfig::default()
+//!     },
+//! )
+//! .replicated(ReplicaSpec::new(3, PlacementPolicy::PowerOfTwoChoices))
+//! .health(HealthPolicy::default())
+//! .retry(RetryPolicy::retries(1).hedged(0.95))])?;
+//! let model = router.model_id("mnist").unwrap();
+//! let out = router
+//!     .submit(model, cdl_tensor::Tensor::full(&[1, 28, 28], 0.4))?
+//!     .wait()?;
+//! println!("label {} via {}", out.label, router.model_name(model)?);
+//! router.shutdown();
+//! # Ok(())
+//! # }
+//! ```
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod metrics;
 pub mod net;
 pub mod pending;
@@ -164,9 +254,11 @@ pub use cdl_telemetry::{
 };
 pub use cdl_tensor::gemm::GemmKernel;
 pub use config::{
-    BatchPolicy, EdgeConfig, PlacementPolicy, Priority, ReplicaSpec, ServerConfig, SubmitOptions,
+    BatchPolicy, EdgeConfig, HealthPolicy, PlacementPolicy, Priority, ReplicaHealth, ReplicaSpec,
+    RetryPolicy, ServerConfig, SubmitOptions,
 };
 pub use error::{ServeError, ServeResult};
+pub use fault::{FaultKind, FaultPlan, FaultPlanBuilder};
 pub use metrics::{LatencyStats, ReplicaMetrics, RouterMetrics, ServerMetrics, ShardMetrics};
 pub use net::{ErrorCode, ErrorReply, TcpClient, TcpServer};
 pub use pending::Pending;

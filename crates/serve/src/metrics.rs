@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 use cdl_hw::{EnergyModel, OpCount};
 use cdl_telemetry::{LogHistogram, TelemetrySnapshot};
 
-use crate::config::{PlacementPolicy, Priority};
+use crate::config::{PlacementPolicy, Priority, ReplicaHealth};
 
 /// Latency distribution over completed requests (submit → result).
 ///
@@ -112,6 +112,12 @@ pub struct ServerMetrics {
     /// ([`crate::ServeError::QuotaExceeded`]). Disjoint from `rejected`,
     /// which counts only capacity bounces of the default class.
     pub shed: u64,
+    /// Submissions refused by an armed [`crate::fault::FaultPlan`]
+    /// ([`crate::ServeError::Fault`]). Always zero in production
+    /// configurations (the default plan is unarmed); under chaos testing
+    /// this is the per-replica error signal the router's health tracker
+    /// watches.
+    pub faults: u64,
     /// `expired_by_class[c]` = expired requests of priority class `c`
     /// ([`Priority::class`] index order, high → low).
     pub expired_by_class: [u64; Priority::COUNT],
@@ -195,6 +201,13 @@ impl fmt::Display for ServerMetrics {
             self.rejected,
             self.queue_depth,
         )?;
+        if self.faults > 0 {
+            writeln!(
+                f,
+                "chaos: {} submissions refused by injected faults",
+                self.faults
+            )?;
+        }
         if self.expired > 0 || self.shed > 0 {
             let by_class: Vec<String> = Priority::ALL
                 .iter()
@@ -273,6 +286,7 @@ impl ServerMetrics {
         snapshot.push_counter("cdl_requests_failed_total", labels, self.failed);
         snapshot.push_counter("cdl_requests_expired_total", labels, self.expired);
         snapshot.push_counter("cdl_requests_shed_total", labels, self.shed);
+        snapshot.push_counter("cdl_requests_faulted_total", labels, self.faults);
         for p in Priority::ALL {
             let class = p.to_string();
             let mut class_labels: Vec<(&str, &str)> = labels.to_vec();
@@ -296,6 +310,79 @@ impl ServerMetrics {
             self.latency_histogram.clone(),
         );
     }
+
+    /// Merges another server's final snapshot into this one — how a
+    /// replica slot carries the lifetime totals of the servers it retired
+    /// through [`crate::Router::swap_model`] forward into its live
+    /// numbers, so a hot-swap never loses history.
+    ///
+    /// Counters and op/energy ledgers sum; histograms merge losslessly
+    /// (latency percentiles of the result are true union order
+    /// statistics); `elapsed` takes the longer lifetime, and the derived
+    /// `mean_batch_size`/`throughput_rps`/`latency` are recomputed from
+    /// the merged data (`throughput_rps` over the merged `elapsed`, an
+    /// approximation of the two active spans).
+    pub fn absorb(&mut self, other: &ServerMetrics) {
+        fn merge_by_tenant(into: &mut Vec<(u32, u64)>, other: &[(u32, u64)]) {
+            let mut map: BTreeMap<u32, u64> = into.iter().copied().collect();
+            for &(t, n) in other {
+                *map.entry(t).or_insert(0) += n;
+            }
+            *into = map.into_iter().collect();
+        }
+        fn add_padded(into: &mut Vec<u64>, other: &[u64]) {
+            if into.len() < other.len() {
+                into.resize(other.len(), 0);
+            }
+            for (slot, &n) in other.iter().enumerate() {
+                into[slot] += n;
+            }
+        }
+        self.elapsed = self.elapsed.max(other.elapsed);
+        self.submitted += other.submitted;
+        self.rejected += other.rejected;
+        self.completed += other.completed;
+        self.cancelled += other.cancelled;
+        self.failed += other.failed;
+        self.expired += other.expired;
+        self.shed += other.shed;
+        self.faults += other.faults;
+        for c in 0..Priority::COUNT {
+            self.expired_by_class[c] += other.expired_by_class[c];
+            self.shed_by_class[c] += other.shed_by_class[c];
+        }
+        merge_by_tenant(&mut self.expired_by_tenant, &other.expired_by_tenant);
+        merge_by_tenant(&mut self.shed_by_tenant, &other.shed_by_tenant);
+        self.queue_depth += other.queue_depth;
+        self.batches += other.batches;
+        self.batches_full += other.batches_full;
+        self.batches_deadline += other.batches_deadline;
+        self.batches_flushed += other.batches_flushed;
+        add_padded(&mut self.batch_size_histogram, &other.batch_size_histogram);
+        let batched: u64 = self
+            .batch_size_histogram
+            .iter()
+            .enumerate()
+            .map(|(size, &n)| size as u64 * n)
+            .sum();
+        self.mean_batch_size = if self.batches > 0 {
+            batched as f64 / self.batches as f64
+        } else {
+            0.0
+        };
+        self.latency_histogram.merge(&other.latency_histogram);
+        self.latency = LatencyStats::from_histogram(&self.latency_histogram);
+        add_padded(&mut self.exit_histogram, &other.exit_histogram);
+        self.total_ops += other.total_ops;
+        self.expired_partial_ops += other.expired_partial_ops;
+        self.stages_activated += other.stages_activated;
+        self.energy_pj += other.energy_pj;
+        self.throughput_rps = if self.completed > 0 && self.elapsed > Duration::ZERO {
+            self.completed as f64 / self.elapsed.as_secs_f64()
+        } else {
+            0.0
+        };
+    }
 }
 
 /// One replica's slice of a [`ShardMetrics`] snapshot.
@@ -309,7 +396,18 @@ pub struct ReplicaMetrics {
     /// `metrics.submitted > routed`; in any settled snapshot the two are
     /// equal — a cross-check that nothing was mis-placed or dropped.
     pub routed: u64,
-    /// The replica's own [`ServerMetrics`] snapshot.
+    /// The replica's health state at snapshot time (always
+    /// [`ReplicaHealth::Healthy`] when the shard has no
+    /// [`crate::HealthPolicy`]).
+    pub health: ReplicaHealth,
+    /// Health-state transitions this replica has gone through (0 when no
+    /// health policy is installed, or while the replica has never left
+    /// `Healthy`).
+    pub transitions: u64,
+    /// The replica's own [`ServerMetrics`] snapshot. After a
+    /// [`crate::Router::swap_model`] this includes the absorbed lifetime
+    /// totals of every server previously retired from this slot (see
+    /// [`ServerMetrics::absorb`]).
     pub metrics: ServerMetrics,
 }
 
@@ -322,6 +420,13 @@ pub struct ShardMetrics {
     pub model: String,
     /// The admission-time placement policy choosing among the replicas.
     pub placement: PlacementPolicy,
+    /// Submission attempts relaunched on another replica by the shard's
+    /// [`crate::RetryPolicy`] after a retryable failure (0 without one).
+    pub retries: u64,
+    /// Hedged duplicate submissions launched by the shard's
+    /// [`crate::RetryPolicy`] because the primary outlived the hedge
+    /// delay (0 without hedging).
+    pub hedges: u64,
     /// Per-replica metrics, in replica-index order.
     pub replicas: Vec<ReplicaMetrics>,
 }
@@ -372,6 +477,12 @@ impl ShardMetrics {
     /// replicas.
     pub fn shed(&self) -> u64 {
         self.replicas.iter().map(|r| r.metrics.shed).sum()
+    }
+
+    /// Total submissions refused by injected faults across this model's
+    /// replicas (zero outside chaos testing).
+    pub fn faults(&self) -> u64 {
+        self.replicas.iter().map(|r| r.metrics.faults).sum()
     }
 
     /// Total in-flight requests across this model's replicas — the live
@@ -517,6 +628,12 @@ impl RouterMetrics {
         self.shards.iter().map(|s| s.shed()).sum()
     }
 
+    /// Total submissions refused by injected faults across all models and
+    /// replicas (zero outside chaos testing).
+    pub fn faults(&self) -> u64 {
+        self.shards.iter().map(|s| s.faults()).sum()
+    }
+
     /// Total in-flight requests across all models and replicas.
     pub fn queue_depth(&self) -> usize {
         self.shards.iter().map(|s| s.queue_depth()).sum()
@@ -626,7 +743,11 @@ impl fmt::Display for RouterMetrics {
                 )?;
             }
             for (r, replica) in shard.replicas.iter().enumerate() {
-                writeln!(f, "· replica {} — routed {}", r, replica.routed)?;
+                writeln!(
+                    f,
+                    "· replica {} — routed {} [{}]",
+                    r, replica.routed, replica.health
+                )?;
                 let last = i + 1 == self.shards.len() && r + 1 == shard.replicas.len();
                 if last {
                     write!(f, "{}", replica.metrics)?;
@@ -675,6 +796,7 @@ pub(crate) struct Recorder {
     energy_model: EnergyModel,
     submitted: AtomicU64,
     rejected: AtomicU64,
+    faulted: AtomicU64,
     counters: Mutex<Counters>,
 }
 
@@ -685,6 +807,7 @@ impl Recorder {
             energy_model,
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            faulted: AtomicU64::new(0),
             counters: Mutex::new(Counters::default()),
         }
     }
@@ -702,6 +825,12 @@ impl Recorder {
 
     pub(crate) fn rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a submission refused by an injected
+    /// [`crate::fault::FaultPlan`] error burst (never admitted).
+    pub(crate) fn fault_rejected(&self) {
+        self.faulted.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn dispatched(&self, cause: BatchCause) {
@@ -821,6 +950,7 @@ impl Recorder {
             failed: c.failed,
             expired: c.expired,
             shed: c.shed,
+            faults: self.faulted.load(Ordering::Relaxed),
             expired_by_class: c.expired_by_class,
             shed_by_class: c.shed_by_class,
             expired_by_tenant: c.expired_by_tenant.iter().map(|(&t, &n)| (t, n)).collect(),
@@ -978,21 +1108,31 @@ mod tests {
                 ShardMetrics {
                     model: "A".into(),
                     placement: PlacementPolicy::RoundRobin,
+                    retries: 0,
+                    hedges: 0,
                     replicas: vec![ReplicaMetrics {
                         routed: 3,
+                        health: ReplicaHealth::Healthy,
+                        transitions: 0,
                         metrics: shard_snapshot(3, vec![2, 1]),
                     }],
                 },
                 ShardMetrics {
                     model: "B".into(),
                     placement: PlacementPolicy::LeastLoaded,
+                    retries: 0,
+                    hedges: 0,
                     replicas: vec![
                         ReplicaMetrics {
                             routed: 2,
+                            health: ReplicaHealth::Healthy,
+                            transitions: 0,
                             metrics: shard_snapshot(2, vec![1, 0, 1]),
                         },
                         ReplicaMetrics {
                             routed: 2,
+                            health: ReplicaHealth::Healthy,
+                            transitions: 0,
                             metrics: shard_snapshot(2, vec![0, 0, 2]),
                         },
                     ],
@@ -1142,6 +1282,27 @@ mod tests {
         // but nothing was delivered: no completion, no latency sample
         assert_eq!(snap.completed, 0);
         assert!(snap.latency.is_none());
+    }
+
+    #[test]
+    fn absorbed_snapshots_merge_counters_and_histograms() {
+        // the hot-swap shape: a retired server's final snapshot folded
+        // into its successor's — totals must behave as if one server had
+        // served both lifetimes
+        let mut live = shard_snapshot(3, vec![2, 1]);
+        let retired = shard_snapshot(4, vec![1, 0, 3]);
+        live.absorb(&retired);
+        assert_eq!(live.submitted, 7);
+        assert_eq!(live.completed, 7);
+        assert_eq!(live.batches, 7);
+        assert_eq!(live.exit_histogram, vec![3, 1, 3]);
+        assert_eq!(live.total_ops.macs, 7 * 50);
+        assert_eq!(live.latency_histogram.count(), 7);
+        assert_eq!(live.latency.unwrap().count, 7);
+        assert!((live.mean_batch_size - 1.0).abs() < 1e-12);
+        assert!(live.throughput_rps > 0.0);
+        // queue_depth sums (shard_snapshot samples depth 1 each)
+        assert_eq!(live.queue_depth, 2);
     }
 
     #[test]

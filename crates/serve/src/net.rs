@@ -60,10 +60,15 @@
 //! connection (the tensor moves into the parked slot — reclaimed from
 //! [`Router::try_submit_reclaim`], never cloned) and the owning poller
 //! stops parsing that connection's stream until admission succeeds.
-//! Backpressure is per connection and propagates to the peer as ordinary
-//! TCP flow control while every other connection keeps flowing; a
-//! saturated gate can never wedge the edge against shutdown because the
-//! poller keeps servicing its event loop between retries.
+//! Parked admissions resume **event-driven**: the gate fires the router's
+//! vacancy listeners when a slot frees, and each poller registers one
+//! that wakes its eventfd whenever it has something parked — the retry
+//! rides a wakeup, not a poll interval (a long 400 ms fallback poll
+//! remains as a lost-wakeup safety net). Backpressure is per connection
+//! and propagates to the peer as ordinary TCP flow control while every
+//! other connection keeps flowing; a saturated gate can never wedge the
+//! edge against shutdown because the poller keeps servicing its event
+//! loop between retries.
 //!
 //! Response body:
 //!
@@ -135,9 +140,13 @@ use crate::router::{ModelId, Router};
 /// be a desynchronised stream misread as a length.
 pub const MAX_FRAME: u32 = 16 << 20;
 
-/// Poll timeout while a poller has a parked (gate-full) request: bounded
-/// admission-retry cadence when no readiness edge will arrive to ride on.
-const PARKED_RETRY: Duration = Duration::from_millis(1);
+/// Poll timeout while a poller has a parked (gate-full) request. The
+/// normal resume path is event-driven — the admission gate fires the
+/// router's vacancy listeners when capacity frees, and each poller's
+/// listener wakes its eventfd — so this is only a safety net against a
+/// lost wakeup, not a retry cadence (it was a 1 ms poll before the
+/// vacancy hook existed).
+const PARKED_FALLBACK: Duration = Duration::from_millis(400);
 
 const FLAG_DELTA: u8 = 1 << 0;
 const FLAG_MAX_STAGE: u8 = 1 << 1;
@@ -213,6 +222,9 @@ impl From<&ServeError> for ErrorCode {
             // a bad tensor is a malformed request as far as the wire is
             // concerned: the frame decoded but the payload can't be served
             ServeError::BadInput(_) => ErrorCode::Malformed,
+            // injected faults surface on the wire as evaluation failures:
+            // the client sees the same category a real replica fault would
+            ServeError::Fault(_) => ErrorCode::Eval,
         }
     }
 }
@@ -857,6 +869,10 @@ struct Poller {
     waker: Arc<Waker>,
     router: Arc<Router>,
     stop: Arc<AtomicBool>,
+    /// True while any of this poller's connections has a parked (gate-
+    /// full) admission — read by the router's gate-vacancy listener to
+    /// decide whether a freed slot should wake this poller's eventfd.
+    parked: Arc<AtomicBool>,
     /// New sockets handed over by the accept thread.
     reg_rx: Receiver<TcpStream>,
     /// Completion notices from request wakers: (connection token, seq).
@@ -872,13 +888,12 @@ impl Poller {
         let mut scratch = vec![0u8; 64 * 1024];
         let mut touched: Vec<usize> = Vec::new();
         loop {
-            // with a parked request no readiness edge will announce that
-            // the gate has room; poll on a short timeout instead of
-            // blocking forever
-            let timeout = conns
-                .values()
-                .any(|c| c.parked.is_some())
-                .then_some(PARKED_RETRY);
+            // with a parked request, publish the fact so a gate-vacancy
+            // wakeup reaches this poller, and bound the wait as a safety
+            // net against a wakeup lost in the park/publish window
+            let any_parked = conns.values().any(|c| c.parked.is_some());
+            self.parked.store(any_parked, Ordering::Relaxed);
+            let timeout = any_parked.then_some(PARKED_FALLBACK);
             if self.poll.wait(&mut events, timeout).is_err() {
                 break; // fatal selector failure: drop every connection
             }
@@ -928,8 +943,9 @@ impl Poller {
                     touched.push(key);
                 }
             }
-            // parked admissions retry on every pass; the PARKED_RETRY
-            // timeout guarantees a pass happens soon even with no events
+            // parked admissions retry on every pass; a gate-vacancy
+            // wakeup (or the PARKED_FALLBACK timeout) guarantees a pass
+            // happens as soon as capacity frees
             for (key, conn) in &conns {
                 if conn.parked.is_some() {
                     touched.push(*key);
@@ -1032,13 +1048,28 @@ impl TcpServer {
         for _ in 0..config.pollers {
             let poll = Poll::new()?;
             let waker = Arc::new(Waker::new(&poll, WAKER_TOKEN)?);
+            let parked = Arc::new(AtomicBool::new(false));
             let (reg_tx, reg_rx) = mpsc::channel();
             let (done_tx, done_rx) = mpsc::channel();
+            // event-driven resume for parked admissions: when any
+            // replica's gate frees capacity, wake this poller — but only
+            // if it actually has something parked, so an idle edge costs
+            // the gate one relaxed load per release, not an eventfd write
+            {
+                let waker = Arc::clone(&waker);
+                let parked = Arc::clone(&parked);
+                router.on_gate_vacancy(Arc::new(move || {
+                    if parked.load(Ordering::Relaxed) {
+                        let _ = waker.wake();
+                    }
+                }));
+            }
             let poller = Poller {
                 poll,
                 waker: Arc::clone(&waker),
                 router: Arc::clone(&router),
                 stop: Arc::clone(&stop),
+                parked,
                 reg_rx,
                 done_tx,
                 done_rx,

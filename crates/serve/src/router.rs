@@ -19,19 +19,37 @@
 //! model **whichever replica served it** (all replicas of a model evaluate
 //! the same network — pinned by `tests/router_equivalence.rs` and
 //! `tests/replica_equivalence.rs`).
+//!
+//! On top of routing, each shard optionally carries the fault-tolerance
+//! stack (see the crate-level *Failure model* essay in [`crate`]):
+//!
+//! - a [`HealthPolicy`] drives a per-replica health state machine
+//!   ([`ReplicaHealth`]) over windowed error-rate and latency-tail
+//!   signals — placement skips `Evicted` replicas entirely and readmits
+//!   through bounded canary probes;
+//! - a [`RetryPolicy`] adds budgeted retries on replica failure and an
+//!   optional hedged second attempt, first-completion-wins, with the
+//!   losing attempt cancelled at zero evaluator ops;
+//! - [`Router::swap_model`] hot-swaps a shard's network replica by
+//!   replica without draining the router.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 use cdl_core::network::CdlNetwork;
-use cdl_telemetry::{SpanEvent, TelemetrySnapshot, TraceId};
+use cdl_telemetry::{EventKind, LogHistogram, SpanEvent, TelemetrySnapshot, TraceId};
 use cdl_tensor::Tensor;
 
-use crate::config::{PlacementPolicy, ReplicaSpec, ServerConfig, SubmitOptions};
+use crate::config::{
+    HealthPolicy, PlacementPolicy, ReplicaHealth, ReplicaSpec, RetryPolicy, ServerConfig,
+    SubmitOptions,
+};
 use crate::error::{ServeError, ServeResult};
-use crate::metrics::{ReplicaMetrics, RouterMetrics, ShardMetrics};
-use crate::pending::Pending;
+use crate::fault::FaultPlan;
+use crate::metrics::{ReplicaMetrics, RouterMetrics, ServerMetrics, ShardMetrics};
+use crate::pending::{pending_pair, Fulfiller, Pending};
 use crate::server::Server;
 
 /// Identifies one model (replica set) registered with a [`Router`].
@@ -65,7 +83,8 @@ impl fmt::Display for ModelId {
 }
 
 /// One model's slice of a [`Router`]: the network it serves, the serving
-/// configuration of each replica, and how it is replicated.
+/// configuration of each replica, how it is replicated, and its optional
+/// fault-tolerance policies.
 #[derive(Debug, Clone)]
 pub struct ShardSpec {
     /// Model name, unique within the router (e.g. `"MNIST_2C"`).
@@ -79,6 +98,17 @@ pub struct ShardSpec {
     /// Replica count + placement policy ([`ReplicaSpec::single`] by
     /// default — the unreplicated PR-3 behaviour).
     pub replicas: ReplicaSpec,
+    /// Health-based eviction/readmission thresholds; `None` (the default)
+    /// disables health tracking and every replica stays
+    /// [`ReplicaHealth::Healthy`] forever.
+    pub health: Option<HealthPolicy>,
+    /// Request-level retry/hedging; `None` (the default) keeps the
+    /// single-attempt behaviour.
+    pub retry: Option<RetryPolicy>,
+    /// Per-replica fault-plan overrides `(replica index, plan)`, replacing
+    /// [`ServerConfig::fault`] for those replicas only — how chaos tests
+    /// break *one* replica of a set.
+    pub replica_faults: Vec<(usize, FaultPlan)>,
 }
 
 impl ShardSpec {
@@ -89,6 +119,9 @@ impl ShardSpec {
             net,
             config,
             replicas: ReplicaSpec::single(),
+            health: None,
+            retry: None,
+            replica_faults: Vec::new(),
         }
     }
 
@@ -99,32 +132,138 @@ impl ShardSpec {
         self.replicas = replicas;
         self
     }
+
+    /// Attaches a health policy (builder style).
+    pub fn health(mut self, policy: HealthPolicy) -> Self {
+        self.health = Some(policy);
+        self
+    }
+
+    /// Attaches a retry/hedge policy (builder style).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Arms `plan` on replica `replica` only (builder style), overriding
+    /// [`ServerConfig::fault`] for that replica.
+    pub fn fault_on(mut self, replica: usize, plan: FaultPlan) -> Self {
+        self.replica_faults.push((replica, plan));
+        self
+    }
 }
 
-/// One running replica: a [`Server`] plus the router-level placement
-/// counter.
-#[derive(Debug)]
+/// The health-check window baseline of one replica: the counter values and
+/// latency histogram at the last *judged* check, so the next check judges
+/// only the delta. Inconclusive checks (fewer than the policy's
+/// `min_samples` settled outcomes) leave the baseline in place and keep
+/// accumulating.
+struct HealthWindow {
+    completed: u64,
+    failed: u64,
+    faulted: u64,
+    latency: LogHistogram,
+    /// Consecutive unhealthy checks (1 on `Healthy → Degraded`).
+    bad_streak: u32,
+}
+
+impl HealthWindow {
+    fn new() -> Self {
+        HealthWindow {
+            completed: 0,
+            failed: 0,
+            faulted: 0,
+            latency: LogHistogram::new(),
+            bad_streak: 0,
+        }
+    }
+
+    /// Re-baselines the window at `snapshot` (keeps `bad_streak`).
+    fn rebase(&mut self, snapshot: &ServerMetrics) {
+        self.completed = snapshot.completed;
+        self.failed = snapshot.failed;
+        self.faulted = snapshot.faults;
+        self.latency = snapshot.latency_histogram.clone();
+    }
+}
+
+/// One running replica: a hot-swappable [`Server`] slot plus the
+/// router-level placement counter and health state.
 struct Replica {
-    server: Server,
+    /// The live pipeline. Swapped whole by [`Router::swap_model`]; taken
+    /// (→ `None`) only by [`Router::shutdown`]. Submission paths clone the
+    /// `Arc` out under the read lock and release it before admitting, so a
+    /// swap never blocks behind an in-flight request.
+    server: RwLock<Option<Arc<Server>>>,
+    /// This replica's own pipeline configuration (the shard config plus
+    /// any [`ShardSpec::fault_on`] override) — what a swapped-in server is
+    /// rebuilt from.
+    config: ServerConfig,
     /// Requests the router placed on this replica — counted at the router
     /// **before** the replica admits (rolled back if admission fails), so
     /// a concurrent snapshot can observe `routed > submitted` (a placement
     /// in flight) but never the reverse; settled snapshots agree exactly.
     /// Counted independently of the replica's own `submitted` counter so
     /// metrics consistency is a checkable invariant, not a tautology.
+    /// Spans server generations: a swap does not reset it.
     routed: AtomicU64,
+    /// Current [`ReplicaHealth`] code.
+    health: AtomicU8,
+    /// Health state transitions so far.
+    transitions: AtomicU64,
+    /// Canary placements claimed while `Probing` (capped at the policy's
+    /// `probe_budget`; reset on `Evicted → Probing`).
+    probes_used: AtomicU64,
+    /// Check-window baseline; the mutex also serializes health checks.
+    window: Mutex<HealthWindow>,
+    /// Final metrics of servers retired by [`Router::swap_model`], folded
+    /// into every later snapshot so a swap never loses counters.
+    retired: Mutex<Vec<ServerMetrics>>,
+}
+
+impl Replica {
+    fn health_state(&self) -> ReplicaHealth {
+        ReplicaHealth::from_code(self.health.load(Ordering::Relaxed))
+            .expect("health slot only ever holds valid codes")
+    }
+
+    /// Clones the live server handle out, `None` once shutdown took it.
+    fn server(&self) -> Option<Arc<Server>> {
+        self.server.read().unwrap().clone()
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.server().map_or(usize::MAX, |s| s.queue_depth())
+    }
 }
 
 /// One running replica set.
-#[derive(Debug)]
 struct Shard {
     name: String,
     placement: PlacementPolicy,
     /// Monotonic placement cursor: the round-robin position, and the
     /// deterministic seed stream for power-of-two-choices sampling.
     cursor: AtomicU64,
+    health: Option<HealthPolicy>,
+    retry: Option<RetryPolicy>,
+    /// Placements since start — drives the opportunistic health check
+    /// every [`HealthPolicy::check_every`] placements.
+    checks: AtomicU64,
+    /// Retry attempts launched beyond each request's first.
+    retries: AtomicU64,
+    /// Hedged second attempts launched.
+    hedges: AtomicU64,
+    /// Cached hedge delay in nanoseconds (recomputed every
+    /// `HEDGE_REFRESH` hedged submissions from the merged shard latency
+    /// histogram; starts at the policy's `hedge_floor`).
+    hedge_delay_ns: AtomicU64,
+    hedge_calls: AtomicU64,
     replicas: Vec<Replica>,
 }
+
+/// How many hedged submissions share one cached hedge-delay computation
+/// (merging every replica's latency histogram is too heavy per request).
+const HEDGE_REFRESH: u64 = 128;
 
 /// SplitMix64 — the cheap stateless mixer turning the placement cursor
 /// into the pseudo-random probe pair for power-of-two-choices.
@@ -136,29 +275,67 @@ fn splitmix64(mut z: u64) -> u64 {
 }
 
 impl Shard {
-    /// Picks the replica index the next admission goes to, per the set's
-    /// placement policy over live queue depths.
-    fn place(&self) -> usize {
+    /// Picks the replica index the next admission goes to.
+    ///
+    /// With no [`HealthPolicy`] this is exactly the placement policy over
+    /// live queue depths. With one, a `Probing` replica first claims
+    /// canary placements up to its probe budget; normal placements then
+    /// run over the **live** subset ({`Healthy`, `Degraded`}), falling
+    /// back to the full set if nothing is live (an all-evicted shard keeps
+    /// serving rather than stranding traffic). `exclude` (used by retries
+    /// and hedges) removes one replica from consideration when siblings
+    /// remain — a retry should not land on the replica that just failed.
+    fn place(&self, exclude: Option<usize>) -> usize {
         let n = self.replicas.len();
         if n == 1 {
             return 0;
         }
-        let depth = |i: usize| self.replicas[i].server.queue_depth();
+        if let Some(policy) = &self.health {
+            // canary claims first: readmission needs traffic to judge
+            for (i, replica) in self.replicas.iter().enumerate() {
+                if Some(i) == exclude || replica.health_state() != ReplicaHealth::Probing {
+                    continue;
+                }
+                if replica.probes_used.fetch_add(1, Ordering::Relaxed) < policy.probe_budget {
+                    return i;
+                }
+                replica.probes_used.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        let mut candidates: Vec<usize> = (0..n)
+            .filter(|&i| self.replicas[i].health_state().is_live())
+            .collect();
+        if candidates.len() > 1 {
+            if let Some(x) = exclude {
+                candidates.retain(|&i| i != x);
+            }
+        }
+        if candidates.is_empty() {
+            candidates = (0..n).collect();
+        }
+        let m = candidates.len();
+        if m == 1 {
+            return candidates[0];
+        }
+        let depth = |i: usize| self.replicas[i].queue_depth();
         match self.placement {
             PlacementPolicy::RoundRobin => {
-                (self.cursor.fetch_add(1, Ordering::Relaxed) % n as u64) as usize
+                candidates[(self.cursor.fetch_add(1, Ordering::Relaxed) % m as u64) as usize]
             }
-            PlacementPolicy::LeastLoaded => (0..n)
+            PlacementPolicy::LeastLoaded => candidates
+                .iter()
+                .copied()
                 .min_by_key(|&i| depth(i))
-                .expect("replica set is non-empty"),
+                .expect("candidate set is non-empty"),
             PlacementPolicy::PowerOfTwoChoices => {
                 let h = splitmix64(self.cursor.fetch_add(1, Ordering::Relaxed));
-                let a = (h % n as u64) as usize;
-                // pick b from the n-1 non-a indices so the pair is distinct
-                let mut b = ((h >> 32) % (n as u64 - 1)) as usize;
+                let a = (h % m as u64) as usize;
+                // pick b from the m-1 non-a indices so the pair is distinct
+                let mut b = ((h >> 32) % (m as u64 - 1)) as usize;
                 if b >= a {
                     b += 1;
                 }
+                let (a, b) = (candidates[a], candidates[b]);
                 if depth(b) < depth(a) {
                     b
                 } else {
@@ -167,16 +344,468 @@ impl Shard {
             }
         }
     }
+
+    /// Counts a placement and runs the opportunistic health check when the
+    /// policy's `check_every` divides the count.
+    fn auto_check(&self) {
+        if let Some(policy) = &self.health {
+            if policy.check_every > 0
+                && (self.checks.fetch_add(1, Ordering::Relaxed) + 1)
+                    .is_multiple_of(policy.check_every)
+            {
+                self.check_health_now();
+            }
+        }
+    }
+
+    /// Runs one health check over every replica (no-op without a policy).
+    fn check_health_now(&self) {
+        if let Some(policy) = &self.health {
+            for replica in &self.replicas {
+                self.check_replica(replica, policy);
+            }
+        }
+    }
+
+    /// Judges one replica's window since its last conclusive check and
+    /// advances the state machine (see [`ReplicaHealth`]).
+    fn check_replica(&self, replica: &Replica, policy: &HealthPolicy) {
+        let Some(server) = replica.server() else {
+            return; // shutting down
+        };
+        // the window mutex serializes checks so two concurrent checks can
+        // never double-count one transition
+        let mut window = replica.window.lock().unwrap();
+        let state = replica.health_state();
+        let snapshot = server.metrics();
+        if state == ReplicaHealth::Evicted {
+            // an evicted replica saw no traffic, so there is nothing to
+            // judge — open the canary window instead
+            replica.probes_used.store(0, Ordering::Relaxed);
+            window.rebase(&snapshot);
+            window.bad_streak = 0;
+            self.transition(replica, &server, state, ReplicaHealth::Probing);
+            return;
+        }
+        let completed = snapshot.completed.saturating_sub(window.completed);
+        let errors = snapshot.failed.saturating_sub(window.failed)
+            + snapshot.faults.saturating_sub(window.faulted);
+        let samples = completed + errors;
+        let needed = if state == ReplicaHealth::Probing {
+            policy.min_samples.min(policy.probe_budget)
+        } else {
+            policy.min_samples
+        };
+        if samples < needed {
+            return; // inconclusive: keep accumulating this window
+        }
+        let tail = snapshot
+            .latency_histogram
+            .subtracted(&window.latency)
+            .quantile_duration(policy.latency_quantile);
+        let latency_bad = match (policy.latency_threshold, tail) {
+            (Some(limit), Some(q)) => q > limit,
+            _ => false,
+        };
+        let error_rate = errors as f64 / samples as f64;
+        let bad = error_rate > policy.error_threshold || latency_bad;
+        window.rebase(&snapshot);
+        match (state, bad) {
+            (ReplicaHealth::Healthy, true) => {
+                window.bad_streak = 1;
+                self.transition(replica, &server, state, ReplicaHealth::Degraded);
+            }
+            (ReplicaHealth::Healthy, false) => window.bad_streak = 0,
+            (ReplicaHealth::Degraded, true) => {
+                window.bad_streak += 1;
+                if window.bad_streak >= policy.evict_after {
+                    self.transition(replica, &server, state, ReplicaHealth::Evicted);
+                }
+            }
+            (ReplicaHealth::Degraded, false) => {
+                window.bad_streak = 0;
+                self.transition(replica, &server, state, ReplicaHealth::Healthy);
+            }
+            (ReplicaHealth::Probing, true) => {
+                self.transition(replica, &server, state, ReplicaHealth::Evicted);
+            }
+            (ReplicaHealth::Probing, false) => {
+                window.bad_streak = 0;
+                self.transition(replica, &server, state, ReplicaHealth::Healthy);
+            }
+            (ReplicaHealth::Evicted, _) => unreachable!("handled above"),
+        }
+    }
+
+    /// Records one health transition: state slot, counter, span event.
+    fn transition(
+        &self,
+        replica: &Replica,
+        server: &Server,
+        from: ReplicaHealth,
+        to: ReplicaHealth,
+    ) {
+        replica.health.store(to.code(), Ordering::Relaxed);
+        replica.transitions.fetch_add(1, Ordering::Relaxed);
+        server.telemetry().record(
+            TraceId::next(),
+            EventKind::Health {
+                from: from.code(),
+                to: to.code(),
+            },
+        );
+    }
+
+    /// The delay before a hedged second attempt: the shard's merged
+    /// latency histogram at the policy's hedge quantile, floored at
+    /// `hedge_floor`, cached across [`HEDGE_REFRESH`] submissions.
+    fn hedge_delay(&self, policy: &RetryPolicy) -> Duration {
+        let Some(quantile) = policy.hedge_quantile else {
+            return policy.hedge_floor;
+        };
+        if self
+            .hedge_calls
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(HEDGE_REFRESH)
+        {
+            let mut merged = LogHistogram::new();
+            for replica in &self.replicas {
+                if let Some(server) = replica.server() {
+                    merged.merge(&server.metrics().latency_histogram);
+                }
+            }
+            let delay = merged
+                .quantile_duration(quantile)
+                .unwrap_or(Duration::ZERO)
+                .max(policy.hedge_floor);
+            self.hedge_delay_ns
+                .store(delay.as_nanos() as u64, Ordering::Relaxed);
+        }
+        Duration::from_nanos(self.hedge_delay_ns.load(Ordering::Relaxed))
+    }
 }
+
+/// Whether a failed attempt may be relaunched on another replica. Typed
+/// refusals (`Full` is the exception below, `Shed`, quota, validation) are
+/// backpressure or caller errors — retrying them would amplify overload or
+/// just fail again. `Full` *is* retryable: a sibling replica may have
+/// queue headroom even when the placed one does not.
+fn retryable(error: &ServeError) -> bool {
+    matches!(
+        error,
+        ServeError::Eval(_) | ServeError::Disconnected | ServeError::Fault(_) | ServeError::Full
+    )
+}
+
+/// One in-flight attempt of a retried/hedged request.
+struct Attempt {
+    id: u64,
+    replica: usize,
+    /// Shared so the slot can both be claimed on completion and dropped
+    /// (→ cancelled at zero evaluator ops) when a sibling attempt wins.
+    pending: Arc<Pending>,
+}
+
+/// Mutable half of one retried/hedged request's race.
+struct RaceState {
+    /// Taken exactly once, by whichever attempt settles the caller.
+    fulfiller: Option<Fulfiller>,
+    retries_left: u32,
+    attempts: Vec<Attempt>,
+    next_id: u64,
+}
+
+/// One retried/hedged request: the submission parameters plus the race
+/// between its attempts. First completion wins the [`Fulfiller`]; losing
+/// attempts are dropped, which cancels them before any evaluator ops are
+/// spent on them.
+struct RaceCtx {
+    shard: Arc<Shard>,
+    input: Tensor,
+    options: SubmitOptions,
+    trace: Option<TraceId>,
+    state: Mutex<RaceState>,
+}
+
+impl RaceCtx {
+    /// Launches attempts until one is in flight, spending retry budget on
+    /// retryable synchronous refusals. `blocking` only holds for the very
+    /// first attempt from the caller's thread — relaunches from completion
+    /// callbacks must never block a worker on a full admission gate.
+    fn launch_until_inflight(
+        ctx: &Arc<RaceCtx>,
+        mut exclude: Option<usize>,
+        mut blocking: bool,
+    ) -> Result<(), ServeError> {
+        loop {
+            match Self::one_attempt(ctx, exclude, blocking) {
+                Ok(()) => return Ok(()),
+                Err((error, at)) => {
+                    blocking = false;
+                    let budgeted = retryable(&error) && {
+                        let mut state = ctx.state.lock().unwrap();
+                        if state.retries_left > 0 {
+                            state.retries_left -= 1;
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    if !budgeted {
+                        return Err(error);
+                    }
+                    ctx.shard.retries.fetch_add(1, Ordering::Relaxed);
+                    exclude = at;
+                }
+            }
+        }
+    }
+
+    /// Places and submits one attempt. `Err` carries the refusing replica
+    /// so the caller can exclude it from the relaunch.
+    fn one_attempt(
+        ctx: &Arc<RaceCtx>,
+        exclude: Option<usize>,
+        blocking: bool,
+    ) -> Result<(), (ServeError, Option<usize>)> {
+        let index = ctx.shard.place(exclude);
+        let replica = &ctx.shard.replicas[index];
+        let Some(server) = replica.server() else {
+            return Err((ServeError::ShuttingDown, Some(index)));
+        };
+        replica.routed.fetch_add(1, Ordering::Relaxed);
+        let submitted = match (blocking, ctx.trace) {
+            (true, Some(t)) => server.submit_with_trace(ctx.input.clone(), ctx.options, t),
+            (true, None) => server.submit_with(ctx.input.clone(), ctx.options),
+            (false, Some(t)) => server.try_submit_with_trace(ctx.input.clone(), ctx.options, t),
+            (false, None) => server.try_submit_with(ctx.input.clone(), ctx.options),
+        };
+        let pending = match submitted {
+            Ok(pending) => Arc::new(pending),
+            Err(error) => {
+                replica.routed.fetch_sub(1, Ordering::Relaxed);
+                return Err((error, Some(index)));
+            }
+        };
+        let id = {
+            let mut state = ctx.state.lock().unwrap();
+            if state.fulfiller.is_none() {
+                // a sibling settled while this attempt was admitting:
+                // dropping the handle cancels it at zero evaluator ops
+                drop(state);
+                return Ok(());
+            }
+            let id = state.next_id;
+            state.next_id += 1;
+            state.attempts.push(Attempt {
+                id,
+                replica: index,
+                pending: Arc::clone(&pending),
+            });
+            id
+        };
+        // outside the state lock: an already-settled slot fires the waker
+        // synchronously, and the waker re-enters the state lock
+        let waker_ctx = Arc::clone(ctx);
+        pending.set_waker(move || Self::on_ready(&waker_ctx, id));
+        Ok(())
+    }
+
+    /// Completion callback of one attempt: settle the caller on success,
+    /// relaunch (budget permitting) on retryable failure.
+    fn on_ready(ctx: &Arc<RaceCtx>, id: u64) {
+        let mut state = ctx.state.lock().unwrap();
+        let Some(position) = state.attempts.iter().position(|a| a.id == id) else {
+            return; // already drained by a winning sibling
+        };
+        let Some(result) = state.attempts[position].pending.try_claim() else {
+            return;
+        };
+        let attempt = state.attempts.remove(position);
+        match result {
+            Ok(output) => {
+                let Some(fulfiller) = state.fulfiller.take() else {
+                    return;
+                };
+                let losers: Vec<Attempt> = state.attempts.drain(..).collect();
+                drop(state);
+                fulfiller.settle(Ok(output));
+                // dropping the losers' handles cancels them: the batcher
+                // and workers skip cancelled slots without evaluating
+                drop(losers);
+            }
+            Err(error) => {
+                let budgeted =
+                    retryable(&error) && state.fulfiller.is_some() && state.retries_left > 0;
+                if budgeted {
+                    state.retries_left -= 1;
+                    drop(state);
+                    ctx.shard.retries.fetch_add(1, Ordering::Relaxed);
+                    if let Err(final_error) =
+                        Self::launch_until_inflight(ctx, Some(attempt.replica), false)
+                    {
+                        Self::no_attempt_left(ctx, final_error);
+                    }
+                } else {
+                    drop(state);
+                    Self::no_attempt_left(ctx, error);
+                }
+            }
+        }
+    }
+
+    /// A launch chain died with `error`: settle the caller with it unless
+    /// a sibling attempt is still racing (its own outcome will settle).
+    fn no_attempt_left(ctx: &Arc<RaceCtx>, error: ServeError) {
+        let mut state = ctx.state.lock().unwrap();
+        if state.attempts.is_empty() {
+            if let Some(fulfiller) = state.fulfiller.take() {
+                drop(state);
+                fulfiller.settle(Err(error));
+            }
+        }
+    }
+
+    /// Hedge-timer callback: launch the hedged second attempt if the
+    /// primary is still unsettled.
+    fn fire_hedge(ctx: &Arc<RaceCtx>) {
+        let primary = {
+            let state = ctx.state.lock().unwrap();
+            if state.fulfiller.is_none() || state.attempts.is_empty() {
+                return; // settled, or no primary left to hedge against
+            }
+            state.attempts[0].replica
+        };
+        ctx.shard.hedges.fetch_add(1, Ordering::Relaxed);
+        if let Err(error) = Self::launch_until_inflight(ctx, Some(primary), false) {
+            Self::no_attempt_left(ctx, error);
+        }
+    }
+}
+
+/// A timer queue entry: the instant to fire at and the callback.
+type TimerEntry = (Instant, Box<dyn FnOnce() + Send>);
+
+struct TimerQueue {
+    entries: Vec<TimerEntry>,
+    stopped: bool,
+}
+
+struct TimerShared {
+    queue: Mutex<TimerQueue>,
+    cv: Condvar,
+}
+
+/// One shared timer thread firing hedged second attempts — started only
+/// when some shard actually hedges, joined on router shutdown/drop.
+struct HedgeTimer {
+    shared: Arc<TimerShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HedgeTimer {
+    fn start() -> HedgeTimer {
+        let shared = Arc::new(TimerShared {
+            queue: Mutex::new(TimerQueue {
+                entries: Vec::new(),
+                stopped: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let run_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("cdl-hedge-timer".into())
+            .spawn(move || Self::run(&run_shared))
+            .expect("spawn hedge timer thread");
+        HedgeTimer {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    fn schedule(&self, at: Instant, fire: Box<dyn FnOnce() + Send>) {
+        let mut queue = self.shared.queue.lock().unwrap();
+        if queue.stopped {
+            return;
+        }
+        queue.entries.push((at, fire));
+        self.shared.cv.notify_one();
+    }
+
+    fn run(shared: &TimerShared) {
+        let mut queue = shared.queue.lock().unwrap();
+        loop {
+            if queue.stopped {
+                return;
+            }
+            let now = Instant::now();
+            let mut due = Vec::new();
+            let mut i = 0;
+            while i < queue.entries.len() {
+                if queue.entries[i].0 <= now {
+                    due.push(queue.entries.swap_remove(i).1);
+                } else {
+                    i += 1;
+                }
+            }
+            if !due.is_empty() {
+                // fire outside the lock: callbacks submit requests and may
+                // schedule further timers
+                drop(queue);
+                for fire in due {
+                    fire();
+                }
+                queue = shared.queue.lock().unwrap();
+                continue;
+            }
+            queue = match queue.entries.iter().map(|e| e.0).min() {
+                None => shared.cv.wait(queue).unwrap(),
+                Some(next) => {
+                    let wait = next.saturating_duration_since(now);
+                    shared.cv.wait_timeout(queue, wait).unwrap().0
+                }
+            };
+        }
+    }
+}
+
+impl Drop for HedgeTimer {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.stopped = true;
+            queue.entries.clear();
+            self.shared.cv.notify_one();
+        }
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// A gate-vacancy listener retained by the router (so swapped-in servers
+/// get re-registered) — see [`Router::on_gate_vacancy`].
+type VacancyListener = Arc<dyn Fn() + Send + Sync>;
 
 /// The sharded, replicated multi-network serving front-end.
 ///
 /// See the [module docs](self) for the architecture and guarantees.
 /// `shutdown` (or `Drop`) drains every replica of every model: all
 /// outstanding [`Pending`] handles resolve before the threads exit.
-#[derive(Debug)]
 pub struct Router {
-    shards: Vec<Shard>,
+    shards: Vec<Arc<Shard>>,
+    hedge: Option<HedgeTimer>,
+    vacancy: Mutex<Vec<VacancyListener>>,
+}
+
+impl fmt::Debug for Router {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut models = f.debug_map();
+        for shard in &self.shards {
+            models.entry(&shard.name, &shard.replicas.len());
+        }
+        models.finish()
+    }
 }
 
 impl Router {
@@ -186,8 +815,9 @@ impl Router {
     /// # Errors
     ///
     /// Returns [`ServeError::BadConfig`] when no shard is given, a model
-    /// name repeats, a replica count is zero, or any [`ServerConfig`] is
-    /// invalid.
+    /// name repeats, a replica count is zero, any [`ServerConfig`],
+    /// [`HealthPolicy`], or [`RetryPolicy`] is invalid, or a
+    /// [`ShardSpec::fault_on`] index is out of range.
     pub fn start(specs: Vec<ShardSpec>) -> ServeResult<Router> {
         if specs.is_empty() {
             return Err(ServeError::BadConfig(
@@ -202,27 +832,69 @@ impl Router {
                 )));
             }
             spec.replicas.validate()?;
+            if let Some(policy) = &spec.health {
+                policy.validate()?;
+            }
+            if let Some(policy) = &spec.retry {
+                policy.validate()?;
+            }
+            for (index, _) in &spec.replica_faults {
+                if *index >= spec.replicas.replicas {
+                    return Err(ServeError::BadConfig(format!(
+                        "fault_on replica {index} out of range for {} replicas",
+                        spec.replicas.replicas
+                    )));
+                }
+            }
         }
+        let hedges = specs
+            .iter()
+            .any(|s| s.retry.as_ref().is_some_and(|r| r.hedge_quantile.is_some()));
         let shards = specs
             .into_iter()
             .map(|spec| {
                 let replicas = (0..spec.replicas.replicas)
-                    .map(|_| {
+                    .map(|i| {
+                        let mut config = spec.config.clone();
+                        if let Some((_, plan)) =
+                            spec.replica_faults.iter().find(|(index, _)| *index == i)
+                        {
+                            config.fault = plan.clone();
+                        }
+                        let server = Server::start(Arc::clone(&spec.net), config.clone())?;
                         Ok(Replica {
-                            server: Server::start(Arc::clone(&spec.net), spec.config.clone())?,
+                            server: RwLock::new(Some(Arc::new(server))),
+                            config,
                             routed: AtomicU64::new(0),
+                            health: AtomicU8::new(ReplicaHealth::Healthy.code()),
+                            transitions: AtomicU64::new(0),
+                            probes_used: AtomicU64::new(0),
+                            window: Mutex::new(HealthWindow::new()),
+                            retired: Mutex::new(Vec::new()),
                         })
                     })
                     .collect::<ServeResult<Vec<Replica>>>()?;
-                Ok(Shard {
+                let hedge_floor = spec.retry.map_or(Duration::ZERO, |r| r.hedge_floor);
+                Ok(Arc::new(Shard {
                     name: spec.name,
                     placement: spec.replicas.placement,
                     cursor: AtomicU64::new(0),
+                    health: spec.health,
+                    retry: spec.retry,
+                    checks: AtomicU64::new(0),
+                    retries: AtomicU64::new(0),
+                    hedges: AtomicU64::new(0),
+                    hedge_delay_ns: AtomicU64::new(hedge_floor.as_nanos() as u64),
+                    hedge_calls: AtomicU64::new(0),
                     replicas,
-                })
+                }))
             })
-            .collect::<ServeResult<Vec<Shard>>>()?;
-        Ok(Router { shards })
+            .collect::<ServeResult<Vec<Arc<Shard>>>>()?;
+        Ok(Router {
+            shards,
+            hedge: hedges.then(HedgeTimer::start),
+            vacancy: Mutex::new(Vec::new()),
+        })
     }
 
     /// Number of registered models (replica sets, not replicas).
@@ -261,19 +933,118 @@ impl Router {
         Ok(self.shard(model)?.replicas.len())
     }
 
-    /// The network every replica of `model` evaluates.
+    /// The network `model`'s replicas currently evaluate (the
+    /// most-recently swapped-in one during a [`Router::swap_model`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] for an unregistered id,
+    /// [`ServeError::ShuttingDown`] once shutdown has begun.
+    pub fn network(&self, model: ModelId) -> ServeResult<Arc<CdlNetwork>> {
+        self.shard(model)?.replicas[0]
+            .server()
+            .map(|s| s.network_arc())
+            .ok_or(ServeError::ShuttingDown)
+    }
+
+    /// Current health state of every replica of `model`, in replica order,
+    /// **without** running a check.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::UnknownModel`] for an unregistered id.
-    pub fn network(&self, model: ModelId) -> ServeResult<&CdlNetwork> {
-        Ok(self.shard(model)?.replicas[0].server.network())
+    pub fn replica_health(&self, model: ModelId) -> ServeResult<Vec<ReplicaHealth>> {
+        Ok(self
+            .shard(model)?
+            .replicas
+            .iter()
+            .map(|r| r.health_state())
+            .collect())
     }
 
-    fn shard(&self, model: ModelId) -> ServeResult<&Shard> {
+    /// Runs one health check over every replica of `model` right now and
+    /// returns the resulting states (what deterministic tests drive
+    /// instead of waiting for the every-`check_every`-placements
+    /// opportunistic check). A no-op (states stay `Healthy`) without a
+    /// [`ShardSpec::health`] policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] for an unregistered id.
+    pub fn check_health(&self, model: ModelId) -> ServeResult<Vec<ReplicaHealth>> {
+        let shard = self.shard(model)?;
+        shard.check_health_now();
+        Ok(shard.replicas.iter().map(|r| r.health_state()).collect())
+    }
+
+    fn shard(&self, model: ModelId) -> ServeResult<&Arc<Shard>> {
         self.shards
             .get(model.0)
             .ok_or(ServeError::UnknownModel(model))
+    }
+
+    /// The routed submission path shared by the whole submit family.
+    /// Without a [`RetryPolicy`] this is one placement into one replica
+    /// (count-then-roll-back on refusal, exactly the pre-resilience
+    /// behaviour); with one it runs the retry/hedge race of [`RaceCtx`].
+    fn submit_routed(
+        &self,
+        model: ModelId,
+        input: Tensor,
+        options: SubmitOptions,
+        trace: Option<TraceId>,
+        blocking: bool,
+    ) -> ServeResult<Pending> {
+        let shard = self.shard(model)?;
+        shard.auto_check();
+        let Some(policy) = shard.retry else {
+            let replica = &shard.replicas[shard.place(None)];
+            let Some(server) = replica.server() else {
+                return Err(ServeError::ShuttingDown);
+            };
+            // count the placement BEFORE the replica admits and roll back
+            // on failure (mirroring the admitted/unadmitted pattern inside
+            // the gate): a concurrent metrics() snapshot must never
+            // observe `submitted > routed` — that would break the
+            // documented cross-check invariant on `ReplicaMetrics::routed`
+            replica.routed.fetch_add(1, Ordering::Relaxed);
+            let submitted = match (blocking, trace) {
+                (true, Some(t)) => server.submit_with_trace(input, options, t),
+                (true, None) => server.submit_with(input, options),
+                (false, Some(t)) => server.try_submit_with_trace(input, options, t),
+                (false, None) => server.try_submit_with(input, options),
+            };
+            return match submitted {
+                Ok(pending) => Ok(pending),
+                Err(e) => {
+                    replica.routed.fetch_sub(1, Ordering::Relaxed);
+                    Err(e)
+                }
+            };
+        };
+        let (pending, fulfiller) = pending_pair(trace);
+        let ctx = Arc::new(RaceCtx {
+            shard: Arc::clone(shard),
+            input,
+            options,
+            trace,
+            state: Mutex::new(RaceState {
+                fulfiller: Some(fulfiller),
+                retries_left: policy.max_retries,
+                attempts: Vec::new(),
+                next_id: 0,
+            }),
+        });
+        RaceCtx::launch_until_inflight(&ctx, None, blocking)?;
+        if let (Some(_), Some(timer)) = (policy.hedge_quantile, &self.hedge) {
+            let delay = shard.hedge_delay(&policy);
+            let hedge_ctx = Arc::clone(&ctx);
+            timer.schedule(
+                Instant::now() + delay,
+                Box::new(move || RaceCtx::fire_hedge(&hedge_ctx)),
+            );
+        }
+        Ok(pending)
     }
 
     /// Routes a request to a replica of `model` (picked by the set's
@@ -304,21 +1075,7 @@ impl Router {
         input: Tensor,
         options: SubmitOptions,
     ) -> ServeResult<Pending> {
-        let shard = self.shard(model)?;
-        let replica = &shard.replicas[shard.place()];
-        // count the placement BEFORE the replica admits and roll back on
-        // failure (mirroring the admitted/unadmitted pattern inside the
-        // gate): a concurrent metrics() snapshot must never observe
-        // `submitted > routed` — that would break the documented
-        // cross-check invariant on `ReplicaMetrics::routed`
-        replica.routed.fetch_add(1, Ordering::Relaxed);
-        match replica.server.submit_with(input, options) {
-            Ok(pending) => Ok(pending),
-            Err(e) => {
-                replica.routed.fetch_sub(1, Ordering::Relaxed);
-                Err(e)
-            }
-        }
+        self.submit_routed(model, input, options, None, true)
     }
 
     /// [`Router::submit_with`] continuing a caller-supplied telemetry
@@ -337,17 +1094,7 @@ impl Router {
         options: SubmitOptions,
         trace: TraceId,
     ) -> ServeResult<Pending> {
-        let shard = self.shard(model)?;
-        let replica = &shard.replicas[shard.place()];
-        // same count-then-roll-back discipline as submit_with
-        replica.routed.fetch_add(1, Ordering::Relaxed);
-        match replica.server.submit_with_trace(input, options, trace) {
-            Ok(pending) => Ok(pending),
-            Err(e) => {
-                replica.routed.fetch_sub(1, Ordering::Relaxed);
-                Err(e)
-            }
-        }
+        self.submit_routed(model, input, options, Some(trace), true)
     }
 
     /// Routes a request to a replica of `model` (picked by the set's
@@ -358,8 +1105,9 @@ impl Router {
     /// Returns [`ServeError::UnknownModel`] for an unregistered id,
     /// [`ServeError::Full`] when the placed replica's queue is at capacity
     /// (the request is not admitted; sibling replicas and other models
-    /// keep accepting), [`ServeError::ShuttingDown`] if the replica's
-    /// pipeline is gone.
+    /// keep accepting — with a [`RetryPolicy`], siblings are in fact tried
+    /// against the retry budget before `Full` is returned),
+    /// [`ServeError::ShuttingDown`] if the replica's pipeline is gone.
     pub fn try_submit(&self, model: ModelId, input: Tensor) -> ServeResult<Pending> {
         self.try_submit_with(model, input, SubmitOptions::default())
     }
@@ -379,17 +1127,7 @@ impl Router {
         input: Tensor,
         options: SubmitOptions,
     ) -> ServeResult<Pending> {
-        let shard = self.shard(model)?;
-        let replica = &shard.replicas[shard.place()];
-        // same count-then-roll-back discipline as submit_with
-        replica.routed.fetch_add(1, Ordering::Relaxed);
-        match replica.server.try_submit_with(input, options) {
-            Ok(pending) => Ok(pending),
-            Err(e) => {
-                replica.routed.fetch_sub(1, Ordering::Relaxed);
-                Err(e)
-            }
-        }
+        self.submit_routed(model, input, options, None, false)
     }
 
     /// [`Router::try_submit_with`] continuing a caller-supplied telemetry
@@ -407,17 +1145,7 @@ impl Router {
         options: SubmitOptions,
         trace: TraceId,
     ) -> ServeResult<Pending> {
-        let shard = self.shard(model)?;
-        let replica = &shard.replicas[shard.place()];
-        // same count-then-roll-back discipline as submit_with
-        replica.routed.fetch_add(1, Ordering::Relaxed);
-        match replica.server.try_submit_with_trace(input, options, trace) {
-            Ok(pending) => Ok(pending),
-            Err(e) => {
-                replica.routed.fetch_sub(1, Ordering::Relaxed);
-                Err(e)
-            }
-        }
+        self.submit_routed(model, input, options, Some(trace), false)
     }
 
     /// [`Router::try_submit_with_trace`] that takes the input **by value**
@@ -426,6 +1154,11 @@ impl Router {
     /// retrying TCP edge to clone it per admission attempt. Routing keeps
     /// the count-then-roll-back discipline, so the `routed ≥ submitted`
     /// snapshot invariant holds on this path too.
+    ///
+    /// This path is deliberately **single-attempt** even under a
+    /// [`RetryPolicy`]: the TCP edge already has its own park-and-retry
+    /// admission loop, and reclaim semantics (the tensor must come back on
+    /// refusal) are incompatible with a race that clones it per attempt.
     ///
     /// # Errors
     ///
@@ -444,14 +1177,90 @@ impl Router {
             Ok(shard) => shard,
             Err(e) => return Err((e, Some(input))),
         };
-        let replica = &shard.replicas[shard.place()];
+        shard.auto_check();
+        let replica = &shard.replicas[shard.place(None)];
+        let Some(server) = replica.server() else {
+            return Err((ServeError::ShuttingDown, Some(input)));
+        };
         // same count-then-roll-back discipline as submit_with
         replica.routed.fetch_add(1, Ordering::Relaxed);
-        match replica.server.try_submit_reclaim(input, options, trace) {
+        match server.try_submit_reclaim(input, options, trace) {
             Ok(pending) => Ok(pending),
             Err(bounce) => {
                 replica.routed.fetch_sub(1, Ordering::Relaxed);
                 Err(bounce)
+            }
+        }
+    }
+
+    /// Hot-swaps the network `model`'s replicas evaluate, **without
+    /// draining the router**: one replica at a time, a fresh pipeline on
+    /// `net` is built and published, then the retired pipeline is drained
+    /// to completion (every request it admitted still resolves — with its
+    /// *old* network, which is the swap's consistency contract: every
+    /// response is bit-identical to whichever network's
+    /// `classify_with_override` was current when the request was placed).
+    /// Requests keep flowing to the other replicas, and to the swapped
+    /// replica's new pipeline, throughout. The retired pipeline's final
+    /// metrics are folded into all later snapshots, so no counters are
+    /// lost.
+    ///
+    /// Gate-vacancy listeners ([`Router::on_gate_vacancy`]) are
+    /// re-registered on each swapped-in pipeline before it is published.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] for an unregistered id, any
+    /// [`Server::start`] failure for the replacement pipelines (in which
+    /// case **no** replica was swapped — all pipelines are built before
+    /// the first publish), [`ServeError::ShuttingDown`] once shutdown has
+    /// begun.
+    pub fn swap_model(&self, model: ModelId, net: Arc<CdlNetwork>) -> ServeResult<()> {
+        let shard = self.shard(model)?;
+        // build every replacement first so a mid-set start failure can
+        // never leave the set half-swapped
+        let mut fresh: Vec<Arc<Server>> = Vec::with_capacity(shard.replicas.len());
+        {
+            let listeners = self.vacancy.lock().unwrap();
+            for replica in &shard.replicas {
+                let server = Server::start(Arc::clone(&net), replica.config.clone())?;
+                for listener in listeners.iter() {
+                    server.on_gate_vacancy(Arc::clone(listener));
+                }
+                fresh.push(Arc::new(server));
+            }
+        }
+        for (replica, next) in shard.replicas.iter().zip(fresh) {
+            let old = {
+                let mut slot = replica.server.write().unwrap();
+                if slot.is_none() {
+                    return Err(ServeError::ShuttingDown);
+                }
+                slot.replace(next)
+            };
+            let old = wait_unshared(old.expect("checked above"));
+            let metrics = old.shutdown();
+            replica.retired.lock().unwrap().push(metrics);
+            // the retired pipeline's window baseline is meaningless
+            // against the fresh pipeline's zeroed counters
+            let mut window = replica.window.lock().unwrap();
+            *window = HealthWindow::new();
+        }
+        Ok(())
+    }
+
+    /// Registers a callback fired whenever **any** replica's admission
+    /// gate frees capacity (a request settles or is dropped). The TCP
+    /// edge registers one per poller so parked admissions resume
+    /// event-driven instead of polling. Listeners are retained and
+    /// re-registered on pipelines swapped in by [`Router::swap_model`].
+    pub fn on_gate_vacancy(&self, listener: Arc<dyn Fn() + Send + Sync>) {
+        self.vacancy.lock().unwrap().push(Arc::clone(&listener));
+        for shard in &self.shards {
+            for replica in &shard.replicas {
+                if let Some(server) = replica.server() {
+                    server.on_gate_vacancy(Arc::clone(&listener));
+                }
             }
         }
     }
@@ -471,26 +1280,44 @@ impl Router {
     /// aggregate accessors.
     pub fn metrics(&self) -> RouterMetrics {
         RouterMetrics {
-            shards: self.shards.iter().map(snapshot_shard).collect(),
+            shards: self.shards.iter().map(|s| snapshot_shard(s)).collect(),
         }
     }
 
     /// A full exportable snapshot across all models and replicas: every
-    /// replica's counters and latency histogram labeled with
-    /// `model`/`replica`, plus all span events drained from every
-    /// replica's telemetry domain. Render it with
-    /// [`TelemetrySnapshot::render_prometheus`] or
+    /// replica's counters, latency histogram, and health state labeled
+    /// with `model`/`replica`, per-shard retry/hedge counters, plus all
+    /// span events drained from every replica's telemetry domain. Render
+    /// it with [`TelemetrySnapshot::render_prometheus`] or
     /// [`TelemetrySnapshot::render_chrome_trace`].
     pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
         let mut snapshot = TelemetrySnapshot::new();
         for shard in &self.shards {
+            let shard_labels = [("model", shard.name.as_str())];
+            snapshot.push_counter(
+                "cdl_shard_retries_total",
+                &shard_labels,
+                shard.retries.load(Ordering::Relaxed),
+            );
+            snapshot.push_counter(
+                "cdl_shard_hedges_total",
+                &shard_labels,
+                shard.hedges.load(Ordering::Relaxed),
+            );
             for (i, replica) in shard.replicas.iter().enumerate() {
                 let index = i.to_string();
                 let labels = [("model", shard.name.as_str()), ("replica", index.as_str())];
-                replica
-                    .server
-                    .metrics()
-                    .fill_telemetry(&mut snapshot, &labels);
+                snapshot_replica(replica).fill_telemetry(&mut snapshot, &labels);
+                snapshot.push_counter(
+                    "cdl_replica_health_state",
+                    &labels,
+                    u64::from(replica.health_state().code()),
+                );
+                snapshot.push_counter(
+                    "cdl_replica_health_transitions_total",
+                    &labels,
+                    replica.transitions.load(Ordering::Relaxed),
+                );
             }
         }
         snapshot.spans = self.drain_spans();
@@ -508,7 +1335,9 @@ impl Router {
         let mut out = Vec::new();
         for shard in &self.shards {
             for replica in &shard.replicas {
-                out.extend(replica.server.telemetry().drain());
+                if let Some(server) = replica.server() {
+                    out.extend(server.telemetry().drain());
+                }
             }
         }
         out.sort_by_key(|e| e.at_ns);
@@ -518,30 +1347,75 @@ impl Router {
     /// Graceful drain-then-stop across **all** replicas of all models:
     /// every replica stops admissions, flushes its queued and partially
     /// formed batches, and resolves every outstanding [`Pending`] before
-    /// its threads join. Returns the final metrics snapshot.
-    pub fn shutdown(self) -> RouterMetrics {
-        RouterMetrics {
-            shards: self
-                .shards
-                .into_iter()
-                .map(|shard| ShardMetrics {
-                    model: shard.name,
-                    placement: shard.placement,
-                    replicas: shard
-                        .replicas
-                        .into_iter()
-                        .map(|replica| {
-                            let routed = replica.routed.load(Ordering::Relaxed);
-                            ReplicaMetrics {
-                                routed,
-                                metrics: replica.server.shutdown(),
-                            }
-                        })
-                        .collect(),
-                })
-                .collect(),
+    /// its threads join. Returns the final metrics snapshot, including the
+    /// folded-in metrics of any pipelines retired by
+    /// [`Router::swap_model`].
+    pub fn shutdown(mut self) -> RouterMetrics {
+        // stop the hedge timer first: unfired hedges drop (their attempt
+        // contexts release), and no new attempt can launch from a timer
+        self.hedge.take();
+        let shards = std::mem::take(&mut self.shards);
+        let mut out = Vec::new();
+        for shard in shards {
+            let mut replicas = Vec::new();
+            for replica in &shard.replicas {
+                let server = replica
+                    .server
+                    .write()
+                    .unwrap()
+                    .take()
+                    .expect("router shutdown runs once");
+                let mut metrics = wait_unshared(server).shutdown();
+                for old in replica.retired.lock().unwrap().drain(..) {
+                    metrics.absorb(&old);
+                }
+                replicas.push(ReplicaMetrics {
+                    routed: replica.routed.load(Ordering::Relaxed),
+                    health: replica.health_state(),
+                    transitions: replica.transitions.load(Ordering::Relaxed),
+                    metrics,
+                });
+            }
+            out.push(ShardMetrics {
+                model: shard.name.clone(),
+                placement: shard.placement,
+                retries: shard.retries.load(Ordering::Relaxed),
+                hedges: shard.hedges.load(Ordering::Relaxed),
+                replicas,
+            });
+        }
+        RouterMetrics { shards: out }
+    }
+}
+
+/// Spins (briefly sleeping) until `server` is the only handle left, then
+/// returns it by value so it can be shut down. Submission paths hold their
+/// clones only across one admission call, so the wait is bounded by the
+/// longest in-flight admission (a *blocking* `submit` against a full gate
+/// in the extreme).
+fn wait_unshared(mut server: Arc<Server>) -> Server {
+    loop {
+        match Arc::try_unwrap(server) {
+            Ok(inner) => return inner,
+            Err(shared) => {
+                server = shared;
+                std::thread::sleep(Duration::from_micros(50));
+            }
         }
     }
+}
+
+/// One replica's live [`ServerMetrics`] with retired-pipeline metrics
+/// folded in.
+fn snapshot_replica(replica: &Replica) -> ServerMetrics {
+    let mut metrics = replica
+        .server()
+        .expect("replica pipeline live until shutdown")
+        .metrics();
+    for old in replica.retired.lock().unwrap().iter() {
+        metrics.absorb(old);
+    }
+    metrics
 }
 
 /// Builds one replica set's live [`ShardMetrics`] snapshot.
@@ -549,12 +1423,16 @@ fn snapshot_shard(shard: &Shard) -> ShardMetrics {
     ShardMetrics {
         model: shard.name.clone(),
         placement: shard.placement,
+        retries: shard.retries.load(Ordering::Relaxed),
+        hedges: shard.hedges.load(Ordering::Relaxed),
         replicas: shard
             .replicas
             .iter()
             .map(|replica| ReplicaMetrics {
                 routed: replica.routed.load(Ordering::Relaxed),
-                metrics: replica.server.metrics(),
+                health: replica.health_state(),
+                transitions: replica.transitions.load(Ordering::Relaxed),
+                metrics: snapshot_replica(replica),
             })
             .collect(),
     }
@@ -1026,6 +1904,8 @@ mod tests {
         assert!(text.contains(r#"replica="0""#), "{text}");
         assert!(text.contains("cdl_requests_completed_total"), "{text}");
         assert!(text.contains("cdl_request_latency_ns_bucket"), "{text}");
+        assert!(text.contains("cdl_replica_health_state"), "{text}");
+        assert!(text.contains("cdl_shard_retries_total"), "{text}");
         router.shutdown();
     }
 
@@ -1050,5 +1930,61 @@ mod tests {
             Router::start(specs),
             Err(ServeError::BadConfig(_))
         ));
+        // fault-tolerance configs are validated up front too
+        let mut specs = two_model_specs(BatchPolicy::default(), 8);
+        specs[0].health = Some(HealthPolicy {
+            min_samples: 0,
+            ..HealthPolicy::default()
+        });
+        assert!(matches!(
+            Router::start(specs),
+            Err(ServeError::BadConfig(_))
+        ));
+        let mut specs = two_model_specs(BatchPolicy::default(), 8);
+        specs[0].retry = Some(RetryPolicy::retries(0));
+        assert!(matches!(
+            Router::start(specs),
+            Err(ServeError::BadConfig(_))
+        ));
+        let specs = two_model_specs(BatchPolicy::default(), 8);
+        let specs = vec![specs.into_iter().next().unwrap().fault_on(
+            3,
+            crate::fault::FaultPlan::builder()
+                .at(0, crate::fault::FaultKind::ErrorBurst(1))
+                .build(),
+        )];
+        assert!(matches!(
+            Router::start(specs),
+            Err(ServeError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn swap_model_publishes_the_new_network() {
+        let net_a = build_untrained(arch::mnist_2c(), 5);
+        let net_b = build_untrained(arch::mnist_2c(), 11);
+        let config = ServerConfig {
+            policy: BatchPolicy::by_deadline(Duration::from_millis(1)),
+            queue_capacity: 64,
+            workers: 1,
+            ..ServerConfig::default()
+        };
+        let router = Router::start(vec![ShardSpec::new("m", Arc::clone(&net_a), config)
+            .replicated(ReplicaSpec::new(2, PlacementPolicy::RoundRobin))])
+        .unwrap();
+        let model = router.model_id("m").unwrap();
+        let x = images(1).remove(0);
+        let before = router.submit(model, x.clone()).unwrap().wait().unwrap();
+        assert_eq!(before, net_a.classify(&x).unwrap());
+        router.swap_model(model, Arc::clone(&net_b)).unwrap();
+        assert!(Arc::ptr_eq(&router.network(model).unwrap(), &net_b));
+        let after = router.submit(model, x.clone()).unwrap().wait().unwrap();
+        assert_eq!(after, net_b.classify(&x).unwrap());
+        // retired-pipeline counters are folded into later snapshots
+        let metrics = router.shutdown();
+        assert_eq!(metrics.completed(), 2);
+        for replica in &metrics.shards[0].replicas {
+            assert_eq!(replica.routed, replica.metrics.submitted);
+        }
     }
 }

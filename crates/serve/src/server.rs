@@ -2,6 +2,8 @@
 //! formation, and a pool of persistent batched evaluators.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -16,6 +18,7 @@ use cdl_tensor::Tensor;
 
 use crate::config::{BatchPolicy, Priority, ServerConfig, SubmitOptions};
 use crate::error::{ServeError, ServeResult};
+use crate::fault::FaultPlan;
 use crate::metrics::{BatchCause, Recorder, ServerMetrics};
 use crate::pending::{pending_pair, Fulfiller, Pending};
 
@@ -39,6 +42,52 @@ enum Refusal {
     Quota,
 }
 
+/// Callbacks fired whenever an in-flight slot frees up — the event-driven
+/// alternative to polling the gate for vacancy. The TCP edge registers one
+/// per poller so a parked admission retries the moment capacity appears
+/// instead of waiting out a poll interval.
+struct VacancyListeners {
+    /// Fast-path flag: until the first listener registers, `fire` is a
+    /// single relaxed load — no lock, no allocation.
+    armed: AtomicBool,
+    list: Mutex<Vec<Arc<dyn Fn() + Send + Sync>>>,
+}
+
+impl VacancyListeners {
+    fn new() -> Self {
+        VacancyListeners {
+            armed: AtomicBool::new(false),
+            list: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn add(&self, listener: Arc<dyn Fn() + Send + Sync>) {
+        self.list.lock().unwrap().push(listener);
+        self.armed.store(true, Ordering::Release);
+    }
+
+    /// Invokes every listener. Callers must not hold the gate's state
+    /// lock: a listener may re-enter the gate (the edge retries a parked
+    /// admission from inside its wakeup).
+    fn fire(&self) {
+        if !self.armed.load(Ordering::Acquire) {
+            return;
+        }
+        let listeners: Vec<_> = self.list.lock().unwrap().clone();
+        for listener in &listeners {
+            listener();
+        }
+    }
+}
+
+impl fmt::Debug for VacancyListeners {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VacancyListeners")
+            .field("count", &self.list.lock().unwrap().len())
+            .finish()
+    }
+}
+
 /// Counting semaphore bounding the number of in-flight requests — the
 /// server's backpressure, extended with overload control: each
 /// [`Priority`] class is admitted only up to its
@@ -52,6 +101,7 @@ struct Gate {
     tenant_quota: Option<usize>,
     state: Mutex<GateState>,
     freed: Condvar,
+    vacancy: VacancyListeners,
 }
 
 impl Gate {
@@ -61,6 +111,7 @@ impl Gate {
             tenant_quota,
             state: Mutex::new(GateState::default()),
             freed: Condvar::new(),
+            vacancy: VacancyListeners::new(),
         }
     }
 
@@ -125,6 +176,10 @@ impl Gate {
         // waiters are heterogeneous (classes, tenants): wake them all so a
         // newly-admissible one is never starved behind a still-blocked one
         self.freed.notify_all();
+        drop(state);
+        // listeners run outside the state lock so they may re-enter the
+        // gate (try_acquire) without deadlocking
+        self.vacancy.fire();
     }
 
     fn depth(&self) -> usize {
@@ -204,6 +259,7 @@ pub struct Server {
     gate: Arc<Gate>,
     recorder: Arc<Recorder>,
     telemetry: Telemetry,
+    fault: FaultPlan,
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -239,9 +295,14 @@ impl Server {
                 let recorder = Arc::clone(&recorder);
                 let telemetry = telemetry.clone();
                 let kernel = config.gemm_kernel;
+                // clones share the plan's trigger state: the batch
+                // sequence is per pipeline, not per worker thread
+                let fault = config.fault.clone();
                 std::thread::Builder::new()
                     .name(format!("cdl-serve-worker-{i}"))
-                    .spawn(move || run_worker(&net, kernel, &work_rx, &recorder, &telemetry))
+                    .spawn(move || {
+                        run_worker(&net, kernel, &work_rx, &fault, &recorder, &telemetry)
+                    })
                     .expect("spawn worker thread")
             })
             .collect();
@@ -253,6 +314,7 @@ impl Server {
             gate,
             recorder,
             telemetry,
+            fault: config.fault,
             batcher: Some(batcher),
             workers,
         })
@@ -261,6 +323,24 @@ impl Server {
     /// The network this server evaluates.
     pub fn network(&self) -> &CdlNetwork {
         &self.net
+    }
+
+    /// A shared handle to the network this server evaluates — what the
+    /// router's hot-swap path compares and hands out without borrowing
+    /// through the replica lock.
+    pub(crate) fn network_arc(&self) -> Arc<CdlNetwork> {
+        Arc::clone(&self.net)
+    }
+
+    /// Registers a callback fired every time an in-flight slot frees up
+    /// (completion, cancellation, expiry, or failure — any path that
+    /// releases the admission gate). The callback runs on whichever
+    /// thread released the slot and must be cheap and non-blocking; it
+    /// may re-enter the submit API. The TCP edge uses this to wake a
+    /// poller with parked (gate-full) admissions the moment capacity
+    /// appears, instead of polling on a timeout.
+    pub fn on_gate_vacancy(&self, listener: Arc<dyn Fn() + Send + Sync>) {
+        self.gate.vacancy.add(listener);
     }
 
     /// The GEMM microkernel every worker's evaluator runs (from
@@ -306,6 +386,7 @@ impl Server {
     pub fn submit_with(&self, input: Tensor, options: SubmitOptions) -> ServeResult<Pending> {
         options.validate_for(self.net.policy())?;
         self.validate_input(&input)?;
+        self.check_fault()?;
         let trace = self.telemetry.begin_trace();
         self.gate.acquire(options.priority, options.tenant);
         self.admit(input, options, trace)
@@ -329,6 +410,7 @@ impl Server {
     ) -> ServeResult<Pending> {
         options.validate_for(self.net.policy())?;
         self.validate_input(&input)?;
+        self.check_fault()?;
         let trace = self.telemetry.adopt(trace);
         self.gate.acquire(options.priority, options.tenant);
         self.admit(input, options, trace)
@@ -361,6 +443,7 @@ impl Server {
     pub fn try_submit_with(&self, input: Tensor, options: SubmitOptions) -> ServeResult<Pending> {
         options.validate_for(self.net.policy())?;
         self.validate_input(&input)?;
+        self.check_fault()?;
         let trace = self.telemetry.begin_trace();
         if let Err(refusal) = self.gate.try_acquire(options.priority, options.tenant) {
             return Err(self.refuse(refusal, options));
@@ -383,6 +466,7 @@ impl Server {
     ) -> ServeResult<Pending> {
         options.validate_for(self.net.policy())?;
         self.validate_input(&input)?;
+        self.check_fault()?;
         let trace = self.telemetry.adopt(trace);
         if let Err(refusal) = self.gate.try_acquire(options.priority, options.tenant) {
             return Err(self.refuse(refusal, options));
@@ -418,6 +502,9 @@ impl Server {
         if let Err(e) = self.validate_input(&input) {
             return Err((e, Some(input)));
         }
+        if let Err(e) = self.check_fault() {
+            return Err((e, Some(input)));
+        }
         let trace = match trace {
             Some(id) => self.telemetry.adopt(id),
             None => self.telemetry.begin_trace(),
@@ -426,6 +513,21 @@ impl Server {
             return Err((self.refuse(refusal, options), Some(input)));
         }
         self.admit(input, options, trace).map_err(|e| (e, None))
+    }
+
+    /// Admission fault hook: consults the installed [`FaultPlan`] (one
+    /// branch when unarmed). An active error burst refuses the request
+    /// with [`ServeError::Fault`] before it touches the gate — the shape
+    /// of a replica spewing errors, visible to the router's retry and
+    /// health machinery exactly like a real failure.
+    fn check_fault(&self) -> ServeResult<()> {
+        match self.fault.on_admission() {
+            None => Ok(()),
+            Some(e) => {
+                self.recorder.fault_rejected();
+                Err(e)
+            }
+        }
     }
 
     /// Rejects a wrong-shaped input before it can reach a batch: one bad
@@ -647,6 +749,7 @@ fn run_worker(
     net: &CdlNetwork,
     kernel: GemmKernel,
     work_rx: &Mutex<Receiver<Vec<Request>>>,
+    fault: &FaultPlan,
     recorder: &Recorder,
     telemetry: &Telemetry,
 ) {
@@ -659,6 +762,18 @@ fn run_worker(
         let Ok(batch) = message else {
             return;
         };
+        // scripted disruption (one branch when unarmed): stalls and
+        // slowdowns sleep here, inflating the latency tail exactly like a
+        // wedged evaluator; a panic kills this worker thread — its batch
+        // settles `Disconnected` through the fulfiller drop path and the
+        // rest of the pool keeps serving
+        let disruption = fault.before_batch();
+        if let Some(pause) = disruption.sleep {
+            std::thread::sleep(pause);
+        }
+        if disruption.panic {
+            panic!("scripted fault: PanicOnce");
+        }
         process_batch(&mut eval, batch, recorder, telemetry);
     }
 }

@@ -75,6 +75,16 @@ pub enum EventKind {
     Exit(u32),
     /// The result was handed back to the waiter.
     Reply,
+    /// A replica health transition (`from` → `to`, encoded as the serving
+    /// layer's health-state codes). Recorded under a synthetic trace id —
+    /// it belongs to a replica, not a request — so timeline reconstruction
+    /// ignores it.
+    Health {
+        /// State code the replica left.
+        from: u8,
+        /// State code the replica entered.
+        to: u8,
+    },
 }
 
 /// One timestamped lifecycle event. `at_ns` is nanoseconds since the
